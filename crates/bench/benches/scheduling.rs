@@ -1,0 +1,82 @@
+//! Scheduling-simulator benches: event-loop throughput and the policy
+//! comparison (the paper's motivating application).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dagscope_sched::{ClusterConfig, Policy, SimConfig, SimJob, Simulator};
+use dagscope_trace::filter::SampleCriteria;
+use dagscope_trace::gen::{GeneratorConfig, TraceGenerator};
+
+fn workload(jobs: usize, seed: u64) -> Vec<SimJob> {
+    let trace = TraceGenerator::new(GeneratorConfig {
+        jobs: jobs * 3,
+        seed,
+        ..Default::default()
+    })
+    .generate();
+    let set = trace.job_set();
+    let eligible = SampleCriteria::default().filter(&set);
+    eligible
+        .iter()
+        .take(jobs)
+        .map(|j| SimJob::from_trace_job(j).expect("filtered job builds"))
+        .collect()
+}
+
+fn tight_cluster() -> SimConfig {
+    SimConfig {
+        cluster: ClusterConfig {
+            machines: 32,
+            cpu_per_machine: 9_600.0,
+            mem_per_machine: 48.0,
+        },
+        arrival_compression: 2_000.0,
+        online_load: None,
+        evict_for_online: false,
+    }
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    for n in [100usize, 400] {
+        let jobs = workload(n, 11);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            let sim = Simulator::new(tight_cluster(), Policy::Fifo);
+            b.iter(|| black_box(sim.run(black_box(jobs)).unwrap().mean_jct))
+        });
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let jobs = workload(300, 42);
+    let mut group = c.benchmark_group("policy_comparison");
+    group.sample_size(10);
+    let policies = [Policy::Fifo, Policy::SjfOracle, Policy::CriticalPathOracle];
+    let mut results = Vec::new();
+    for policy in policies {
+        let label = policy.label();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, policy| {
+            let sim = Simulator::new(tight_cluster(), policy.clone());
+            b.iter(|| black_box(sim.run(black_box(&jobs)).unwrap().mean_jct))
+        });
+        let metrics = Simulator::new(tight_cluster(), policy.clone())
+            .run(&jobs)
+            .unwrap();
+        results.push(metrics);
+    }
+    group.finish();
+    println!("\npolicy outcomes on the shared 300-job workload:");
+    for m in &results {
+        println!("  {}", m.render_row());
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator_throughput, bench_policies,
+}
+criterion_main!(benches);

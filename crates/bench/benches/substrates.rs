@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the substrates: trace generation and parsing, the
+//! task-name grammar, the eigensolvers, and k-means — the pieces whose
+//! performance bounds how far the pipeline scales beyond the paper's
+//! 100-job sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dagscope_cluster::{kmeans, KMeansConfig};
+use dagscope_linalg::{eigh, eigh_jacobi, Matrix, SymMatrix};
+use dagscope_trace::csv;
+use dagscope_trace::gen::{GeneratorConfig, TraceGenerator};
+use dagscope_trace::taskname;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    for jobs in [1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(jobs as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            let gen = TraceGenerator::new(GeneratorConfig {
+                jobs,
+                seed: 1,
+                ..Default::default()
+            });
+            b.iter(|| black_box(gen.generate().tasks.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_csv_round_trip(c: &mut Criterion) {
+    let trace = TraceGenerator::new(GeneratorConfig {
+        jobs: 5_000,
+        seed: 2,
+        ..Default::default()
+    })
+    .generate();
+    let mut buf = Vec::new();
+    csv::write_tasks(&mut buf, &trace.tasks).unwrap();
+    let mut group = c.benchmark_group("csv");
+    group.throughput(Throughput::Bytes(buf.len() as u64));
+    group.bench_function("parse_batch_task", |b| {
+        b.iter(|| black_box(csv::read_tasks(black_box(&buf[..])).unwrap().len()))
+    });
+    group.bench_function("write_batch_task", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            csv::write_tasks(&mut out, black_box(&trace.tasks)).unwrap();
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_taskname_parse(c: &mut Criterion) {
+    let names = [
+        "M1",
+        "R2_1",
+        "J3_1_2",
+        "R5_4_3_2_1",
+        "task_kx92ab71",
+        "M31_30_29_28_27_26_25",
+    ];
+    c.bench_function("taskname_parse_mixed", |b| {
+        b.iter(|| {
+            for n in &names {
+                black_box(taskname::parse(black_box(n)));
+            }
+        })
+    });
+}
+
+fn random_sym(n: usize, seed: u64) -> SymMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = SymMatrix::zeros(n);
+    for i in 0..n {
+        for j in i..n {
+            s.set(i, j, rng.random_range(-1.0..1.0));
+        }
+    }
+    s
+}
+
+fn bench_eigensolvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigh");
+    for n in [50usize, 100, 200] {
+        let s = random_sym(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("householder_ql", n), &s, |b, s| {
+            b.iter(|| black_box(eigh(black_box(s)).unwrap().eigenvalues.len()))
+        });
+        if n <= 100 {
+            group.bench_with_input(BenchmarkId::new("jacobi", n), &s, |b, s| {
+                b.iter(|| black_box(eigh_jacobi(black_box(s)).unwrap().eigenvalues.len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let rows: Vec<Vec<f64>> = (0..500)
+        .map(|i| {
+            let cx = (i % 5) as f64 * 10.0;
+            vec![cx + rng.random::<f64>(), rng.random::<f64>()]
+        })
+        .collect();
+    let pts = Matrix::from_rows(&rows);
+    c.bench_function("kmeans_500x2_k5", |b| {
+        b.iter(|| {
+            let r = kmeans(
+                black_box(&pts),
+                &KMeansConfig {
+                    k: 5,
+                    n_init: 5,
+                    ..Default::default()
+                },
+            );
+            black_box(r.inertia)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets =
+        bench_trace_generation,
+        bench_csv_round_trip,
+        bench_taskname_parse,
+        bench_eigensolvers,
+        bench_kmeans,
+}
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Minimal flag parser: `--key value` pairs plus boolean `--switch`es.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// CLI argument errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--flag` given without a value where one is required.
+    MissingValue(String),
+    /// Value failed to parse for the flag.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Raw value.
+        value: String,
+        /// Expected type description.
+        expected: &'static str,
+    },
+    /// A positional or unknown token appeared.
+    Unknown(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} requires a value"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(f, "flag --{flag}: cannot parse {value:?} as {expected}")
+            }
+            ArgError::Unknown(tok) => write!(f, "unexpected argument {tok:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed flags. Boolean switches store an empty value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+/// Flags that never take a value.
+const SWITCHES: &[&str] = &["instances", "machines", "help", "all"];
+
+impl Flags {
+    /// Parse a token stream (without the program / subcommand names).
+    pub fn parse(tokens: &[String]) -> Result<Flags, ArgError> {
+        let mut values = BTreeMap::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError::Unknown(tok.clone()));
+            };
+            if SWITCHES.contains(&name) {
+                values.insert(name.to_string(), String::new());
+                i += 1;
+                continue;
+            }
+            let Some(value) = tokens.get(i + 1) else {
+                return Err(ArgError::MissingValue(name.to_string()));
+            };
+            if value.starts_with("--") {
+                return Err(ArgError::MissingValue(name.to_string()));
+            }
+            values.insert(name.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Flags { values })
+    }
+
+    /// Boolean switch presence.
+    pub fn switch(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// String value with default.
+    pub fn str_or(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Optional string value.
+    pub fn str_opt(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Typed value with default.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse::<T>().map_err(|_| ArgError::BadValue {
+                flag: name.to_string(),
+                value: raw.clone(),
+                expected,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let f = Flags::parse(&toks("--jobs 500 --instances --seed 7")).unwrap();
+        assert_eq!(f.get_or("jobs", 0usize, "usize").unwrap(), 500);
+        assert_eq!(f.get_or("seed", 0u64, "u64").unwrap(), 7);
+        assert!(f.switch("instances"));
+        assert!(!f.switch("machines"));
+        assert_eq!(f.get_or("sample", 100usize, "usize").unwrap(), 100);
+    }
+
+    #[test]
+    fn missing_value_detected() {
+        assert_eq!(
+            Flags::parse(&toks("--jobs")).unwrap_err(),
+            ArgError::MissingValue("jobs".into())
+        );
+        assert_eq!(
+            Flags::parse(&toks("--jobs --seed 1")).unwrap_err(),
+            ArgError::MissingValue("jobs".into())
+        );
+    }
+
+    #[test]
+    fn bad_value_reports_type() {
+        let f = Flags::parse(&toks("--jobs many")).unwrap();
+        let err = f.get_or("jobs", 0usize, "a job count").unwrap_err();
+        assert!(err.to_string().contains("a job count"));
+    }
+
+    #[test]
+    fn unknown_positional_rejected() {
+        assert_eq!(
+            Flags::parse(&toks("oops")).unwrap_err(),
+            ArgError::Unknown("oops".into())
+        );
+    }
+
+    #[test]
+    fn string_accessors() {
+        let f = Flags::parse(&toks("--out /tmp/x")).unwrap();
+        assert_eq!(f.str_or("out", "default"), "/tmp/x");
+        assert_eq!(f.str_or("other", "default"), "default");
+        assert_eq!(f.str_opt("out"), Some("/tmp/x"));
+        assert_eq!(f.str_opt("missing"), None);
+    }
+}

@@ -1,0 +1,583 @@
+//! Subcommand implementations.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use dagscope_core::{
+    compare_baselines, export, figures, BaseKernel, Pipeline, PipelineConfig, Report,
+};
+use dagscope_graph::JobDag;
+use dagscope_sched::{ClusterConfig, OnlineLoad, Policy, SimConfig, SimJob, Simulator};
+use dagscope_trace::filter::SampleCriteria;
+use dagscope_trace::gen::{GeneratorConfig, TraceGenerator};
+use dagscope_trace::placement::PlacementStats;
+use dagscope_trace::{csv, machine, stats::TraceStats};
+
+use crate::args::{ArgError, Flags};
+
+/// Top-level usage text.
+pub const HELP: &str = "\
+dagscope — graph-learning characterization of cloud batch workloads
+            (reproduction of Gu et al., IPPS 2021)
+
+USAGE: dagscope <command> [--flag value ...]
+
+COMMANDS
+  generate    synthesize a v2018-schema trace and write batch_task.csv
+              (--jobs N --seed S --out DIR [--instances] [--machines])
+  summary     run the full pipeline, print trace stats + group table
+              (--jobs N --sample N --seed S [--base-kernel wl|sp])
+  figure      regenerate one paper figure 2..9, or all
+              (--n N | --all) [--csv DIR] [--dot DIR] [pipeline flags]
+  census      Section V-B shape-pattern census over a full trace
+              (--jobs N --seed S)
+  baselines   WL+spectral vs statistical k-means vs hierarchical (ARI)
+              (--jobs N --sample N --seed S)
+  placement   job-task-node placement statistics from instance rows
+              (--jobs N --seed S)
+  schedule    policy comparison in the cluster simulator
+              (--jobs N --seed S --cluster-machines M --compression C
+               [--online trough,peak])
+  report      auto-generated paper-vs-measured markdown record
+              (--jobs N --sample N --seed S)
+  help        this text
+";
+
+/// CLI-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments.
+    Args(ArgError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A pipeline / simulation stage failed.
+    Run(String),
+    /// Filesystem trouble.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?}; run `dagscope help`")
+            }
+            CliError::Run(msg) => write!(f, "{msg}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, CliError> {
+    Ok(PipelineConfig {
+        jobs: flags.get_or("jobs", 2_000usize, "a job count")?,
+        sample: flags.get_or("sample", 100usize, "a sample size")?,
+        seed: flags.get_or("seed", 42u64, "a seed")?,
+        wl_iterations: flags.get_or("wl-iterations", 3usize, "an iteration count")?,
+        base_kernel: match flags.str_or("base-kernel", "wl").as_str() {
+            "wl" | "subtree" => BaseKernel::WlSubtree,
+            "sp" | "shortest-path" => BaseKernel::ShortestPath,
+            other => {
+                return Err(CliError::Run(format!(
+                    "--base-kernel must be `wl` or `sp`, got {other:?}"
+                )))
+            }
+        },
+        ..PipelineConfig::default()
+    })
+}
+
+fn run_pipeline(flags: &Flags) -> Result<Report, CliError> {
+    Pipeline::new(pipeline_config(flags)?)
+        .run()
+        .map_err(CliError::Run)
+}
+
+fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
+    let jobs = flags.get_or("jobs", 10_000usize, "a job count")?;
+    let seed = flags.get_or("seed", 42u64, "a seed")?;
+    let out = flags.str_or("out", "trace-out");
+    let out = Path::new(&out);
+    fs::create_dir_all(out)?;
+
+    let cfg = GeneratorConfig {
+        jobs,
+        seed,
+        emit_instances: flags.switch("instances"),
+        ..Default::default()
+    };
+    let trace = TraceGenerator::new(cfg.clone()).generate();
+    let mut report = String::new();
+
+    let task_path = out.join("batch_task.csv");
+    csv::write_tasks(fs::File::create(&task_path)?, &trace.tasks).map_err(io_err)?;
+    writeln!(
+        report,
+        "wrote {} task rows to {}",
+        trace.tasks.len(),
+        task_path.display()
+    )
+    .unwrap();
+
+    if flags.switch("instances") {
+        let inst_path = out.join("batch_instance.csv");
+        csv::write_instances(fs::File::create(&inst_path)?, &trace.instances).map_err(io_err)?;
+        writeln!(
+            report,
+            "wrote {} instance rows to {}",
+            trace.instances.len(),
+            inst_path.display()
+        )
+        .unwrap();
+    }
+    if flags.switch("machines") {
+        let (meta, usage) = machine::generate_machines(cfg.machines, cfg.window_secs, seed);
+        let meta_path = out.join("machine_meta.csv");
+        machine::write_meta(fs::File::create(&meta_path)?, &meta).map_err(io_err)?;
+        let usage_path = out.join("machine_usage.csv");
+        machine::write_usage(fs::File::create(&usage_path)?, &usage).map_err(io_err)?;
+        writeln!(
+            report,
+            "wrote {} machine meta rows and {} usage rows",
+            meta.len(),
+            usage.len()
+        )
+        .unwrap();
+    }
+    report.push('\n');
+    report.push_str(&TraceStats::compute(&trace.job_set()).render());
+    Ok(report)
+}
+
+fn io_err(e: dagscope_trace::TraceError) -> CliError {
+    CliError::Run(e.to_string())
+}
+
+fn cmd_summary(flags: &Flags) -> Result<String, CliError> {
+    Ok(run_pipeline(flags)?.summary())
+}
+
+fn cmd_report(flags: &Flags) -> Result<String, CliError> {
+    Ok(run_pipeline(flags)?.markdown())
+}
+
+fn render_figure(report: &Report, n: u32) -> String {
+    match n {
+        2 => figures::fig2_sample_dags(report, 5),
+        3 => figures::fig3_conflation(report).render(),
+        4 => figures::render_size_groups(
+            "Fig 4: job features before node conflation",
+            &figures::fig4_size_groups(report),
+        ),
+        5 => figures::render_size_groups(
+            "Fig 5: job features after node conflation",
+            &figures::fig5_size_groups(report),
+        ),
+        6 => figures::render_type_distribution(&figures::fig6_type_distribution(report)),
+        7 => {
+            let s = figures::fig7_summary(&report.similarity);
+            format!(
+                "{}off-diagonal: mean {:.3}, min {:.3}, max {:.3}, identical pairs {}\n",
+                figures::fig7_heatmap(&report.similarity),
+                s.mean,
+                s.min,
+                s.max,
+                s.identical_pairs
+            )
+        }
+        8 => format!(
+            "{}\n{}",
+            figures::fig8_representatives(report),
+            figures::render_group_shapes(&figures::group_shape_composition(report))
+        ),
+        9 => figures::render_group_properties(&figures::fig9_group_properties(report)),
+        other => format!("no figure {other}; available 2..=9\n"),
+    }
+}
+
+fn export_figure_csv(report: &Report, n: u32) -> Option<(String, String)> {
+    let data = match n {
+        3 => export::conflation_csv(&figures::fig3_conflation(report)),
+        4 => export::size_groups_csv(&figures::fig4_size_groups(report)),
+        5 => export::size_groups_csv(&figures::fig5_size_groups(report)),
+        6 => export::type_census_csv(&figures::fig6_type_distribution(report)),
+        7 => export::similarity_csv(&report.similarity),
+        9 => export::group_properties_csv(&figures::fig9_group_properties(report)),
+        _ => return None,
+    };
+    Some((format!("fig{n}.csv"), data))
+}
+
+fn cmd_figure(flags: &Flags) -> Result<String, CliError> {
+    let ns: Vec<u32> = if flags.switch("all") {
+        (2..=9).collect()
+    } else {
+        vec![flags.get_or("n", 0u32, "a figure number 2..=9")?]
+    };
+    if ns == [0] {
+        return Err(CliError::Run("pass --n 2..=9 or --all".to_string()));
+    }
+    let report = run_pipeline(flags)?;
+    let mut out = String::new();
+    for n in &ns {
+        out.push_str(&render_figure(&report, *n));
+        out.push('\n');
+        if let Some(dir) = flags.str_opt("csv") {
+            fs::create_dir_all(dir)?;
+            if let Some((name, data)) = export_figure_csv(&report, *n) {
+                let path = Path::new(dir).join(name);
+                fs::write(&path, data)?;
+                writeln!(out, "(csv written to {})", path.display()).unwrap();
+            }
+        }
+    }
+    if let Some(dir) = flags.str_opt("csv") {
+        let path = Path::new(dir).join("features.csv");
+        fs::write(&path, export::features_csv(&report))?;
+        writeln!(out, "(per-job features written to {})", path.display()).unwrap();
+    }
+    // Figures 2 and 8 are graph drawings in the paper; --dot emits
+    // Graphviz files for them.
+    if let Some(dir) = flags.str_opt("dot") {
+        fs::create_dir_all(dir)?;
+        let mut written = 0usize;
+        if ns.contains(&2) {
+            for dag in report.raw_dags.iter().take(5) {
+                let path = Path::new(dir).join(format!("fig2_{}.dot", dag.name));
+                fs::write(&path, dagscope_graph::render::to_dot(dag))?;
+                written += 1;
+            }
+        }
+        if ns.contains(&8) {
+            for g in &report.groups.groups {
+                if let Some(dag) = report
+                    .kernel_dags()
+                    .iter()
+                    .find(|d| d.name == g.representative)
+                {
+                    let path =
+                        Path::new(dir).join(format!("fig8_group_{}_{}.dot", g.label, dag.name));
+                    fs::write(&path, dagscope_graph::render::to_dot(dag))?;
+                    written += 1;
+                }
+            }
+        }
+        writeln!(out, "({written} DOT files written to {dir})").unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_census(flags: &Flags) -> Result<String, CliError> {
+    let jobs = flags.get_or("jobs", 20_000usize, "a job count")?;
+    let seed = flags.get_or("seed", 42u64, "a seed")?;
+    let trace = TraceGenerator::new(GeneratorConfig {
+        jobs,
+        seed,
+        ..Default::default()
+    })
+    .generate();
+    let set = trace.job_set();
+    let dags: Vec<JobDag> = dagscope_par::par_map(&SampleCriteria::default().filter(&set), |j| {
+        JobDag::from_job(j).expect("filtered job builds")
+    });
+    let census = figures::pattern_census_of(&dags);
+    let mut out = figures::render_pattern_census(&census);
+    if let Some(dir) = flags.str_opt("csv") {
+        fs::create_dir_all(dir)?;
+        let path = Path::new(dir).join("pattern_census.csv");
+        fs::write(&path, export::pattern_census_csv(&census))?;
+        writeln!(out, "(csv written to {})", path.display()).unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_baselines(flags: &Flags) -> Result<String, CliError> {
+    let report = run_pipeline(flags)?;
+    let cmp = compare_baselines(&report, report.config.seed);
+    Ok(format!("{}\n{}", report.summary(), cmp.render()))
+}
+
+fn cmd_placement(flags: &Flags) -> Result<String, CliError> {
+    let jobs = flags.get_or("jobs", 500usize, "a job count")?;
+    let seed = flags.get_or("seed", 42u64, "a seed")?;
+    let trace = TraceGenerator::new(GeneratorConfig {
+        jobs,
+        seed,
+        emit_instances: true,
+        ..Default::default()
+    })
+    .generate();
+    Ok(PlacementStats::compute(&trace.instances).render())
+}
+
+fn parse_online(raw: &str) -> Result<OnlineLoad, CliError> {
+    let parts: Vec<&str> = raw.split(',').collect();
+    let bad = || {
+        CliError::Run(format!(
+            "--online expects `trough,peak` fractions, got {raw:?}"
+        ))
+    };
+    if parts.len() != 2 {
+        return Err(bad());
+    }
+    let trough: f64 = parts[0].parse().map_err(|_| bad())?;
+    let peak: f64 = parts[1].parse().map_err(|_| bad())?;
+    if !(0.0..=0.95).contains(&trough) || !(0.0..=0.95).contains(&peak) || trough > peak {
+        return Err(bad());
+    }
+    Ok(OnlineLoad { trough, peak })
+}
+
+fn cmd_schedule(flags: &Flags) -> Result<String, CliError> {
+    let jobs = flags.get_or("jobs", 300usize, "a job count")?;
+    let seed = flags.get_or("seed", 42u64, "a seed")?;
+    let machines = flags.get_or("cluster-machines", 48usize, "a machine count")?;
+    let compression = flags.get_or("compression", 2_000.0f64, "a compression factor")?;
+    let online = flags.str_opt("online").map(parse_online).transpose()?;
+
+    let trace = TraceGenerator::new(GeneratorConfig {
+        jobs: jobs * 3,
+        seed,
+        ..Default::default()
+    })
+    .generate();
+    let set = trace.job_set();
+    let eligible = SampleCriteria::default().filter(&set);
+    let sim_jobs: Vec<SimJob> = eligible
+        .iter()
+        .take(jobs)
+        .map(|j| SimJob::from_trace_job(j).expect("filtered job builds"))
+        .collect();
+
+    let cfg = SimConfig {
+        cluster: ClusterConfig {
+            machines,
+            cpu_per_machine: 9_600.0,
+            mem_per_machine: 48.0,
+        },
+        arrival_compression: compression,
+        online_load: online,
+        evict_for_online: online.is_some(),
+    };
+    // Perfect-knowledge predictions for the predicted-SJF row: the CLI
+    // variant demonstrates the policy plumbing; the full topology-learned
+    // prediction lives in examples/schedule_policies.rs.
+    let predictions: HashMap<String, f64> = sim_jobs
+        .iter()
+        .map(|j| (j.name.clone(), j.total_work()))
+        .collect();
+
+    let mut out = format!(
+        "scheduling {} jobs on {} machines (compression {}x{})\n",
+        sim_jobs.len(),
+        machines,
+        compression,
+        online.map_or(String::new(), |l| format!(
+            ", online load {:.0}–{:.0} %",
+            100.0 * l.trough,
+            100.0 * l.peak
+        ))
+    );
+    for policy in [
+        Policy::Fifo,
+        Policy::PredictedSjf { predictions },
+        Policy::SjfOracle,
+        Policy::CriticalPathOracle,
+    ] {
+        let m = Simulator::new(cfg.clone(), policy)
+            .run(&sim_jobs)
+            .map_err(CliError::Run)?;
+        writeln!(out, "  {}", m.render_row()).unwrap();
+    }
+    Ok(out)
+}
+
+/// Dispatch a full argv (excluding the program name).
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some(command) = argv.first() else {
+        return Ok(HELP.to_string());
+    };
+    let flags = Flags::parse(&argv[1..])?;
+    if flags.switch("help") {
+        return Ok(HELP.to_string());
+    }
+    match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "summary" => cmd_summary(&flags),
+        "report" => cmd_report(&flags),
+        "figure" => cmd_figure(&flags),
+        "census" => cmd_census(&flags),
+        "baselines" => cmd_baselines(&flags),
+        "placement" => cmd_placement(&flags),
+        "schedule" => cmd_schedule(&flags),
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn no_args_prints_help() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&argv("help")).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let err = run(&argv("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn summary_small_run() {
+        let out = run(&argv("summary --jobs 200 --sample 20 --seed 3")).unwrap();
+        assert!(out.contains("== groups"));
+        assert!(out.contains('A'));
+    }
+
+    #[test]
+    fn figure_requires_n_or_all() {
+        let err = run(&argv("figure --jobs 200 --sample 20")).unwrap_err();
+        assert!(err.to_string().contains("--n"));
+    }
+
+    #[test]
+    fn figure_seven_renders_heatmap() {
+        let out = run(&argv("figure --n 7 --jobs 200 --sample 20 --seed 3")).unwrap();
+        assert!(out.contains("Fig 7"));
+        assert!(out.contains("off-diagonal"));
+    }
+
+    #[test]
+    fn base_kernel_flag() {
+        let out = run(&argv(
+            "summary --jobs 200 --sample 20 --seed 3 --base-kernel sp",
+        ))
+        .unwrap();
+        assert!(out.contains("== groups"));
+        let err = run(&argv("summary --jobs 200 --base-kernel bogus")).unwrap_err();
+        assert!(err.to_string().contains("base-kernel"));
+    }
+
+    #[test]
+    fn report_markdown() {
+        let out = run(&argv("report --jobs 200 --sample 20 --seed 3")).unwrap();
+        assert!(out.contains("| Claim | Paper | Measured |"));
+        assert!(out.contains("dominant group"));
+    }
+
+    #[test]
+    fn census_runs() {
+        let out = run(&argv("census --jobs 800 --seed 3")).unwrap();
+        assert!(out.contains("straight-chain"));
+    }
+
+    #[test]
+    fn baselines_runs() {
+        let out = run(&argv("baselines --jobs 250 --sample 25 --seed 3")).unwrap();
+        assert!(out.contains("ARI"));
+    }
+
+    #[test]
+    fn placement_runs() {
+        let out = run(&argv("placement --jobs 80 --seed 3")).unwrap();
+        assert!(out.contains("machines per job"));
+    }
+
+    #[test]
+    fn schedule_runs_with_online_load() {
+        let out = run(&argv(
+            "schedule --jobs 40 --seed 3 --cluster-machines 8 --compression 3000 --online 0.2,0.5",
+        ))
+        .unwrap();
+        assert!(out.contains("fifo"));
+        assert!(out.contains("sjf-oracle"));
+        assert!(out.contains("online load 20–50 %"));
+    }
+
+    #[test]
+    fn schedule_rejects_bad_online_spec() {
+        for bad in ["1", "a,b", "0.9,0.2", "-0.1,0.5"] {
+            let err = run(&argv(&format!(
+                "schedule --jobs 10 --seed 1 --online {bad}"
+            )))
+            .unwrap_err();
+            assert!(err.to_string().contains("--online"), "{bad}");
+        }
+    }
+
+    #[test]
+    fn generate_writes_files() {
+        let dir = std::env::temp_dir().join(format!("dagscope_cli_test_{}", std::process::id()));
+        let out = run(&argv(&format!(
+            "generate --jobs 60 --seed 1 --out {} --instances --machines",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("batch_task.csv"));
+        assert!(dir.join("batch_task.csv").exists());
+        assert!(dir.join("batch_instance.csv").exists());
+        assert!(dir.join("machine_meta.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn figure_dot_export() {
+        let dir = std::env::temp_dir().join(format!("dagscope_cli_dot_{}", std::process::id()));
+        let out = run(&argv(&format!(
+            "figure --n 8 --jobs 200 --sample 20 --seed 3 --dot {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("DOT files written"));
+        let dots: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "dot"))
+            .collect();
+        assert_eq!(dots.len(), 5, "one DOT per group");
+        let body = std::fs::read_to_string(dots[0].path()).unwrap();
+        assert!(body.starts_with("digraph"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn figure_csv_export() {
+        let dir = std::env::temp_dir().join(format!("dagscope_cli_csv_{}", std::process::id()));
+        let out = run(&argv(&format!(
+            "figure --n 9 --jobs 200 --sample 20 --seed 3 --csv {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("csv written"));
+        let csv = std::fs::read_to_string(dir.join("fig9.csv")).unwrap();
+        assert!(csv.starts_with("group,"));
+        assert!(dir.join("features.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

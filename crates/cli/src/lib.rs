@@ -1,0 +1,27 @@
+//! The `dagscope` command-line interface.
+//!
+//! Subcommands map one-to-one onto the paper's experiments:
+//!
+//! ```text
+//! dagscope generate   --jobs 10000 --seed 42 --out trace-out [--instances] [--machines]
+//! dagscope summary    --jobs 2000 --sample 100 --seed 42
+//! dagscope figure     --n 7 [--jobs ...] [--csv DIR]
+//! dagscope census     --jobs 20000 --seed 42
+//! dagscope baselines  --jobs 2000 --sample 100 --seed 42
+//! dagscope placement  --jobs 500 --seed 42
+//! dagscope schedule   --jobs 400 --seed 42 --cluster-machines 48 --compression 2000
+//!                     [--online 0.3,0.6]
+//! dagscope help
+//! ```
+//!
+//! Command implementations return their report text, so they are unit
+//! tested without spawning processes; `main.rs` is a thin shell.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Flags};
+pub use commands::{run, CliError, HELP};

@@ -1,0 +1,12 @@
+//! `dagscope` binary entry point — a thin shell over [`dagscope_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match dagscope_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("dagscope: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Partition comparison: Rand index family and confusion tables.
+//!
+//! Used by the baseline experiment to quantify how much the paper's
+//! WL + spectral grouping agrees with (a) statistical-feature k-means
+//! (the related-work baseline) and (b) hierarchical clustering over the
+//! same kernel distances.
+
+/// Contingency table between two partitions of the same items.
+///
+/// `table[a][b]` counts items with label `a` in the first partition and
+/// `b` in the second.
+pub fn contingency(a: &[usize], b: &[usize]) -> Vec<Vec<usize>> {
+    assert_eq!(a.len(), b.len(), "partition length mismatch");
+    let ka = a.iter().max().map_or(0, |m| m + 1);
+    let kb = b.iter().max().map_or(0, |m| m + 1);
+    let mut table = vec![vec![0usize; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+    }
+    table
+}
+
+fn choose2(n: usize) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand Index between two partitions: 1 for identical groupings
+/// (up to relabeling), ~0 for independent ones, negative for worse than
+/// chance. Returns 1.0 for empty or single-item inputs.
+///
+/// ```
+/// use dagscope_cluster::compare::adjusted_rand_index;
+/// assert_eq!(adjusted_rand_index(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+/// assert!(adjusted_rand_index(&[0, 0, 1, 1], &[0, 1, 0, 1]) < 0.5);
+/// ```
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "partition length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let table = contingency(a, b);
+    let row_sums: Vec<usize> = table.iter().map(|r| r.iter().sum()).collect();
+    let col_sums: Vec<usize> = (0..table.first().map_or(0, Vec::len))
+        .map(|j| table.iter().map(|r| r[j]).sum())
+        .collect();
+
+    let sum_cells: f64 = table.iter().flatten().map(|&c| choose2(c)).sum();
+    let sum_rows: f64 = row_sums.iter().map(|&c| choose2(c)).sum();
+    let sum_cols: f64 = col_sums.iter().map(|&c| choose2(c)).sum();
+    let total = choose2(n);
+
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-15 {
+        // Degenerate: both partitions put everything in one cluster (or
+        // each item alone) — they agree perfectly.
+        return 1.0;
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+/// Unadjusted Rand index (fraction of item pairs on which the partitions
+/// agree). In `[0, 1]`.
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "partition length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_a = a[i] == a[j];
+            let same_b = b[i] == b[j];
+            if same_a == same_b {
+                agree += 1;
+            }
+            total += 1;
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// Purity of partition `a` against reference `b`: the weighted share of
+/// each `a`-cluster's dominant reference label. In `(0, 1]`.
+pub fn purity(a: &[usize], reference: &[usize]) -> f64 {
+    assert_eq!(a.len(), reference.len(), "partition length mismatch");
+    if a.is_empty() {
+        return 1.0;
+    }
+    let table = contingency(a, reference);
+    let dominant: usize = table
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    dominant as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let p = vec![0, 1, 2, 0, 1, 2];
+        assert_eq!(adjusted_rand_index(&p, &p), 1.0);
+        assert_eq!(rand_index(&p, &p), 1.0);
+        assert_eq!(purity(&p, &p), 1.0);
+    }
+
+    #[test]
+    fn relabeling_invariant() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+        assert_eq!(purity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn independent_partitions_near_zero_ari() {
+        // A checkerboard split against a block split.
+        let a: Vec<usize> = (0..40).map(|i| i / 20).collect();
+        let b: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.15, "ari={ari}");
+    }
+
+    #[test]
+    fn partial_agreement_ordered() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let close = vec![0, 0, 1, 1, 1, 1]; // one item misplaced
+        let far = vec![0, 1, 0, 1, 0, 1];
+        assert!(adjusted_rand_index(&truth, &close) > adjusted_rand_index(&truth, &far));
+        assert!(purity(&close, &truth) > purity(&far, &truth));
+    }
+
+    #[test]
+    fn degenerate_single_cluster() {
+        let a = vec![0, 0, 0];
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        assert_eq!(rand_index(&[0], &[0]), 1.0);
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn contingency_counts() {
+        let t = contingency(&[0, 0, 1], &[0, 1, 1]);
+        assert_eq!(t, vec![vec![1, 1], vec![0, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = adjusted_rand_index(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Agglomerative hierarchical clustering (average linkage).
+//!
+//! A second clustering lens over the same WL distance matrix: start from
+//! singletons and repeatedly merge the pair of clusters with the smallest
+//! average pairwise distance until `k` clusters remain. Used by the
+//! comparison experiment to check how stable the paper's spectral groups
+//! are under a different grouping principle.
+
+use dagscope_linalg::SymMatrix;
+
+/// Result of an agglomerative run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalResult {
+    /// Cluster index (`0..k`) per item.
+    pub assignments: Vec<usize>,
+    /// The merge heights (average-linkage distance of each merge, in
+    /// order) — useful for dendrogram-style diagnostics.
+    pub merge_heights: Vec<f64>,
+}
+
+/// Average-linkage agglomerative clustering of a precomputed distance
+/// matrix down to `k` clusters.
+///
+/// `O(n³)` in the naive form used here — ample for the paper's
+/// 100–1000-job samples. Panics if `k == 0` or `k > n` (for `n > 0`).
+///
+/// ```
+/// use dagscope_linalg::SymMatrix;
+/// use dagscope_cluster::hierarchical::agglomerative;
+/// // Two tight pairs far apart.
+/// let mut d = SymMatrix::zeros(4);
+/// d.set(0, 1, 0.1);
+/// d.set(2, 3, 0.1);
+/// for (i, j) in [(0, 2), (0, 3), (1, 2), (1, 3)] { d.set(i, j, 9.0); }
+/// let r = agglomerative(&d, 2);
+/// assert_eq!(r.assignments[0], r.assignments[1]);
+/// assert_eq!(r.assignments[2], r.assignments[3]);
+/// assert_ne!(r.assignments[0], r.assignments[2]);
+/// ```
+pub fn agglomerative(distances: &SymMatrix, k: usize) -> HierarchicalResult {
+    let n = distances.n();
+    if n == 0 {
+        assert_eq!(k, 0, "k={k} for empty input");
+        return HierarchicalResult {
+            assignments: Vec::new(),
+            merge_heights: Vec::new(),
+        };
+    }
+    assert!(k >= 1 && k <= n, "k={k} out of range for n={n}");
+
+    // Active cluster list: member indices per cluster.
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut heights = Vec::with_capacity(n - k);
+
+    while clusters.len() > k {
+        // Find the pair with minimal average linkage.
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let mut sum = 0.0;
+                for &i in &clusters[a] {
+                    for &j in &clusters[b] {
+                        sum += distances.get(i, j);
+                    }
+                }
+                let avg = sum / (clusters[a].len() * clusters[b].len()) as f64;
+                if avg < best.2 {
+                    best = (a, b, avg);
+                }
+            }
+        }
+        let (a, b, h) = best;
+        heights.push(h);
+        let merged = clusters.swap_remove(b);
+        // swap_remove moved the former last cluster into slot `b`; if that
+        // last cluster was `a`, it now lives at `b`.
+        let target = if a == clusters.len() { b } else { a };
+        clusters[target].extend(merged);
+    }
+
+    // Stable labeling: order clusters by smallest member index.
+    clusters.sort_by_key(|c| *c.iter().min().unwrap());
+    let mut assignments = vec![0usize; n];
+    for (label, members) in clusters.iter().enumerate() {
+        for &i in members {
+            assignments[i] = label;
+        }
+    }
+    HierarchicalResult {
+        assignments,
+        merge_heights: heights,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validation::{cluster_sizes, is_partition};
+
+    fn block_distances(sizes: &[usize], within: f64, between: f64) -> SymMatrix {
+        let n: usize = sizes.iter().sum();
+        let mut block = vec![0usize; n];
+        let mut at = 0;
+        for (b, &s) in sizes.iter().enumerate() {
+            for slot in block.iter_mut().skip(at).take(s) {
+                *slot = b;
+            }
+            at += s;
+        }
+        let mut d = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                d.set(
+                    i,
+                    j,
+                    if block[i] == block[j] {
+                        within
+                    } else {
+                        between
+                    },
+                );
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_blocks() {
+        let d = block_distances(&[6, 5, 4], 0.1, 5.0);
+        let r = agglomerative(&d, 3);
+        assert!(is_partition(&r.assignments, 3));
+        let sizes = {
+            let mut s = cluster_sizes(&r.assignments, 3);
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![4, 5, 6]);
+        // Merge heights: all intra-block merges happen at 0.1.
+        assert!(r.merge_heights.iter().all(|&h| h <= 0.1 + 1e-12));
+    }
+
+    #[test]
+    fn k_equals_n_is_identity() {
+        let d = block_distances(&[3], 1.0, 0.0);
+        let r = agglomerative(&d, 3);
+        assert_eq!(r.assignments, vec![0, 1, 2]);
+        assert!(r.merge_heights.is_empty());
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let d = block_distances(&[2, 2], 0.1, 5.0);
+        let r = agglomerative(&d, 1);
+        assert!(r.assignments.iter().all(|&a| a == 0));
+        assert_eq!(r.merge_heights.len(), 3);
+        // Heights are non-decreasing for average linkage on this input.
+        for w in r.merge_heights.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = agglomerative(&SymMatrix::zeros(0), 0);
+        assert!(r.assignments.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_zero_rejected() {
+        let _ = agglomerative(&SymMatrix::zeros(3), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Clustering for job-graph similarity analysis (Section VI).
+//!
+//! The paper feeds the pairwise WL similarity matrix to **spectral
+//! clustering** (Ng–Jordan–Weiss) and groups the 100-job sample into five
+//! clusters. This crate implements that pipeline from scratch:
+//!
+//! * [`kmeans`](mod@kmeans) — Lloyd's algorithm with k-means++ seeding and restarts
+//!   (also used standalone as the statistical-feature baseline of related
+//!   work the paper compares against),
+//! * [`spectral`] — normalized-Laplacian spectral clustering over an
+//!   affinity matrix, with fixed `k` or the eigengap heuristic,
+//! * [`validation`] — silhouette and Davies–Bouldin internal indices plus
+//!   partition sanity helpers, used to verify grouping quality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod spectral;
+pub mod validation;
+
+pub use compare::{adjusted_rand_index, purity, rand_index};
+pub use hierarchical::{agglomerative, HierarchicalResult};
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use spectral::{
+    choose_k_by_silhouette, spectral_cluster, ClusterCount, SpectralConfig, SpectralResult,
+};

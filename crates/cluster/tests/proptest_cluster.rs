@@ -1,0 +1,100 @@
+//! Property tests: clustering outputs are always well-formed partitions
+//! and respect their objective functions.
+
+use proptest::prelude::*;
+
+use dagscope_cluster::validation::{cluster_sizes, is_partition};
+use dagscope_cluster::{
+    adjusted_rand_index, agglomerative, kmeans, rand_index, spectral_cluster, ClusterCount,
+    KMeansConfig, SpectralConfig,
+};
+use dagscope_linalg::{Matrix, SymMatrix};
+
+fn points_from(entries: &[f64], dims: usize) -> Matrix {
+    let n = entries.len() / dims;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| entries[i * dims..(i + 1) * dims].to_vec())
+        .collect();
+    Matrix::from_rows(&rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kmeans_yields_partition(entries in prop::collection::vec(-50.0f64..50.0, 8..120),
+                               k in 1usize..5, seed in any::<u64>()) {
+        let pts = points_from(&entries, 2);
+        prop_assume!(pts.rows() >= k);
+        let r = kmeans(&pts, &KMeansConfig { k, seed, n_init: 3, max_iters: 50 });
+        prop_assert_eq!(r.assignments.len(), pts.rows());
+        prop_assert!(is_partition(&r.assignments, k));
+        prop_assert!(r.inertia >= 0.0);
+        // Every cluster non-empty.
+        prop_assert!(cluster_sizes(&r.assignments, k).iter().all(|&s| s > 0));
+        // Assignments are nearest-centroid consistent.
+        for i in 0..pts.rows() {
+            let own = dagscope_linalg::vector::dist_sq(pts.row(i), r.centroids.row(r.assignments[i]));
+            for c in 0..k {
+                let other = dagscope_linalg::vector::dist_sq(pts.row(i), r.centroids.row(c));
+                prop_assert!(own <= other + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn spectral_yields_partition(weights in prop::collection::vec(0.0f64..1.0, 10..80),
+                                 k in 1usize..4, seed in any::<u64>()) {
+        // Build a symmetric affinity from the weight pool.
+        let n = ((weights.len() * 2) as f64).sqrt() as usize;
+        prop_assume!(n >= k && n >= 2);
+        let mut w = SymMatrix::zeros(n);
+        let mut it = weights.iter().cycle();
+        for i in 0..n {
+            for j in i..n {
+                w.set(i, j, if i == j { 1.0 } else { *it.next().unwrap() });
+            }
+        }
+        let r = spectral_cluster(&w, &SpectralConfig { k: ClusterCount::Fixed(k), seed, n_init: 3 }).unwrap();
+        prop_assert_eq!(r.k, k);
+        prop_assert!(is_partition(&r.assignments, k));
+        // Laplacian spectrum within [0, 2] for the normalized Laplacian.
+        for ev in &r.eigenvalues {
+            prop_assert!((-1e-8..=2.0 + 1e-8).contains(ev), "eigenvalue {ev}");
+        }
+    }
+
+    #[test]
+    fn agglomerative_yields_partition(dists in prop::collection::vec(0.0f64..10.0, 6..60),
+                                      k in 1usize..5) {
+        let n = ((dists.len() * 2) as f64).sqrt() as usize;
+        prop_assume!(n >= k && n >= 2);
+        let mut d = SymMatrix::zeros(n);
+        let mut it = dists.iter().cycle();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                d.set(i, j, *it.next().unwrap());
+            }
+        }
+        let r = agglomerative(&d, k);
+        prop_assert!(is_partition(&r.assignments, k));
+        prop_assert_eq!(r.merge_heights.len(), n - k);
+    }
+
+    #[test]
+    fn rand_indices_agree_on_extremes(labels in prop::collection::vec(0usize..4, 2..60)) {
+        // Dense-relabel so the partition uses 0..k.
+        let mut map = std::collections::BTreeMap::new();
+        let dense: Vec<usize> = labels.iter().map(|&l| {
+            let next = map.len();
+            *map.entry(l).or_insert(next)
+        }).collect();
+        prop_assert_eq!(adjusted_rand_index(&dense, &dense), 1.0);
+        prop_assert_eq!(rand_index(&dense, &dense), 1.0);
+        // ARI is symmetric.
+        let shifted: Vec<usize> = dense.iter().map(|&l| (l + 1) % map.len().max(1)).collect();
+        let ab = adjusted_rand_index(&dense, &shifted);
+        let ba = adjusted_rand_index(&shifted, &dense);
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Baseline comparison: the paper's WL + spectral grouping versus the
+//! related-work alternatives.
+//!
+//! Section VII cites prior Alibaba-trace studies (e.g. Chen et al.,
+//! ICPADS'18) that cluster jobs by *statistical properties* (size, depth,
+//! parallelism, resource totals) with k-means, ignoring topology. This
+//! module runs that baseline, plus average-linkage hierarchical clustering
+//! on the same WL distances, and quantifies the agreement with the paper's
+//! spectral groups via the adjusted Rand index — making the "what does
+//! graph learning add?" question measurable.
+
+use dagscope_cluster::validation::{kernel_distance_matrix, silhouette_from_distances};
+use dagscope_cluster::{adjusted_rand_index, agglomerative, kmeans, purity, KMeansConfig};
+use dagscope_linalg::Matrix;
+
+use crate::Report;
+
+/// Outcome of the baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineComparison {
+    /// Number of clusters used by every method.
+    pub k: usize,
+    /// Spectral (paper) assignments, copied from the report.
+    pub spectral: Vec<usize>,
+    /// Statistical-feature k-means assignments (topology-blind baseline).
+    pub stat_kmeans: Vec<usize>,
+    /// Hierarchical (average-linkage) assignments on the WL distances.
+    pub hierarchical: Vec<usize>,
+    /// ARI between spectral and the statistical baseline.
+    pub ari_spectral_vs_stat: f64,
+    /// ARI between spectral and hierarchical on the same kernel.
+    pub ari_spectral_vs_hier: f64,
+    /// Purity of the statistical baseline against the spectral reference.
+    pub purity_stat_vs_spectral: f64,
+    /// Kernel-space silhouettes: (spectral, stat k-means, hierarchical).
+    pub silhouettes: (f64, f64, f64),
+}
+
+/// Z-score normalize feature columns so k-means is scale-free.
+fn zscore_rows(rows: Vec<Vec<f64>>) -> Matrix {
+    let n = rows.len();
+    let d = rows.first().map_or(0, Vec::len);
+    let mut means = vec![0.0f64; d];
+    for r in &rows {
+        for (m, x) in means.iter_mut().zip(r) {
+            *m += x;
+        }
+    }
+    for m in &mut means {
+        *m /= n.max(1) as f64;
+    }
+    let mut stds = vec![0.0f64; d];
+    for r in &rows {
+        for j in 0..d {
+            stds[j] += (r[j] - means[j]).powi(2);
+        }
+    }
+    for s in &mut stds {
+        *s = (*s / n.max(1) as f64).sqrt().max(1e-12);
+    }
+    let mut m = Matrix::zeros(n, d);
+    for (i, r) in rows.iter().enumerate() {
+        for j in 0..d {
+            m[(i, j)] = (r[j] - means[j]) / stds[j];
+        }
+    }
+    m
+}
+
+/// Run the comparison on a finished pipeline report.
+pub fn compare_baselines(report: &Report, seed: u64) -> BaselineComparison {
+    let k = report.groups.group_count();
+    let spectral = report.groups.assignments.clone();
+
+    // Topology-blind baseline: k-means on z-scored statistical features of
+    // the raw DAGs.
+    let rows: Vec<Vec<f64>> = report.features_raw.iter().map(|f| f.as_vector()).collect();
+    let pts = zscore_rows(rows);
+    let stat = kmeans(
+        &pts,
+        &KMeansConfig {
+            k,
+            seed,
+            n_init: 10,
+            max_iters: 200,
+        },
+    );
+
+    // Hierarchical on the same WL kernel distances.
+    let distances = kernel_distance_matrix(&report.similarity);
+    let hier = agglomerative(&distances, k);
+
+    let silhouettes = (
+        silhouette_from_distances(&distances, &spectral, k),
+        silhouette_from_distances(&distances, &stat.assignments, k),
+        silhouette_from_distances(&distances, &hier.assignments, k),
+    );
+
+    BaselineComparison {
+        k,
+        ari_spectral_vs_stat: adjusted_rand_index(&spectral, &stat.assignments),
+        ari_spectral_vs_hier: adjusted_rand_index(&spectral, &hier.assignments),
+        purity_stat_vs_spectral: purity(&stat.assignments, &spectral),
+        spectral,
+        stat_kmeans: stat.assignments,
+        hierarchical: hier.assignments,
+        silhouettes,
+    }
+}
+
+impl BaselineComparison {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "baseline comparison (k = {})", self.k).unwrap();
+        writeln!(
+            s,
+            "ARI spectral vs statistical k-means: {:.3}",
+            self.ari_spectral_vs_stat
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "ARI spectral vs hierarchical (same kernel): {:.3}",
+            self.ari_spectral_vs_hier
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "purity of statistical baseline against spectral: {:.3}",
+            self.purity_stat_vs_spectral
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "kernel-space silhouette — spectral {:.3}, stat k-means {:.3}, hierarchical {:.3}",
+            self.silhouettes.0, self.silhouettes.1, self.silhouettes.2
+        )
+        .unwrap();
+        s
+    }
+}
+
+/// Conflation-stability ablation: run the pipeline twice — kernel on
+/// conflated vs raw DAGs — and report the ARI between the two groupings.
+/// A high value means conflation is a pure speed-up (the grouping is a
+/// property of the topology, not of the merge step).
+pub fn conflation_stability(cfg: &crate::PipelineConfig) -> Result<f64, String> {
+    let with = crate::Pipeline::new(crate::PipelineConfig {
+        conflate: true,
+        ..cfg.clone()
+    })
+    .run()?;
+    let without = crate::Pipeline::new(crate::PipelineConfig {
+        conflate: false,
+        ..cfg.clone()
+    })
+    .run()?;
+    Ok(adjusted_rand_index(
+        &with.groups.assignments,
+        &without.groups.assignments,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pipeline, PipelineConfig};
+    use dagscope_cluster::validation::is_partition;
+
+    fn report() -> Report {
+        Pipeline::new(PipelineConfig {
+            jobs: 500,
+            sample: 60,
+            seed: 23,
+            ..Default::default()
+        })
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn comparison_runs_and_is_consistent() {
+        let r = report();
+        let cmp = compare_baselines(&r, 23);
+        assert_eq!(cmp.k, 5);
+        assert_eq!(cmp.spectral.len(), 60);
+        assert!(is_partition(&cmp.stat_kmeans, 5));
+        assert!(is_partition(&cmp.hierarchical, 5));
+        // ARIs are in the legal range.
+        for ari in [cmp.ari_spectral_vs_stat, cmp.ari_spectral_vs_hier] {
+            assert!((-1.0..=1.0).contains(&ari), "ari {ari}");
+        }
+        assert!((0.0..=1.0).contains(&cmp.purity_stat_vs_spectral));
+        assert!(cmp.render().contains("ARI"));
+    }
+
+    #[test]
+    fn hierarchical_agrees_more_than_topology_blind_baseline() {
+        // Two methods on the same kernel should agree with each other more
+        // than a topology-blind method does — the measurable version of
+        // "graph learning adds information".
+        let r = report();
+        let cmp = compare_baselines(&r, 23);
+        assert!(
+            cmp.ari_spectral_vs_hier >= cmp.ari_spectral_vs_stat,
+            "hier {} < stat {}",
+            cmp.ari_spectral_vs_hier,
+            cmp.ari_spectral_vs_stat
+        );
+        // Spectral groups score a healthy silhouette in their own space.
+        assert!(
+            cmp.silhouettes.0 > 0.2,
+            "spectral silhouette {}",
+            cmp.silhouettes.0
+        );
+    }
+
+    #[test]
+    fn conflation_is_mostly_grouping_neutral() {
+        let ari = conflation_stability(&PipelineConfig {
+            jobs: 500,
+            sample: 60,
+            seed: 23,
+            ..Default::default()
+        })
+        .unwrap();
+        // Conflation changes what the kernel sees for convergent shapes, so
+        // perfect agreement is not expected — but the groupings must remain
+        // strongly related, far above chance.
+        assert!(ari > 0.3, "conflation ARI {ari}");
+    }
+
+    #[test]
+    fn zscore_normalizes() {
+        let m = zscore_rows(vec![vec![1.0, 100.0], vec![3.0, 300.0], vec![5.0, 500.0]]);
+        // Column means ~0, stds ~1.
+        for j in 0..2 {
+            let col = m.col(j);
+            let mean: f64 = col.iter().sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            let var: f64 = col.iter().map(|x| x * x).sum::<f64>() / 3.0;
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! CSV export of figure datasets.
+//!
+//! Terminal renderings are good for eyeballing; these exporters emit the
+//! same figure data as headered CSV so external plotting tools can
+//! regenerate publication-style graphics. Every function returns the CSV
+//! text; the CLI writes them to disk.
+
+use std::fmt::Write;
+
+use dagscope_graph::metrics::SizeGroupRow;
+use dagscope_graph::pattern::PatternCensus;
+use dagscope_graph::tasktype::TypeCensusRow;
+use dagscope_linalg::SymMatrix;
+
+use crate::figures::{ConflationHistogram, GroupPropertyRow};
+use crate::Report;
+
+/// Fig 3 — `size,before,after`.
+pub fn conflation_csv(h: &ConflationHistogram) -> String {
+    let mut s = String::from("size,before,after\n");
+    let sizes: std::collections::BTreeSet<usize> =
+        h.before.keys().chain(h.after.keys()).copied().collect();
+    for size in sizes {
+        writeln!(
+            s,
+            "{},{},{}",
+            size,
+            h.before.get(&size).copied().unwrap_or(0),
+            h.after.get(&size).copied().unwrap_or(0)
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Fig 4 / Fig 5 — `size,jobs,max_critical_path,max_width`.
+pub fn size_groups_csv(rows: &[SizeGroupRow]) -> String {
+    let mut s = String::from("size,jobs,max_critical_path,max_width\n");
+    for r in rows {
+        writeln!(
+            s,
+            "{},{},{},{}",
+            r.size, r.jobs, r.max_critical_path, r.max_width
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Fig 6 — `job,size,m,j,r,model`.
+pub fn type_census_csv(rows: &[TypeCensusRow]) -> String {
+    let mut s = String::from("job,size,m,j,r,model\n");
+    for r in rows {
+        writeln!(
+            s,
+            "{},{},{},{},{},{}",
+            r.name,
+            r.size,
+            r.counts.m,
+            r.counts.j,
+            r.counts.r,
+            r.model.label()
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Fig 7 — dense similarity matrix, one row per line, comma separated.
+pub fn similarity_csv(similarity: &SymMatrix) -> String {
+    let n = similarity.n();
+    let mut s = String::new();
+    for i in 0..n {
+        for j in 0..n {
+            if j > 0 {
+                s.push(',');
+            }
+            write!(s, "{:.6}", similarity.get(i, j)).unwrap();
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Fig 9 — one row per group with distribution summaries.
+pub fn group_properties_csv(rows: &[GroupPropertyRow]) -> String {
+    let mut s = String::from(
+        "group,jobs,fraction,size_min,size_med,size_max,cp_min,cp_med,cp_max,\
+         width_min,width_med,width_max,mean_size\n",
+    );
+    for r in rows {
+        writeln!(
+            s,
+            "{},{},{:.4},{},{},{},{},{},{},{},{},{},{:.3}",
+            r.label,
+            r.population,
+            r.fraction,
+            r.size_mmm.0,
+            r.size_mmm.1,
+            r.size_mmm.2,
+            r.cp_mmm.0,
+            r.cp_mmm.1,
+            r.cp_mmm.2,
+            r.width_mmm.0,
+            r.width_mmm.1,
+            r.width_mmm.2,
+            r.mean_size
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Pattern census — `pattern,count,fraction`.
+pub fn pattern_census_csv(census: &PatternCensus) -> String {
+    let mut s = String::from("pattern,count,fraction\n");
+    for (label, count) in &census.counts {
+        let frac = if census.total > 0 {
+            *count as f64 / census.total as f64
+        } else {
+            0.0
+        };
+        writeln!(s, "{label},{count},{frac:.4}").unwrap();
+    }
+    s
+}
+
+/// Per-sample-job feature dump (the raw material of Figs 4–6).
+pub fn features_csv(report: &Report) -> String {
+    let mut s = String::from(
+        "job,size,weight,critical_path,max_width,sources,sinks,edges,\
+         map_tasks,join_tasks,reduce_tasks,total_instances,cpu_volume,min_makespan,group\n",
+    );
+    for (i, f) in report.features_raw.iter().enumerate() {
+        let group = report.groups.group_of(i).label;
+        writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{},{}",
+            f.name,
+            f.size,
+            f.weight,
+            f.critical_path,
+            f.max_width,
+            f.sources,
+            f.sinks,
+            f.edges,
+            f.map_tasks,
+            f.join_tasks,
+            f.reduce_tasks,
+            f.total_instances,
+            f.cpu_volume,
+            f.min_makespan,
+            group
+        )
+        .unwrap();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use crate::{Pipeline, PipelineConfig};
+
+    fn report() -> Report {
+        Pipeline::new(PipelineConfig {
+            jobs: 300,
+            sample: 25,
+            seed: 2,
+            ..Default::default()
+        })
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn conflation_csv_shape() {
+        let r = report();
+        let csv = conflation_csv(&figures::fig3_conflation(&r));
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("size,before,after"));
+        let data: Vec<&str> = lines.collect();
+        assert!(!data.is_empty());
+        // Column sums both equal the sample size.
+        let (mut b, mut a) = (0usize, 0usize);
+        for l in &data {
+            let f: Vec<&str> = l.split(',').collect();
+            b += f[1].parse::<usize>().unwrap();
+            a += f[2].parse::<usize>().unwrap();
+        }
+        assert_eq!(b, 25);
+        assert_eq!(a, 25);
+    }
+
+    #[test]
+    fn size_groups_csv_parses_back() {
+        let r = report();
+        let csv = size_groups_csv(&figures::fig4_size_groups(&r));
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 4);
+        }
+    }
+
+    #[test]
+    fn type_census_csv_has_model_column() {
+        let r = report();
+        let csv = type_census_csv(&figures::fig6_type_distribution(&r));
+        assert!(csv.starts_with("job,size,m,j,r,model"));
+        assert!(csv.contains("map-reduce"));
+    }
+
+    #[test]
+    fn similarity_csv_square() {
+        let r = report();
+        let csv = similarity_csv(&r.similarity);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 25);
+        for l in &lines {
+            assert_eq!(l.split(',').count(), 25);
+        }
+        // Diagonal is 1.
+        let first: f64 = lines[0].split(',').next().unwrap().parse().unwrap();
+        assert!((first - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_properties_csv_rows() {
+        let r = report();
+        let csv = group_properties_csv(&figures::fig9_group_properties(&r));
+        assert_eq!(csv.lines().count(), 6); // header + 5 groups
+        assert!(csv.contains("A,"));
+    }
+
+    #[test]
+    fn pattern_and_features_csv() {
+        let r = report();
+        let pc = pattern_census_csv(&figures::pattern_census_of(&r.raw_dags));
+        assert!(pc.contains("straight-chain"));
+        let fc = features_csv(&r);
+        assert_eq!(fc.lines().count(), 26); // header + 25 jobs
+        assert!(fc.lines().nth(1).unwrap().split(',').count() == 15);
+    }
+}

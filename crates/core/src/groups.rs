@@ -1,0 +1,246 @@
+//! Per-cluster group analysis (Section VI, Figs 8–9).
+
+use serde::{Deserialize, Serialize};
+
+use dagscope_graph::metrics::JobFeatures;
+use dagscope_graph::pattern::{self, Pattern};
+use dagscope_graph::JobDag;
+use dagscope_linalg::SymMatrix;
+use dagscope_trace::gen::ShapeKind;
+
+/// Statistics of one clustered group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// Group label (`'A'` for the most populated, then `'B'`, …) — the
+    /// paper orders its five groups the same way.
+    pub label: char,
+    /// Cluster index in the raw assignment vector.
+    pub cluster: usize,
+    /// Number of sample jobs in the group.
+    pub population: usize,
+    /// Fraction of the sample.
+    pub fraction: f64,
+    /// Job sizes in the group.
+    pub sizes: Vec<usize>,
+    /// Critical paths in the group.
+    pub critical_paths: Vec<usize>,
+    /// Maximum widths (parallelism) in the group.
+    pub max_widths: Vec<usize>,
+    /// Mean job size.
+    pub mean_size: f64,
+    /// Share of straight-chain jobs.
+    pub chain_fraction: f64,
+    /// Share of short jobs (≤ 3 tasks) — the paper reports 90.6 % for A.
+    pub short_fraction: f64,
+    /// Medoid job name — the member most similar to the rest of the group,
+    /// shown as the group's representative DAG in Fig 8.
+    pub representative: String,
+}
+
+/// The full clustering analysis of the job sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupAnalysis {
+    /// Cluster assignment per sample index (raw cluster ids).
+    pub assignments: Vec<usize>,
+    /// Groups ordered by population (descending) and labeled `A`, `B`, ….
+    pub groups: Vec<GroupStats>,
+    /// Mean silhouette of the clustering in kernel-distance space.
+    pub silhouette: f64,
+}
+
+impl GroupAnalysis {
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The group containing sample index `i`.
+    pub fn group_of(&self, i: usize) -> &GroupStats {
+        let c = self.assignments[i];
+        self.groups
+            .iter()
+            .find(|g| g.cluster == c)
+            .expect("cluster without group")
+    }
+
+    /// Build the analysis from cluster assignments, the sample's DAGs and
+    /// features, and the normalized similarity matrix (for medoids and the
+    /// silhouette).
+    pub fn build(
+        assignments: &[usize],
+        k: usize,
+        dags: &[JobDag],
+        features: &[JobFeatures],
+        similarity: &SymMatrix,
+    ) -> GroupAnalysis {
+        assert_eq!(assignments.len(), dags.len());
+        assert_eq!(assignments.len(), features.len());
+        assert_eq!(assignments.len(), similarity.n());
+        let n = assignments.len();
+
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &c) in assignments.iter().enumerate() {
+            members[c].push(i);
+        }
+
+        // Order clusters by population descending (stable: by cluster id on
+        // ties) and label them A, B, C, ...
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(members[c].len()), c));
+
+        let mut groups = Vec::with_capacity(k);
+        for (rank, &c) in order.iter().enumerate() {
+            let ms = &members[c];
+            let sizes: Vec<usize> = ms.iter().map(|&i| features[i].size).collect();
+            let critical_paths: Vec<usize> =
+                ms.iter().map(|&i| features[i].critical_path).collect();
+            let max_widths: Vec<usize> = ms.iter().map(|&i| features[i].max_width).collect();
+            let mean_size = if ms.is_empty() {
+                0.0
+            } else {
+                sizes.iter().sum::<usize>() as f64 / ms.len() as f64
+            };
+            let chains = ms
+                .iter()
+                .filter(|&&i| pattern::classify(&dags[i]) == Pattern::Shape(ShapeKind::Chain))
+                .count();
+            let short = sizes.iter().filter(|&&s| s <= 3).count();
+
+            // Medoid: member with the largest total similarity to the rest.
+            let representative = ms
+                .iter()
+                .map(|&i| {
+                    let total: f64 = ms.iter().map(|&j| similarity.get(i, j)).sum();
+                    (i, total)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .map(|(i, _)| dags[i].name.clone())
+                .unwrap_or_default();
+
+            groups.push(GroupStats {
+                label: (b'A' + rank as u8) as char,
+                cluster: c,
+                population: ms.len(),
+                fraction: if n == 0 {
+                    0.0
+                } else {
+                    ms.len() as f64 / n as f64
+                },
+                mean_size,
+                chain_fraction: if ms.is_empty() {
+                    0.0
+                } else {
+                    chains as f64 / ms.len() as f64
+                },
+                short_fraction: if ms.is_empty() {
+                    0.0
+                } else {
+                    short as f64 / ms.len() as f64
+                },
+                sizes,
+                critical_paths,
+                max_widths,
+                representative,
+            });
+        }
+
+        let distances = dagscope_cluster::validation::kernel_distance_matrix(similarity);
+        let silhouette =
+            dagscope_cluster::validation::silhouette_from_distances(&distances, assignments, k);
+
+        GroupAnalysis {
+            assignments: assignments.to_vec(),
+            groups,
+            silhouette,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagscope_trace::{Job, Status, TaskRecord};
+
+    fn t(name: &str) -> TaskRecord {
+        TaskRecord {
+            task_name: name.into(),
+            instance_num: 1,
+            job_name: "j".into(),
+            task_type: "1".into(),
+            status: Status::Terminated,
+            start_time: 1,
+            end_time: 2,
+            plan_cpu: 1.0,
+            plan_mem: 0.1,
+        }
+    }
+
+    fn dag(name: &str, names: &[&str]) -> JobDag {
+        JobDag::from_job(&Job {
+            name: name.into(),
+            tasks: names.iter().map(|n| t(n)).collect(),
+        })
+        .unwrap()
+    }
+
+    fn setup() -> (Vec<JobDag>, Vec<JobFeatures>, SymMatrix) {
+        let dags = vec![
+            dag("j_c1", &["M1", "R2_1"]),
+            dag("j_c2", &["M1", "R2_1"]),
+            dag("j_c3", &["M1", "R2_1", "R3_2"]),
+            dag("j_t1", &["M1", "M2", "M3", "M4", "R5_4_3_2_1"]),
+        ];
+        let features: Vec<JobFeatures> = dags.iter().map(JobFeatures::extract).collect();
+        let mut wl = dagscope_wl::WlVectorizer::new(3);
+        let feats = wl.transform_all(&dags);
+        let sim = dagscope_wl::normalize_kernel(&dagscope_wl::kernel_matrix(&feats));
+        (dags, features, sim)
+    }
+
+    #[test]
+    fn labels_follow_population_order() {
+        let (dags, features, sim) = setup();
+        // Cluster 1 is the big one (3 members) — must become group A.
+        let assignments = vec![1, 1, 1, 0];
+        let ga = GroupAnalysis::build(&assignments, 2, &dags, &features, &sim);
+        assert_eq!(ga.group_count(), 2);
+        assert_eq!(ga.groups[0].label, 'A');
+        assert_eq!(ga.groups[0].cluster, 1);
+        assert_eq!(ga.groups[0].population, 3);
+        assert!((ga.groups[0].fraction - 0.75).abs() < 1e-12);
+        assert_eq!(ga.groups[1].label, 'B');
+        assert_eq!(ga.groups[1].population, 1);
+    }
+
+    #[test]
+    fn group_stats_contents() {
+        let (dags, features, sim) = setup();
+        let ga = GroupAnalysis::build(&[0, 0, 0, 1], 2, &dags, &features, &sim);
+        let a = &ga.groups[0];
+        assert_eq!(a.sizes, vec![2, 2, 3]);
+        assert!((a.mean_size - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.chain_fraction, 1.0);
+        assert_eq!(a.short_fraction, 1.0);
+        // Medoid of the chain group is one of the two identical 2-chains.
+        assert!(a.representative.starts_with("j_c"));
+        let b = &ga.groups[1];
+        assert_eq!(b.sizes, vec![5]);
+        assert_eq!(b.chain_fraction, 0.0);
+        assert_eq!(b.representative, "j_t1");
+    }
+
+    #[test]
+    fn group_of_resolves() {
+        let (dags, features, sim) = setup();
+        let ga = GroupAnalysis::build(&[0, 0, 0, 1], 2, &dags, &features, &sim);
+        assert_eq!(ga.group_of(3).label, 'B');
+        assert_eq!(ga.group_of(0).label, 'A');
+    }
+
+    #[test]
+    fn silhouette_positive_for_sane_grouping() {
+        let (dags, features, sim) = setup();
+        let good = GroupAnalysis::build(&[0, 0, 0, 1], 2, &dags, &features, &sim);
+        assert!(good.silhouette > 0.0, "silhouette {}", good.silhouette);
+    }
+}

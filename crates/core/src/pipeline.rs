@@ -1,0 +1,220 @@
+//! The end-to-end characterization pipeline.
+
+use dagscope_cluster::{spectral_cluster, SpectralConfig};
+use dagscope_graph::metrics::JobFeatures;
+use dagscope_graph::{conflate, JobDag};
+use dagscope_trace::filter::{stratified_sample, SampleCriteria};
+use dagscope_trace::gen::TraceGenerator;
+use dagscope_trace::stats::TraceStats;
+use dagscope_trace::{Job, JobSet};
+use dagscope_wl::{kernel_matrix, normalize_kernel, SpVectorizer, WlVectorizer};
+
+use crate::groups::GroupAnalysis;
+use crate::{PipelineConfig, Report};
+
+/// Orchestrates trace synthesis → filtering → DAGs → WL kernel →
+/// spectral groups, producing a [`Report`].
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    cfg: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Create a pipeline with the given configuration.
+    pub fn new(cfg: PipelineConfig) -> Pipeline {
+        Pipeline { cfg }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Run on a synthetic trace generated from the config.
+    pub fn run(&self) -> Result<Report, String> {
+        let trace = TraceGenerator::new(self.cfg.generator()).generate();
+        self.run_on(&trace.job_set())
+    }
+
+    /// Run on an existing job population (e.g. parsed from the real trace
+    /// CSVs) — the synthetic generator is bypassed entirely.
+    pub fn run_on(&self, jobs: &JobSet) -> Result<Report, String> {
+        let stats = TraceStats::compute(jobs);
+
+        // Integrity + availability filters, then the variability-stratified
+        // sample.
+        let criteria = SampleCriteria::default();
+        let eligible: Vec<&Job> = criteria.filter(jobs);
+        if eligible.is_empty() {
+            return Err("no job passed the integrity/availability filters".to_string());
+        }
+        let sample = stratified_sample(&eligible, self.cfg.sample, self.cfg.seed);
+
+        // DAG construction (parallel); filters guarantee buildability.
+        let raw_dags: Vec<JobDag> = dagscope_par::par_map(&sample, |job| {
+            JobDag::from_job(job).expect("filtered job must build")
+        });
+        let conflated: Vec<JobDag> = dagscope_par::par_map(&raw_dags, conflate::conflate);
+
+        // Features before and after conflation (Figs 4 and 5).
+        let features_raw: Vec<JobFeatures> = dagscope_par::par_map(&raw_dags, JobFeatures::extract);
+        let features_conflated: Vec<JobFeatures> =
+            dagscope_par::par_map(&conflated, JobFeatures::extract);
+
+        // Kernel embedding + normalized similarity matrix (Fig 7). The
+        // base kernel of eq. (1) is configurable: WL subtree (default) or
+        // shortest-path.
+        let kernel_input: &[JobDag] = if self.cfg.conflate {
+            &conflated
+        } else {
+            &raw_dags
+        };
+        let wl_features = match self.cfg.base_kernel {
+            crate::BaseKernel::WlSubtree => {
+                let mut wl = WlVectorizer::new(self.cfg.wl_iterations);
+                wl.transform_all(kernel_input)
+            }
+            crate::BaseKernel::ShortestPath => {
+                let mut sp = SpVectorizer::new();
+                sp.transform_all(kernel_input)
+            }
+        };
+        let similarity = normalize_kernel(&kernel_matrix(&wl_features));
+
+        // Spectral grouping (Figs 8–9).
+        let spectral = spectral_cluster(
+            &similarity,
+            &SpectralConfig {
+                k: self.cfg.clusters,
+                seed: self.cfg.seed,
+                n_init: 10,
+            },
+        )?;
+        // Group statistics describe the jobs as they ran (raw structure):
+        // the similarity stage may look at conflated DAGs, but Fig 9's
+        // sizes / critical paths / shape shares are properties of the
+        // original task graphs.
+        let groups = GroupAnalysis::build(
+            &spectral.assignments,
+            spectral.k,
+            &raw_dags,
+            &features_raw,
+            &similarity,
+        );
+
+        Ok(Report {
+            config: self.cfg.clone(),
+            stats,
+            sample_names: sample.iter().map(|j| j.name.clone()).collect(),
+            raw_dags,
+            conflated_dags: conflated,
+            features_raw,
+            features_conflated,
+            wl_features,
+            similarity,
+            laplacian_eigenvalues: spectral.eigenvalues,
+            groups,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagscope_cluster::validation::is_partition;
+
+    fn small_cfg() -> PipelineConfig {
+        PipelineConfig {
+            jobs: 400,
+            sample: 40,
+            seed: 7,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let report = Pipeline::new(small_cfg()).run().unwrap();
+        assert_eq!(report.sample_names.len(), 40);
+        assert_eq!(report.raw_dags.len(), 40);
+        assert_eq!(report.similarity.n(), 40);
+        assert_eq!(report.groups.group_count(), 5);
+        assert!(is_partition(&report.groups.assignments, 5));
+        // Conflation never grows a DAG.
+        for (raw, conf) in report.raw_dags.iter().zip(&report.conflated_dags) {
+            assert!(conf.len() <= raw.len());
+            assert_eq!(conf.total_weight() as usize, raw.len());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Pipeline::new(small_cfg()).run().unwrap();
+        let b = Pipeline::new(small_cfg()).run().unwrap();
+        assert_eq!(a.groups.assignments, b.groups.assignments);
+        assert_eq!(a.sample_names, b.sample_names);
+    }
+
+    #[test]
+    fn seed_changes_sample() {
+        let a = Pipeline::new(PipelineConfig {
+            seed: 1,
+            ..small_cfg()
+        })
+        .run()
+        .unwrap();
+        let b = Pipeline::new(PipelineConfig {
+            seed: 2,
+            ..small_cfg()
+        })
+        .run()
+        .unwrap();
+        assert_ne!(a.sample_names, b.sample_names);
+    }
+
+    #[test]
+    fn similarity_matrix_well_formed() {
+        let report = Pipeline::new(small_cfg()).run().unwrap();
+        let s = &report.similarity;
+        for i in 0..s.n() {
+            assert!((s.get(i, i) - 1.0).abs() < 1e-9);
+            for j in 0..s.n() {
+                let v = s.get(i, j);
+                assert!((-1e-9..=1.0 + 1e-9).contains(&v), "s[{i}][{j}]={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_without_conflation_also_runs() {
+        let cfg = PipelineConfig {
+            conflate: false,
+            ..small_cfg()
+        };
+        let report = Pipeline::new(cfg).run().unwrap();
+        assert_eq!(report.groups.group_count(), 5);
+    }
+
+    #[test]
+    fn shortest_path_base_kernel_runs_end_to_end() {
+        let cfg = PipelineConfig {
+            base_kernel: crate::BaseKernel::ShortestPath,
+            ..small_cfg()
+        };
+        let report = Pipeline::new(cfg).run().unwrap();
+        assert_eq!(report.groups.group_count(), 5);
+        assert!(is_partition(&report.groups.assignments, 5));
+        // The two base kernels agree on the dominant-group story.
+        let wl = Pipeline::new(small_cfg()).run().unwrap();
+        assert!(report.groups.groups[0].fraction >= 0.2);
+        assert!(wl.groups.groups[0].fraction >= 0.2);
+    }
+
+    #[test]
+    fn empty_population_is_an_error() {
+        let err = Pipeline::new(small_cfg())
+            .run_on(&JobSet::default())
+            .unwrap_err();
+        assert!(err.contains("no job passed"));
+    }
+}

@@ -1,0 +1,470 @@
+//! The job DAG data structure.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dagscope_trace::gen::DagPlan;
+use dagscope_trace::taskname::{self, ParsedTaskName, TaskKind};
+use dagscope_trace::Job;
+
+use crate::BuildError;
+
+/// Per-node execution attributes carried over from the trace rows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeAttr {
+    /// Number of instances launched for the task.
+    pub instance_num: u32,
+    /// Task duration in seconds (0 when unavailable).
+    pub duration: i64,
+    /// Requested CPU (percent of a core).
+    pub plan_cpu: f64,
+    /// Requested memory (normalized).
+    pub plan_mem: f64,
+}
+
+impl Default for NodeAttr {
+    fn default() -> Self {
+        NodeAttr {
+            instance_num: 1,
+            duration: 0,
+            plan_cpu: 0.0,
+            plan_mem: 0.0,
+        }
+    }
+}
+
+/// A batch job's task-dependency DAG.
+///
+/// Nodes are indexed `0..n` in a topological order (every edge goes from a
+/// lower to a higher index — guaranteed at construction). Each node carries
+/// the stage kind its task name encodes, the original task name, trace
+/// attributes, and a *weight*: the number of original tasks it represents
+/// (1 until [`crate::conflate`] merges nodes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobDag {
+    /// Owning job name.
+    pub name: String,
+    kinds: Vec<TaskKind>,
+    task_names: Vec<String>,
+    parents: Vec<Vec<u32>>,
+    children: Vec<Vec<u32>>,
+    weights: Vec<u32>,
+    attrs: Vec<NodeAttr>,
+}
+
+impl JobDag {
+    /// Assemble a DAG from parallel per-node arrays. `parents[i]` must only
+    /// reference indices `< i` (callers produce topological numberings).
+    /// Children lists are derived. Panics on inconsistent input — this is
+    /// the crate-internal constructor; fallible construction goes through
+    /// [`JobDag::from_job`].
+    pub(crate) fn from_parts(
+        name: String,
+        kinds: Vec<TaskKind>,
+        task_names: Vec<String>,
+        parents: Vec<Vec<u32>>,
+        weights: Vec<u32>,
+        attrs: Vec<NodeAttr>,
+    ) -> JobDag {
+        let n = kinds.len();
+        assert_eq!(task_names.len(), n);
+        assert_eq!(parents.len(), n);
+        assert_eq!(weights.len(), n);
+        assert_eq!(attrs.len(), n);
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, ps) in parents.iter().enumerate() {
+            for &p in ps {
+                assert!((p as usize) < i, "edge {p}->{i} not topological");
+                children[p as usize].push(i as u32);
+            }
+        }
+        for c in &mut children {
+            c.sort_unstable();
+        }
+        let mut parents = parents;
+        for p in &mut parents {
+            p.sort_unstable();
+        }
+        JobDag {
+            name,
+            kinds,
+            task_names,
+            parents,
+            children,
+            weights,
+            attrs,
+        }
+    }
+
+    /// Reconstruct the DAG encoded in a job's task names.
+    ///
+    /// Ids in the trace need not be dense, so they are remapped to a
+    /// topological `0..n` numbering. Fails on non-DAG names, duplicate ids,
+    /// dangling parent references, or (malformed) cyclic dependencies.
+    ///
+    /// ```
+    /// use dagscope_trace::{Job, TaskRecord, Status};
+    /// # fn t(name: &str) -> TaskRecord {
+    /// #     TaskRecord { task_name: name.into(), instance_num: 1, job_name: "j".into(),
+    /// #         task_type: "1".into(), status: Status::Terminated, start_time: 1,
+    /// #         end_time: 2, plan_cpu: 100.0, plan_mem: 0.5 }
+    /// # }
+    /// let job = Job { name: "j".into(), tasks: vec![t("M1"), t("M3"), t("R2_1"), t("R4_3"), t("R5_4_3_2_1")] };
+    /// let dag = dagscope_graph::JobDag::from_job(&job).unwrap();
+    /// assert_eq!(dag.len(), 5);
+    /// assert_eq!(dag.sources().len(), 2); // M1, M3
+    /// assert_eq!(dag.sinks().len(), 1);   // R5
+    /// ```
+    pub fn from_job(job: &Job) -> Result<JobDag, BuildError> {
+        if job.tasks.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        // Parse every name first.
+        let mut parsed = Vec::with_capacity(job.tasks.len());
+        for t in &job.tasks {
+            match taskname::parse(&t.task_name) {
+                ParsedTaskName::Dag { kind, id, parents } => parsed.push((kind, id, parents)),
+                ParsedTaskName::Independent { raw } => {
+                    return Err(BuildError::NonDagTask { name: raw })
+                }
+            }
+        }
+        // Map trace ids to row indices.
+        let mut by_id: HashMap<u32, usize> = HashMap::with_capacity(parsed.len());
+        for (row, (_, id, _)) in parsed.iter().enumerate() {
+            if by_id.insert(*id, row).is_some() {
+                return Err(BuildError::DuplicateId { id: *id });
+            }
+        }
+        for (_, id, parents) in &parsed {
+            for p in parents {
+                if !by_id.contains_key(p) {
+                    return Err(BuildError::MissingParent {
+                        id: *id,
+                        parent: *p,
+                    });
+                }
+            }
+        }
+
+        // Kahn topological order over rows.
+        let n = parsed.len();
+        let mut indeg = vec![0usize; n];
+        let mut children_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (row, (_, _, parents)) in parsed.iter().enumerate() {
+            indeg[row] = parents.len();
+            for p in parents {
+                children_rows[by_id[p]].push(row);
+            }
+        }
+        // Min-heap on trace id keeps the numbering deterministic.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut queue: BinaryHeap<Reverse<(u32, usize)>> = (0..n)
+            .filter(|&r| indeg[r] == 0)
+            .map(|r| Reverse((parsed[r].1, r)))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(Reverse((_, row))) = queue.pop() {
+            order.push(row);
+            for &c in &children_rows[row] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(Reverse((parsed[c].1, c)));
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(BuildError::Cycle);
+        }
+        let mut new_index = vec![0u32; n];
+        for (new, &row) in order.iter().enumerate() {
+            new_index[row] = new as u32;
+        }
+
+        let mut kinds = Vec::with_capacity(n);
+        let mut names = Vec::with_capacity(n);
+        let mut parents_new: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut attrs = Vec::with_capacity(n);
+        for &row in &order {
+            let (kind, _, ref ps) = parsed[row];
+            kinds.push(kind);
+            names.push(job.tasks[row].task_name.clone());
+            let mut np: Vec<u32> = ps.iter().map(|p| new_index[by_id[p]]).collect();
+            np.sort_unstable();
+            parents_new.push(np);
+            let t = &job.tasks[row];
+            attrs.push(NodeAttr {
+                instance_num: t.instance_num,
+                duration: t.duration().unwrap_or(0),
+                plan_cpu: t.plan_cpu,
+                plan_mem: t.plan_mem,
+            });
+        }
+        Ok(JobDag::from_parts(
+            job.name.clone(),
+            kinds,
+            names,
+            parents_new,
+            vec![1; n],
+            attrs,
+        ))
+    }
+
+    /// Build directly from a generator [`DagPlan`] (used by benches that
+    /// skip the trace layer).
+    pub fn from_plan(name: &str, plan: &DagPlan) -> JobDag {
+        let n = plan.size();
+        let parents: Vec<Vec<u32>> = plan
+            .parents
+            .iter()
+            .map(|ps| ps.iter().map(|&p| p - 1).collect())
+            .collect();
+        JobDag::from_parts(
+            name.to_string(),
+            plan.kinds.clone(),
+            plan.task_names(),
+            parents,
+            vec![1; n],
+            vec![NodeAttr::default(); n],
+        )
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when the DAG has no nodes (cannot occur via `from_job`).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Sum of node weights — the original task count before conflation.
+    pub fn total_weight(&self) -> u32 {
+        self.weights.iter().sum()
+    }
+
+    /// Stage kind of node `i`.
+    pub fn kind(&self, i: usize) -> TaskKind {
+        self.kinds[i]
+    }
+
+    /// Original task name of node `i` (representative name after merging).
+    pub fn task_name(&self, i: usize) -> &str {
+        &self.task_names[i]
+    }
+
+    /// Parent indices of node `i` (sorted ascending).
+    pub fn parents(&self, i: usize) -> &[u32] {
+        &self.parents[i]
+    }
+
+    /// Child indices of node `i` (sorted ascending).
+    pub fn children(&self, i: usize) -> &[u32] {
+        &self.children[i]
+    }
+
+    /// Node weight (number of original tasks merged into `i`).
+    pub fn weight(&self, i: usize) -> u32 {
+        self.weights[i]
+    }
+
+    /// Trace attributes of node `i`.
+    pub fn attr(&self, i: usize) -> &NodeAttr {
+        &self.attrs[i]
+    }
+
+    /// In-degree of node `i`.
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.parents[i].len()
+    }
+
+    /// Out-degree of node `i`.
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.children[i].len()
+    }
+
+    /// Nodes with no parents (the job's input stages).
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.parents[i].is_empty())
+            .collect()
+    }
+
+    /// Nodes with no children (the job's terminal stages).
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.children[i].is_empty())
+            .collect()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.parents.iter().map(Vec::len).sum()
+    }
+
+    /// Iterate edges as `(parent, child)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.parents
+            .iter()
+            .enumerate()
+            .flat_map(|(c, ps)| ps.iter().map(move |&p| (p, c as u32)))
+    }
+
+    /// Internal invariant check used by tests: topological indexing, sorted
+    /// adjacency, parent/child consistency, positive weights.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.len();
+        for i in 0..n {
+            for &p in &self.parents[i] {
+                if p as usize >= i {
+                    return Err(format!("edge {p}->{i} violates topological indexing"));
+                }
+                if !self.children[p as usize].contains(&(i as u32)) {
+                    return Err(format!("child list of {p} misses {i}"));
+                }
+            }
+            for &c in &self.children[i] {
+                if !self.parents[c as usize].contains(&(i as u32)) {
+                    return Err(format!("parent list of {c} misses {i}"));
+                }
+            }
+            if self.weights[i] == 0 {
+                return Err(format!("node {i} has zero weight"));
+            }
+            if self.parents[i].windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("parents of {i} not strictly sorted"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagscope_trace::{Status, TaskRecord};
+
+    pub(crate) fn t(name: &str) -> TaskRecord {
+        TaskRecord {
+            task_name: name.into(),
+            instance_num: 3,
+            job_name: "j".into(),
+            task_type: "1".into(),
+            status: Status::Terminated,
+            start_time: 10,
+            end_time: 70,
+            plan_cpu: 100.0,
+            plan_mem: 0.5,
+        }
+    }
+
+    fn job(names: &[&str]) -> Job {
+        Job {
+            name: "j_test".into(),
+            tasks: names.iter().map(|n| t(n)).collect(),
+        }
+    }
+
+    #[test]
+    fn paper_job_1001388() {
+        // Fig 8(a)-style example: M1, M3, R2_1, R4_3, R5_4_3_2_1.
+        let dag = JobDag::from_job(&job(&["M1", "M3", "R2_1", "R4_3", "R5_4_3_2_1"])).unwrap();
+        dag.check_invariants().unwrap();
+        assert_eq!(dag.len(), 5);
+        assert_eq!(dag.edge_count(), 6);
+        assert_eq!(dag.sources().len(), 2);
+        assert_eq!(dag.sinks().len(), 1);
+        let sink = dag.sinks()[0];
+        assert_eq!(dag.in_degree(sink), 4);
+        assert_eq!(dag.kind(sink), TaskKind::Reduce);
+        assert_eq!(dag.task_name(sink), "R5_4_3_2_1");
+    }
+
+    #[test]
+    fn rows_out_of_order_still_topological() {
+        let dag = JobDag::from_job(&job(&["R5_4_3_2_1", "R4_3", "R2_1", "M3", "M1"])).unwrap();
+        dag.check_invariants().unwrap();
+        assert_eq!(dag.sinks().len(), 1);
+        // Node 0 must be a source after renumbering.
+        assert_eq!(dag.in_degree(0), 0);
+    }
+
+    #[test]
+    fn sparse_ids_accepted() {
+        // Ids 10, 20, 30 — dense renumbering must handle gaps.
+        let dag = JobDag::from_job(&job(&["M10", "R20_10", "R30_20"])).unwrap();
+        assert_eq!(dag.len(), 3);
+        assert_eq!(dag.edges().count(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(JobDag::from_job(&job(&[])).unwrap_err(), BuildError::Empty);
+        assert_eq!(
+            JobDag::from_job(&job(&["M1", "task_x"])).unwrap_err(),
+            BuildError::NonDagTask {
+                name: "task_x".into()
+            }
+        );
+        assert_eq!(
+            JobDag::from_job(&job(&["M1", "R1"])).unwrap_err(),
+            BuildError::DuplicateId { id: 1 }
+        );
+        assert_eq!(
+            JobDag::from_job(&job(&["M1", "R2_9"])).unwrap_err(),
+            BuildError::MissingParent { id: 2, parent: 9 }
+        );
+        // 1 -> 2 -> 1 cycle via forged names.
+        assert_eq!(
+            JobDag::from_job(&job(&["M1_2", "R2_1"])).unwrap_err(),
+            BuildError::Cycle
+        );
+    }
+
+    #[test]
+    fn attributes_follow_nodes() {
+        let mut j = job(&["M2", "R1_2"]);
+        j.tasks[0].instance_num = 42; // M2 is the source
+        let dag = JobDag::from_job(&j).unwrap();
+        // After topological renumbering M2 must be node 0.
+        assert_eq!(dag.task_name(0), "M2");
+        assert_eq!(dag.attr(0).instance_num, 42);
+        assert_eq!(dag.attr(0).duration, 60);
+        assert_eq!(dag.total_weight(), 2);
+    }
+
+    #[test]
+    fn from_plan_matches_from_job() {
+        use dagscope_trace::gen::{build_shape, ShapeKind};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for shape in ShapeKind::ALL {
+            let plan = build_shape(&mut rng, shape, 9);
+            let via_plan = JobDag::from_plan("j", &plan);
+            via_plan.check_invariants().unwrap();
+            let j = Job {
+                name: "j".into(),
+                tasks: plan.task_names().iter().map(|n| t(n)).collect(),
+            };
+            let via_job = JobDag::from_job(&j).unwrap();
+            assert_eq!(via_plan.len(), via_job.len());
+            assert_eq!(
+                via_plan.edges().collect::<Vec<_>>(),
+                via_job.edges().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_dag() {
+        let dag = JobDag::from_job(&job(&["M1"])).unwrap();
+        assert_eq!(dag.len(), 1);
+        assert_eq!(dag.sources(), vec![0]);
+        assert_eq!(dag.sinks(), vec![0]);
+        assert_eq!(dag.edge_count(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Three-node motif census — the "sub-patterns" a job is built from.
+//!
+//! Section VI describes the kernel as learning "from the sub-patterns of
+//! each job". This module makes those sub-patterns explicit by counting
+//! the connected directed 3-node motifs of a DAG:
+//!
+//! * **chain** `a → b → c` — sequential stages,
+//! * **fan-out** `a → b, a → c` — data-parallel split,
+//! * **fan-in** `a → c, b → c` — aggregation (the MapReduce join point),
+//! * **transitive** `a → b → c` plus the shortcut `a → c` — the redundant
+//!   dependency motif the trace's name encoding produces
+//!   (`R5_4_3_2_1`-style declarations).
+//!
+//! The counts form a cheap structural fingerprint that correlates with the
+//! WL embedding but stays human-interpretable; the shape classifier and
+//! tests use it for cross-checks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::JobDag;
+
+/// Connected 3-node motif counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MotifCounts {
+    /// `a → b → c` paths (including those closed by a transitive edge).
+    pub chain: u64,
+    /// Pairs of children sharing a parent.
+    pub fan_out: u64,
+    /// Pairs of parents sharing a child.
+    pub fan_in: u64,
+    /// Transitive triangles `a → b → c` with shortcut `a → c`.
+    pub transitive: u64,
+}
+
+impl MotifCounts {
+    /// Total motifs counted.
+    pub fn total(&self) -> u64 {
+        self.chain + self.fan_out + self.fan_in + self.transitive
+    }
+
+    /// Normalized 4-vector (fractions of total; zeros when empty) — a
+    /// scale-free structural fingerprint.
+    pub fn fingerprint(&self) -> [f64; 4] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 4];
+        }
+        [
+            self.chain as f64 / t as f64,
+            self.fan_out as f64 / t as f64,
+            self.fan_in as f64 / t as f64,
+            self.transitive as f64 / t as f64,
+        ]
+    }
+}
+
+/// Count the 3-node motifs of `dag`.
+///
+/// `O(Σ in(b)·out(b) + Σ_{(a,c)} min(out(a), in(c)))` — trivially fast for
+/// job DAGs of ≤ 31 nodes.
+pub fn count_motifs(dag: &JobDag) -> MotifCounts {
+    let n = dag.len();
+    let mut m = MotifCounts::default();
+    let choose2 = |k: usize| (k * k.saturating_sub(1) / 2) as u64;
+
+    for b in 0..n {
+        m.chain += (dag.in_degree(b) * dag.out_degree(b)) as u64;
+        m.fan_out += choose2(dag.out_degree(b));
+        m.fan_in += choose2(dag.in_degree(b));
+    }
+    // Transitive triangles: for every edge (a, c), middle nodes b with
+    // a → b and b → c. Children lists are sorted, so intersect linearly.
+    for (a, c) in dag.edges() {
+        let (mut i, mut j) = (0usize, 0usize);
+        let ch_a = dag.children(a as usize);
+        let pa_c = dag.parents(c as usize);
+        while i < ch_a.len() && j < pa_c.len() {
+            match ch_a[i].cmp(&pa_c[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    m.transitive += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagscope_trace::{Job, Status, TaskRecord};
+
+    fn t(name: &str) -> TaskRecord {
+        TaskRecord {
+            task_name: name.into(),
+            instance_num: 1,
+            job_name: "j".into(),
+            task_type: "1".into(),
+            status: Status::Terminated,
+            start_time: 1,
+            end_time: 2,
+            plan_cpu: 1.0,
+            plan_mem: 0.1,
+        }
+    }
+
+    fn dag(names: &[&str]) -> JobDag {
+        JobDag::from_job(&Job {
+            name: "j".into(),
+            tasks: names.iter().map(|n| t(n)).collect(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_only_has_chain_motifs() {
+        let m = count_motifs(&dag(&["M1", "R2_1", "R3_2", "R4_3"]));
+        assert_eq!(
+            m,
+            MotifCounts {
+                chain: 2,
+                fan_out: 0,
+                fan_in: 0,
+                transitive: 0
+            }
+        );
+    }
+
+    #[test]
+    fn fan_in_counts_parent_pairs() {
+        // 3 maps into one reduce: C(3,2) = 3 fan-ins, nothing else.
+        let m = count_motifs(&dag(&["M1", "M2", "M3", "R4_3_2_1"]));
+        assert_eq!(
+            m,
+            MotifCounts {
+                chain: 0,
+                fan_out: 0,
+                fan_in: 3,
+                transitive: 0
+            }
+        );
+    }
+
+    #[test]
+    fn fan_out_counts_child_pairs() {
+        let m = count_motifs(&dag(&["M1", "R2_1", "R3_1", "R4_1"]));
+        assert_eq!(m.fan_out, 3);
+        assert_eq!(m.fan_in, 0);
+        assert_eq!(m.chain, 0);
+    }
+
+    #[test]
+    fn transitive_triangle_detected() {
+        // M1 → R2 → R3 plus shortcut M1 → R3 (R3_2_1).
+        let m = count_motifs(&dag(&["M1", "R2_1", "R3_2_1"]));
+        assert_eq!(m.transitive, 1);
+        assert_eq!(m.chain, 1); // the a→b→c path
+        assert_eq!(m.fan_out, 1); // M1 → {R2, R3}
+        assert_eq!(m.fan_in, 1); // {M1, R2} → R3
+    }
+
+    #[test]
+    fn paper_job_motifs() {
+        // M1, M3, R2_1, R4_3, R5_4_3_2_1: edges 1→2, 3→4, {1,2,3,4}→5.
+        let m = count_motifs(&dag(&["M1", "M3", "R2_1", "R4_3", "R5_4_3_2_1"]));
+        // Chains through R2 (1→2→5) and R4 (3→4→5).
+        assert_eq!(m.chain, 2);
+        // Fan-outs: M1 → {R2, R5}, M3 → {R4, R5}.
+        assert_eq!(m.fan_out, 2);
+        // Fan-in at R5: C(4,2) = 6.
+        assert_eq!(m.fan_in, 6);
+        // Transitive: 1→2→5 & 1→5; 3→4→5 & 3→5.
+        assert_eq!(m.transitive, 2);
+        // Consistency with the redundant-edge analysis.
+        assert_eq!(
+            crate::algo::redundant_edges(&dag(&["M1", "M3", "R2_1", "R4_3", "R5_4_3_2_1"])).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn fingerprint_normalizes() {
+        let m = count_motifs(&dag(&["M1", "M2", "M3", "R4_3_2_1"]));
+        assert_eq!(m.fingerprint(), [0.0, 0.0, 1.0, 0.0]);
+        let empty = count_motifs(&dag(&["M1"]));
+        assert_eq!(empty.total(), 0);
+        assert_eq!(empty.fingerprint(), [0.0; 4]);
+    }
+
+    #[test]
+    fn shapes_have_distinct_fingerprints() {
+        use dagscope_trace::gen::{build_shape, ShapeKind};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(4);
+        let chain = count_motifs(&JobDag::from_plan(
+            "c",
+            &build_shape(&mut rng, ShapeKind::Chain, 8),
+        ));
+        let tri = count_motifs(&JobDag::from_plan(
+            "t",
+            &build_shape(&mut rng, ShapeKind::InvertedTriangle, 8),
+        ));
+        let trap = count_motifs(&JobDag::from_plan(
+            "z",
+            &build_shape(&mut rng, ShapeKind::Trapezium, 8),
+        ));
+        // Chains are pure chain motifs; triangles are fan-in dominated;
+        // trapeziums fan-out dominated.
+        assert_eq!(chain.fingerprint()[0], 1.0);
+        assert!(tri.fan_in > tri.fan_out);
+        assert!(trap.fan_out > trap.fan_in, "{trap:?}");
+    }
+}

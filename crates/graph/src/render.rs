@@ -1,0 +1,122 @@
+//! DAG visualization: Graphviz DOT export and a terminal ASCII rendering
+//! (used by the Fig 2 / Fig 8 regenerators).
+
+use std::fmt::Write;
+
+use crate::{algo, JobDag};
+
+/// Render the DAG in Graphviz DOT syntax. Node labels combine the job and
+/// task name (the paper labels nodes `job.task` to disambiguate across
+/// jobs); merged nodes show their weight as `×k`.
+pub fn to_dot(dag: &JobDag) -> String {
+    let mut s = String::new();
+    writeln!(s, "digraph \"{}\" {{", dag.name).unwrap();
+    writeln!(s, "  rankdir=TB;").unwrap();
+    for i in 0..dag.len() {
+        let weight = dag.weight(i);
+        let suffix = if weight > 1 {
+            format!(" ×{weight}")
+        } else {
+            String::new()
+        };
+        writeln!(
+            s,
+            "  n{} [label=\"{}.{}{}\"];",
+            i,
+            dag.name,
+            dag.task_name(i),
+            suffix
+        )
+        .unwrap();
+    }
+    for (p, c) in dag.edges() {
+        writeln!(s, "  n{p} -> n{c};").unwrap();
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+/// Render the DAG as indented ASCII levels, one line per dependency level:
+///
+/// ```text
+/// L0: M1 M3
+/// L1: R2_1 R4_3
+/// L2: R5_4_3_2_1
+/// ```
+pub fn to_ascii(dag: &JobDag) -> String {
+    let levels = algo::levels(dag);
+    let depth = levels.iter().max().map_or(0, |m| m + 1);
+    let mut s = String::new();
+    for l in 0..depth {
+        write!(s, "L{l}:").unwrap();
+        for (i, lvl) in levels.iter().enumerate() {
+            if *lvl == l {
+                let w = dag.weight(i);
+                if w > 1 {
+                    write!(s, " {}(×{})", dag.task_name(i), w).unwrap();
+                } else {
+                    write!(s, " {}", dag.task_name(i)).unwrap();
+                }
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagscope_trace::{Job, Status, TaskRecord};
+
+    fn t(name: &str) -> TaskRecord {
+        TaskRecord {
+            task_name: name.into(),
+            instance_num: 1,
+            job_name: "j_1001388".into(),
+            task_type: "1".into(),
+            status: Status::Terminated,
+            start_time: 1,
+            end_time: 2,
+            plan_cpu: 1.0,
+            plan_mem: 0.1,
+        }
+    }
+
+    fn dag(names: &[&str]) -> JobDag {
+        JobDag::from_job(&Job {
+            name: "j_1001388".into(),
+            tasks: names.iter().map(|n| t(n)).collect(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let d = dag(&["M1", "M3", "R2_1", "R4_3", "R5_4_3_2_1"]);
+        let dot = to_dot(&d);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("j_1001388.M1"));
+        assert!(dot.contains("j_1001388.R5_4_3_2_1"));
+        assert_eq!(dot.matches("->").count(), 6);
+    }
+
+    #[test]
+    fn ascii_levels_ordered() {
+        let d = dag(&["M1", "M3", "R2_1", "R4_3", "R5_4_3_2_1"]);
+        let a = to_ascii(&d);
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("L0:") && lines[0].contains("M1") && lines[0].contains("M3"));
+        assert!(lines[2].contains("R5_4_3_2_1"));
+    }
+
+    #[test]
+    fn merged_weights_shown() {
+        let d = crate::conflate::conflate(&dag(&["M1", "M2", "M3", "R4_3_2_1"]));
+        let dot = to_dot(&d);
+        assert!(dot.contains("×3"), "{dot}");
+        let a = to_ascii(&d);
+        assert!(a.contains("(×3)"), "{a}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Task-type census and programming-model inference (Section V-C, Fig 6).
+//!
+//! The trace does not label which distributed-computing model a job used,
+//! but the paper infers it from the task-type composition: plain
+//! **Map-Reduce** jobs contain only `M`/`R` stages, **Map-Join-Reduce** jobs
+//! have independent `J` stages, and **Map-Reduce-Merge** jobs show an
+//! `M`-coded (merge) stage *downstream* of a reduce.
+
+use serde::{Deserialize, Serialize};
+
+use dagscope_trace::taskname::TaskKind;
+
+use crate::JobDag;
+
+/// Per-job M/J/R composition — one bar of Fig 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeCounts {
+    /// `M` tasks (map or merge), weights included.
+    pub m: u32,
+    /// `J` tasks.
+    pub j: u32,
+    /// `R` tasks.
+    pub r: u32,
+    /// Any other code.
+    pub other: u32,
+}
+
+impl TypeCounts {
+    /// Tally a DAG's task kinds (respecting conflation weights).
+    pub fn of(dag: &JobDag) -> TypeCounts {
+        let mut c = TypeCounts {
+            m: 0,
+            j: 0,
+            r: 0,
+            other: 0,
+        };
+        for i in 0..dag.len() {
+            let w = dag.weight(i);
+            match dag.kind(i) {
+                TaskKind::Map => c.m += w,
+                TaskKind::Join => c.j += w,
+                TaskKind::Reduce => c.r += w,
+                TaskKind::Other(_) => c.other += w,
+            }
+        }
+        c
+    }
+
+    /// Total tasks counted.
+    pub fn total(&self) -> u32 {
+        self.m + self.j + self.r + self.other
+    }
+}
+
+/// The multi-stage programming models the paper recognizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProgrammingModel {
+    /// Plain Map-Reduce (`M`/`R` stages only).
+    MapReduce,
+    /// Map-Join-Reduce: at least one independent `J` stage.
+    MapJoinReduce,
+    /// Map-Reduce-Merge: an `M` (merge) stage downstream of a reduce.
+    MapReduceMerge,
+    /// Anything else (e.g. jobs with exotic task codes).
+    Unknown,
+}
+
+impl ProgrammingModel {
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProgrammingModel::MapReduce => "map-reduce",
+            ProgrammingModel::MapJoinReduce => "map-join-reduce",
+            ProgrammingModel::MapReduceMerge => "map-reduce-merge",
+            ProgrammingModel::Unknown => "unknown",
+        }
+    }
+}
+
+/// Infer the programming model of a job.
+///
+/// Priority: a `J` stage ⇒ Map-Join-Reduce; else an `M` stage with a
+/// reduce ancestor ⇒ Map-Reduce-Merge; else all stages `M`/`R` ⇒
+/// Map-Reduce; otherwise Unknown.
+pub fn infer_model(dag: &JobDag) -> ProgrammingModel {
+    let n = dag.len();
+    let mut has_join = false;
+    let mut has_other = false;
+    // has_reduce_ancestor[i]: some ancestor of i is a Reduce stage.
+    let mut reduce_above = vec![false; n];
+    let mut merge_after_reduce = false;
+    for i in 0..n {
+        let mut above = false;
+        for &p in dag.parents(i) {
+            let p = p as usize;
+            if reduce_above[p] || dag.kind(p) == TaskKind::Reduce {
+                above = true;
+                break;
+            }
+        }
+        reduce_above[i] = above;
+        match dag.kind(i) {
+            TaskKind::Join => has_join = true,
+            TaskKind::Other(_) => has_other = true,
+            TaskKind::Map if above => merge_after_reduce = true,
+            _ => {}
+        }
+    }
+    if has_join {
+        ProgrammingModel::MapJoinReduce
+    } else if merge_after_reduce {
+        ProgrammingModel::MapReduceMerge
+    } else if !has_other {
+        ProgrammingModel::MapReduce
+    } else {
+        ProgrammingModel::Unknown
+    }
+}
+
+/// The Fig 6 dataset: per-job type counts plus the inferred model, keyed by
+/// job name in input order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeCensusRow {
+    /// Job name.
+    pub name: String,
+    /// Job size used for ordering the figure's x-axis.
+    pub size: usize,
+    /// M/J/R composition.
+    pub counts: TypeCounts,
+    /// Inferred programming model.
+    pub model: ProgrammingModel,
+}
+
+/// Compute the census for a job sample.
+pub fn type_census(dags: &[JobDag]) -> Vec<TypeCensusRow> {
+    dags.iter()
+        .map(|d| TypeCensusRow {
+            name: d.name.clone(),
+            size: d.len(),
+            counts: TypeCounts::of(d),
+            model: infer_model(d),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagscope_trace::{Job, Status, TaskRecord};
+
+    fn t(name: &str) -> TaskRecord {
+        TaskRecord {
+            task_name: name.into(),
+            instance_num: 1,
+            job_name: "j".into(),
+            task_type: "1".into(),
+            status: Status::Terminated,
+            start_time: 1,
+            end_time: 2,
+            plan_cpu: 1.0,
+            plan_mem: 0.1,
+        }
+    }
+
+    fn dag(names: &[&str]) -> JobDag {
+        JobDag::from_job(&Job {
+            name: "j".into(),
+            tasks: names.iter().map(|n| t(n)).collect(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_tally_kinds() {
+        let c = TypeCounts::of(&dag(&["M1", "M2", "J3_2_1", "R4_3"]));
+        assert_eq!((c.m, c.j, c.r, c.other), (2, 1, 1, 0));
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn plain_mapreduce() {
+        assert_eq!(
+            infer_model(&dag(&["M1", "M2", "R3_2_1"])),
+            ProgrammingModel::MapReduce
+        );
+        assert_eq!(
+            infer_model(&dag(&["M1", "R2_1", "R3_2"])),
+            ProgrammingModel::MapReduce
+        );
+    }
+
+    #[test]
+    fn join_stage_wins() {
+        assert_eq!(
+            infer_model(&dag(&["M1", "M2", "J3_2_1", "R4_3"])),
+            ProgrammingModel::MapJoinReduce
+        );
+    }
+
+    #[test]
+    fn merge_after_reduce_detected() {
+        // M4 depends on R3 → merge stage downstream of a reduce.
+        assert_eq!(
+            infer_model(&dag(&["M1", "M2", "R3_2_1", "M4_3", "R5_4"])),
+            ProgrammingModel::MapReduceMerge
+        );
+        // Transitive: reduce ancestor two hops up.
+        assert_eq!(
+            infer_model(&dag(&["M1", "R2_1", "R3_2", "M4_3"])),
+            ProgrammingModel::MapReduceMerge
+        );
+    }
+
+    #[test]
+    fn exotic_codes_unknown() {
+        assert_eq!(
+            infer_model(&dag(&["M1", "X2_1"])),
+            ProgrammingModel::Unknown
+        );
+    }
+
+    #[test]
+    fn join_beats_merge() {
+        assert_eq!(
+            infer_model(&dag(&["M1", "R2_1", "M3_2", "J4_3"])),
+            ProgrammingModel::MapJoinReduce
+        );
+    }
+
+    #[test]
+    fn census_rows() {
+        let rows = type_census(&[dag(&["M1", "R2_1"]), dag(&["M1", "M2", "J3_2_1", "R4_3"])]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].model, ProgrammingModel::MapReduce);
+        assert_eq!(rows[1].counts.j, 1);
+        assert_eq!(rows[1].model, ProgrammingModel::MapJoinReduce);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<&str> = [
+            ProgrammingModel::MapReduce,
+            ProgrammingModel::MapJoinReduce,
+            ProgrammingModel::MapReduceMerge,
+            ProgrammingModel::Unknown,
+        ]
+        .iter()
+        .map(|m| m.label())
+        .collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests tying the graph analyses together: conflation, pattern
+//! classification, motifs and transitive reduction must stay mutually
+//! consistent on arbitrary generated DAGs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dagscope_graph::pattern::{classify, Pattern};
+use dagscope_graph::{algo, conflate, motifs, JobDag};
+use dagscope_trace::gen::{build_shape, ShapeKind};
+
+fn shape_strategy() -> impl Strategy<Value = ShapeKind> {
+    prop::sample::select(ShapeKind::ALL.to_vec())
+}
+
+fn arbitrary_dag() -> impl Strategy<Value = JobDag> {
+    (shape_strategy(), 2usize..=31, any::<u64>()).prop_map(|(shape, n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        JobDag::from_plan("j", &build_shape(&mut rng, shape, n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn motif_counts_respect_degree_identities(dag in arbitrary_dag()) {
+        let m = motifs::count_motifs(&dag);
+        // Chain motifs = Σ in(b)·out(b): recompute independently.
+        let chains: u64 = (0..dag.len())
+            .map(|b| (dag.in_degree(b) * dag.out_degree(b)) as u64)
+            .sum();
+        prop_assert_eq!(m.chain, chains);
+        // Transitive triangles are a subset of chain paths and of the
+        // redundant-edge count's certificates.
+        prop_assert!(m.transitive <= m.chain);
+        let redundant = algo::redundant_edges(&dag).len() as u64;
+        // Every redundant edge closes ≥ 1 transitive triangle.
+        prop_assert!(m.transitive >= redundant);
+        // Fingerprint sums to 1 when any motif exists.
+        let fp = m.fingerprint();
+        if m.total() > 0 {
+            prop_assert!((fp.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conflation_preserves_pattern_family(dag in arbitrary_dag()) {
+        // Conflation may simplify a shape (triangle → chain) but must never
+        // turn a chain into anything else, and must keep classification
+        // well-defined.
+        let merged = conflate::conflate(&dag);
+        let before = classify(&dag);
+        let after = classify(&merged);
+        if before == Pattern::Shape(ShapeKind::Chain) {
+            prop_assert_eq!(after, Pattern::Shape(ShapeKind::Chain));
+        }
+        // Level structure still partitions the merged DAG.
+        let widths = algo::level_widths(&merged);
+        prop_assert_eq!(widths.iter().sum::<usize>(), merged.len());
+    }
+
+    #[test]
+    fn redundant_edges_are_real_edges_and_skippable(dag in arbitrary_dag()) {
+        let red = algo::redundant_edges(&dag);
+        let edges: std::collections::HashSet<(u32, u32)> = dag.edges().collect();
+        for e in &red {
+            prop_assert!(edges.contains(e), "redundant edge {e:?} not in DAG");
+        }
+        // Reachability certificates: for every redundant (a, c) there is an
+        // alternative path a → … → c of length ≥ 2.
+        for &(a, c) in &red {
+            let mut stack: Vec<u32> = dag
+                .children(a as usize)
+                .iter()
+                .copied()
+                .filter(|&x| x != c)
+                .collect();
+            let mut seen = std::collections::HashSet::new();
+            let mut reached = false;
+            while let Some(x) = stack.pop() {
+                if !seen.insert(x) {
+                    continue;
+                }
+                if x == c {
+                    reached = true;
+                    break;
+                }
+                stack.extend(dag.children(x as usize).iter().copied());
+            }
+            prop_assert!(reached, "no alternative path for redundant edge ({a},{c})");
+        }
+    }
+
+    #[test]
+    fn sinks_sources_and_levels_consistent(dag in arbitrary_dag()) {
+        let levels = algo::levels(&dag);
+        // Every source is at level 0 and every level-0 node is a source.
+        for (i, lvl) in levels.iter().enumerate() {
+            prop_assert_eq!(*lvl == 0, dag.in_degree(i) == 0, "node {}", i);
+        }
+        // The deepest level contains at least one sink.
+        let max = levels.iter().copied().max().unwrap_or(0);
+        prop_assert!((0..dag.len()).any(|i| levels[i] == max && dag.out_degree(i) == 0));
+        // Weighted critical path dominates the unweighted one when every
+        // duration is at least 1 second (default attrs are 0 → skip).
+    }
+
+    #[test]
+    fn dot_and_ascii_render_every_node(dag in arbitrary_dag()) {
+        let dot = dagscope_graph::render::to_dot(&dag);
+        prop_assert_eq!(dot.matches(" -> ").count(), dag.edge_count());
+        for i in 0..dag.len() {
+            let name = dag.task_name(i);
+            prop_assert!(dot.contains(name), "{name} missing from DOT");
+        }
+        let ascii = dagscope_graph::render::to_ascii(&dag);
+        prop_assert_eq!(ascii.lines().count(), algo::critical_path(&dag));
+    }
+}

@@ -1,0 +1,134 @@
+//! Cyclic Jacobi eigensolver, kept as an independent cross-check of the
+//! Householder+QL path.
+
+use crate::eigen::EigenDecomposition;
+use crate::{Matrix, SymMatrix};
+
+/// Maximum number of full sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+///
+/// Slower than [`crate::eigh`] (`O(n³)` *per sweep*) but each rotation is
+/// individually verifiable, which makes it the reference implementation in
+/// this workspace's tests. Eigenvalues are returned in ascending order.
+///
+/// ```
+/// use dagscope_linalg::{eigh_jacobi, SymMatrix};
+/// let mut s = SymMatrix::zeros(2);
+/// s.set(0, 0, 2.0);
+/// s.set(0, 1, 1.0);
+/// s.set(1, 1, 2.0);
+/// let eig = eigh_jacobi(&s).unwrap();
+/// assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-10);
+/// assert!((eig.eigenvalues[1] - 3.0).abs() < 1e-10);
+/// ```
+pub fn eigh_jacobi(s: &SymMatrix) -> Result<EigenDecomposition, String> {
+    let n = s.n();
+    let mut a = s.to_dense();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius norm (squared).
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += 2.0 * a[(i, j)] * a[(i, j)];
+            }
+        }
+        let scale = a.frobenius_norm().max(1.0);
+        if off.sqrt() <= 1e-14 * scale {
+            return Ok(EigenDecomposition::sorted(collect_diag(&a), v));
+        }
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                // Classic Jacobi rotation parameters.
+                let theta = (a[(q, q)] - a[(p, p)]) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let sn = t * c;
+
+                // A <- J^T A J on rows/cols p, q.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - sn * akq;
+                    a[(k, q)] = sn * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - sn * aqk;
+                    a[(q, k)] = sn * apk + c * aqk;
+                }
+                // Accumulate eigenvectors: V <- V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - sn * vkq;
+                    v[(k, q)] = sn * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err("jacobi: did not converge within 64 sweeps".to_string())
+}
+
+fn collect_diag(a: &Matrix) -> Vec<f64> {
+    (0..a.rows()).map(|i| a[(i, i)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let mut s = SymMatrix::zeros(3);
+        s.set(0, 0, 3.0);
+        s.set(1, 1, -1.0);
+        s.set(2, 2, 7.0);
+        let eig = eigh_jacobi(&s).unwrap();
+        assert_eq!(eig.eigenvalues.len(), 3);
+        assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 3.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[2] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstructs_original_matrix() {
+        let mut s = SymMatrix::zeros(4);
+        let vals = [
+            (0, 0, 4.0),
+            (0, 1, 1.0),
+            (0, 2, -2.0),
+            (0, 3, 2.0),
+            (1, 1, 2.0),
+            (1, 3, 1.0),
+            (2, 2, 3.0),
+            (2, 3, -2.0),
+            (3, 3, -1.0),
+        ];
+        for (i, j, v) in vals {
+            s.set(i, j, v);
+        }
+        let eig = eigh_jacobi(&s).unwrap();
+        let recon = eig.reconstruct();
+        assert!(recon.max_abs_diff(&s.to_dense()) < 1e-10);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let eig = eigh_jacobi(&SymMatrix::zeros(0)).unwrap();
+        assert!(eig.eigenvalues.is_empty());
+    }
+}

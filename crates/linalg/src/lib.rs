@@ -1,0 +1,32 @@
+//! Dense linear algebra for `dagscope`'s spectral methods.
+//!
+//! The paper clusters jobs by eigendecomposing a similarity (kernel) matrix,
+//! so the only heavy numerical requirement is a reliable symmetric
+//! eigensolver on dense matrices of a few hundred rows. This crate provides:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the handful of
+//!   operations the pipeline needs (products, transpose, norms),
+//! * [`SymMatrix`] — a packed symmetric matrix (upper triangle only),
+//! * [`eigh`] — Householder tridiagonalization + implicit-shift QL
+//!   eigendecomposition (the workhorse, `O(n³)` with a small constant),
+//! * [`eigh_jacobi`] — a cyclic Jacobi eigensolver kept as an independent
+//!   cross-check (tests validate the two against each other),
+//! * [`vector`] — small dense-vector helpers shared by k-means.
+//!
+//! No external BLAS/LAPACK: the matrices in this problem are small enough
+//! that clarity and auditability beat peak FLOPs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eigen;
+mod jacobi;
+mod matrix;
+mod sym;
+mod tridiag;
+pub mod vector;
+
+pub use eigen::{eigh, EigenDecomposition};
+pub use jacobi::eigh_jacobi;
+pub use matrix::Matrix;
+pub use sym::SymMatrix;

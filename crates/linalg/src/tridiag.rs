@@ -1,0 +1,267 @@
+//! Householder tridiagonalization and implicit-shift QL iteration.
+//!
+//! The classic dense symmetric eigensolver pair (`tred2` / `tqli` in the
+//! Numerical Recipes nomenclature): first reduce the symmetric matrix to
+//! tridiagonal form with accumulated orthogonal transforms, then diagonalize
+//! the tridiagonal matrix with implicitly shifted QL rotations applied to the
+//! accumulated basis. Overall `O(n³)` with a much smaller constant than
+//! Jacobi sweeps.
+
+use crate::Matrix;
+
+/// `sqrt(a² + b²)` without destructive underflow or overflow.
+fn pythag(a: f64, b: f64) -> f64 {
+    let (absa, absb) = (a.abs(), b.abs());
+    if absa > absb {
+        let r = absb / absa;
+        absa * (1.0 + r * r).sqrt()
+    } else if absb == 0.0 {
+        0.0
+    } else {
+        let r = absa / absb;
+        absb * (1.0 + r * r).sqrt()
+    }
+}
+
+#[inline]
+fn sign(a: f64, b: f64) -> f64 {
+    if b >= 0.0 {
+        a.abs()
+    } else {
+        -a.abs()
+    }
+}
+
+/// Householder reduction of the symmetric matrix `a` (dense, square) to
+/// tridiagonal form. On return, `a` holds the accumulated orthogonal matrix
+/// `Q` (so `Q^T A Q = T`), `d` the diagonal of `T`, and `e` the
+/// sub-diagonal of `T` in `e[1..]` (`e[0]` is zero).
+pub(crate) fn tred2(a: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = a.rows();
+    debug_assert_eq!(a.cols(), n);
+    debug_assert_eq!(d.len(), n);
+    debug_assert_eq!(e.len(), n);
+    if n == 0 {
+        return;
+    }
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += a[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = a[(i, l)];
+            } else {
+                for k in 0..=l {
+                    a[(i, k)] /= scale;
+                    h += a[(i, k)] * a[(i, k)];
+                }
+                let mut f = a[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                a[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    a[(j, i)] = a[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += a[(j, k)] * a[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += a[(k, j)] * a[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * a[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = a[(i, j)];
+                    let gj = e[j] - hh * f;
+                    e[j] = gj;
+                    for k in 0..=j {
+                        a[(j, k)] -= f * e[k] + gj * a[(i, k)];
+                    }
+                }
+            }
+        } else {
+            e[i] = a[(i, l)];
+        }
+        d[i] = h;
+    }
+
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            // Accumulate the transform (skipped when the Householder vector
+            // was zero).
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += a[(i, k)] * a[(k, j)];
+                }
+                for k in 0..i {
+                    a[(k, j)] -= g * a[(k, i)];
+                }
+            }
+        }
+        d[i] = a[(i, i)];
+        a[(i, i)] = 1.0;
+        for j in 0..i {
+            a[(j, i)] = 0.0;
+            a[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// QL iteration with implicit shifts on the tridiagonal matrix `(d, e)`
+/// produced by [`tred2`], rotating the accumulated basis `z` along.
+///
+/// On return `d` holds the eigenvalues (unsorted) and column `k` of `z` the
+/// eigenvector for `d[k]`. Returns `Err` if any eigenvalue fails to converge
+/// within 50 iterations (never observed for PSD kernel matrices).
+pub(crate) fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), String> {
+    let n = d.len();
+    if n == 0 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small sub-diagonal element to split the problem.
+            let mut m = l;
+            while m < n - 1 {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 50 {
+                return Err(format!("tqli: eigenvalue {l} failed to converge"));
+            }
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = pythag(g, 1.0);
+            g = d[m] - d[l] + e[l] / (g + sign(r, g));
+            let (mut s, mut c) = (1.0, 1.0);
+            let mut p = 0.0;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = pythag(f, g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Recover from underflow: the rotation annihilated early.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pythag_safe() {
+        assert!((pythag(3.0, 4.0) - 5.0).abs() < 1e-12);
+        assert_eq!(pythag(0.0, 0.0), 0.0);
+        assert!((pythag(1e200, 1e200) - 2f64.sqrt() * 1e200).abs() < 1e188);
+    }
+
+    #[test]
+    fn tred2_preserves_orthogonality() {
+        // 4x4 symmetric test matrix.
+        let a0 = Matrix::from_rows(&[
+            vec![4.0, 1.0, -2.0, 2.0],
+            vec![1.0, 2.0, 0.0, 1.0],
+            vec![-2.0, 0.0, 3.0, -2.0],
+            vec![2.0, 1.0, -2.0, -1.0],
+        ]);
+        let mut q = a0.clone();
+        let mut d = vec![0.0; 4];
+        let mut e = vec![0.0; 4];
+        tred2(&mut q, &mut d, &mut e);
+        // Q^T Q = I.
+        let qtq = q.transpose().matmul(&q);
+        assert!(qtq.max_abs_diff(&Matrix::identity(4)) < 1e-12);
+        // Q^T A Q is tridiagonal with diagonal d and sub-diagonal e[1..].
+        let t = q.transpose().matmul(&a0).matmul(&q);
+        for (i, di) in d.iter().enumerate() {
+            assert!((t[(i, i)] - di).abs() < 1e-10);
+        }
+        for i in 1..4 {
+            assert!((t[(i, i - 1)] - e[i]).abs() < 1e-10);
+        }
+        assert!(t[(0, 2)].abs() < 1e-10 && t[(0, 3)].abs() < 1e-10 && t[(1, 3)].abs() < 1e-10);
+    }
+
+    #[test]
+    fn tqli_diagonalizes_known_matrix() {
+        // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+        let a0 = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let mut q = a0.clone();
+        let mut d = vec![0.0; 2];
+        let mut e = vec![0.0; 2];
+        tred2(&mut q, &mut d, &mut e);
+        tqli(&mut d, &mut e, &mut q).unwrap();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((d[0] - 1.0).abs() < 1e-12);
+        assert!((d[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let mut q = Matrix::zeros(0, 0);
+        let mut d: Vec<f64> = vec![];
+        let mut e: Vec<f64> = vec![];
+        tred2(&mut q, &mut d, &mut e);
+        tqli(&mut d, &mut e, &mut q).unwrap();
+
+        let mut q1 = Matrix::from_rows(&[vec![5.0]]);
+        let mut d1 = vec![0.0];
+        let mut e1 = vec![0.0];
+        tred2(&mut q1, &mut d1, &mut e1);
+        tqli(&mut d1, &mut e1, &mut q1).unwrap();
+        assert!((d1[0] - 5.0).abs() < 1e-12);
+        assert!((q1[(0, 0)].abs() - 1.0).abs() < 1e-12);
+    }
+}

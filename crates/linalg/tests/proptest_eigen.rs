@@ -1,0 +1,77 @@
+//! Property tests for the eigensolvers on random symmetric matrices.
+
+use proptest::prelude::*;
+
+use dagscope_linalg::{eigh, eigh_jacobi, Matrix, SymMatrix};
+
+fn random_sym(n: usize, entries: &[f64]) -> SymMatrix {
+    let mut s = SymMatrix::zeros(n);
+    let mut it = entries.iter().cycle();
+    for i in 0..n {
+        for j in i..n {
+            s.set(i, j, *it.next().unwrap());
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn eigh_reconstructs(n in 1usize..24,
+                         entries in prop::collection::vec(-10.0f64..10.0, 1..40)) {
+        let s = random_sym(n, &entries);
+        let eig = eigh(&s).unwrap();
+        prop_assert_eq!(eig.eigenvalues.len(), n);
+        // Sorted ascending.
+        for w in eig.eigenvalues.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        // A = V Λ V^T within tolerance.
+        let resid = eig.reconstruct().max_abs_diff(&s.to_dense());
+        prop_assert!(resid < 1e-8, "residual {resid}");
+        // Orthonormal eigenvectors.
+        let v = &eig.eigenvectors;
+        let vtv = v.transpose().matmul(v);
+        prop_assert!(vtv.max_abs_diff(&Matrix::identity(n)) < 1e-8);
+    }
+
+    #[test]
+    fn eigh_matches_jacobi(n in 1usize..16,
+                           entries in prop::collection::vec(-5.0f64..5.0, 1..40)) {
+        let s = random_sym(n, &entries);
+        let a = eigh(&s).unwrap();
+        let b = eigh_jacobi(&s).unwrap();
+        for (x, y) in a.eigenvalues.iter().zip(&b.eigenvalues) {
+            prop_assert!((x - y).abs() < 1e-7, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum(n in 1usize..20,
+                                   entries in prop::collection::vec(-8.0f64..8.0, 1..40)) {
+        let s = random_sym(n, &entries);
+        let trace: f64 = s.diagonal().iter().sum();
+        let eig_sum: f64 = eigh(&s).unwrap().eigenvalues.iter().sum();
+        prop_assert!((trace - eig_sum).abs() < 1e-8 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn gram_matrices_are_psd(rows in 2usize..10, cols in 1usize..6,
+                             entries in prop::collection::vec(-3.0f64..3.0, 1..60)) {
+        // K = X X^T must have a non-negative spectrum.
+        let mut it = entries.iter().cycle();
+        let mut x = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                x[(i, j)] = *it.next().unwrap();
+            }
+        }
+        let k = SymMatrix::from_dense(&x.matmul(&x.transpose()));
+        let eig = eigh(&k).unwrap();
+        for ev in &eig.eigenvalues {
+            prop_assert!(*ev >= -1e-8, "negative eigenvalue {ev}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Thread-count configuration shared by all parallel primitives.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Cached override set through [`ParScope`] or the `DAGSCOPE_THREADS`
+/// environment variable. `0` means "not set — use available parallelism".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+fn env_threads() -> usize {
+    std::env::var("DAGSCOPE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0)
+}
+
+/// Number of worker threads the parallel primitives will use.
+///
+/// Resolution order:
+/// 1. an active [`ParScope`] override (innermost wins),
+/// 2. the `DAGSCOPE_THREADS` environment variable,
+/// 3. [`std::thread::available_parallelism`].
+///
+/// Always at least 1.
+pub fn parallelism() -> usize {
+    let ov = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if ov == usize::MAX {
+        // First call: latch the environment variable so later `set_var`
+        // games cannot make concurrent stages disagree.
+        let from_env = env_threads();
+        THREAD_OVERRIDE
+            .compare_exchange(usize::MAX, from_env, Ordering::Relaxed, Ordering::Relaxed)
+            .ok();
+        return parallelism();
+    }
+    if ov != 0 {
+        return ov;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// RAII guard that pins the worker-thread count for the duration of a scope.
+///
+/// Used by benchmarks to sweep 1, 2, 4, 8 threads and by tests that must be
+/// deterministic regardless of the host machine.
+///
+/// ```
+/// let _one = dagscope_par::ParScope::new(1);
+/// assert_eq!(dagscope_par::parallelism(), 1);
+/// drop(_one);
+/// ```
+#[derive(Debug)]
+pub struct ParScope {
+    previous: usize,
+}
+
+impl ParScope {
+    /// Pin the thread count to `threads` (clamped to at least 1) until the
+    /// returned guard is dropped.
+    pub fn new(threads: usize) -> Self {
+        // Ensure the env latch ran so `previous` is meaningful.
+        let _ = parallelism();
+        let previous = THREAD_OVERRIDE.swap(threads.max(1), Ordering::Relaxed);
+        ParScope { previous }
+    }
+}
+
+impl Drop for ParScope {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.store(self.previous, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The override is process-global; serialize the tests that mutate it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn parallelism_is_positive() {
+        assert!(parallelism() >= 1);
+    }
+
+    #[test]
+    fn scope_overrides_and_restores() {
+        let _l = TEST_LOCK.lock().unwrap();
+        let before = parallelism();
+        {
+            let _guard = ParScope::new(3);
+            assert_eq!(parallelism(), 3);
+            {
+                let _inner = ParScope::new(7);
+                assert_eq!(parallelism(), 7);
+            }
+            assert_eq!(parallelism(), 3);
+        }
+        assert_eq!(parallelism(), before);
+    }
+
+    #[test]
+    fn scope_clamps_zero_to_one() {
+        let _l = TEST_LOCK.lock().unwrap();
+        let _guard = ParScope::new(0);
+        assert_eq!(parallelism(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Parallel fold + associative merge.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::config::parallelism;
+
+/// Fold `items` in parallel: each worker folds a subset with `fold`, and the
+/// per-worker accumulators are combined with `merge`.
+///
+/// `merge` must be associative and `init()` must produce an identity for it;
+/// under those conditions the result is independent of the partitioning.
+/// The merge order is fixed (by chunk index), so results are deterministic
+/// even for non-commutative merges.
+///
+/// ```
+/// let total = dagscope_par::par_reduce(&[1u64, 2, 3, 4], || 0u64, |acc, &x| acc + x, |a, b| a + b);
+/// assert_eq!(total, 10);
+/// ```
+pub fn par_reduce<T, A, FInit, FFold, FMerge>(
+    items: &[T],
+    init: FInit,
+    fold: FFold,
+    merge: FMerge,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    FInit: Fn() -> A + Sync,
+    FFold: Fn(A, &T) -> A + Sync,
+    FMerge: Fn(A, A) -> A + Sync,
+{
+    let threads = parallelism();
+    if threads == 1 || items.len() < 2 {
+        return items.iter().fold(init(), &fold);
+    }
+
+    // Reuse the same chunking policy as par_map: threads * 8 chunks.
+    let chunk = items.len().div_ceil(threads * 8).max(1);
+    let n_chunks = items.len().div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let partials: Mutex<Vec<(usize, A)>> = Mutex::new(Vec::with_capacity(n_chunks));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n_chunks) {
+            scope.spawn(|_| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let start = c * chunk;
+                let end = (start + chunk).min(items.len());
+                let acc = items[start..end].iter().fold(init(), &fold);
+                partials.lock().push((c, acc));
+            });
+        }
+    })
+    .expect("dagscope-par worker thread panicked");
+
+    let mut partials = partials.into_inner();
+    partials.sort_unstable_by_key(|(c, _)| *c);
+    let mut iter = partials.into_iter().map(|(_, a)| a);
+    let first = iter.next().unwrap_or_else(&init);
+    iter.fold(first, &merge)
+}
+
+/// Parallel sum of `f64` values produced by `f`, summed in deterministic
+/// chunk order. Note: floating-point addition is not associative, so the
+/// result can differ from a strict left-to-right sequential sum in the last
+/// ulps — but it is reproducible for a fixed thread count and input.
+pub fn par_sum_f64<T, F>(items: &[T], f: F) -> f64
+where
+    T: Sync,
+    F: Fn(&T) -> f64 + Sync,
+{
+    par_reduce(items, || 0.0f64, |acc, t| acc + f(t), |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reduce_returns_identity() {
+        let r = par_reduce(&[] as &[u32], || 7u32, |a, &x| a + x, |a, b| a + b);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn sums_match_sequential() {
+        let input: Vec<u64> = (0..100_000).collect();
+        let expected: u64 = input.iter().sum();
+        let got = par_reduce(&input, || 0u64, |a, &x| a + x, |a, b| a + b);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn non_commutative_merge_is_deterministic() {
+        // Concatenation: associative, not commutative.
+        let input: Vec<u32> = (0..5_000).collect();
+        let got = par_reduce(
+            &input,
+            String::new,
+            |mut s, x| {
+                use std::fmt::Write;
+                write!(s, "{x},").unwrap();
+                s
+            },
+            |mut a, b| {
+                a.push_str(&b);
+                a
+            },
+        );
+        let expected: String = input.iter().map(|x| format!("{x},")).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn par_sum_f64_close_to_sequential() {
+        let input: Vec<f64> = (0..50_000).map(|i| (i as f64).sin()).collect();
+        let seq: f64 = input.iter().sum();
+        let par = par_sum_f64(&input, |&x| x);
+        assert!((seq - par).abs() < 1e-9, "seq={seq} par={par}");
+    }
+
+    #[test]
+    fn max_reduce() {
+        let input: Vec<i32> = vec![3, -5, 42, 0, 41];
+        let got = par_reduce(&input, || i32::MIN, |a, &x| a.max(x), |a, b| a.max(b));
+        assert_eq!(got, 42);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests: the parallel primitives must be observationally
+//! equivalent to their sequential counterparts for any input.
+
+use proptest::prelude::*;
+
+use dagscope_par::pairs::{packed_index, packed_len, par_upper_triangle, unpack_symmetric};
+use dagscope_par::{par_map, par_map_with, par_reduce, par_sum_f64};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn par_map_equals_sequential(input in prop::collection::vec(any::<i64>(), 0..3000)) {
+        let f = |x: &i64| x.wrapping_mul(31).wrapping_add(7);
+        let seq: Vec<i64> = input.iter().map(f).collect();
+        prop_assert_eq!(par_map(&input, f), seq);
+    }
+
+    #[test]
+    fn par_map_with_passes_correct_indices(len in 0usize..2000) {
+        let input = vec![0u8; len];
+        let out = par_map_with(&input, |i, _| i);
+        prop_assert_eq!(out, (0..len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_reduce_sum_equals_sequential(input in prop::collection::vec(any::<i32>(), 0..3000)) {
+        let seq: i64 = input.iter().map(|&x| x as i64).sum();
+        let par = par_reduce(&input, || 0i64, |a, &x| a + x as i64, |a, b| a + b);
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_sum_f64_reproducible(input in prop::collection::vec(-1.0e6f64..1.0e6, 0..2000)) {
+        let a = par_sum_f64(&input, |&x| x);
+        let b = par_sum_f64(&input, |&x| x);
+        prop_assert_eq!(a, b);
+        let seq: f64 = input.iter().sum();
+        prop_assert!((a - seq).abs() <= 1e-6 * (1.0 + seq.abs()));
+    }
+
+    #[test]
+    fn upper_triangle_layout(n in 0usize..40) {
+        let packed = par_upper_triangle(n, |i, j| (i, j));
+        prop_assert_eq!(packed.len(), packed_len(n));
+        for i in 0..n {
+            for j in i..n {
+                prop_assert_eq!(packed[packed_index(n, i, j)], (i, j));
+            }
+        }
+        let full = unpack_symmetric(n, &packed);
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = if i <= j { (i, j) } else { (j, i) };
+                prop_assert_eq!(full[i * n + j], (a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The machine pool: capacity tracking and first-fit placement.
+
+use serde::{Deserialize, Serialize};
+
+/// Cluster shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of machines.
+    pub machines: usize,
+    /// CPU capacity per machine, v2018 units (9600 = 96 cores).
+    pub cpu_per_machine: f64,
+    /// Memory capacity per machine, normalized units.
+    pub mem_per_machine: f64,
+}
+
+impl Default for ClusterConfig {
+    /// A small slice of the paper's ~4000-machine cluster: 64 machines of
+    /// 96 cores each, memory normalized so ~100 average instances fit.
+    fn default() -> Self {
+        ClusterConfig {
+            machines: 64,
+            cpu_per_machine: 9_600.0,
+            mem_per_machine: 48.0,
+        }
+    }
+}
+
+/// Mutable machine pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    cpu_free: Vec<f64>,
+    mem_free: Vec<f64>,
+    /// Next machine index to try (round-robin start point, avoids packing
+    /// everything on machine 0 and keeps placement O(1) amortized).
+    cursor: usize,
+}
+
+impl Cluster {
+    /// A fresh, empty cluster.
+    pub fn new(cfg: ClusterConfig) -> Cluster {
+        Cluster {
+            cpu_free: vec![cfg.cpu_per_machine; cfg.machines],
+            mem_free: vec![cfg.mem_per_machine; cfg.machines],
+            cursor: 0,
+            cfg,
+        }
+    }
+
+    /// Shape.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Total CPU capacity across machines.
+    pub fn total_cpu(&self) -> f64 {
+        self.cfg.cpu_per_machine * self.cfg.machines as f64
+    }
+
+    /// Currently free CPU across machines.
+    pub fn free_cpu(&self) -> f64 {
+        self.cpu_free.iter().sum()
+    }
+
+    /// Utilized CPU fraction.
+    pub fn cpu_utilization(&self) -> f64 {
+        1.0 - self.free_cpu() / self.total_cpu()
+    }
+
+    /// Try to place one instance of `(cpu, mem)`; returns the machine
+    /// index, or `None` when nothing fits. Next-fit with wraparound.
+    pub fn place(&mut self, cpu: f64, mem: f64) -> Option<usize> {
+        let n = self.cfg.machines;
+        for off in 0..n {
+            let m = (self.cursor + off) % n;
+            if self.cpu_free[m] >= cpu && self.mem_free[m] >= mem {
+                self.cpu_free[m] -= cpu;
+                self.mem_free[m] -= mem;
+                self.cursor = m;
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    /// Release a previously placed instance.
+    pub fn release(&mut self, machine: usize, cpu: f64, mem: f64) {
+        self.cpu_free[machine] += cpu;
+        self.mem_free[machine] += mem;
+        debug_assert!(self.cpu_free[machine] <= self.cfg.cpu_per_machine + 1e-6);
+        debug_assert!(self.mem_free[machine] <= self.cfg.mem_per_machine + 1e-6);
+    }
+
+    /// Grab up to `want` CPU units on `machine` for a non-batch reservation
+    /// (co-located online load). Returns how much was actually taken —
+    /// running batch instances are never evicted, so the reservation only
+    /// claims currently free capacity.
+    pub fn reserve_cpu(&mut self, machine: usize, want: f64) -> f64 {
+        let taken = want.min(self.cpu_free[machine]).max(0.0);
+        self.cpu_free[machine] -= taken;
+        taken
+    }
+
+    /// Return previously reserved CPU.
+    pub fn unreserve_cpu(&mut self, machine: usize, amount: f64) {
+        self.cpu_free[machine] += amount;
+        debug_assert!(self.cpu_free[machine] <= self.cfg.cpu_per_machine + 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cluster {
+        Cluster::new(ClusterConfig {
+            machines: 2,
+            cpu_per_machine: 100.0,
+            mem_per_machine: 1.0,
+        })
+    }
+
+    #[test]
+    fn place_and_release() {
+        let mut c = tiny();
+        let m1 = c.place(60.0, 0.5).unwrap();
+        let m2 = c.place(60.0, 0.5).unwrap();
+        assert_ne!(m1, m2, "second instance must spill to the other machine");
+        // Both machines now hold 60: a 50-unit ask fails, 40 fits.
+        assert!(c.place(50.0, 0.1).is_none());
+        assert!(c.place(40.0, 0.1).is_some());
+        c.release(m1, 60.0, 0.5);
+        assert!(c.place(50.0, 0.1).is_some());
+    }
+
+    #[test]
+    fn memory_binds_too() {
+        let mut c = tiny();
+        assert!(c.place(1.0, 0.9).is_some());
+        // CPU is plentiful but memory on that machine is not; spills.
+        let second = c.place(1.0, 0.9).unwrap();
+        assert!(c.place(1.0, 0.9).is_none());
+        c.release(second, 1.0, 0.9);
+        assert!(c.place(1.0, 0.9).is_some());
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut c = tiny();
+        assert_eq!(c.cpu_utilization(), 0.0);
+        c.place(100.0, 0.1).unwrap();
+        assert!((c.cpu_utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(c.total_cpu(), 200.0);
+        assert_eq!(c.free_cpu(), 100.0);
+    }
+
+    #[test]
+    fn oversized_ask_never_fits() {
+        let mut c = tiny();
+        assert!(c.place(101.0, 0.1).is_none());
+        assert!(c.place(1.0, 1.5).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! Discrete-event cluster simulator for dependency-aware batch scheduling.
+//!
+//! The paper's motivation (Sections I–II) is that understanding job
+//! topology "helps us foresee resource demands and execution time of new
+//! jobs and make better decisions in job scheduling" in a co-located
+//! cluster with a hierarchical scheduling stack. This crate provides the
+//! substrate to *test* that claim: a deterministic discrete-event
+//! simulator of the offline (batch, level-1) scheduling layer —
+//! dependency-respecting task release, per-instance placement onto
+//! capacity-constrained machines, and pluggable dispatch policies —
+//! plus the metrics (job completion time distribution, makespan,
+//! utilization) schedulers are judged by.
+//!
+//! * [`workload::SimJob`] — a job DAG annotated with per-task instance
+//!   demands and durations, built from trace rows,
+//! * [`cluster::Cluster`] — machines with CPU/memory capacity,
+//! * [`policy`] — FIFO, shortest-job-first (oracle), critical-path-first
+//!   (oracle), and *predicted*-SJF, where the prediction comes from the
+//!   WL/spectral group a job lands in (the paper's proposed use),
+//! * [`sim::Simulator`] — the event loop,
+//! * [`metrics::SimMetrics`] — JCT percentiles, makespan, utilization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod metrics;
+pub mod policy;
+pub mod sim;
+pub mod workload;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use metrics::SimMetrics;
+pub use policy::Policy;
+pub use sim::{OnlineLoad, SimConfig, Simulator};
+pub use workload::{SimJob, SimTask};

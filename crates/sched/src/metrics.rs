@@ -1,0 +1,111 @@
+//! Scheduling outcome metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// What a scheduling run is judged by.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Policy label that produced this run.
+    pub policy: String,
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Mean job completion time (seconds).
+    pub mean_jct: f64,
+    /// Median JCT.
+    pub p50_jct: i64,
+    /// 95th-percentile JCT.
+    pub p95_jct: i64,
+    /// Worst JCT.
+    pub max_jct: i64,
+    /// Time from first arrival to last completion.
+    pub makespan: i64,
+    /// Mean cluster CPU utilization over the makespan, in `[0, 1]`.
+    pub mean_utilization: f64,
+    /// Batch instances killed for online load (0 without eviction).
+    pub evictions: u64,
+}
+
+impl SimMetrics {
+    /// Build from raw per-job completion times.
+    pub fn from_jcts(
+        policy: &str,
+        mut jcts: Vec<i64>,
+        makespan: i64,
+        mean_utilization: f64,
+    ) -> SimMetrics {
+        jcts.sort_unstable();
+        let n = jcts.len();
+        let pick = |p: f64| -> i64 {
+            if n == 0 {
+                0
+            } else {
+                jcts[((p * n as f64).ceil() as usize).clamp(1, n) - 1]
+            }
+        };
+        SimMetrics {
+            policy: policy.to_string(),
+            jobs: n,
+            mean_jct: if n == 0 {
+                0.0
+            } else {
+                jcts.iter().sum::<i64>() as f64 / n as f64
+            },
+            p50_jct: pick(0.50),
+            p95_jct: pick(0.95),
+            max_jct: jcts.last().copied().unwrap_or(0),
+            makespan,
+            mean_utilization,
+            evictions: 0,
+        }
+    }
+
+    /// One-line rendering for comparison tables.
+    pub fn render_row(&self) -> String {
+        let evict = if self.evictions > 0 {
+            format!("  evictions {}", self.evictions)
+        } else {
+            String::new()
+        };
+        format!(
+            "{:<22} jobs {:>5}  mean JCT {:>9.1}s  p50 {:>7}s  p95 {:>8}s  makespan {:>8}s  util {:>5.1}%{evict}",
+            self.policy,
+            self.jobs,
+            self.mean_jct,
+            self.p50_jct,
+            self.p95_jct,
+            self.makespan,
+            100.0 * self.mean_utilization
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_jcts() {
+        let m = SimMetrics::from_jcts("fifo", vec![10, 20, 30, 40, 100], 200, 0.5);
+        assert_eq!(m.jobs, 5);
+        assert_eq!(m.mean_jct, 40.0);
+        assert_eq!(m.p50_jct, 30);
+        assert_eq!(m.p95_jct, 100);
+        assert_eq!(m.max_jct, 100);
+        assert!(m.render_row().contains("fifo"));
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = SimMetrics::from_jcts("x", vec![], 0, 0.0);
+        assert_eq!(m.jobs, 0);
+        assert_eq!(m.mean_jct, 0.0);
+        assert_eq!(m.p50_jct, 0);
+    }
+
+    #[test]
+    fn single_job() {
+        let m = SimMetrics::from_jcts("x", vec![42], 42, 1.0);
+        assert_eq!(m.p50_jct, 42);
+        assert_eq!(m.p95_jct, 42);
+    }
+}

@@ -1,0 +1,124 @@
+//! Dispatch policies: how the ready queue is ordered.
+
+use std::collections::HashMap;
+
+use crate::workload::SimJob;
+
+/// A dispatch policy assigns every job a static priority key; ready tasks
+/// are dispatched in ascending `(job key, task downstream-CP descending)`
+/// order. Static job-level keys model the level-1 batch scheduler the
+/// paper describes (job priorities decided at admission).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// First-in-first-out by arrival time — the neutral baseline.
+    Fifo,
+    /// Shortest-job-first on *true* total work (oracle upper bound: a real
+    /// scheduler does not know this at admission).
+    SjfOracle,
+    /// Shortest remaining critical path on *true* durations (oracle).
+    CriticalPathOracle,
+    /// Shortest-job-first on a *predicted* cost per job — the paper's
+    /// proposal: predictions come from the WL/spectral group medians, so
+    /// the scheduler only needs the incoming job's topology.
+    PredictedSjf {
+        /// Predicted cost per job name (e.g. group-median makespan).
+        predictions: HashMap<String, f64>,
+    },
+}
+
+impl Policy {
+    /// Job-level priority key (lower dispatches first).
+    pub fn job_key(&self, job: &SimJob) -> f64 {
+        match self {
+            Policy::Fifo => job.arrival as f64,
+            Policy::SjfOracle => job.total_work(),
+            Policy::CriticalPathOracle => job.ideal_makespan() as f64,
+            Policy::PredictedSjf { predictions } => {
+                // Unknown jobs sort last (pessimistic), which is what a
+                // production admission controller would do.
+                predictions.get(&job.name).copied().unwrap_or(f64::MAX)
+            }
+        }
+    }
+
+    /// Display label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::SjfOracle => "sjf-oracle",
+            Policy::CriticalPathOracle => "critical-path-oracle",
+            Policy::PredictedSjf { .. } => "predicted-sjf",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagscope_trace::{Job, Status, TaskRecord};
+
+    fn job(name: &str, arrival: i64, dur: i64, instances: u32) -> SimJob {
+        let t = TaskRecord {
+            task_name: "M1".into(),
+            instance_num: instances,
+            job_name: name.into(),
+            task_type: "1".into(),
+            status: Status::Terminated,
+            start_time: arrival.max(1),
+            end_time: arrival.max(1) + dur,
+            plan_cpu: 100.0,
+            plan_mem: 0.5,
+        };
+        SimJob::from_trace_job(&Job {
+            name: name.into(),
+            tasks: vec![t],
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival() {
+        let p = Policy::Fifo;
+        assert!(p.job_key(&job("a", 10, 60, 1)) < p.job_key(&job("b", 20, 1, 1)));
+    }
+
+    #[test]
+    fn sjf_orders_by_work() {
+        let p = Policy::SjfOracle;
+        assert!(p.job_key(&job("small", 0, 10, 1)) < p.job_key(&job("big", 0, 10, 50)));
+    }
+
+    #[test]
+    fn cp_oracle_ignores_width() {
+        let p = Policy::CriticalPathOracle;
+        // Same duration, different widths: equal keys.
+        assert_eq!(
+            p.job_key(&job("a", 0, 30, 1)),
+            p.job_key(&job("b", 0, 30, 40))
+        );
+    }
+
+    #[test]
+    fn predicted_sjf_uses_map_and_defaults_pessimistic() {
+        let mut predictions = HashMap::new();
+        predictions.insert("known".to_string(), 42.0);
+        let p = Policy::PredictedSjf { predictions };
+        assert_eq!(p.job_key(&job("known", 0, 10, 1)), 42.0);
+        assert_eq!(p.job_key(&job("unknown", 0, 10, 1)), f64::MAX);
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let labels = [
+            Policy::Fifo.label(),
+            Policy::SjfOracle.label(),
+            Policy::CriticalPathOracle.label(),
+            Policy::PredictedSjf {
+                predictions: HashMap::new(),
+            }
+            .label(),
+        ];
+        let set: std::collections::HashSet<&str> = labels.into_iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

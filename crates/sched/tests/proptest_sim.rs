@@ -1,0 +1,107 @@
+//! Property tests: the simulator conserves work, respects dependencies,
+//! and never beats physics, for arbitrary generated workloads.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dagscope_graph::JobDag;
+use dagscope_sched::{ClusterConfig, Policy, SimConfig, SimJob, SimTask, Simulator};
+use dagscope_trace::gen::{build_shape, ShapeKind};
+
+fn shape_strategy() -> impl Strategy<Value = ShapeKind> {
+    prop::sample::select(ShapeKind::ALL.to_vec())
+}
+
+/// Random small job: a generated DAG with bounded per-task demands.
+fn arbitrary_job(idx: usize) -> impl Strategy<Value = SimJob> {
+    (
+        shape_strategy(),
+        2usize..=10,
+        any::<u64>(),
+        0i64..5_000,
+        prop::collection::vec((1u32..6, 1i64..200), 10),
+    )
+        .prop_map(move |(shape, n, seed, arrival, demands)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dag =
+                JobDag::from_plan(&format!("j_{idx}_{seed}"), &build_shape(&mut rng, shape, n));
+            let tasks: Vec<SimTask> = (0..dag.len())
+                .map(|node| {
+                    let (inst, dur) = demands[node % demands.len()];
+                    SimTask {
+                        node,
+                        instances: inst,
+                        cpu: 100.0,
+                        mem: 0.5,
+                        duration: dur,
+                    }
+                })
+                .collect();
+            SimJob {
+                name: dag.name.clone(),
+                arrival,
+                dag,
+                tasks,
+            }
+        })
+}
+
+fn workload_strategy() -> impl Strategy<Value = Vec<SimJob>> {
+    prop::collection::vec(any::<u64>(), 1..12).prop_flat_map(|seeds| {
+        seeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arbitrary_job(i))
+            .collect::<Vec<_>>()
+    })
+}
+
+fn cfg(machines: usize) -> SimConfig {
+    SimConfig {
+        cluster: ClusterConfig {
+            machines,
+            cpu_per_machine: 400.0,
+            mem_per_machine: 4.0,
+        },
+        arrival_compression: 1.0,
+        online_load: None,
+        evict_for_online: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_job_completes_and_respects_physics(jobs in workload_strategy()) {
+        for policy in [Policy::Fifo, Policy::SjfOracle, Policy::CriticalPathOracle] {
+            let m = Simulator::new(cfg(4), policy).run(&jobs).unwrap();
+            prop_assert_eq!(m.jobs, jobs.len());
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&m.mean_utilization));
+            prop_assert!(m.p50_jct <= m.p95_jct && m.p95_jct <= m.max_jct);
+            // Mean JCT can never undercut the mean ideal makespan.
+            let ideal: f64 = jobs.iter().map(|j| j.ideal_makespan() as f64).sum::<f64>()
+                / jobs.len() as f64;
+            prop_assert!(m.mean_jct + 1e-9 >= ideal, "mean {} < ideal {}", m.mean_jct, ideal);
+        }
+    }
+
+    #[test]
+    fn more_machines_never_hurt_mean_jct(jobs in workload_strategy()) {
+        let small = Simulator::new(cfg(2), Policy::Fifo).run(&jobs).unwrap();
+        let big = Simulator::new(cfg(16), Policy::Fifo).run(&jobs).unwrap();
+        // With FIFO job keys fixed by arrival, extra capacity can only let
+        // instances start earlier.
+        prop_assert!(big.mean_jct <= small.mean_jct + 1e-9,
+                     "big {} > small {}", big.mean_jct, small.mean_jct);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(jobs in workload_strategy(), oracle in any::<bool>()) {
+        let policy = if oracle { Policy::SjfOracle } else { Policy::Fifo };
+        let a = Simulator::new(cfg(3), policy.clone()).run(&jobs).unwrap();
+        let b = Simulator::new(cfg(3), policy).run(&jobs).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,335 @@
+//! Container-side records of the v2018 release (`container_meta.csv` and
+//! `container_usage.csv`).
+//!
+//! Containers host the *online* services that batch jobs co-locate with
+//! (Section II-A); the characterization experiments don't consume them,
+//! but schema completeness lets the full five-file v2018 dump round-trip
+//! through this crate, and the generated online load mirrors what the
+//! scheduling simulator's reservation models.
+
+use std::io::{BufRead, BufWriter, Write};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::TraceError;
+
+/// One row of `container_meta.csv` (v2018 column order):
+/// `container_id, machine_id, time_stamp, app_du, status, cpu_request,
+/// cpu_limit, mem_size`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContainerMetaRecord {
+    /// Container identifier (`c_1`…).
+    pub container_id: String,
+    /// Hosting machine.
+    pub machine_id: String,
+    /// Observation timestamp.
+    pub time_stamp: i64,
+    /// Deployment-unit (application group) identifier.
+    pub app_du: String,
+    /// Lifecycle status (`started`…).
+    pub status: String,
+    /// Requested CPU (percent of a core).
+    pub cpu_request: f64,
+    /// CPU limit.
+    pub cpu_limit: f64,
+    /// Memory size, normalized.
+    pub mem_size: f64,
+}
+
+/// One row of `container_usage.csv` (v2018 column order):
+/// `container_id, machine_id, time_stamp, cpu_util_percent,
+/// mem_util_percent, cpi, mem_gps, mpki, net_in, net_out,
+/// disk_io_percent`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContainerUsageRecord {
+    /// Container identifier.
+    pub container_id: String,
+    /// Hosting machine.
+    pub machine_id: String,
+    /// Sample timestamp.
+    pub time_stamp: i64,
+    /// CPU utilization, percent of the container's request.
+    pub cpu_util_percent: f64,
+    /// Memory utilization, percent.
+    pub mem_util_percent: f64,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// Memory bandwidth.
+    pub mem_gps: f64,
+    /// Misses per kilo-instruction.
+    pub mpki: f64,
+    /// Normalized inbound network traffic.
+    pub net_in: f64,
+    /// Normalized outbound network traffic.
+    pub net_out: f64,
+    /// Disk I/O utilization, percent.
+    pub disk_io_percent: f64,
+}
+
+fn parse_num<T: std::str::FromStr + Default>(
+    s: &str,
+    line: usize,
+    column: &'static str,
+) -> Result<T, TraceError> {
+    if s.is_empty() {
+        return Ok(T::default());
+    }
+    s.parse::<T>().map_err(|_| TraceError::BadField {
+        line,
+        column,
+        value: s.to_string(),
+    })
+}
+
+/// Decode one `container_meta.csv` row.
+pub fn parse_meta_line(line_no: usize, line: &str) -> Result<ContainerMetaRecord, TraceError> {
+    let f: Vec<&str> = line.split(',').collect();
+    if f.len() != 8 {
+        return Err(TraceError::FieldCount {
+            line: line_no,
+            expected: 8,
+            found: f.len(),
+        });
+    }
+    Ok(ContainerMetaRecord {
+        container_id: f[0].to_string(),
+        machine_id: f[1].to_string(),
+        time_stamp: parse_num(f[2], line_no, "time_stamp")?,
+        app_du: f[3].to_string(),
+        status: f[4].to_string(),
+        cpu_request: parse_num(f[5], line_no, "cpu_request")?,
+        cpu_limit: parse_num(f[6], line_no, "cpu_limit")?,
+        mem_size: parse_num(f[7], line_no, "mem_size")?,
+    })
+}
+
+/// Decode one `container_usage.csv` row.
+pub fn parse_usage_line(line_no: usize, line: &str) -> Result<ContainerUsageRecord, TraceError> {
+    let f: Vec<&str> = line.split(',').collect();
+    if f.len() != 11 {
+        return Err(TraceError::FieldCount {
+            line: line_no,
+            expected: 11,
+            found: f.len(),
+        });
+    }
+    Ok(ContainerUsageRecord {
+        container_id: f[0].to_string(),
+        machine_id: f[1].to_string(),
+        time_stamp: parse_num(f[2], line_no, "time_stamp")?,
+        cpu_util_percent: parse_num(f[3], line_no, "cpu_util_percent")?,
+        mem_util_percent: parse_num(f[4], line_no, "mem_util_percent")?,
+        cpi: parse_num(f[5], line_no, "cpi")?,
+        mem_gps: parse_num(f[6], line_no, "mem_gps")?,
+        mpki: parse_num(f[7], line_no, "mpki")?,
+        net_in: parse_num(f[8], line_no, "net_in")?,
+        net_out: parse_num(f[9], line_no, "net_out")?,
+        disk_io_percent: parse_num(f[10], line_no, "disk_io_percent")?,
+    })
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Encode one meta row.
+pub fn format_meta_line(c: &ContainerMetaRecord) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{}",
+        c.container_id,
+        c.machine_id,
+        c.time_stamp,
+        c.app_du,
+        c.status,
+        fmt_f64(c.cpu_request),
+        fmt_f64(c.cpu_limit),
+        fmt_f64(c.mem_size)
+    )
+}
+
+/// Encode one usage row.
+pub fn format_usage_line(u: &ContainerUsageRecord) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{}",
+        u.container_id,
+        u.machine_id,
+        u.time_stamp,
+        fmt_f64(u.cpu_util_percent),
+        fmt_f64(u.mem_util_percent),
+        fmt_f64(u.cpi),
+        fmt_f64(u.mem_gps),
+        fmt_f64(u.mpki),
+        fmt_f64(u.net_in),
+        fmt_f64(u.net_out),
+        fmt_f64(u.disk_io_percent)
+    )
+}
+
+/// Read a `container_meta.csv` stream.
+pub fn read_meta<R: BufRead>(reader: R) -> Result<Vec<ContainerMetaRecord>, TraceError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if !line.is_empty() {
+            out.push(parse_meta_line(i + 1, &line)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Read a `container_usage.csv` stream.
+pub fn read_usage<R: BufRead>(reader: R) -> Result<Vec<ContainerUsageRecord>, TraceError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if !line.is_empty() {
+            out.push(parse_usage_line(i + 1, &line)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Write meta rows.
+pub fn write_meta<W: Write>(writer: W, rows: &[ContainerMetaRecord]) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(writer);
+    for r in rows {
+        writeln!(w, "{}", format_meta_line(r))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write usage rows.
+pub fn write_usage<W: Write>(writer: W, rows: &[ContainerUsageRecord]) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(writer);
+    for r in rows {
+        writeln!(w, "{}", format_usage_line(r))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Synthesize the online-service container fleet: `per_machine` containers
+/// on each of `machines` nodes, grouped into deployment units of ~30
+/// containers, with daily usage samples following the diurnal online load.
+pub fn generate_containers(
+    machines: u32,
+    per_machine: u32,
+    window_secs: i64,
+    seed: u64,
+) -> (Vec<ContainerMetaRecord>, Vec<ContainerUsageRecord>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x434F_4E54);
+    let mut meta = Vec::new();
+    let mut usage = Vec::new();
+    let mut cid = 0u32;
+    for m in 1..=machines {
+        for _ in 0..per_machine {
+            cid += 1;
+            let container_id = format!("c_{cid}");
+            let machine_id = format!("m_{m}");
+            let app = format!("app_{}", cid / 30 + 1);
+            meta.push(ContainerMetaRecord {
+                container_id: container_id.clone(),
+                machine_id: machine_id.clone(),
+                time_stamp: 0,
+                app_du: app,
+                status: "started".to_string(),
+                cpu_request: 400.0,
+                cpu_limit: 800.0,
+                mem_size: (rng.random_range(2..12) as f64) / 100.0,
+            });
+            let mut t = 0i64;
+            while t < window_secs {
+                let day_frac = (t % 86_400) as f64 / 86_400.0;
+                let base = 40.0 + 30.0 * (std::f64::consts::TAU * (day_frac - 0.55)).sin();
+                let cpu = (base + rng.random_range(-10.0f64..10.0)).clamp(1.0, 100.0);
+                usage.push(ContainerUsageRecord {
+                    container_id: container_id.clone(),
+                    machine_id: machine_id.clone(),
+                    time_stamp: t,
+                    cpu_util_percent: (cpu * 10.0).round() / 10.0,
+                    mem_util_percent: ((cpu * 0.9 + rng.random_range(0.0f64..5.0)) * 10.0).round()
+                        / 10.0,
+                    cpi: (rng.random_range(0.5f64..2.5) * 100.0).round() / 100.0,
+                    mem_gps: (rng.random_range(0.1f64..4.0) * 100.0).round() / 100.0,
+                    mpki: (rng.random_range(0.1f64..2.0) * 100.0).round() / 100.0,
+                    net_in: (rng.random_range(0.0f64..1.0) * 1000.0).round() / 1000.0,
+                    net_out: (rng.random_range(0.0f64..1.0) * 1000.0).round() / 1000.0,
+                    disk_io_percent: (rng.random_range(0.0f64..40.0) * 10.0).round() / 10.0,
+                });
+                t += 6 * 3_600; // four samples per day
+            }
+        }
+    }
+    (meta, usage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_round_trip() {
+        let line = "c_2558,m_1997,0,app_83,started,400,800,0.04";
+        let r = parse_meta_line(1, line).unwrap();
+        assert_eq!(r.app_du, "app_83");
+        assert_eq!(r.cpu_limit, 800.0);
+        assert_eq!(format_meta_line(&r), line);
+    }
+
+    #[test]
+    fn usage_round_trip() {
+        let line = "c_1,m_2,3600,42.5,38.1,1.25,2.5,0.7,0.125,0.5,12.5";
+        let r = parse_usage_line(1, line).unwrap();
+        assert_eq!(r.cpi, 1.25);
+        assert_eq!(format_usage_line(&r), line);
+    }
+
+    #[test]
+    fn wrong_field_counts_rejected() {
+        assert!(parse_meta_line(1, "a,b,c").is_err());
+        assert!(parse_usage_line(1, "a,b,c,d").is_err());
+    }
+
+    #[test]
+    fn stream_round_trips() {
+        let (meta, usage) = generate_containers(3, 4, 86_400, 9);
+        let mut buf = Vec::new();
+        write_meta(&mut buf, &meta).unwrap();
+        assert_eq!(read_meta(&buf[..]).unwrap(), meta);
+        let mut buf2 = Vec::new();
+        write_usage(&mut buf2, &usage).unwrap();
+        assert_eq!(read_usage(&buf2[..]).unwrap(), usage);
+    }
+
+    #[test]
+    fn generator_shape() {
+        let (meta, usage) = generate_containers(5, 8, 86_400, 1);
+        assert_eq!(meta.len(), 40);
+        assert_eq!(usage.len(), 40 * 4); // 4 samples/day × 1 day
+                                         // Containers are spread over all machines and grouped into apps.
+        let machines: std::collections::HashSet<&str> =
+            meta.iter().map(|m| m.machine_id.as_str()).collect();
+        assert_eq!(machines.len(), 5);
+        let apps: std::collections::HashSet<&str> =
+            meta.iter().map(|m| m.app_du.as_str()).collect();
+        assert!(apps.len() >= 2);
+        for u in &usage {
+            assert!((0.0..=100.0).contains(&u.cpu_util_percent));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate_containers(4, 3, 86_400, 7),
+            generate_containers(4, 3, 86_400, 7)
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for trace parsing and validation.
+
+use std::fmt;
+
+/// Errors produced while reading or validating trace data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A CSV row had the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Expected field count.
+        expected: usize,
+        /// Fields actually present.
+        found: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column name from the v2018 schema.
+        column: &'static str,
+        /// Offending raw text.
+        value: String,
+    },
+    /// An I/O error, stringified (kept `Clone`/`Eq` for test ergonomics).
+    Io(String),
+    /// A semantic validation failure (e.g. a dependency cycle).
+    Invalid(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::FieldCount {
+                line,
+                expected,
+                found,
+            } => {
+                write!(f, "line {line}: expected {expected} fields, found {found}")
+            }
+            TraceError::BadField {
+                line,
+                column,
+                value,
+            } => {
+                write!(
+                    f,
+                    "line {line}: cannot parse column `{column}` from {value:?}"
+                )
+            }
+            TraceError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceError::FieldCount {
+            line: 3,
+            expected: 9,
+            found: 7,
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = TraceError::BadField {
+            line: 1,
+            column: "plan_cpu",
+            value: "x".into(),
+        };
+        assert!(e.to_string().contains("plan_cpu"));
+    }
+}

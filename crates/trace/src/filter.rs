@@ -1,0 +1,242 @@
+//! The paper's job-sampling criteria (Section IV-B).
+//!
+//! Three filters gate a job into the experimental set:
+//!
+//! * **Integrity** — every task terminated normally inside the trace window
+//!   (no killed / interrupted / still-running tasks),
+//! * **Availability** — timestamps and resource requests are present and
+//!   consistent, and the job started *after* collection began (jobs whose
+//!   early history predates the window have unreliable runtimes),
+//! * **Variability** — the sample preserves topological diversity, which we
+//!   realize as stratified sampling across job-size groups.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{Job, JobSet};
+
+/// Integrity + availability thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleCriteria {
+    /// Trace window length in seconds; jobs ending after it are cut off.
+    pub window_secs: i64,
+    /// Jobs starting earlier than this margin are considered to have
+    /// pre-window history and are rejected by the availability rule.
+    pub min_start: i64,
+}
+
+impl Default for SampleCriteria {
+    fn default() -> Self {
+        SampleCriteria {
+            window_secs: 8 * 86_400,
+            min_start: 1,
+        }
+    }
+}
+
+impl SampleCriteria {
+    /// Integrity: the job is a DAG job and every task terminated.
+    pub fn integrity(&self, job: &Job) -> bool {
+        job.is_dag_job() && job.fully_terminated()
+    }
+
+    /// Availability: consistent timestamps inside the window and non-zero
+    /// resource requests on every task.
+    pub fn availability(&self, job: &Job) -> bool {
+        let Some(start) = job.start_time() else {
+            return false;
+        };
+        let Some(end) = job.end_time() else {
+            return false;
+        };
+        if start < self.min_start || end > self.window_secs + 86_400 {
+            return false;
+        }
+        job.tasks.iter().all(|t| {
+            t.duration().is_some() && t.plan_cpu > 0.0 && t.plan_mem > 0.0 && t.instance_num > 0
+        })
+    }
+
+    /// Both per-job criteria at once.
+    pub fn accepts(&self, job: &Job) -> bool {
+        self.integrity(job) && self.availability(job)
+    }
+
+    /// Filter a [`JobSet`] down to the jobs passing both criteria,
+    /// preserving the set's deterministic order.
+    pub fn filter<'a>(&self, set: &'a JobSet) -> Vec<&'a Job> {
+        set.jobs().iter().filter(|j| self.accepts(j)).collect()
+    }
+}
+
+/// Variability-preserving sampling: one job from every size group first
+/// (so the sample spans as many distinct topological scales as the
+/// population allows — the paper's sample exhibits 17 size types), then the
+/// remaining slots are filled *proportionally* to the population, which
+/// keeps the natural small-job skew the paper's grouping results reflect
+/// (group A holds ~75 % of jobs and is dominated by 2–3 task jobs).
+/// Deterministic in `seed`.
+pub fn stratified_sample<'a>(jobs: &[&'a Job], n: usize, seed: u64) -> Vec<&'a Job> {
+    use std::collections::BTreeMap;
+    let mut by_size: BTreeMap<usize, Vec<&Job>> = BTreeMap::new();
+    for &j in jobs {
+        by_size.entry(j.size()).or_default().push(j);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for group in by_size.values_mut() {
+        group.shuffle(&mut rng);
+    }
+
+    let mut picked = Vec::with_capacity(n.min(jobs.len()));
+    // Coverage pass: one representative per size group.
+    for group in by_size.values() {
+        if picked.len() == n {
+            break;
+        }
+        picked.push(group[0]);
+    }
+    // Proportional fill: the leftovers of every group, pooled and shuffled,
+    // reproduce the population's size distribution.
+    let mut pool: Vec<&Job> = by_size
+        .values()
+        .flat_map(|g| g.iter().skip(1).copied())
+        .collect();
+    pool.shuffle(&mut rng);
+    for job in pool {
+        if picked.len() == n {
+            break;
+        }
+        picked.push(job);
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Status, TaskRecord};
+
+    fn task(job: &str, name: &str, status: Status, start: i64, end: i64) -> TaskRecord {
+        TaskRecord {
+            task_name: name.into(),
+            instance_num: 1,
+            job_name: job.into(),
+            task_type: "1".into(),
+            status,
+            start_time: start,
+            end_time: end,
+            plan_cpu: 100.0,
+            plan_mem: 0.5,
+        }
+    }
+
+    fn chain_job(name: &str, size: usize, start: i64) -> Job {
+        let mut tasks = vec![task(name, "M1", Status::Terminated, start, start + 10)];
+        for i in 2..=size {
+            tasks.push(task(
+                name,
+                &format!("R{i}_{}", i - 1),
+                Status::Terminated,
+                start + 10 * (i as i64 - 1),
+                start + 10 * i as i64,
+            ));
+        }
+        Job {
+            name: name.into(),
+            tasks,
+        }
+    }
+
+    #[test]
+    fn integrity_rejects_abnormal_and_non_dag() {
+        let c = SampleCriteria::default();
+        assert!(c.integrity(&chain_job("j", 3, 100)));
+        let mut failed = chain_job("j", 3, 100);
+        failed.tasks[2].status = Status::Failed;
+        assert!(!c.integrity(&failed));
+        let indep = Job {
+            name: "j".into(),
+            tasks: vec![task("j", "task_x", Status::Terminated, 1, 2)],
+        };
+        assert!(!c.integrity(&indep));
+    }
+
+    #[test]
+    fn availability_rules() {
+        let c = SampleCriteria::default();
+        assert!(c.availability(&chain_job("j", 2, 100)));
+        // Pre-window start.
+        let early = chain_job("j", 2, 0);
+        assert!(!c.availability(&early));
+        // End beyond the window.
+        let late = chain_job("j", 2, c.window_secs + 90_000);
+        assert!(!c.availability(&late));
+        // Missing resources.
+        let mut no_cpu = chain_job("j", 2, 100);
+        no_cpu.tasks[0].plan_cpu = 0.0;
+        assert!(!c.availability(&no_cpu));
+        // Missing end time.
+        let mut no_end = chain_job("j", 2, 100);
+        no_end.tasks[1].end_time = 0;
+        assert!(!c.availability(&no_end));
+    }
+
+    #[test]
+    fn filter_applies_both() {
+        let mut jobs = vec![chain_job("j_a", 2, 100), chain_job("j_b", 3, 50)];
+        jobs[1].tasks[0].status = Status::Cancelled;
+        let set = JobSet::from_jobs(jobs);
+        let kept = SampleCriteria::default().filter(&set);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].name, "j_a");
+    }
+
+    #[test]
+    fn stratified_sample_spans_sizes() {
+        // 40 jobs of size 2 and one job each of sizes 3..=10: a plain random
+        // sample of 9 would almost surely miss sizes; stratified must not.
+        let mut jobs = Vec::new();
+        for i in 0..40 {
+            jobs.push(chain_job(&format!("j_s2_{i}"), 2, 100 + i));
+        }
+        for s in 3..=10 {
+            jobs.push(chain_job(&format!("j_s{s}"), s as usize, 100));
+        }
+        let refs: Vec<&Job> = jobs.iter().collect();
+        let sample = stratified_sample(&refs, 9, 1);
+        let sizes: std::collections::BTreeSet<usize> = sample.iter().map(|j| j.size()).collect();
+        assert_eq!(sizes.len(), 9, "sample should hit all 9 size groups");
+    }
+
+    #[test]
+    fn stratified_sample_handles_small_population() {
+        let jobs = [chain_job("j_1", 2, 100)];
+        let refs: Vec<&Job> = jobs.iter().collect();
+        let sample = stratified_sample(&refs, 10, 0);
+        assert_eq!(sample.len(), 1);
+        assert!(stratified_sample(&[], 5, 0).is_empty());
+    }
+
+    #[test]
+    fn stratified_sample_deterministic() {
+        let jobs: Vec<Job> = (0..30)
+            .map(|i| chain_job(&format!("j_{i}"), 2 + (i % 5) as usize, 100 + i))
+            .collect();
+        let refs: Vec<&Job> = jobs.iter().collect();
+        let a: Vec<String> = stratified_sample(&refs, 10, 9)
+            .iter()
+            .map(|j| j.name.clone())
+            .collect();
+        let b: Vec<String> = stratified_sample(&refs, 10, 9)
+            .iter()
+            .map(|j| j.name.clone())
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<String> = stratified_sample(&refs, 10, 10)
+            .iter()
+            .map(|j| j.name.clone())
+            .collect();
+        assert_ne!(a, c);
+    }
+}

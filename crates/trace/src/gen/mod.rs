@@ -1,0 +1,676 @@
+//! Synthetic workload generation in the v2018 schema.
+//!
+//! The real Alibaba trace is a data gate this reproduction cannot ship, so
+//! experiments run against synthetic traces whose *published marginals*
+//! match Section III–V of the paper:
+//!
+//! * ≈ 50 % of batch jobs carry dependencies (the rest are independent
+//!   `task_…` jobs), and the dependency-bearing half consumes 70–80 % of
+//!   batch resources,
+//! * DAG sizes span 2–31 tasks with frequency decreasing in size,
+//! * the shape mix is ≈ 58 % chains / 37 % inverted triangles / a small
+//!   remainder of diamonds, hourglasses, trapeziums and hybrids,
+//! * critical paths stay within 2–8,
+//! * arrivals follow a diurnal pattern across an 8-day window,
+//! * a small fraction of jobs is interrupted / failed / cancelled so the
+//!   paper's integrity and availability filters have something to reject.
+//!
+//! Generation is deterministic: each job derives its own RNG stream from
+//! `(seed, job_index)` via SplitMix64, so traces are reproducible and
+//! independent of how many worker threads produced them.
+
+mod shape;
+
+pub use shape::{build as build_shape, DagPlan, ShapeKind};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::schema::{InstanceRecord, Status, TaskRecord};
+use crate::taskname::TaskKind;
+use crate::JobSet;
+
+/// Relative frequency of each shape among dependency-bearing jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeWeights {
+    /// Weights aligned with [`ShapeKind::ALL`].
+    pub weights: [f64; 6],
+}
+
+impl Default for ShapeWeights {
+    /// Section V-B: 58 % chains, 37 % inverted triangles, rare others.
+    fn default() -> Self {
+        ShapeWeights {
+            weights: [0.58, 0.37, 0.025, 0.01, 0.01, 0.005],
+        }
+    }
+}
+
+impl ShapeWeights {
+    /// Draw a shape according to the weights.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> ShapeKind {
+        let total: f64 = self.weights.iter().sum();
+        let mut x = rng.random_range(0.0..total);
+        for (i, w) in self.weights.iter().enumerate() {
+            if x < *w {
+                return ShapeKind::ALL[i];
+            }
+            x -= w;
+        }
+        ShapeKind::Chain
+    }
+}
+
+/// Generator configuration. Defaults reproduce the paper's marginals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of jobs to synthesize.
+    pub jobs: usize,
+    /// Master seed; every derived statistic is a pure function of it.
+    pub seed: u64,
+    /// Fraction of jobs that carry dependencies (paper: ≈ 0.5).
+    pub dep_fraction: f64,
+    /// Shape mix among dependency-bearing jobs.
+    pub shape_weights: ShapeWeights,
+    /// Trace window in seconds (paper: 8 days).
+    pub window_secs: i64,
+    /// Number of machines instances land on (paper: ≈ 4000).
+    pub machines: u32,
+    /// Fraction of jobs that end abnormally (failed / cancelled /
+    /// interrupted), exercising the integrity filter.
+    pub abnormal_fraction: f64,
+    /// Also synthesize per-instance rows (`batch_instance`). Costly for
+    /// large traces; figure experiments only need task rows.
+    pub emit_instances: bool,
+    /// Upper bound on DAG size (paper's sample: 31).
+    pub max_size: usize,
+    /// Fraction of DAG jobs that are re-submissions of a recurring template
+    /// (Section IV-C: "jobs with smaller size are more likely to appear
+    /// repetitively"); templates are drawn from a small deterministic pool
+    /// skewed toward small shapes.
+    pub recurrence_fraction: f64,
+    /// Number of recurring templates in the pool.
+    pub template_pool: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            jobs: 10_000,
+            seed: 42,
+            dep_fraction: 0.5,
+            shape_weights: ShapeWeights::default(),
+            window_secs: 8 * 86_400,
+            machines: 4_000,
+            abnormal_fraction: 0.08,
+            emit_instances: false,
+            max_size: 31,
+            recurrence_fraction: 0.35,
+            template_pool: 40,
+        }
+    }
+}
+
+/// A generated trace: the two batch files of the v2018 release.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SyntheticTrace {
+    /// `batch_task` rows.
+    pub tasks: Vec<TaskRecord>,
+    /// `batch_instance` rows (empty unless
+    /// [`GeneratorConfig::emit_instances`] was set).
+    pub instances: Vec<InstanceRecord>,
+}
+
+impl SyntheticTrace {
+    /// Group the task rows into a [`JobSet`].
+    pub fn job_set(&self) -> JobSet {
+        JobSet::from_tasks(self.tasks.iter().cloned())
+    }
+}
+
+/// SplitMix64 — used to derive independent per-job seeds from the master
+/// seed, so parallel generation stays deterministic.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic seeded workload synthesizer.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    cfg: GeneratorConfig,
+    /// Recurring DAG templates, shared by all re-submitted jobs (see
+    /// [`GeneratorConfig::recurrence_fraction`]).
+    templates: Vec<DagPlan>,
+}
+
+impl TraceGenerator {
+    /// Create a generator with the given configuration.
+    pub fn new(cfg: GeneratorConfig) -> Self {
+        // Build the deterministic template pool up front so parallel
+        // per-job generation can reference it immutably.
+        let mut rng = StdRng::seed_from_u64(splitmix64(cfg.seed ^ 0x7E4D_9A11));
+        let pool = TraceGenerator {
+            cfg: cfg.clone(),
+            templates: Vec::new(),
+        };
+        let templates = (0..cfg.template_pool)
+            .map(|_| {
+                let shape = cfg.shape_weights.sample(&mut rng);
+                let size = pool.sample_size(&mut rng, shape);
+                build_shape(&mut rng, shape, size)
+            })
+            .collect();
+        TraceGenerator { cfg, templates }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.cfg
+    }
+
+    /// Generate the whole trace. Jobs are synthesized in parallel; output
+    /// order and contents depend only on the seed.
+    pub fn generate(&self) -> SyntheticTrace {
+        let indices: Vec<usize> = (0..self.cfg.jobs).collect();
+        let per_job = dagscope_par::par_map(&indices, |&i| self.generate_job(i));
+        let mut trace = SyntheticTrace::default();
+        for (tasks, instances) in per_job {
+            trace.tasks.extend(tasks);
+            trace.instances.extend(instances);
+        }
+        trace
+    }
+
+    /// Generate job `index`'s rows (deterministic in `(seed, index)`).
+    pub fn generate_job(&self, index: usize) -> (Vec<TaskRecord>, Vec<InstanceRecord>) {
+        let mut rng = StdRng::seed_from_u64(splitmix64(
+            self.cfg.seed ^ (index as u64).wrapping_mul(0xA24BAED4963EE407),
+        ));
+        let job_name = format!("j_{}", 1_000_000 + index);
+        let arrival = self.sample_arrival(&mut rng);
+
+        if rng.random::<f64>() < self.cfg.dep_fraction {
+            self.generate_dag_job(&mut rng, &job_name, arrival)
+        } else {
+            self.generate_independent_job(&mut rng, &job_name, arrival)
+        }
+    }
+
+    /// Diurnal arrival sampling: two peaks per day (late morning and
+    /// evening), via rejection sampling against a raised-cosine envelope.
+    fn sample_arrival<R: Rng>(&self, rng: &mut R) -> i64 {
+        loop {
+            let t = rng.random_range(0..self.cfg.window_secs.max(1));
+            let day_frac = (t % 86_400) as f64 / 86_400.0;
+            // Intensity in [0.2, 1.0] with peaks at ~10:00 and ~21:00.
+            let intensity = 0.6
+                + 0.25 * (std::f64::consts::TAU * (day_frac - 10.0 / 24.0)).cos()
+                + 0.15 * (std::f64::consts::TAU * 2.0 * (day_frac - 21.0 / 24.0)).cos();
+            if rng.random::<f64>() < intensity.clamp(0.05, 1.0) {
+                return t;
+            }
+        }
+    }
+
+    /// Truncated-geometric size draw conditioned on the shape: chains stay
+    /// short (and within the depth-8 bound); convergent shapes reach 31.
+    fn sample_size<R: Rng>(&self, rng: &mut R, shape: ShapeKind) -> usize {
+        // Geometric decay tuned to the published skew: the bulk of DAG jobs
+        // have 2–4 tasks (the paper's dominant cluster is ~75 % of the
+        // sample with mostly ≤3-task jobs), with a thin tail out to 31.
+        let (min, cap, p) = match shape {
+            ShapeKind::Chain => (2usize, 8usize, 0.58),
+            ShapeKind::InvertedTriangle => (3, self.cfg.max_size, 0.45),
+            ShapeKind::Diamond => (4, self.cfg.max_size.min(16), 0.45),
+            ShapeKind::Hourglass => (5, self.cfg.max_size.min(18), 0.45),
+            ShapeKind::Trapezium => (3, self.cfg.max_size.min(20), 0.42),
+            ShapeKind::Hybrid => (5, self.cfg.max_size, 0.35),
+        };
+        if min < cap && rng.random::<f64>() < 0.04 {
+            // Heavy-tail floor: keep every size in [min, cap] represented so
+            // the sample's variability criterion (17 size types in the
+            // paper) is attainable.
+            return rng.random_range(min..=cap);
+        }
+        let mut size = min;
+        while size < cap && rng.random::<f64>() > p {
+            size += 1;
+        }
+        size
+    }
+
+    fn sample_status<R: Rng>(&self, rng: &mut R) -> Status {
+        if rng.random::<f64>() >= self.cfg.abnormal_fraction {
+            Status::Terminated
+        } else {
+            match rng.random_range(0..4) {
+                0 => Status::Failed,
+                1 => Status::Cancelled,
+                2 => Status::Running,
+                _ => Status::Interrupted,
+            }
+        }
+    }
+
+    fn generate_dag_job<R: Rng>(
+        &self,
+        rng: &mut R,
+        job_name: &str,
+        arrival: i64,
+    ) -> (Vec<TaskRecord>, Vec<InstanceRecord>) {
+        // Recurring submissions reuse a template topology (smaller
+        // templates recur more often: the pool is drawn from the same
+        // size-skewed distribution, and repetition multiplies the skew).
+        let template;
+        let plan: &DagPlan =
+            if !self.templates.is_empty() && rng.random::<f64>() < self.cfg.recurrence_fraction {
+                &self.templates[rng.random_range(0..self.templates.len())]
+            } else {
+                let shape = self.cfg.shape_weights.sample(rng);
+                let size = self.sample_size(rng, shape);
+                template = build_shape(rng, shape, size);
+                &template
+            };
+        let names = plan.task_names();
+        let job_status = self.sample_status(rng);
+
+        // Topological scheduling: a task starts once all parents finished.
+        let n = plan.size();
+        let mut ends = vec![0i64; n + 1];
+        let mut tasks = Vec::with_capacity(n);
+        let mut instances = Vec::new();
+
+        for i in 0..n {
+            let id = (i + 1) as u32;
+            let kind = plan.kinds[i];
+            let parent_end = plan.parents[i]
+                .iter()
+                .map(|&p| ends[p as usize])
+                .max()
+                .unwrap_or(arrival);
+            let sched_delay = rng.random_range(0..30);
+            let start = parent_end + sched_delay;
+            let duration = self.sample_duration(rng, kind);
+            let end = start + duration;
+            ends[id as usize] = end;
+
+            let instance_num = self.sample_instance_num(rng, kind);
+            let plan_cpu = [50.0, 100.0, 100.0, 200.0, 300.0][rng.random_range(0..5)];
+            let plan_mem = (rng.random_range(10..100) as f64) / 100.0;
+
+            // Abnormal jobs: cut the tail tasks' records the way the
+            // collection window does (missing end, non-terminated status).
+            let (status, start_time, end_time) = match job_status {
+                Status::Terminated => (Status::Terminated, start, end),
+                s if i + 1 == n => (s, start, 0),
+                _ => (Status::Terminated, start, end),
+            };
+
+            tasks.push(TaskRecord {
+                task_name: names[i].clone(),
+                instance_num,
+                job_name: job_name.to_string(),
+                task_type: format!("{}", rng.random_range(1..=12)),
+                status,
+                start_time,
+                end_time,
+                plan_cpu,
+                plan_mem,
+            });
+
+            if self.cfg.emit_instances && status == Status::Terminated {
+                self.emit_instances(rng, &mut instances, &tasks[i], duration);
+            }
+        }
+        (tasks, instances)
+    }
+
+    fn generate_independent_job<R: Rng>(
+        &self,
+        rng: &mut R,
+        job_name: &str,
+        arrival: i64,
+    ) -> (Vec<TaskRecord>, Vec<InstanceRecord>) {
+        let n = 1 + (rng.random::<f64>() * rng.random::<f64>() * 4.0) as usize;
+        let status = self.sample_status(rng);
+        let mut tasks = Vec::with_capacity(n);
+        let mut instances = Vec::new();
+        for i in 0..n {
+            let start = arrival + rng.random_range(0..60);
+            let duration = rng.random_range(10..600);
+            // Independent jobs are lighter: fewer instances, smaller asks —
+            // this is what makes dependency-bearing jobs carry 70–80 % of
+            // batch resources, as the paper reports.
+            let t = TaskRecord {
+                task_name: format!("task_{}", encode_base36(splitmix64(rng.random::<u64>()))),
+                instance_num: {
+                    let u = rng.random::<f64>();
+                    1 + (79.0 * u * u) as u32
+                },
+                job_name: job_name.to_string(),
+                task_type: format!("{}", rng.random_range(1..=12)),
+                status,
+                start_time: start,
+                end_time: if status == Status::Terminated {
+                    start + duration
+                } else {
+                    0
+                },
+                plan_cpu: [50.0, 100.0, 200.0][rng.random_range(0..3)],
+                plan_mem: (rng.random_range(5..60) as f64) / 100.0,
+            };
+            if self.cfg.emit_instances && status == Status::Terminated {
+                self.emit_instances(rng, &mut instances, &t, duration);
+            }
+            tasks.push(t);
+            let _ = i;
+        }
+        (tasks, instances)
+    }
+
+    fn sample_duration<R: Rng>(&self, rng: &mut R, kind: TaskKind) -> i64 {
+        // Log-uniform-ish durations; reduces run longer than maps on
+        // average, joins in between.
+        let (lo, hi) = match kind {
+            TaskKind::Map => (20.0f64, 600.0f64),
+            TaskKind::Join => (30.0, 1200.0),
+            TaskKind::Reduce => (40.0, 2400.0),
+            TaskKind::Other(_) => (20.0, 900.0),
+        };
+        let u = rng.random::<f64>();
+        (lo * (hi / lo).powf(u)) as i64
+    }
+
+    fn sample_instance_num<R: Rng>(&self, rng: &mut R, kind: TaskKind) -> u32 {
+        // Maps are data-parallel and instance-heavy; reduces narrower.
+        let cap: u32 = match kind {
+            TaskKind::Map => 200,
+            TaskKind::Join => 80,
+            TaskKind::Reduce => 40,
+            TaskKind::Other(_) => 60,
+        };
+        let u = rng.random::<f64>();
+        1 + ((cap - 1) as f64 * u * u) as u32
+    }
+
+    fn emit_instances<R: Rng>(
+        &self,
+        rng: &mut R,
+        out: &mut Vec<InstanceRecord>,
+        task: &TaskRecord,
+        duration: i64,
+    ) {
+        for k in 0..task.instance_num {
+            let jitter = rng.random_range(0..=(duration / 4).max(1));
+            let inst_duration = (duration - jitter).max(1);
+            let start = task.start_time + rng.random_range(0..=jitter.max(1));
+            let cpu_max = task.plan_cpu * rng.random_range(60..110) as f64 / 100.0;
+            let cpu_avg = cpu_max * rng.random_range(40..95) as f64 / 100.0;
+            let mem_max = task.plan_mem * rng.random_range(60..110) as f64 / 100.0;
+            let mem_avg = mem_max * rng.random_range(40..95) as f64 / 100.0;
+            out.push(InstanceRecord {
+                instance_name: format!("{}_{}_{}", task.job_name, task.task_name, k + 1),
+                task_name: task.task_name.clone(),
+                job_name: task.job_name.clone(),
+                task_type: task.task_type.clone(),
+                status: Status::Terminated,
+                start_time: start,
+                end_time: start + inst_duration,
+                machine_id: format!("m_{}", rng.random_range(1..=self.cfg.machines)),
+                seq_no: 1,
+                total_seq_no: 1,
+                cpu_avg: (cpu_avg * 100.0).round() / 100.0,
+                cpu_max: (cpu_max * 100.0).round() / 100.0,
+                mem_avg: (mem_avg * 10_000.0).round() / 10_000.0,
+                mem_max: (mem_max * 10_000.0).round() / 10_000.0,
+            });
+        }
+    }
+}
+
+/// Lowercase base-36 rendering used for opaque independent task names.
+fn encode_base36(mut v: u64) -> String {
+    const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    let mut buf = [0u8; 13];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = DIGITS[(v % 36) as usize];
+        v /= 36;
+        if v == 0 || i == 0 {
+            break;
+        }
+    }
+    String::from_utf8_lossy(&buf[i..]).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taskname;
+
+    fn small_trace(jobs: usize, seed: u64) -> SyntheticTrace {
+        TraceGenerator::new(GeneratorConfig {
+            jobs,
+            seed,
+            ..GeneratorConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_threads() {
+        let a = small_trace(200, 7);
+        let b = small_trace(200, 7);
+        assert_eq!(a, b);
+        let _one = dagscope_par::ParScope::new(1);
+        let c = small_trace(200, 7);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(small_trace(50, 1).tasks, small_trace(50, 2).tasks);
+    }
+
+    #[test]
+    fn dependency_fraction_near_half() {
+        let trace = small_trace(2_000, 42);
+        let set = trace.job_set();
+        let dep = set.jobs().iter().filter(|j| j.is_dag_job()).count();
+        let frac = dep as f64 / set.len() as f64;
+        assert!((0.44..=0.56).contains(&frac), "dep fraction {frac}");
+    }
+
+    #[test]
+    fn dag_job_names_encode_valid_dags() {
+        let trace = small_trace(300, 11);
+        for job in trace.job_set().jobs() {
+            if !job.is_dag_job() {
+                continue;
+            }
+            let n = job.tasks.len() as u32;
+            for t in &job.tasks {
+                match taskname::parse(&t.task_name) {
+                    taskname::ParsedTaskName::Dag { id, parents, .. } => {
+                        assert!(id >= 1 && id <= n);
+                        for p in parents {
+                            assert!(p < id, "parent {p} >= id {id}");
+                        }
+                    }
+                    _ => panic!("non-DAG name in DAG job"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_within_published_range() {
+        let trace = small_trace(3_000, 5);
+        for job in trace.job_set().jobs() {
+            if job.is_dag_job() {
+                assert!((2..=31).contains(&job.size()), "size {}", job.size());
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_inside_window_and_diurnal() {
+        let cfg = GeneratorConfig {
+            jobs: 4_000,
+            seed: 3,
+            ..Default::default()
+        };
+        let trace = TraceGenerator::new(cfg.clone()).generate();
+        let mut by_hour = [0usize; 24];
+        for job in trace.job_set().jobs() {
+            if let Some(s) = job.start_time() {
+                assert!(s >= 0 && s < cfg.window_secs + 86_400, "start {s}");
+                by_hour[((s % 86_400) / 3_600) as usize] += 1;
+            }
+        }
+        // Diurnal: the busiest hour must clearly dominate the quietest.
+        let max = by_hour.iter().max().unwrap();
+        let min = by_hour.iter().min().unwrap();
+        assert!(*max as f64 > *min as f64 * 1.5, "hours {by_hour:?}");
+    }
+
+    #[test]
+    fn abnormal_jobs_present_but_minority() {
+        let trace = small_trace(2_000, 9);
+        let set = trace.job_set();
+        let abnormal = set.jobs().iter().filter(|j| !j.fully_terminated()).count();
+        let frac = abnormal as f64 / set.len() as f64;
+        assert!(frac > 0.02 && frac < 0.2, "abnormal fraction {frac}");
+    }
+
+    #[test]
+    fn dep_jobs_consume_majority_of_resources() {
+        // The paper's E10 headline: dependency-bearing jobs are ~50 % of
+        // batch jobs but consume 70–80 % of batch resources.
+        let trace = small_trace(4_000, 42);
+        let set = trace.job_set();
+        let (mut dep_cpu, mut all_cpu) = (0.0, 0.0);
+        for job in set.jobs() {
+            let v = job.planned_cpu_volume();
+            all_cpu += v;
+            if job.is_dag_job() {
+                dep_cpu += v;
+            }
+        }
+        let share = dep_cpu / all_cpu;
+        assert!((0.6..=0.95).contains(&share), "dep resource share {share}");
+    }
+
+    #[test]
+    fn instances_emitted_when_requested() {
+        let cfg = GeneratorConfig {
+            jobs: 60,
+            seed: 1,
+            emit_instances: true,
+            ..Default::default()
+        };
+        let trace = TraceGenerator::new(cfg).generate();
+        assert!(!trace.instances.is_empty());
+        for inst in &trace.instances {
+            assert!(inst.end_time >= inst.start_time);
+            assert!(inst.cpu_max >= inst.cpu_avg);
+            assert!(inst.mem_max >= inst.mem_avg);
+            assert!(inst.machine_id.starts_with("m_"));
+        }
+        // Every instance's task exists.
+        let task_keys: std::collections::HashSet<(String, String)> = trace
+            .tasks
+            .iter()
+            .map(|t| (t.job_name.clone(), t.task_name.clone()))
+            .collect();
+        for inst in &trace.instances {
+            assert!(task_keys.contains(&(inst.job_name.clone(), inst.task_name.clone())));
+        }
+    }
+
+    #[test]
+    fn shape_mix_matches_configured_weights() {
+        // Chains should be the majority of DAG jobs, inverted triangles
+        // second — checked structurally via in/out degrees.
+        let trace = small_trace(3_000, 21);
+        let mut chains = 0usize;
+        let mut dags = 0usize;
+        for job in trace.job_set().jobs() {
+            if !job.is_dag_job() {
+                continue;
+            }
+            dags += 1;
+            let sequential = job
+                .tasks
+                .iter()
+                .all(|t| match taskname::parse(&t.task_name) {
+                    taskname::ParsedTaskName::Dag { id, parents, .. } => {
+                        (id == 1 && parents.is_empty()) || parents == vec![id - 1]
+                    }
+                    _ => false,
+                });
+            if sequential {
+                chains += 1;
+            }
+        }
+        let frac = chains as f64 / dags as f64;
+        assert!((0.5..=0.68).contains(&frac), "chain fraction {frac}");
+    }
+
+    #[test]
+    fn recurrence_creates_repeated_topologies() {
+        use std::collections::HashMap;
+        let census = |recurrence: f64| -> f64 {
+            let trace = TraceGenerator::new(GeneratorConfig {
+                jobs: 1_000,
+                seed: 5,
+                recurrence_fraction: recurrence,
+                ..Default::default()
+            })
+            .generate();
+            let mut by_signature: HashMap<Vec<String>, usize> = HashMap::new();
+            let mut big_jobs = 0usize;
+            // Small shapes coincide naturally; template reuse shows up in
+            // *large* jobs (≥ 8 tasks) repeating verbatim.
+            for job in trace.job_set().jobs() {
+                if !job.is_dag_job() || job.size() < 8 {
+                    continue;
+                }
+                big_jobs += 1;
+                let mut sig: Vec<String> = job.tasks.iter().map(|t| t.task_name.clone()).collect();
+                sig.sort();
+                *by_signature.entry(sig).or_insert(0) += 1;
+            }
+            let repeated: usize = by_signature.values().filter(|&&c| c >= 3).copied().sum();
+            repeated as f64 / big_jobs.max(1) as f64
+        };
+        let with = census(0.5);
+        let without = census(0.0);
+        assert!(
+            with > without + 0.1,
+            "recurrence {with:.2} vs none {without:.2}"
+        );
+    }
+
+    #[test]
+    fn base36_encoding_sane() {
+        assert_eq!(encode_base36(0), "0");
+        assert_eq!(encode_base36(35), "z");
+        assert_eq!(encode_base36(36), "10");
+    }
+
+    #[test]
+    fn shape_weights_sampling_respects_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = ShapeWeights {
+            weights: [0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+        };
+        for _ in 0..100 {
+            assert_eq!(w.sample(&mut rng), ShapeKind::InvertedTriangle);
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! Topological shape construction for synthetic job DAGs.
+//!
+//! Section V-B of the paper identifies the prevalent structural patterns of
+//! batch DAG jobs: *straight chain* (58 %), *inverted triangle* (37 %),
+//! *diamond*, *hourglass*, *trapezium*, and hybrid combinations. This module
+//! builds concrete DAG plans for each pattern. Tasks are numbered `1..=n` in
+//! layer (topological) order, so every parent id is smaller than its child's
+//! id and the plan is acyclic by construction.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::taskname::{format_dag, TaskKind};
+
+/// The fundamental shape patterns from Section V-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeKind {
+    /// All tasks strictly sequential; no parallelism.
+    Chain,
+    /// Convergent: many inputs funneling into a single sink (MapReduce-like).
+    InvertedTriangle,
+    /// Single source, wide middle, single sink.
+    Diamond,
+    /// Wide start and end, narrow middle.
+    Hourglass,
+    /// Diffuse: more ending tasks than inputs.
+    Trapezium,
+    /// Inverted-triangle head followed by a sequential chain tail.
+    Hybrid,
+}
+
+impl ShapeKind {
+    /// All shapes, in the order the paper introduces them.
+    pub const ALL: [ShapeKind; 6] = [
+        ShapeKind::Chain,
+        ShapeKind::InvertedTriangle,
+        ShapeKind::Diamond,
+        ShapeKind::Hourglass,
+        ShapeKind::Trapezium,
+        ShapeKind::Hybrid,
+    ];
+
+    /// Smallest job size that can express this shape.
+    pub fn min_size(&self) -> usize {
+        match self {
+            ShapeKind::Chain => 2,
+            ShapeKind::InvertedTriangle => 3,
+            ShapeKind::Diamond => 4,
+            ShapeKind::Hourglass => 5,
+            ShapeKind::Trapezium => 3,
+            ShapeKind::Hybrid => 5,
+        }
+    }
+
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShapeKind::Chain => "straight-chain",
+            ShapeKind::InvertedTriangle => "inverted-triangle",
+            ShapeKind::Diamond => "diamond",
+            ShapeKind::Hourglass => "hourglass",
+            ShapeKind::Trapezium => "trapezium",
+            ShapeKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// A concrete DAG blueprint: per-task stage kinds and parent lists.
+///
+/// Task ids are 1-based and topologically ordered (`parents[i]` only contains
+/// ids `< i + 1`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagPlan {
+    /// The pattern this plan was built from.
+    pub shape: ShapeKind,
+    /// Stage kind of task `i + 1`.
+    pub kinds: Vec<TaskKind>,
+    /// Parent ids of task `i + 1`, sorted descending (the trace convention:
+    /// `R5_4_3_2_1`).
+    pub parents: Vec<Vec<u32>>,
+}
+
+impl DagPlan {
+    /// Number of tasks.
+    pub fn size(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// In-degree of task `id` (1-based).
+    pub fn in_degree(&self, id: u32) -> usize {
+        self.parents[(id - 1) as usize].len()
+    }
+
+    /// Render the v2018 task names for this plan.
+    pub fn task_names(&self) -> Vec<String> {
+        (0..self.size())
+            .map(|i| format_dag(self.kinds[i], (i + 1) as u32, &self.parents[i]))
+            .collect()
+    }
+
+    /// Longest path length in **vertices** (the paper's "critical path" /
+    /// depth measure; a 2-task chain has critical path 2).
+    pub fn critical_path(&self) -> usize {
+        let n = self.size();
+        let mut depth = vec![0usize; n + 1];
+        for id in 1..=n {
+            let d = self.parents[id - 1]
+                .iter()
+                .map(|&p| depth[p as usize])
+                .max()
+                .unwrap_or(0);
+            depth[id] = d + 1;
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Verify the structural invariants (used by tests and proptest).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.size() as u32;
+        if self.parents.len() != self.kinds.len() {
+            return Err("kinds/parents length mismatch".into());
+        }
+        for (i, ps) in self.parents.iter().enumerate() {
+            let id = (i + 1) as u32;
+            let mut seen = std::collections::HashSet::new();
+            for &p in ps {
+                if p == 0 || p > n {
+                    return Err(format!("task {id}: parent {p} out of range"));
+                }
+                if p >= id {
+                    return Err(format!("task {id}: parent {p} not topologically earlier"));
+                }
+                if !seen.insert(p) {
+                    return Err(format!("task {id}: duplicate parent {p}"));
+                }
+            }
+            for w in ps.windows(2) {
+                if w[0] < w[1] {
+                    return Err(format!("task {id}: parents not sorted descending"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sample `k` distinct values from `0..len` (partial Fisher-Yates).
+fn sample_distinct<R: Rng>(rng: &mut R, len: usize, k: usize) -> Vec<usize> {
+    debug_assert!(k <= len);
+    let mut pool: Vec<usize> = (0..len).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..len);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+/// Strictly decreasing layer widths ending at 1, summing to `n` (`n >= 3`).
+/// Because widths grow by at least one per layer toward the inputs, the
+/// depth is bounded by `O(sqrt(n))` — at most 7 layers for `n <= 35`.
+fn inverted_triangle_widths<R: Rng>(rng: &mut R, n: usize) -> Vec<usize> {
+    debug_assert!(n >= 3);
+    let mut widths = vec![1usize]; // output layer, building backwards
+    let mut remaining = n - 1;
+    while remaining > 0 {
+        let last = *widths.last().unwrap();
+        let min_w = last + 1;
+        if remaining < min_w {
+            // Absorb the leftover into the (current) input layer; it is the
+            // largest, so the strict decrease is preserved.
+            *widths.last_mut().unwrap() += remaining;
+            remaining = 0;
+        } else {
+            let max_w = remaining.min(min_w + 3);
+            let w = rng.random_range(min_w..=max_w);
+            widths.push(w);
+            remaining -= w;
+        }
+    }
+    widths.reverse();
+    widths
+}
+
+/// `[1, middles…, 1]` with every middle layer at least 2 wide (`n >= 4`).
+fn diamond_widths<R: Rng>(rng: &mut R, n: usize) -> Vec<usize> {
+    debug_assert!(n >= 4);
+    let mid_total = n - 2;
+    let max_layers = (mid_total / 2).clamp(1, 4);
+    let layers = rng.random_range(1..=max_layers);
+    let base = mid_total / layers;
+    let mut rem = mid_total % layers;
+    let mut widths = vec![1usize];
+    for _ in 0..layers {
+        let extra = if rem > 0 {
+            rem -= 1;
+            1
+        } else {
+            0
+        };
+        widths.push(base + extra);
+    }
+    widths.push(1);
+    widths
+}
+
+/// `[a, 1, b]` with `a, b >= 2` (`n >= 5`).
+fn hourglass_widths<R: Rng>(rng: &mut R, n: usize) -> Vec<usize> {
+    debug_assert!(n >= 5);
+    let ends = n - 1;
+    let a = rng.random_range(2..=(ends - 2));
+    vec![a, 1, ends - a]
+}
+
+/// Connect consecutive layers. Children in converging transitions
+/// (`prev_width > next_width`) take several parents; in expanding
+/// transitions each child takes one (plus coverage fixes). When
+/// `full_cross_last` is set, the final layer connects to *every* node of its
+/// predecessor (the paper's "group C" intersection pattern).
+fn connect_layers<R: Rng>(rng: &mut R, widths: &[usize], full_cross_last: bool) -> Vec<Vec<u32>> {
+    let n: usize = widths.iter().sum();
+    let mut parents: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    // First id of each layer.
+    let mut layer_start = Vec::with_capacity(widths.len());
+    let mut acc = 1u32;
+    for &w in widths {
+        layer_start.push(acc);
+        acc += w as u32;
+    }
+
+    for l in 1..widths.len() {
+        let (pw, cw) = (widths[l - 1], widths[l]);
+        let pstart = layer_start[l - 1];
+        let cstart = layer_start[l];
+        let full = full_cross_last && l == widths.len() - 1;
+        let mut parent_covered = vec![false; pw];
+
+        for c in 0..cw {
+            let child = cstart + c as u32;
+            let k = if full {
+                pw
+            } else if pw > cw {
+                // Converging: children fan in.
+                let max_k = pw.clamp(1, 3);
+                rng.random_range(1..=max_k)
+            } else {
+                1
+            };
+            let mut ps: Vec<u32> = sample_distinct(rng, pw, k)
+                .into_iter()
+                .map(|off| {
+                    parent_covered[off] = true;
+                    pstart + off as u32
+                })
+                .collect();
+            ps.sort_unstable_by(|a, b| b.cmp(a));
+            parents[(child - 1) as usize] = ps;
+        }
+
+        // Coverage: every parent must feed at least one child, otherwise it
+        // would become a spurious extra sink.
+        for (off, covered) in parent_covered.iter().enumerate() {
+            if !covered {
+                let c = rng.random_range(0..cw);
+                let child = cstart + c as u32;
+                let p = pstart + off as u32;
+                let list = &mut parents[(child - 1) as usize];
+                if !list.contains(&p) {
+                    list.push(p);
+                    list.sort_unstable_by(|a, b| b.cmp(a));
+                }
+            }
+        }
+    }
+    parents
+}
+
+/// Assign stage kinds following the paper's observed conventions
+/// (Section V-C): sources are Map; the sink of a convergent job is Reduce;
+/// multi-parent intermediates are usually Join; single-parent intermediates
+/// are usually Reduce, occasionally Merge (which shares the `M` code).
+fn assign_kinds<R: Rng>(rng: &mut R, parents: &[Vec<u32>], shape: ShapeKind) -> Vec<TaskKind> {
+    let n = parents.len();
+    let mut has_child = vec![false; n + 1];
+    for ps in parents {
+        for &p in ps {
+            has_child[p as usize] = true;
+        }
+    }
+
+    if shape == ShapeKind::Chain {
+        // Chains implement plain MapReduce without joins; short chains stay
+        // map-heavy, longer ones are reduce-heavy (Section V-C).
+        let maps = if n < 4 { n.div_ceil(2) } else { (n / 3).max(1) };
+        return (0..n)
+            .map(|i| {
+                if i < maps {
+                    TaskKind::Map
+                } else {
+                    TaskKind::Reduce
+                }
+            })
+            .collect();
+    }
+
+    (0..n)
+        .map(|i| {
+            let id = i + 1;
+            let indeg = parents[i].len();
+            if indeg == 0 {
+                TaskKind::Map
+            } else if !has_child[id] {
+                // Terminal task: aggregation.
+                TaskKind::Reduce
+            } else if indeg >= 2 {
+                if rng.random_range(0..10) < 6 {
+                    TaskKind::Join
+                } else {
+                    TaskKind::Reduce
+                }
+            } else if rng.random_range(0..10) < 7 {
+                TaskKind::Reduce
+            } else {
+                TaskKind::Map // Merge stages share the M code.
+            }
+        })
+        .collect()
+}
+
+/// Build a DAG plan of `shape` with exactly `n` tasks.
+///
+/// `n` is clamped up to [`ShapeKind::min_size`]. Plans are deterministic
+/// given the RNG state and always satisfy [`DagPlan::validate`].
+pub fn build<R: Rng>(rng: &mut R, shape: ShapeKind, n: usize) -> DagPlan {
+    let n = n.max(shape.min_size());
+    let (widths, full_cross) = match shape {
+        ShapeKind::Chain => (vec![1usize; n], false),
+        ShapeKind::InvertedTriangle => (inverted_triangle_widths(rng, n), false),
+        ShapeKind::Diamond => (diamond_widths(rng, n), false),
+        ShapeKind::Hourglass => (hourglass_widths(rng, n), false),
+        ShapeKind::Trapezium => {
+            // Diffuse: the mirror image of the convergent pattern. Its last
+            // layer is occasionally fully connected to the previous one
+            // (the paper's group-C intersection structure).
+            let mut w = inverted_triangle_widths(rng, n);
+            w.reverse();
+            (w, rng.random_range(0..10) < 3)
+        }
+        ShapeKind::Hybrid => {
+            // Convergent head, then a sequential tail hanging off the sink.
+            let tail = rng.random_range(2..=3.min(n.saturating_sub(3)).max(2));
+            let head = n - tail;
+            let mut w = inverted_triangle_widths(rng, head.max(3));
+            w.extend(std::iter::repeat_n(1, tail));
+            // Keep the paper's observed depth bound (critical path <= 8).
+            while w.len() > 8 && w.last() == Some(&1) && w[w.len() - 2] == 1 {
+                let extra = w.pop().unwrap();
+                *w.first_mut().unwrap() += extra;
+            }
+            (w, false)
+        }
+    };
+
+    let parents = connect_layers(rng, &widths, full_cross);
+    let kinds = assign_kinds(rng, &parents, shape);
+    let plan = DagPlan {
+        shape,
+        kinds,
+        parents,
+    };
+    debug_assert_eq!(plan.size(), widths.iter().sum::<usize>());
+    debug_assert!(plan.validate().is_ok());
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn chain_plan_is_sequential() {
+        let plan = build(&mut rng(1), ShapeKind::Chain, 5);
+        assert_eq!(plan.size(), 5);
+        assert_eq!(plan.critical_path(), 5);
+        assert_eq!(plan.parents[0], Vec::<u32>::new());
+        for i in 1..5 {
+            assert_eq!(plan.parents[i], vec![i as u32]);
+        }
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn chain_kind_rules() {
+        // n < 4: maps at least match reduces.
+        let p3 = build(&mut rng(2), ShapeKind::Chain, 3);
+        let maps = p3.kinds.iter().filter(|k| **k == TaskKind::Map).count();
+        assert!(maps >= 3 - maps);
+        // Long chain: reduce-heavy, no joins.
+        let p8 = build(&mut rng(2), ShapeKind::Chain, 8);
+        assert!(!p8.kinds.contains(&TaskKind::Join));
+        let r = p8.kinds.iter().filter(|k| **k == TaskKind::Reduce).count();
+        assert!(r > 8 - r);
+    }
+
+    #[test]
+    fn inverted_triangle_converges_to_single_sink() {
+        for seed in 0..20 {
+            for n in [3usize, 7, 15, 31] {
+                let plan = build(&mut rng(seed), ShapeKind::InvertedTriangle, n);
+                assert_eq!(plan.size(), n);
+                plan.validate().unwrap();
+                // Exactly one sink (no children).
+                let mut has_child = vec![false; n + 1];
+                for ps in &plan.parents {
+                    for &p in ps {
+                        has_child[p as usize] = true;
+                    }
+                }
+                let sinks = (1..=n).filter(|&id| !has_child[id]).count();
+                assert_eq!(sinks, 1, "seed={seed} n={n}");
+                // Sources outnumber the sink.
+                let sources = plan.parents.iter().filter(|p| p.is_empty()).count();
+                assert!(sources >= 2, "seed={seed} n={n}");
+                assert!(plan.critical_path() <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_single_source_single_sink_wide_middle() {
+        for seed in 0..20 {
+            let plan = build(&mut rng(seed), ShapeKind::Diamond, 8);
+            plan.validate().unwrap();
+            let sources = plan.parents.iter().filter(|p| p.is_empty()).count();
+            assert_eq!(sources, 1);
+            let mut has_child = vec![false; plan.size() + 1];
+            for ps in &plan.parents {
+                for &p in ps {
+                    has_child[p as usize] = true;
+                }
+            }
+            let sinks = (1..=plan.size()).filter(|&id| !has_child[id]).count();
+            assert_eq!(sinks, 1);
+        }
+    }
+
+    #[test]
+    fn hourglass_has_narrow_waist() {
+        let plan = build(&mut rng(5), ShapeKind::Hourglass, 9);
+        plan.validate().unwrap();
+        assert_eq!(plan.critical_path(), 3);
+        let sources = plan.parents.iter().filter(|p| p.is_empty()).count();
+        assert!(sources >= 2);
+    }
+
+    #[test]
+    fn trapezium_is_diffuse() {
+        for seed in 0..20 {
+            let plan = build(&mut rng(seed), ShapeKind::Trapezium, 10);
+            plan.validate().unwrap();
+            let sources = plan.parents.iter().filter(|p| p.is_empty()).count();
+            let mut has_child = vec![false; plan.size() + 1];
+            for ps in &plan.parents {
+                for &p in ps {
+                    has_child[p as usize] = true;
+                }
+            }
+            let sinks = (1..=plan.size()).filter(|&id| !has_child[id]).count();
+            assert!(
+                sinks > sources,
+                "seed={seed}: {sinks} sinks vs {sources} sources"
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_depth_bounded() {
+        for seed in 0..30 {
+            for n in [5usize, 12, 31] {
+                let plan = build(&mut rng(seed), ShapeKind::Hybrid, n);
+                plan.validate().unwrap();
+                assert_eq!(plan.size(), n);
+                assert!(plan.critical_path() <= 8, "depth {}", plan.critical_path());
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_clamped_to_minimum() {
+        let plan = build(&mut rng(0), ShapeKind::Hourglass, 2);
+        assert_eq!(plan.size(), ShapeKind::Hourglass.min_size());
+    }
+
+    #[test]
+    fn every_non_source_reachable_from_layer_zero() {
+        // Parents always come from the immediately preceding layer, so a
+        // task either is a source or has at least one parent.
+        for shape in ShapeKind::ALL {
+            let plan = build(&mut rng(99), shape, 12);
+            for (i, ps) in plan.parents.iter().enumerate() {
+                let indeg0 = ps.is_empty();
+                let is_map = plan.kinds[i] == TaskKind::Map;
+                if indeg0 {
+                    assert!(is_map, "{shape:?}: source task must be Map");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn task_names_follow_grammar() {
+        let plan = build(&mut rng(3), ShapeKind::InvertedTriangle, 6);
+        for (i, name) in plan.task_names().iter().enumerate() {
+            match crate::taskname::parse(name) {
+                crate::taskname::ParsedTaskName::Dag { id, parents, .. } => {
+                    assert_eq!(id as usize, i + 1);
+                    assert_eq!(parents, plan.parents[i]);
+                }
+                _ => panic!("name {name} did not parse as DAG"),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = build(&mut rng(7), ShapeKind::Diamond, 9);
+        let b = build(&mut rng(7), ShapeKind::Diamond, 9);
+        assert_eq!(a, b);
+    }
+}

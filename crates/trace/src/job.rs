@@ -1,0 +1,241 @@
+//! Grouping raw task rows into jobs.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{Status, TaskRecord};
+use crate::taskname;
+
+/// All task rows of one batch job, in stable (insertion) order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Job identifier (`j_1001388`…).
+    pub name: String,
+    /// The job's task rows.
+    pub tasks: Vec<TaskRecord>,
+}
+
+impl Job {
+    /// Number of tasks.
+    pub fn size(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when **every** task name parses as a DAG task — the subset the
+    /// paper's analysis covers.
+    pub fn is_dag_job(&self) -> bool {
+        !self.tasks.is_empty()
+            && self
+                .tasks
+                .iter()
+                .all(|t| taskname::parse(&t.task_name).is_dag())
+    }
+
+    /// True when every task finished with [`Status::Terminated`]
+    /// (the *integrity* criterion).
+    pub fn fully_terminated(&self) -> bool {
+        !self.tasks.is_empty() && self.tasks.iter().all(|t| t.status == Status::Terminated)
+    }
+
+    /// Earliest task start (ignoring missing zeros), if any.
+    pub fn start_time(&self) -> Option<i64> {
+        self.tasks
+            .iter()
+            .map(|t| t.start_time)
+            .filter(|&s| s > 0)
+            .min()
+    }
+
+    /// Latest task end, if any.
+    pub fn end_time(&self) -> Option<i64> {
+        self.tasks
+            .iter()
+            .map(|t| t.end_time)
+            .filter(|&e| e > 0)
+            .max()
+    }
+
+    /// Job completion time: earliest start of the first task(s) to latest
+    /// end of the last task(s), per Section II-B.
+    pub fn completion_time(&self) -> Option<i64> {
+        match (self.start_time(), self.end_time()) {
+            (Some(s), Some(e)) if e >= s => Some(e - s),
+            _ => None,
+        }
+    }
+
+    /// Sum over tasks of `instance_num × plan_cpu` — the job's requested
+    /// CPU volume, used for the resource-share statistic (E10).
+    pub fn planned_cpu_volume(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.instance_num as f64 * t.plan_cpu)
+            .sum()
+    }
+
+    /// Sum over tasks of `instance_num × plan_mem`.
+    pub fn planned_mem_volume(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.instance_num as f64 * t.plan_mem)
+            .sum()
+    }
+}
+
+/// A collection of jobs, keyed and iterated in deterministic (name) order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobSet {
+    jobs: Vec<Job>,
+}
+
+impl JobSet {
+    /// Group task rows by `job_name`. Rows keep their relative order inside
+    /// each job; jobs are sorted by name so downstream sampling is
+    /// reproducible regardless of input row order.
+    pub fn from_tasks(tasks: impl IntoIterator<Item = TaskRecord>) -> JobSet {
+        let mut by_job: BTreeMap<String, Vec<TaskRecord>> = BTreeMap::new();
+        for t in tasks {
+            by_job.entry(t.job_name.clone()).or_default().push(t);
+        }
+        JobSet {
+            jobs: by_job
+                .into_iter()
+                .map(|(name, tasks)| Job { name, tasks })
+                .collect(),
+        }
+    }
+
+    /// Wrap an already-grouped list (sorted by name for determinism).
+    pub fn from_jobs(mut jobs: Vec<Job>) -> JobSet {
+        jobs.sort_by(|a, b| a.name.cmp(&b.name));
+        JobSet { jobs }
+    }
+
+    /// Borrow the jobs.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Look up a job by name (binary search — the set is name-sorted).
+    pub fn get(&self, name: &str) -> Option<&Job> {
+        self.jobs
+            .binary_search_by(|j| j.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.jobs[i])
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_jobs(self) -> Vec<Job> {
+        self.jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(job: &str, name: &str, status: Status, start: i64, end: i64) -> TaskRecord {
+        TaskRecord {
+            task_name: name.into(),
+            instance_num: 2,
+            job_name: job.into(),
+            task_type: "1".into(),
+            status,
+            start_time: start,
+            end_time: end,
+            plan_cpu: 100.0,
+            plan_mem: 0.5,
+        }
+    }
+
+    #[test]
+    fn grouping_and_ordering() {
+        let rows = vec![
+            task("j_2", "M1", Status::Terminated, 10, 20),
+            task("j_1", "M1", Status::Terminated, 5, 9),
+            task("j_2", "R2_1", Status::Terminated, 21, 30),
+        ];
+        let set = JobSet::from_tasks(rows);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.jobs()[0].name, "j_1");
+        assert_eq!(set.jobs()[1].tasks.len(), 2);
+        assert!(set.get("j_2").is_some());
+        assert!(set.get("j_3").is_none());
+    }
+
+    #[test]
+    fn dag_detection() {
+        let dag = Job {
+            name: "j".into(),
+            tasks: vec![task("j", "M1", Status::Terminated, 1, 2)],
+        };
+        assert!(dag.is_dag_job());
+        let indep = Job {
+            name: "j".into(),
+            tasks: vec![task("j", "task_abc", Status::Terminated, 1, 2)],
+        };
+        assert!(!indep.is_dag_job());
+        let empty = Job {
+            name: "j".into(),
+            tasks: vec![],
+        };
+        assert!(!empty.is_dag_job());
+    }
+
+    #[test]
+    fn completion_time_spans_tasks() {
+        let j = Job {
+            name: "j".into(),
+            tasks: vec![
+                task("j", "M1", Status::Terminated, 100, 150),
+                task("j", "M3", Status::Terminated, 90, 120),
+                task("j", "R2_1", Status::Terminated, 151, 200),
+            ],
+        };
+        assert_eq!(j.start_time(), Some(90));
+        assert_eq!(j.end_time(), Some(200));
+        assert_eq!(j.completion_time(), Some(110));
+    }
+
+    #[test]
+    fn completion_time_missing_when_no_valid_stamps() {
+        let j = Job {
+            name: "j".into(),
+            tasks: vec![task("j", "M1", Status::Interrupted, 0, 0)],
+        };
+        assert_eq!(j.completion_time(), None);
+    }
+
+    #[test]
+    fn integrity_requires_all_terminated() {
+        let j = Job {
+            name: "j".into(),
+            tasks: vec![
+                task("j", "M1", Status::Terminated, 1, 2),
+                task("j", "R2_1", Status::Failed, 2, 3),
+            ],
+        };
+        assert!(!j.fully_terminated());
+    }
+
+    #[test]
+    fn resource_volumes() {
+        let j = Job {
+            name: "j".into(),
+            tasks: vec![task("j", "M1", Status::Terminated, 1, 2)],
+        };
+        assert_eq!(j.planned_cpu_volume(), 200.0);
+        assert_eq!(j.planned_mem_volume(), 1.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Cloud batch-workload trace model in the Alibaba cluster-trace-v2018
+//! schema, plus a synthetic workload generator.
+//!
+//! The paper analyzes the 2018 Alibaba trace (`batch_task` and
+//! `batch_instance` CSV files over 8 days / ~4k machines / ~4M batch jobs).
+//! That trace is not redistributable here, so this crate provides both:
+//!
+//! * the **schema types + CSV codecs** ([`TaskRecord`], [`InstanceRecord`],
+//!   [`csv`]) able to ingest the real published files, and
+//! * a **synthetic generator** ([`gen`]) that emits records in the same
+//!   schema whose *marginal statistics match the figures the paper reports*
+//!   (dependency share, size distribution, shape mix, task-type composition,
+//!   diurnal arrivals, interrupted jobs).
+//!
+//! Everything downstream (DAG building, kernels, clustering) consumes these
+//! records, so the substitution exercises the identical code path a real
+//! trace would.
+//!
+//! Key entry points:
+//!
+//! * [`taskname::parse`] — the task-name dependency grammar
+//!   (`M1`, `R2_1`, `J3_1_2`, `R5_4_3_2_1`, `task_XYZ`…),
+//! * [`gen::TraceGenerator`] — deterministic seeded workload synthesis,
+//! * [`JobSet::from_tasks`] — group raw task rows into jobs,
+//! * [`filter::SampleCriteria`] — the paper's integrity / availability /
+//!   variability filters and the stratified 100-job sampler,
+//! * [`stats::TraceStats`] — trace-level headline numbers (E10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod container;
+pub mod csv;
+mod error;
+pub mod filter;
+pub mod gen;
+mod job;
+pub mod machine;
+pub mod placement;
+mod schema;
+pub mod stats;
+pub mod taskname;
+
+pub use error::TraceError;
+pub use job::{Job, JobSet};
+pub use schema::{InstanceRecord, Status, TaskRecord};
+pub use taskname::{ParsedTaskName, TaskKind};

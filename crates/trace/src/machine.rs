@@ -1,0 +1,320 @@
+//! Machine-side records of the v2018 release (`machine_meta.csv` and
+//! `machine_usage.csv`).
+//!
+//! The paper (Section III) notes the trace also ships machine meta and
+//! usage files; the characterization experiments only consume batch rows,
+//! but the scheduling substrate uses the machine shape, and completeness
+//! lets real dumps drop in wholesale.
+
+use std::io::{BufRead, BufWriter, Write};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::TraceError;
+
+/// One row of `machine_meta.csv` (v2018 column order):
+/// `machine_id, time_stamp, failure_domain_1, failure_domain_2, cpu_num,
+/// mem_size, status`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineMetaRecord {
+    /// Machine identifier (`m_1997`…).
+    pub machine_id: String,
+    /// Observation timestamp (seconds since trace start).
+    pub time_stamp: i64,
+    /// Coarse failure domain (rack-level in the real dump).
+    pub failure_domain_1: u32,
+    /// Fine failure domain.
+    pub failure_domain_2: u32,
+    /// Core count (96 on the published machines).
+    pub cpu_num: u32,
+    /// Memory size, normalized units.
+    pub mem_size: f64,
+    /// Machine status string (`USING`…).
+    pub status: String,
+}
+
+/// One row of `machine_usage.csv` (v2018 column order):
+/// `machine_id, time_stamp, cpu_util_percent, mem_util_percent, mem_gps,
+/// mkpi, net_in, net_out, disk_io_percent`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineUsageRecord {
+    /// Machine identifier.
+    pub machine_id: String,
+    /// Sample timestamp (seconds since trace start).
+    pub time_stamp: i64,
+    /// CPU utilization, percent.
+    pub cpu_util_percent: f64,
+    /// Memory utilization, percent.
+    pub mem_util_percent: f64,
+    /// Memory bandwidth (GB/s in the real dump; 0 when unsampled).
+    pub mem_gps: f64,
+    /// Memory KPI (cache misses per kilo-instruction proxy).
+    pub mkpi: f64,
+    /// Normalized inbound network traffic.
+    pub net_in: f64,
+    /// Normalized outbound network traffic.
+    pub net_out: f64,
+    /// Disk I/O utilization, percent.
+    pub disk_io_percent: f64,
+}
+
+fn parse_num<T: std::str::FromStr + Default>(
+    s: &str,
+    line: usize,
+    column: &'static str,
+) -> Result<T, TraceError> {
+    if s.is_empty() {
+        return Ok(T::default());
+    }
+    s.parse::<T>().map_err(|_| TraceError::BadField {
+        line,
+        column,
+        value: s.to_string(),
+    })
+}
+
+/// Decode one `machine_meta.csv` row.
+pub fn parse_meta_line(line_no: usize, line: &str) -> Result<MachineMetaRecord, TraceError> {
+    let f: Vec<&str> = line.split(',').collect();
+    if f.len() != 7 {
+        return Err(TraceError::FieldCount {
+            line: line_no,
+            expected: 7,
+            found: f.len(),
+        });
+    }
+    Ok(MachineMetaRecord {
+        machine_id: f[0].to_string(),
+        time_stamp: parse_num(f[1], line_no, "time_stamp")?,
+        failure_domain_1: parse_num(f[2], line_no, "failure_domain_1")?,
+        failure_domain_2: parse_num(f[3], line_no, "failure_domain_2")?,
+        cpu_num: parse_num(f[4], line_no, "cpu_num")?,
+        mem_size: parse_num(f[5], line_no, "mem_size")?,
+        status: f[6].to_string(),
+    })
+}
+
+/// Decode one `machine_usage.csv` row.
+pub fn parse_usage_line(line_no: usize, line: &str) -> Result<MachineUsageRecord, TraceError> {
+    let f: Vec<&str> = line.split(',').collect();
+    if f.len() != 9 {
+        return Err(TraceError::FieldCount {
+            line: line_no,
+            expected: 9,
+            found: f.len(),
+        });
+    }
+    Ok(MachineUsageRecord {
+        machine_id: f[0].to_string(),
+        time_stamp: parse_num(f[1], line_no, "time_stamp")?,
+        cpu_util_percent: parse_num(f[2], line_no, "cpu_util_percent")?,
+        mem_util_percent: parse_num(f[3], line_no, "mem_util_percent")?,
+        mem_gps: parse_num(f[4], line_no, "mem_gps")?,
+        mkpi: parse_num(f[5], line_no, "mkpi")?,
+        net_in: parse_num(f[6], line_no, "net_in")?,
+        net_out: parse_num(f[7], line_no, "net_out")?,
+        disk_io_percent: parse_num(f[8], line_no, "disk_io_percent")?,
+    })
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Encode one meta row.
+pub fn format_meta_line(m: &MachineMetaRecord) -> String {
+    format!(
+        "{},{},{},{},{},{},{}",
+        m.machine_id,
+        m.time_stamp,
+        m.failure_domain_1,
+        m.failure_domain_2,
+        m.cpu_num,
+        fmt_f64(m.mem_size),
+        m.status
+    )
+}
+
+/// Encode one usage row.
+pub fn format_usage_line(u: &MachineUsageRecord) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{}",
+        u.machine_id,
+        u.time_stamp,
+        fmt_f64(u.cpu_util_percent),
+        fmt_f64(u.mem_util_percent),
+        fmt_f64(u.mem_gps),
+        fmt_f64(u.mkpi),
+        fmt_f64(u.net_in),
+        fmt_f64(u.net_out),
+        fmt_f64(u.disk_io_percent)
+    )
+}
+
+/// Read a whole `machine_meta.csv` stream.
+pub fn read_meta<R: BufRead>(reader: R) -> Result<Vec<MachineMetaRecord>, TraceError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if !line.is_empty() {
+            out.push(parse_meta_line(i + 1, &line)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Read a whole `machine_usage.csv` stream.
+pub fn read_usage<R: BufRead>(reader: R) -> Result<Vec<MachineUsageRecord>, TraceError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if !line.is_empty() {
+            out.push(parse_usage_line(i + 1, &line)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Write meta rows.
+pub fn write_meta<W: Write>(writer: W, rows: &[MachineMetaRecord]) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(writer);
+    for r in rows {
+        writeln!(w, "{}", format_meta_line(r))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write usage rows.
+pub fn write_usage<W: Write>(writer: W, rows: &[MachineUsageRecord]) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(writer);
+    for r in rows {
+        writeln!(w, "{}", format_usage_line(r))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Synthesize the machine fleet: `machines` identical 96-core nodes spread
+/// over failure domains, plus hourly usage samples whose CPU utilization
+/// follows the diurnal pattern the batch arrivals do (online load peaks in
+/// the day, batch backfills at night — Section II's co-location premise).
+pub fn generate_machines(
+    machines: u32,
+    window_secs: i64,
+    seed: u64,
+) -> (Vec<MachineMetaRecord>, Vec<MachineUsageRecord>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4D41_4348);
+    let mut meta = Vec::with_capacity(machines as usize);
+    let mut usage = Vec::new();
+    for m in 1..=machines {
+        let id = format!("m_{m}");
+        meta.push(MachineMetaRecord {
+            machine_id: id.clone(),
+            time_stamp: 0,
+            failure_domain_1: (m - 1) / 40, // ~40 machines per rack
+            failure_domain_2: (m - 1) % 40,
+            cpu_num: 96,
+            mem_size: 100.0,
+            status: "USING".to_string(),
+        });
+        let mut t = 0i64;
+        while t < window_secs {
+            let day_frac = (t % 86_400) as f64 / 86_400.0;
+            let online = 35.0 + 25.0 * (std::f64::consts::TAU * (day_frac - 0.55)).sin();
+            let jitter: f64 = rng.random_range(-8.0f64..8.0);
+            let cpu = (online + jitter).clamp(2.0, 98.0);
+            usage.push(MachineUsageRecord {
+                machine_id: id.clone(),
+                time_stamp: t,
+                cpu_util_percent: (cpu * 10.0).round() / 10.0,
+                mem_util_percent: ((cpu * 0.8 + rng.random_range(0.0f64..10.0)) * 10.0).round()
+                    / 10.0,
+                mem_gps: (rng.random_range(0.5f64..8.0) * 100.0).round() / 100.0,
+                mkpi: (rng.random_range(0.1f64..3.0) * 100.0).round() / 100.0,
+                net_in: (rng.random_range(0.0f64..1.0) * 1000.0).round() / 1000.0,
+                net_out: (rng.random_range(0.0f64..1.0) * 1000.0).round() / 1000.0,
+                disk_io_percent: (rng.random_range(0.0f64..60.0) * 10.0).round() / 10.0,
+            });
+            t += 3_600;
+        }
+    }
+    (meta, usage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_round_trip() {
+        let line = "m_1997,0,3,17,96,100,USING";
+        let r = parse_meta_line(1, line).unwrap();
+        assert_eq!(r.cpu_num, 96);
+        assert_eq!(format_meta_line(&r), line);
+    }
+
+    #[test]
+    fn usage_round_trip() {
+        let line = "m_1,3600,42.5,38.1,2.25,0.7,0.125,0.5,12.5";
+        let r = parse_usage_line(1, line).unwrap();
+        assert_eq!(r.cpu_util_percent, 42.5);
+        assert_eq!(format_usage_line(&r), line);
+    }
+
+    #[test]
+    fn wrong_field_counts_rejected() {
+        assert!(parse_meta_line(1, "a,b").is_err());
+        assert!(parse_usage_line(1, "a,b,c").is_err());
+    }
+
+    #[test]
+    fn stream_round_trips() {
+        let (meta, usage) = generate_machines(5, 86_400, 1);
+        let mut buf = Vec::new();
+        write_meta(&mut buf, &meta).unwrap();
+        assert_eq!(read_meta(&buf[..]).unwrap(), meta);
+        let mut buf2 = Vec::new();
+        write_usage(&mut buf2, &usage).unwrap();
+        assert_eq!(read_usage(&buf2[..]).unwrap(), usage);
+    }
+
+    #[test]
+    fn generator_shape() {
+        let (meta, usage) = generate_machines(80, 2 * 86_400, 7);
+        assert_eq!(meta.len(), 80);
+        // Hourly samples over 2 days per machine.
+        assert_eq!(usage.len(), 80 * 48);
+        // Failure domains: 40 machines per rack → 2 racks.
+        assert_eq!(meta.iter().map(|m| m.failure_domain_1).max(), Some(1));
+        for u in &usage {
+            assert!((0.0..=100.0).contains(&u.cpu_util_percent));
+            assert!((0.0..=110.0).contains(&u.mem_util_percent));
+        }
+        // Diurnal: mean CPU in the busiest hour clearly above the quietest.
+        let mut by_hour = vec![(0.0f64, 0usize); 24];
+        for u in &usage {
+            let h = ((u.time_stamp % 86_400) / 3_600) as usize;
+            by_hour[h].0 += u.cpu_util_percent;
+            by_hour[h].1 += 1;
+        }
+        let means: Vec<f64> = by_hour.iter().map(|(s, c)| s / *c as f64).collect();
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > min + 20.0, "hourly means {means:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate_machines(10, 86_400, 3),
+            generate_machines(10, 86_400, 3)
+        );
+    }
+}

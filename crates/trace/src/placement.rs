@@ -1,0 +1,223 @@
+//! Job-task-node placement analysis.
+//!
+//! The paper's second contribution is the discovery of *job-task-node*
+//! dependency patterns: how a job's tasks and instances spread over cluster
+//! machines, and how many jobs co-locate on a node — the operational facts
+//! a dependency-aware scheduler must respect. This module recomputes those
+//! statistics from `batch_instance` rows.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::InstanceRecord;
+
+/// Placement statistics over a set of instance rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementStats {
+    /// Jobs with at least one instance row.
+    pub jobs: usize,
+    /// Distinct machines touched by any instance.
+    pub machines: usize,
+    /// Total instance rows analyzed.
+    pub instances: usize,
+    /// Mean distinct machines per job (the job's *node fan-out*).
+    pub mean_machines_per_job: f64,
+    /// Largest node fan-out observed.
+    pub max_machines_per_job: usize,
+    /// Mean distinct jobs per machine (co-location degree).
+    pub mean_jobs_per_machine: f64,
+    /// Largest co-location degree observed.
+    pub max_jobs_per_machine: usize,
+    /// `machines-per-job → job count` histogram.
+    pub fanout_histogram: BTreeMap<usize, usize>,
+}
+
+impl PlacementStats {
+    /// Compute placement statistics from instance rows.
+    pub fn compute(instances: &[InstanceRecord]) -> PlacementStats {
+        let mut machines_by_job: HashMap<&str, HashSet<&str>> = HashMap::new();
+        let mut jobs_by_machine: HashMap<&str, HashSet<&str>> = HashMap::new();
+        for inst in instances {
+            machines_by_job
+                .entry(inst.job_name.as_str())
+                .or_default()
+                .insert(inst.machine_id.as_str());
+            jobs_by_machine
+                .entry(inst.machine_id.as_str())
+                .or_default()
+                .insert(inst.job_name.as_str());
+        }
+
+        let jobs = machines_by_job.len();
+        let machines = jobs_by_machine.len();
+        let mut fanout_histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut fanout_sum = 0usize;
+        let mut fanout_max = 0usize;
+        for ms in machines_by_job.values() {
+            let f = ms.len();
+            *fanout_histogram.entry(f).or_insert(0) += 1;
+            fanout_sum += f;
+            fanout_max = fanout_max.max(f);
+        }
+        let mut coloc_sum = 0usize;
+        let mut coloc_max = 0usize;
+        for js in jobs_by_machine.values() {
+            coloc_sum += js.len();
+            coloc_max = coloc_max.max(js.len());
+        }
+
+        PlacementStats {
+            jobs,
+            machines,
+            instances: instances.len(),
+            mean_machines_per_job: if jobs > 0 {
+                fanout_sum as f64 / jobs as f64
+            } else {
+                0.0
+            },
+            max_machines_per_job: fanout_max,
+            mean_jobs_per_machine: if machines > 0 {
+                coloc_sum as f64 / machines as f64
+            } else {
+                0.0
+            },
+            max_jobs_per_machine: coloc_max,
+            fanout_histogram,
+        }
+    }
+
+    /// Human-readable rendering for reports.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "jobs with instances:   {}", self.jobs).unwrap();
+        writeln!(s, "machines touched:      {}", self.machines).unwrap();
+        writeln!(s, "instance rows:         {}", self.instances).unwrap();
+        writeln!(
+            s,
+            "machines per job:      mean {:.1}, max {}",
+            self.mean_machines_per_job, self.max_machines_per_job
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "co-located jobs/node:  mean {:.1}, max {}",
+            self.mean_jobs_per_machine, self.max_jobs_per_machine
+        )
+        .unwrap();
+        s
+    }
+}
+
+/// Distinct machines used by each job, keyed by job name (sorted map for
+/// deterministic iteration).
+pub fn machines_per_job(instances: &[InstanceRecord]) -> BTreeMap<String, usize> {
+    let mut by_job: BTreeMap<String, HashSet<&str>> = BTreeMap::new();
+    for inst in instances {
+        by_job
+            .entry(inst.job_name.clone())
+            .or_default()
+            .insert(inst.machine_id.as_str());
+    }
+    by_job.into_iter().map(|(j, ms)| (j, ms.len())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GeneratorConfig, TraceGenerator};
+    use crate::schema::Status;
+
+    fn inst(job: &str, task: &str, machine: &str) -> InstanceRecord {
+        InstanceRecord {
+            instance_name: format!("{job}_{task}_{machine}"),
+            task_name: task.into(),
+            job_name: job.into(),
+            task_type: "1".into(),
+            status: Status::Terminated,
+            start_time: 1,
+            end_time: 2,
+            machine_id: machine.into(),
+            seq_no: 1,
+            total_seq_no: 1,
+            cpu_avg: 10.0,
+            cpu_max: 20.0,
+            mem_avg: 0.1,
+            mem_max: 0.2,
+        }
+    }
+
+    #[test]
+    fn hand_built_counts() {
+        let rows = vec![
+            inst("j_1", "M1", "m_1"),
+            inst("j_1", "M1", "m_2"),
+            inst("j_1", "R2_1", "m_1"),
+            inst("j_2", "M1", "m_2"),
+        ];
+        let s = PlacementStats::compute(&rows);
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.machines, 2);
+        assert_eq!(s.instances, 4);
+        // j_1 uses 2 machines, j_2 uses 1.
+        assert_eq!(s.mean_machines_per_job, 1.5);
+        assert_eq!(s.max_machines_per_job, 2);
+        // m_1 hosts 1 job, m_2 hosts 2.
+        assert_eq!(s.mean_jobs_per_machine, 1.5);
+        assert_eq!(s.max_jobs_per_machine, 2);
+        assert_eq!(s.fanout_histogram.get(&2), Some(&1));
+        assert!(s.render().contains("machines per job"));
+        let mpj = machines_per_job(&rows);
+        assert_eq!(mpj.get("j_1"), Some(&2));
+    }
+
+    #[test]
+    fn empty_instances() {
+        let s = PlacementStats::compute(&[]);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.mean_machines_per_job, 0.0);
+    }
+
+    #[test]
+    fn generated_trace_placement_sane() {
+        let trace = TraceGenerator::new(GeneratorConfig {
+            jobs: 150,
+            seed: 8,
+            emit_instances: true,
+            ..Default::default()
+        })
+        .generate();
+        let s = PlacementStats::compute(&trace.instances);
+        assert!(s.jobs > 0);
+        assert!(s.machines > 1);
+        assert!(s.mean_machines_per_job >= 1.0);
+        assert!(s.max_machines_per_job <= 4_000);
+        // Jobs with more instances spread over at least as many machines
+        // on average (monotone trend, checked coarsely).
+        let mpj = machines_per_job(&trace.instances);
+        let mut small = Vec::new();
+        let mut big = Vec::new();
+        let mut per_job_rows: HashMap<&str, usize> = HashMap::new();
+        for i in &trace.instances {
+            *per_job_rows.entry(i.job_name.as_str()).or_insert(0) += 1;
+        }
+        for (job, rows) in per_job_rows {
+            let fanout = mpj[job] as f64;
+            if rows <= 10 {
+                small.push(fanout);
+            } else if rows >= 100 {
+                big.push(fanout);
+            }
+        }
+        if !small.is_empty() && !big.is_empty() {
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            assert!(
+                mean(&big) > mean(&small),
+                "big {} small {}",
+                mean(&big),
+                mean(&small)
+            );
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Trace-level headline statistics (experiment E10).
+//!
+//! Section II-B of the paper reports that roughly half of batch jobs carry
+//! dependencies and that those jobs consume 70–80 % of batch resources.
+//! [`TraceStats`] recomputes those numbers (plus supporting distributions)
+//! from any [`JobSet`] — synthetic or ingested from the real trace files.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::Status;
+use crate::JobSet;
+
+/// Aggregate statistics over a job population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total number of jobs.
+    pub total_jobs: usize,
+    /// Jobs whose every task name parses as a DAG task.
+    pub dag_jobs: usize,
+    /// `dag_jobs / total_jobs`.
+    pub dag_fraction: f64,
+    /// Share of planned CPU volume requested by DAG jobs.
+    pub dag_cpu_share: f64,
+    /// Share of planned memory volume requested by DAG jobs.
+    pub dag_mem_share: f64,
+    /// DAG-job size histogram (`size → count`).
+    pub size_histogram: BTreeMap<usize, usize>,
+    /// Task status histogram over all tasks.
+    pub status_histogram: BTreeMap<String, usize>,
+    /// Jobs passing the integrity criterion (all tasks terminated).
+    pub terminated_jobs: usize,
+    /// Completion-time percentiles (p50, p90, p99, seconds) over fully
+    /// terminated DAG jobs.
+    pub completion_percentiles: (i64, i64, i64),
+}
+
+impl TraceStats {
+    /// Compute the statistics for `set`.
+    pub fn compute(set: &JobSet) -> TraceStats {
+        let mut stats = TraceStats {
+            total_jobs: set.len(),
+            dag_jobs: 0,
+            dag_fraction: 0.0,
+            dag_cpu_share: 0.0,
+            dag_mem_share: 0.0,
+            size_histogram: BTreeMap::new(),
+            status_histogram: BTreeMap::new(),
+            terminated_jobs: 0,
+            completion_percentiles: (0, 0, 0),
+        };
+        let mut completions: Vec<i64> = Vec::new();
+        let (mut cpu_all, mut cpu_dag) = (0.0f64, 0.0f64);
+        let (mut mem_all, mut mem_dag) = (0.0f64, 0.0f64);
+
+        for job in set.jobs() {
+            let cpu = job.planned_cpu_volume();
+            let mem = job.planned_mem_volume();
+            cpu_all += cpu;
+            mem_all += mem;
+            if job.is_dag_job() {
+                stats.dag_jobs += 1;
+                cpu_dag += cpu;
+                mem_dag += mem;
+                *stats.size_histogram.entry(job.size()).or_insert(0) += 1;
+            }
+            if job.fully_terminated() {
+                stats.terminated_jobs += 1;
+                if job.is_dag_job() {
+                    if let Some(ct) = job.completion_time() {
+                        completions.push(ct);
+                    }
+                }
+            }
+            for t in &job.tasks {
+                *stats
+                    .status_histogram
+                    .entry(t.status.as_str().to_string())
+                    .or_insert(0) += 1;
+            }
+        }
+
+        if stats.total_jobs > 0 {
+            stats.dag_fraction = stats.dag_jobs as f64 / stats.total_jobs as f64;
+        }
+        if cpu_all > 0.0 {
+            stats.dag_cpu_share = cpu_dag / cpu_all;
+        }
+        if mem_all > 0.0 {
+            stats.dag_mem_share = mem_dag / mem_all;
+        }
+        if !completions.is_empty() {
+            completions.sort_unstable();
+            let pick = |p: f64| -> i64 {
+                let n = completions.len();
+                completions[((p * n as f64).ceil() as usize).clamp(1, n) - 1]
+            };
+            stats.completion_percentiles = (pick(0.50), pick(0.90), pick(0.99));
+        }
+        stats
+    }
+
+    /// Number of distinct DAG-job sizes (the paper's "size types": 17 in
+    /// their 100-job sample).
+    pub fn size_type_count(&self) -> usize {
+        self.size_histogram.len()
+    }
+
+    /// Count of terminated tasks across the trace.
+    pub fn terminated_tasks(&self) -> usize {
+        self.status_histogram
+            .get(Status::Terminated.as_str())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Multi-line human-readable rendering for reports.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "jobs:             {}", self.total_jobs).unwrap();
+        writeln!(
+            s,
+            "dependency jobs:  {} ({:.1} %)",
+            self.dag_jobs,
+            100.0 * self.dag_fraction
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "dep resource use: {:.1} % CPU, {:.1} % memory",
+            100.0 * self.dag_cpu_share,
+            100.0 * self.dag_mem_share
+        )
+        .unwrap();
+        writeln!(s, "terminated jobs:  {}", self.terminated_jobs).unwrap();
+        writeln!(s, "size types:       {}", self.size_type_count()).unwrap();
+        let (p50, p90, p99) = self.completion_percentiles;
+        writeln!(s, "DAG job JCT:      p50 {p50}s, p90 {p90}s, p99 {p99}s").unwrap();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GeneratorConfig, TraceGenerator};
+    use crate::schema::{Status, TaskRecord};
+    use crate::Job;
+
+    #[test]
+    fn empty_set() {
+        let s = TraceStats::compute(&JobSet::default());
+        assert_eq!(s.total_jobs, 0);
+        assert_eq!(s.dag_fraction, 0.0);
+        assert_eq!(s.size_type_count(), 0);
+    }
+
+    #[test]
+    fn counts_on_hand_built_set() {
+        let dag = Job {
+            name: "j_1".into(),
+            tasks: vec![
+                TaskRecord {
+                    task_name: "M1".into(),
+                    instance_num: 10,
+                    job_name: "j_1".into(),
+                    task_type: "1".into(),
+                    status: Status::Terminated,
+                    start_time: 1,
+                    end_time: 2,
+                    plan_cpu: 100.0,
+                    plan_mem: 1.0,
+                },
+                TaskRecord {
+                    task_name: "R2_1".into(),
+                    instance_num: 5,
+                    job_name: "j_1".into(),
+                    task_type: "1".into(),
+                    status: Status::Terminated,
+                    start_time: 2,
+                    end_time: 3,
+                    plan_cpu: 100.0,
+                    plan_mem: 1.0,
+                },
+            ],
+        };
+        let indep = Job {
+            name: "j_2".into(),
+            tasks: vec![TaskRecord {
+                task_name: "task_x".into(),
+                instance_num: 5,
+                job_name: "j_2".into(),
+                task_type: "1".into(),
+                status: Status::Failed,
+                start_time: 1,
+                end_time: 0,
+                plan_cpu: 100.0,
+                plan_mem: 1.0,
+            }],
+        };
+        let s = TraceStats::compute(&JobSet::from_jobs(vec![dag, indep]));
+        assert_eq!(s.total_jobs, 2);
+        assert_eq!(s.dag_jobs, 1);
+        assert_eq!(s.dag_fraction, 0.5);
+        // dag cpu = 15 * 100, indep = 5 * 100.
+        assert!((s.dag_cpu_share - 0.75).abs() < 1e-12);
+        assert_eq!(s.size_histogram.get(&2), Some(&1));
+        assert_eq!(s.terminated_jobs, 1);
+        assert_eq!(s.terminated_tasks(), 2);
+        assert_eq!(s.status_histogram.get("Failed"), Some(&1));
+    }
+
+    #[test]
+    fn completion_percentiles_ordered() {
+        let trace = TraceGenerator::new(GeneratorConfig {
+            jobs: 500,
+            seed: 4,
+            ..Default::default()
+        })
+        .generate();
+        let s = TraceStats::compute(&trace.job_set());
+        let (p50, p90, p99) = s.completion_percentiles;
+        assert!(p50 > 0, "p50 {p50}");
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(s.render().contains("DAG job JCT"));
+    }
+
+    #[test]
+    fn synthetic_trace_reproduces_paper_headlines() {
+        let trace = TraceGenerator::new(GeneratorConfig {
+            jobs: 3_000,
+            seed: 42,
+            ..Default::default()
+        })
+        .generate();
+        let s = TraceStats::compute(&trace.job_set());
+        assert!(
+            (0.42..=0.58).contains(&s.dag_fraction),
+            "dag fraction {}",
+            s.dag_fraction
+        );
+        assert!(
+            (0.60..=0.92).contains(&s.dag_cpu_share),
+            "dag cpu share {}",
+            s.dag_cpu_share
+        );
+        // All 30 possible DAG sizes (2..=31) should be represented in a
+        // 3000-job trace — certainly at least the paper's 17 size types.
+        assert!(
+            s.size_type_count() >= 17,
+            "size types {}",
+            s.size_type_count()
+        );
+        let rendered = s.render();
+        assert!(rendered.contains("dependency jobs"));
+    }
+}

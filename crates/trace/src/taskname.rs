@@ -1,0 +1,294 @@
+//! The v2018 task-name dependency grammar.
+//!
+//! In the Alibaba 2018 trace, a task's name encodes both its position in the
+//! job DAG and its upstream dependencies:
+//!
+//! * `M1` — task 1, a Map-family task with no parents (in-degree 0),
+//! * `R2_1` — task 2, Reduce, depends on task 1,
+//! * `J3_1_2` — task 3, Join, depends on tasks 1 and 2,
+//! * `R5_4_3_2_1` — task 5, Reduce, depends on tasks 4, 3, 2 and 1,
+//! * `task_Kx92ab` — an *independent* task carrying no DAG information.
+//!
+//! The paper (Section IV-A and V-C) distinguishes three type codes: `M`
+//! (Map or Merge), `R` (Reduce) and `J` (Join); anything else is preserved
+//! as [`TaskKind::Other`].
+
+use serde::{Deserialize, Serialize};
+
+/// Task-type code inferred from the first letter of a DAG task name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// `M…` — Map or Merge stage.
+    Map,
+    /// `R…` — Reduce stage.
+    Reduce,
+    /// `J…` — Join stage (the Map-Join-Reduce model's independent join).
+    Join,
+    /// Any other leading letter (rare in the batch DAG subset).
+    Other(char),
+}
+
+impl TaskKind {
+    /// The letter used when rendering a task name.
+    pub fn letter(&self) -> char {
+        match self {
+            TaskKind::Map => 'M',
+            TaskKind::Reduce => 'R',
+            TaskKind::Join => 'J',
+            TaskKind::Other(c) => *c,
+        }
+    }
+
+    /// Inverse of [`letter`](Self::letter).
+    pub fn from_letter(c: char) -> TaskKind {
+        match c {
+            'M' => TaskKind::Map,
+            'R' => TaskKind::Reduce,
+            'J' => TaskKind::Join,
+            other => TaskKind::Other(other),
+        }
+    }
+}
+
+/// Result of parsing a task name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParsedTaskName {
+    /// A DAG-participating task: type code, 1-based task id, parent ids.
+    Dag {
+        /// Stage type inferred from the leading letter.
+        kind: TaskKind,
+        /// 1-based task number within the job.
+        id: u32,
+        /// Parent task numbers (order as written in the name).
+        parents: Vec<u32>,
+    },
+    /// A task with no dependency information (`task_…` or unparseable).
+    Independent {
+        /// The raw name, preserved verbatim.
+        raw: String,
+    },
+}
+
+impl ParsedTaskName {
+    /// True for the `Dag` variant.
+    pub fn is_dag(&self) -> bool {
+        matches!(self, ParsedTaskName::Dag { .. })
+    }
+}
+
+/// Parse a v2018 task name.
+///
+/// Grammar: `letter+ digits ('_' digits)*` is a DAG task (only the *first*
+/// letter determines the [`TaskKind`]; names like `MergeTask12_1` seen in
+/// the wild still parse, with `Merge…` collapsing to `M`). Anything else —
+/// including the common `task_XXXX` opaque form — is `Independent`.
+///
+/// ```
+/// use dagscope_trace::taskname::{parse, ParsedTaskName, TaskKind};
+/// match parse("R5_4_3_2_1") {
+///     ParsedTaskName::Dag { kind, id, parents } => {
+///         assert_eq!(kind, TaskKind::Reduce);
+///         assert_eq!(id, 5);
+///         assert_eq!(parents, vec![4, 3, 2, 1]);
+///     }
+///     _ => panic!("should parse as DAG"),
+/// }
+/// assert!(!parse("task_Kx92").is_dag());
+/// ```
+pub fn parse(name: &str) -> ParsedTaskName {
+    let independent = || ParsedTaskName::Independent {
+        raw: name.to_string(),
+    };
+
+    // The opaque independent form is lowercase `task_…`.
+    if name.starts_with("task_") || name.is_empty() {
+        return independent();
+    }
+
+    let mut chars = name.char_indices().peekable();
+    // 1) leading letters.
+    let mut first_letter = None;
+    let mut digits_start = None;
+    for (i, c) in chars.by_ref() {
+        if c.is_ascii_alphabetic() {
+            if first_letter.is_none() {
+                first_letter = Some(c);
+            }
+        } else if c.is_ascii_digit() {
+            digits_start = Some(i);
+            break;
+        } else {
+            return independent();
+        }
+    }
+    let (Some(first_letter), Some(digits_start)) = (first_letter, digits_start) else {
+        return independent();
+    };
+
+    // 2) task id digits, then `_digits` groups.
+    let rest = &name[digits_start..];
+    let mut segments = rest.split('_');
+    let id = match segments.next().and_then(|s| s.parse::<u32>().ok()) {
+        Some(id) => id,
+        None => return independent(),
+    };
+    let mut parents = Vec::new();
+    for seg in segments {
+        match seg.parse::<u32>() {
+            Ok(p) => parents.push(p),
+            // Mixed suffixes (e.g. `M1_Stg2`) carry no usable dependency
+            // info — treat the whole name as independent, like the paper's
+            // preprocessing does.
+            Err(_) => return independent(),
+        }
+    }
+
+    ParsedTaskName::Dag {
+        kind: TaskKind::from_letter(first_letter.to_ascii_uppercase()),
+        id,
+        parents,
+    }
+}
+
+/// Render a DAG task name from its components (inverse of [`parse`]).
+///
+/// ```
+/// use dagscope_trace::taskname::{format_dag, TaskKind};
+/// assert_eq!(format_dag(TaskKind::Reduce, 5, &[4, 3, 2, 1]), "R5_4_3_2_1");
+/// assert_eq!(format_dag(TaskKind::Map, 1, &[]), "M1");
+/// ```
+pub fn format_dag(kind: TaskKind, id: u32, parents: &[u32]) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(2 + 3 * parents.len());
+    s.push(kind.letter());
+    write!(s, "{id}").unwrap();
+    for p in parents {
+        write!(s, "_{p}").unwrap();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        // Section IV-A examples from job 1001388.
+        assert_eq!(
+            parse("M1"),
+            ParsedTaskName::Dag {
+                kind: TaskKind::Map,
+                id: 1,
+                parents: vec![]
+            }
+        );
+        assert_eq!(
+            parse("R2_1"),
+            ParsedTaskName::Dag {
+                kind: TaskKind::Reduce,
+                id: 2,
+                parents: vec![1]
+            }
+        );
+        assert_eq!(
+            parse("R4_3"),
+            ParsedTaskName::Dag {
+                kind: TaskKind::Reduce,
+                id: 4,
+                parents: vec![3]
+            }
+        );
+        assert_eq!(
+            parse("R5_4_3_2_1"),
+            ParsedTaskName::Dag {
+                kind: TaskKind::Reduce,
+                id: 5,
+                parents: vec![4, 3, 2, 1]
+            }
+        );
+    }
+
+    #[test]
+    fn join_tasks() {
+        assert_eq!(
+            parse("J3_1_2"),
+            ParsedTaskName::Dag {
+                kind: TaskKind::Join,
+                id: 3,
+                parents: vec![1, 2]
+            }
+        );
+    }
+
+    #[test]
+    fn multi_letter_prefix_uses_first_letter() {
+        assert_eq!(
+            parse("MergeTask12_1"),
+            ParsedTaskName::Dag {
+                kind: TaskKind::Map,
+                id: 12,
+                parents: vec![1]
+            }
+        );
+    }
+
+    #[test]
+    fn lowercase_prefix_normalized() {
+        assert_eq!(
+            parse("m2_1"),
+            ParsedTaskName::Dag {
+                kind: TaskKind::Map,
+                id: 2,
+                parents: vec![1]
+            }
+        );
+    }
+
+    #[test]
+    fn independent_forms() {
+        assert!(!parse("task_Kx92ab").is_dag());
+        assert!(!parse("").is_dag());
+        assert!(!parse("123").is_dag());
+        assert!(!parse("M").is_dag());
+        assert!(!parse("M1_x2").is_dag());
+        assert!(!parse("M-1").is_dag());
+    }
+
+    #[test]
+    fn other_kind_preserved() {
+        match parse("X7_2") {
+            ParsedTaskName::Dag { kind, id, parents } => {
+                assert_eq!(kind, TaskKind::Other('X'));
+                assert_eq!(id, 7);
+                assert_eq!(parents, vec![2]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn format_parse_round_trip() {
+        for (kind, id, parents) in [
+            (TaskKind::Map, 1, vec![]),
+            (TaskKind::Reduce, 9, vec![8, 7]),
+            (TaskKind::Join, 3, vec![1, 2]),
+            (TaskKind::Other('Z'), 30, vec![29, 28, 1]),
+        ] {
+            let s = format_dag(kind, id, &parents);
+            assert_eq!(parse(&s), ParsedTaskName::Dag { kind, id, parents });
+        }
+    }
+
+    #[test]
+    fn kind_letter_round_trip() {
+        for k in [
+            TaskKind::Map,
+            TaskKind::Reduce,
+            TaskKind::Join,
+            TaskKind::Other('Q'),
+        ] {
+            assert_eq!(TaskKind::from_letter(k.letter()), k);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Incremental kernel cache: grow a similarity index one job at a time.
+//!
+//! The paper's scheduling use case embeds *incoming* jobs against an
+//! existing characterized population. Rebuilding the full kernel matrix per
+//! arrival is `O(n²)`; this cache keeps the shared WL vocabulary and the
+//! embedded vectors, so adding a job costs one transform plus `n` sparse
+//! dots.
+
+use dagscope_graph::JobDag;
+use dagscope_linalg::SymMatrix;
+use dagscope_par::pairs::par_upper_triangle;
+
+use crate::{SparseVec, WlVectorizer};
+
+/// A growing collection of WL-embedded jobs with cosine-similarity queries.
+///
+/// ```
+/// use dagscope_trace::{Job, TaskRecord, Status};
+/// use dagscope_graph::JobDag;
+/// use dagscope_wl::KernelCache;
+/// # fn t(name: &str) -> TaskRecord {
+/// #     TaskRecord { task_name: name.into(), instance_num: 1, job_name: "j".into(),
+/// #         task_type: "1".into(), status: Status::Terminated, start_time: 1,
+/// #         end_time: 2, plan_cpu: 100.0, plan_mem: 0.5 }
+/// # }
+/// let hist = JobDag::from_job(&Job { name: "old".into(), tasks: vec![t("M1"), t("R2_1")] }).unwrap();
+/// let mut cache = KernelCache::from_dags(3, &[hist]);
+/// // Probe an incoming job against the history in O(n):
+/// let incoming = JobDag::from_job(&Job { name: "new".into(), tasks: vec![t("M1"), t("R2_1")] }).unwrap();
+/// assert!((cache.probe(&incoming)[0] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    vectorizer: WlVectorizer,
+    names: Vec<String>,
+    features: Vec<SparseVec>,
+}
+
+impl KernelCache {
+    /// Empty cache with `h` WL iterations.
+    pub fn new(h: usize) -> KernelCache {
+        KernelCache {
+            vectorizer: WlVectorizer::new(h),
+            names: Vec::new(),
+            features: Vec::new(),
+        }
+    }
+
+    /// Build from an initial population.
+    pub fn from_dags(h: usize, dags: &[JobDag]) -> KernelCache {
+        let mut cache = KernelCache::new(h);
+        for dag in dags {
+            cache.push(dag);
+        }
+        cache
+    }
+
+    /// Number of cached jobs.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Job name at index `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Embed and append a job; returns its index. Previously computed
+    /// vectors stay valid (the vocabulary only grows).
+    pub fn push(&mut self, dag: &JobDag) -> usize {
+        self.names.push(dag.name.clone());
+        self.features.push(self.vectorizer.transform(dag));
+        self.features.len() - 1
+    }
+
+    /// Cosine similarity between cached jobs `i` and `j`.
+    pub fn similarity(&self, i: usize, j: usize) -> f64 {
+        self.features[i].cosine(&self.features[j])
+    }
+
+    /// Similarities of an *uncached* probe DAG against every cached job
+    /// (embedding the probe extends the shared vocabulary).
+    pub fn probe(&mut self, dag: &JobDag) -> Vec<f64> {
+        let feat = self.vectorizer.transform(dag);
+        self.features.iter().map(|f| feat.cosine(f)).collect()
+    }
+
+    /// Indices of the `k` most similar cached jobs to cached job `i`
+    /// (excluding itself), best first.
+    pub fn nearest(&self, i: usize, k: usize) -> Vec<(usize, f64)> {
+        let mut scored: Vec<(usize, f64)> = (0..self.len())
+            .filter(|&j| j != i)
+            .map(|j| (j, self.similarity(i, j)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// The full normalized similarity matrix of the cached population
+    /// (assembled in parallel).
+    pub fn matrix(&self) -> SymMatrix {
+        let n = self.len();
+        let packed = par_upper_triangle(n, |i, j| self.similarity(i, j));
+        SymMatrix::from_packed(n, packed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kernel_matrix, normalize_kernel};
+    use dagscope_trace::{Job, Status, TaskRecord};
+
+    fn t(name: &str) -> TaskRecord {
+        TaskRecord {
+            task_name: name.into(),
+            instance_num: 1,
+            job_name: "j".into(),
+            task_type: "1".into(),
+            status: Status::Terminated,
+            start_time: 1,
+            end_time: 2,
+            plan_cpu: 1.0,
+            plan_mem: 0.1,
+        }
+    }
+
+    fn dag(name: &str, names: &[&str]) -> JobDag {
+        JobDag::from_job(&Job {
+            name: name.into(),
+            tasks: names.iter().map(|n| t(n)).collect(),
+        })
+        .unwrap()
+    }
+
+    fn population() -> Vec<JobDag> {
+        vec![
+            dag("c2", &["M1", "R2_1"]),
+            dag("c3", &["M1", "R2_1", "R3_2"]),
+            dag("tri", &["M1", "M2", "R3_2_1"]),
+            dag("join", &["M1", "M2", "J3_2_1", "R4_3"]),
+        ]
+    }
+
+    #[test]
+    fn matches_batch_kernel_matrix() {
+        let dags = population();
+        let cache = KernelCache::from_dags(3, &dags);
+        let incr = cache.matrix();
+        // Reference: batch vectorizer + normalized Gram matrix.
+        let mut wl = WlVectorizer::new(3);
+        let feats = wl.transform_all(&dags);
+        let batch = normalize_kernel(&kernel_matrix(&feats));
+        for i in 0..dags.len() {
+            for j in 0..dags.len() {
+                assert!((incr.get(i, j) - batch.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn push_after_queries_keeps_old_vectors_valid() {
+        let dags = population();
+        let mut cache = KernelCache::from_dags(3, &dags);
+        let before = cache.similarity(0, 1);
+        // New structure extends the vocabulary…
+        let idx = cache.push(&dag("new", &["M1", "M2", "M3", "J4_3_2_1", "R5_4"]));
+        assert_eq!(idx, 4);
+        // …without disturbing existing pairs.
+        assert_eq!(cache.similarity(0, 1), before);
+        assert!((cache.similarity(4, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_without_inserting() {
+        let mut cache = KernelCache::from_dags(3, &population());
+        let sims = cache.probe(&dag("probe", &["M1", "R2_1"]));
+        assert_eq!(sims.len(), 4);
+        assert!((sims[0] - 1.0).abs() < 1e-12, "identical to c2");
+        assert_eq!(cache.len(), 4, "probe must not insert");
+    }
+
+    #[test]
+    fn nearest_ranks_by_similarity() {
+        let cache = KernelCache::from_dags(3, &population());
+        let nn = cache.nearest(0, 2); // c2's neighbours
+        assert_eq!(nn.len(), 2);
+        assert!(nn[0].1 >= nn[1].1, "ranked descending");
+        // Consistent with direct similarity queries.
+        for (j, s) in &nn {
+            assert!((cache.similarity(0, *j) - s).abs() < 1e-12);
+        }
+        // The join job is the least similar of the three.
+        assert!(!nn.iter().any(|(j, _)| *j == 3), "join job must rank last");
+        // k larger than population clamps.
+        assert_eq!(cache.nearest(0, 10).len(), 3);
+    }
+
+    #[test]
+    fn empty_cache() {
+        let mut cache = KernelCache::new(2);
+        assert!(cache.is_empty());
+        assert!(cache.probe(&dag("p", &["M1", "R2_1"])).is_empty());
+        assert_eq!(cache.matrix().n(), 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Exact graph edit distance — the baseline the paper argues *against*.
+//!
+//! Section V-D notes the conventional similarity measure for graphs is edit
+//! distance, whose exact computation is exponential in the node count; the
+//! WL kernel replaces it with a polynomial-time comparison. This module
+//! implements exact unit-cost GED with branch-and-bound so the ablation
+//! bench (`ablate_ged_vs_wl`) can reproduce that cost cliff, and so small
+//! cases can cross-validate kernel rankings.
+//!
+//! Costs: node insertion/deletion 1, node relabeling 1, directed edge
+//! insertion/deletion 1.
+
+use std::collections::HashSet;
+
+use dagscope_graph::JobDag;
+
+const EPS: usize = usize::MAX; // "deleted" assignment
+
+struct Ged<'a> {
+    a_labels: Vec<char>,
+    b_labels: Vec<char>,
+    a_edges: Vec<(usize, usize)>,
+    b_has: HashSet<(usize, usize)>,
+    b_edges: &'a [(usize, usize)],
+    best: u32,
+}
+
+impl Ged<'_> {
+    /// Recursive assignment of A-node `i`; `map[u]` is the B-image of
+    /// assigned nodes, `used[j]` marks taken B nodes.
+    fn search(&mut self, i: usize, map: &mut Vec<usize>, used: &mut Vec<bool>, cost: u32) {
+        if cost >= self.best {
+            return;
+        }
+        if i == self.a_labels.len() {
+            let total = cost + self.remainder_cost(map, used);
+            if total < self.best {
+                self.best = total;
+            }
+            return;
+        }
+        // Try mapping a_i to every free B node.
+        for j in 0..self.b_labels.len() {
+            if used[j] {
+                continue;
+            }
+            let mut step = u32::from(self.a_labels[i] != self.b_labels[j]);
+            step += self.edge_delta(i, j, map);
+            used[j] = true;
+            map.push(j);
+            self.search(i + 1, map, used, cost + step);
+            map.pop();
+            used[j] = false;
+        }
+        // Or delete a_i: node cost 1 plus its edges to already-placed nodes.
+        let mut step = 1u32;
+        for &(u, v) in &self.a_edges {
+            if (u == i && v < i) || (v == i && u < i) {
+                step += 1;
+            }
+        }
+        map.push(EPS);
+        self.search(i + 1, map, used, cost + step);
+        map.pop();
+    }
+
+    /// Edge cost of placing a_i at b_j against previously placed nodes.
+    fn edge_delta(&self, i: usize, j: usize, map: &[usize]) -> u32 {
+        let mut delta = 0;
+        for (u, &img) in map.iter().enumerate() {
+            // A-edges incident to i and an earlier node u.
+            let a_uv = self.a_edges.contains(&(u, i));
+            let a_vu = self.a_edges.contains(&(i, u));
+            if img == EPS {
+                delta += u32::from(a_uv) + u32::from(a_vu);
+                continue;
+            }
+            let b_uv = self.b_has.contains(&(img, j));
+            let b_vu = self.b_has.contains(&(j, img));
+            delta += u32::from(a_uv != b_uv) + u32::from(a_vu != b_vu);
+        }
+        delta
+    }
+
+    /// Cost of everything B-side that no A node claimed: leftover node
+    /// insertions plus B edges with at least one unmatched endpoint.
+    fn remainder_cost(&self, map: &[usize], used: &[bool]) -> u32 {
+        let _ = map;
+        let unmatched_nodes = used.iter().filter(|u| !**u).count() as u32;
+        let mut unmatched_edges = 0;
+        for &(u, v) in self.b_edges {
+            if !used[u] || !used[v] {
+                unmatched_edges += 1;
+            }
+        }
+        unmatched_nodes + unmatched_edges
+    }
+}
+
+fn labels_of(dag: &JobDag) -> Vec<char> {
+    (0..dag.len()).map(|i| dag.kind(i).letter()).collect()
+}
+
+fn edges_of(dag: &JobDag) -> Vec<(usize, usize)> {
+    dag.edges().map(|(p, c)| (p as usize, c as usize)).collect()
+}
+
+/// Exact unit-cost graph edit distance between two job DAGs.
+///
+/// Exponential in the smaller node count — usable up to ~10 nodes; the
+/// point of the baseline is precisely that this does not scale.
+///
+/// ```
+/// use dagscope_trace::{Job, TaskRecord, Status};
+/// use dagscope_graph::JobDag;
+/// # fn t(name: &str) -> TaskRecord {
+/// #     TaskRecord { task_name: name.into(), instance_num: 1, job_name: "j".into(),
+/// #         task_type: "1".into(), status: Status::Terminated, start_time: 1,
+/// #         end_time: 2, plan_cpu: 100.0, plan_mem: 0.5 }
+/// # }
+/// let a = JobDag::from_job(&Job { name: "a".into(), tasks: vec![t("M1"), t("R2_1")] }).unwrap();
+/// let b = JobDag::from_job(&Job { name: "b".into(), tasks: vec![t("M1"), t("R2_1"), t("R3_2")] }).unwrap();
+/// assert_eq!(dagscope_wl::ged::edit_distance(&a, &a), 0);
+/// assert_eq!(dagscope_wl::ged::edit_distance(&a, &b), 2); // +1 node, +1 edge
+/// ```
+pub fn edit_distance(a: &JobDag, b: &JobDag) -> u32 {
+    // Search assigns A onto B; fewer A nodes → shallower recursion.
+    let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let a_labels = labels_of(a);
+    let b_labels = labels_of(b);
+    let a_edges = edges_of(a);
+    let b_edges = edges_of(b);
+    let trivial = (a_labels.len() + a_edges.len() + b_labels.len() + b_edges.len()) as u32;
+    let mut ged = Ged {
+        a_labels,
+        b_labels,
+        a_edges,
+        b_has: b_edges.iter().copied().collect(),
+        b_edges: &b_edges,
+        best: trivial + 1,
+    };
+    let mut map = Vec::new();
+    let mut used = vec![false; ged.b_labels.len()];
+    ged.search(0, &mut map, &mut used, 0);
+    ged.best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagscope_trace::{Job, Status, TaskRecord};
+
+    fn t(name: &str) -> TaskRecord {
+        TaskRecord {
+            task_name: name.into(),
+            instance_num: 1,
+            job_name: "j".into(),
+            task_type: "1".into(),
+            status: Status::Terminated,
+            start_time: 1,
+            end_time: 2,
+            plan_cpu: 1.0,
+            plan_mem: 0.1,
+        }
+    }
+
+    fn dag(names: &[&str]) -> JobDag {
+        JobDag::from_job(&Job {
+            name: "j".into(),
+            tasks: names.iter().map(|n| t(n)).collect(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_is_zero() {
+        let d = dag(&["M1", "M3", "R2_1", "R4_3", "R5_4_3_2_1"]);
+        assert_eq!(edit_distance(&d, &d), 0);
+    }
+
+    #[test]
+    fn isomorphic_is_zero() {
+        let a = dag(&["M1", "M2", "R3_2_1"]);
+        let b = dag(&["M5", "M9", "R11_9_5"]);
+        assert_eq!(edit_distance(&a, &b), 0);
+    }
+
+    #[test]
+    fn single_relabel_costs_one() {
+        let a = dag(&["M1", "M2", "R3_2_1"]);
+        let b = dag(&["M1", "M2", "J3_2_1"]);
+        assert_eq!(edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn node_plus_edge_extension() {
+        let a = dag(&["M1", "R2_1"]);
+        let b = dag(&["M1", "R2_1", "R3_2"]);
+        assert_eq!(edit_distance(&a, &b), 2);
+        // Symmetric.
+        assert_eq!(edit_distance(&b, &a), 2);
+    }
+
+    #[test]
+    fn direction_matters() {
+        // Fan-in (2 maps -> R) vs fan-out (M -> 2 reduces): same undirected
+        // skeleton, but labels + directions force a nonzero distance.
+        let fan_in = dag(&["M1", "M2", "R3_2_1"]);
+        let fan_out = dag(&["M1", "R2_1", "R3_1"]);
+        assert!(edit_distance(&fan_in, &fan_out) > 0);
+    }
+
+    #[test]
+    fn triangle_closer_to_triangle_than_chain_is() {
+        let tri4 = dag(&["M1", "M2", "M3", "R4_3_2_1"]);
+        let tri5 = dag(&["M1", "M2", "M3", "M4", "R5_4_3_2_1"]);
+        let chain5 = dag(&["M1", "R2_1", "R3_2", "R4_3", "R5_4"]);
+        assert!(edit_distance(&tri4, &tri5) < edit_distance(&chain5, &tri5));
+    }
+
+    #[test]
+    fn agrees_with_wl_ranking_on_small_graphs() {
+        // GED (distance) and WL (similarity) should order this pair triple
+        // consistently.
+        let c3 = dag(&["M1", "R2_1", "R3_2"]);
+        let c4 = dag(&["M1", "R2_1", "R3_2", "R4_3"]);
+        let tri = dag(&["M1", "M2", "M3", "R4_3_2_1"]);
+        let ged_close = edit_distance(&c3, &c4);
+        let ged_far = edit_distance(&c3, &tri);
+        assert!(ged_close < ged_far);
+        let wl_close = crate::wl_kernel(&c3, &c4, 3);
+        let wl_far = crate::wl_kernel(&c3, &tri, 3);
+        assert!(wl_close > wl_far);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let x = dag(&["M1", "R2_1"]);
+        let y = dag(&["M1", "M2", "R3_2_1"]);
+        let z = dag(&["M1", "R2_1", "R3_2", "R4_3"]);
+        let (xy, yz, xz) = (
+            edit_distance(&x, &y),
+            edit_distance(&y, &z),
+            edit_distance(&x, &z),
+        );
+        assert!(xz <= xy + yz, "{xz} > {xy} + {yz}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Shortest-path base kernel.
+//!
+//! Equation (1) of the paper defines the WL kernel over a *base kernel*
+//! "such as subtree or shortest path kernel". The subtree base kernel is
+//! the default ([`crate::WlVectorizer`]); this module provides the
+//! shortest-path alternative (Borgwardt & Kriegel 2005, adapted to
+//! directed DAGs): a graph is represented by counts of
+//! `(label(u), label(v), d(u, v))` triples over all ordered pairs with a
+//! directed path `u → v`, and two graphs are compared by the dot product
+//! of those count maps.
+
+use dagscope_graph::JobDag;
+
+use crate::fx::FxHashMap;
+use crate::SparseVec;
+
+/// Feature extractor for the shortest-path kernel with a shared triple
+/// vocabulary (same sharing contract as [`crate::WlVectorizer`]).
+#[derive(Debug, Default)]
+pub struct SpVectorizer {
+    table: FxHashMap<(char, char, u32), u32>,
+    next: u32,
+}
+
+impl SpVectorizer {
+    /// New extractor with an empty vocabulary.
+    pub fn new() -> SpVectorizer {
+        SpVectorizer::default()
+    }
+
+    /// Size of the `(label, label, distance)` vocabulary so far.
+    pub fn vocabulary_size(&self) -> usize {
+        self.table.len()
+    }
+
+    fn triple_id(&mut self, key: (char, char, u32)) -> u32 {
+        if let Some(&id) = self.table.get(&key) {
+            return id;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.table.insert(key, id);
+        id
+    }
+
+    /// Embed one DAG: BFS from every node over child edges; each reached
+    /// pair contributes its `(label_u, label_v, dist)` triple. Node weights
+    /// multiply (a merged pair of siblings counts as the original pair
+    /// count).
+    pub fn transform(&mut self, dag: &JobDag) -> SparseVec {
+        let n = dag.len();
+        let mut counts: FxHashMap<u32, f64> = FxHashMap::default();
+        // Distance 0 self-triples carry the node-label histogram so even
+        // edgeless graphs embed non-trivially.
+        for u in 0..n {
+            let l = dag.kind(u).letter();
+            let id = self.triple_id((l, l, 0));
+            *counts.entry(id).or_insert(0.0) += dag.weight(u) as f64;
+        }
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for u in 0..n {
+            dist.fill(u32::MAX);
+            dist[u] = 0;
+            queue.clear();
+            queue.push_back(u);
+            while let Some(x) = queue.pop_front() {
+                for &c in dag.children(x) {
+                    let c = c as usize;
+                    if dist[c] == u32::MAX {
+                        dist[c] = dist[x] + 1;
+                        queue.push_back(c);
+                    }
+                }
+            }
+            let lu = dag.kind(u).letter();
+            let wu = dag.weight(u) as f64;
+            for (v, &d) in dist.iter().enumerate() {
+                if v == u || d == u32::MAX {
+                    continue;
+                }
+                let id = self.triple_id((lu, dag.kind(v).letter(), d));
+                *counts.entry(id).or_insert(0.0) += wu * dag.weight(v) as f64;
+            }
+        }
+        SparseVec::from_pairs(counts)
+    }
+
+    /// Embed a batch with the shared vocabulary.
+    pub fn transform_all(&mut self, dags: &[JobDag]) -> Vec<SparseVec> {
+        dags.iter().map(|d| self.transform(d)).collect()
+    }
+}
+
+/// Convenience pairwise shortest-path kernel, cosine normalized to `[0, 1]`.
+pub fn sp_kernel(a: &JobDag, b: &JobDag) -> f64 {
+    let mut sp = SpVectorizer::new();
+    let fa = sp.transform(a);
+    let fb = sp.transform(b);
+    fa.cosine(&fb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagscope_trace::{Job, Status, TaskRecord};
+
+    fn t(name: &str) -> TaskRecord {
+        TaskRecord {
+            task_name: name.into(),
+            instance_num: 1,
+            job_name: "j".into(),
+            task_type: "1".into(),
+            status: Status::Terminated,
+            start_time: 1,
+            end_time: 2,
+            plan_cpu: 1.0,
+            plan_mem: 0.1,
+        }
+    }
+
+    fn dag(name: &str, names: &[&str]) -> JobDag {
+        JobDag::from_job(&Job {
+            name: name.into(),
+            tasks: names.iter().map(|n| t(n)).collect(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_topologies_score_one() {
+        let a = dag("a", &["M1", "M2", "R3_2_1"]);
+        let b = dag("b", &["M4", "M7", "R9_7_4"]);
+        assert!((sp_kernel(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_triples_counted() {
+        // M -> R -> R: pairs (M,R,1), (M,R,2), (R,R,1) + self triples.
+        let mut sp = SpVectorizer::new();
+        let f = sp.transform(&dag("a", &["M1", "R2_1", "R3_2"]));
+        // Self: (M,M,0)×1, (R,R,0)×2. Paths: 3 triples ×1 each.
+        assert_eq!(f.mass(), 3.0 + 3.0);
+        assert_eq!(sp.vocabulary_size(), 5);
+    }
+
+    #[test]
+    fn direction_sensitive() {
+        let conv = dag("a", &["M1", "M2", "R3_2_1"]);
+        let diff = dag("b", &["M1", "R2_1", "R3_1"]);
+        // Convergent: (M,R,1)×2. Diffuse: (M,R,1)×2 too, but label
+        // histograms differ (2M+1R vs 1M+2R) — must not score 1.
+        assert!(sp_kernel(&conv, &diff) < 1.0);
+    }
+
+    #[test]
+    fn distance_matters() {
+        // Long chain vs fan-in with same node-label multiset.
+        let chain = dag("a", &["M1", "R2_1", "R3_2", "R4_3"]);
+        let fan = dag("b", &["M1", "R2_1", "R3_1", "R4_1"]);
+        assert!(sp_kernel(&chain, &fan) < 1.0);
+        // Chain closer to chain than to fan.
+        let chain5 = dag("c", &["M1", "R2_1", "R3_2", "R4_3", "R5_4"]);
+        assert!(sp_kernel(&chain, &chain5) > sp_kernel(&chain, &fan));
+    }
+
+    #[test]
+    fn weighted_counts_after_conflation() {
+        let fanin = dag("a", &["M1", "M2", "M3", "R4_3_2_1"]);
+        let merged = dagscope_graph::conflate::conflate(&fanin);
+        let mut sp = SpVectorizer::new();
+        let ff = sp.transform(&fanin);
+        let fm = sp.transform(&merged);
+        // (M,R,1) count: 3 in both (merged node weight 3 × sink weight 1);
+        // (M,M,0): 3 in both. Identical embeddings.
+        assert_eq!(ff, fm);
+    }
+
+    #[test]
+    fn agrees_with_wl_on_coarse_ranking() {
+        let c3 = dag("a", &["M1", "R2_1", "R3_2"]);
+        let c4 = dag("b", &["M1", "R2_1", "R3_2", "R4_3"]);
+        let tri = dag("c", &["M1", "M2", "M3", "R4_3_2_1"]);
+        assert!(sp_kernel(&c3, &c4) > sp_kernel(&c3, &tri));
+        let wl_close = crate::wl_kernel(&c3, &c4, 3);
+        let wl_far = crate::wl_kernel(&c3, &tri, 3);
+        assert!(wl_close > wl_far);
+    }
+
+    #[test]
+    fn shared_vocabulary_stable() {
+        let mut sp = SpVectorizer::new();
+        let a = dag("a", &["M1", "R2_1"]);
+        let f1 = sp.transform(&a);
+        let v = sp.vocabulary_size();
+        let f2 = sp.transform(&a);
+        assert_eq!(f1, f2);
+        assert_eq!(sp.vocabulary_size(), v);
+    }
+}

@@ -1,0 +1,161 @@
+//! Sparse feature vectors for WL label counts.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse non-negative vector: strictly increasing `indices` aligned with
+/// `values`. This is the `φ` map of the WL subtree kernel — index = global
+/// compressed-label id, value = (weighted) occurrence count.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SparseVec {
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseVec {
+    /// Build from `(index, value)` pairs; duplicate indices are summed and
+    /// zero values dropped.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, f64)>) -> SparseVec {
+        let mut pairs: Vec<(u32, f64)> = pairs.into_iter().collect();
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            if let Some(last) = indices.last() {
+                if *last == i {
+                    *values.last_mut().unwrap() += v;
+                    continue;
+                }
+            }
+            indices.push(i);
+            values.push(v);
+        }
+        // Drop explicit zeros produced by summation.
+        let mut out_i = Vec::with_capacity(indices.len());
+        let mut out_v = Vec::with_capacity(values.len());
+        for (i, v) in indices.into_iter().zip(values) {
+            if v != 0.0 {
+                out_i.push(i);
+                out_v.push(v);
+            }
+        }
+        SparseVec {
+            indices: out_i,
+            values: out_v,
+        }
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Stored index/value pairs in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+    }
+
+    /// Value at `index` (0 when absent).
+    pub fn get(&self, index: u32) -> f64 {
+        match self.indices.binary_search(&index) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse dot product (merge join over the two index lists).
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        let (mut a, mut b) = (0usize, 0usize);
+        let mut sum = 0.0;
+        while a < self.indices.len() && b < other.indices.len() {
+            match self.indices[a].cmp(&other.indices[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    sum += self.values[a] * other.values[b];
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Squared Euclidean norm (`self.dot(self)`).
+    pub fn norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Sum of values (total label mass; equals `(h+1) × Σ weights` for WL
+    /// features).
+    pub fn mass(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Cosine similarity in `[0, 1]` for non-negative vectors; 0 when
+    /// either side is empty.
+    pub fn cosine(&self, other: &SparseVec) -> f64 {
+        let denom = (self.norm_sq() * other.norm_sq()).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let v = SparseVec::from_pairs([(5, 1.0), (2, 2.0), (5, 3.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(2), 2.0);
+        assert_eq!(v.get(5), 4.0);
+        assert_eq!(v.get(7), 0.0);
+    }
+
+    #[test]
+    fn zeros_dropped() {
+        let v = SparseVec::from_pairs([(1, 1.0), (1, -1.0), (2, 3.0)]);
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(v.get(1), 0.0);
+    }
+
+    #[test]
+    fn dot_merge_join() {
+        let a = SparseVec::from_pairs([(1, 2.0), (3, 1.0), (9, 4.0)]);
+        let b = SparseVec::from_pairs([(3, 5.0), (9, 0.5), (10, 7.0)]);
+        assert_eq!(a.dot(&b), 1.0 * 5.0 + 4.0 * 0.5);
+        assert_eq!(a.dot(&b), b.dot(&a));
+        assert_eq!(a.dot(&SparseVec::default()), 0.0);
+    }
+
+    #[test]
+    fn norms_and_mass() {
+        let a = SparseVec::from_pairs([(0, 3.0), (1, 4.0)]);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.mass(), 7.0);
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let a = SparseVec::from_pairs([(0, 1.0), (1, 1.0)]);
+        let b = SparseVec::from_pairs([(0, 2.0), (1, 2.0)]);
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-12);
+        let c = SparseVec::from_pairs([(2, 1.0)]);
+        assert_eq!(a.cosine(&c), 0.0);
+        assert_eq!(a.cosine(&SparseVec::default()), 0.0);
+    }
+
+    #[test]
+    fn iter_round_trip() {
+        let a = SparseVec::from_pairs([(4, 1.5), (2, 2.5)]);
+        let back = SparseVec::from_pairs(a.iter());
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,274 @@
+//! WL relabeling with a shared, hash-consed label vocabulary.
+
+use dagscope_graph::JobDag;
+use dagscope_trace::taskname::TaskKind;
+
+use crate::fx::FxHashMap;
+use crate::SparseVec;
+
+/// Sentinel separators inside signature keys; real compressed labels start
+/// at 0 and stay well below these.
+const SEP_PARENTS: u32 = u32::MAX - 1;
+const SEP_CHILDREN: u32 = u32::MAX;
+
+/// Incremental WL feature extractor with a shared label vocabulary.
+///
+/// Graphs transformed by the same vectorizer share compressed-label ids, so
+/// their [`SparseVec`]s are directly comparable — including graphs embedded
+/// *after* the initial batch (new signatures extend the vocabulary; old ones
+/// reuse their ids, so previously computed vectors stay valid).
+///
+/// ```
+/// use dagscope_trace::{Job, TaskRecord, Status};
+/// use dagscope_graph::JobDag;
+/// # fn t(name: &str) -> TaskRecord {
+/// #     TaskRecord { task_name: name.into(), instance_num: 1, job_name: "j".into(),
+/// #         task_type: "1".into(), status: Status::Terminated, start_time: 1,
+/// #         end_time: 2, plan_cpu: 100.0, plan_mem: 0.5 }
+/// # }
+/// let chain = JobDag::from_job(&Job { name: "a".into(), tasks: vec![t("M1"), t("R2_1")] }).unwrap();
+/// let same = JobDag::from_job(&Job { name: "b".into(), tasks: vec![t("M1"), t("R2_1")] }).unwrap();
+/// let mut wl = dagscope_wl::WlVectorizer::new(3);
+/// let (fa, fb) = (wl.transform(&chain), wl.transform(&same));
+/// assert_eq!(fa, fb); // isomorphic graphs embed identically
+/// ```
+#[derive(Debug, Default)]
+pub struct WlVectorizer {
+    iterations: usize,
+    use_weights: bool,
+    table: FxHashMap<Box<[u32]>, u32>,
+    next_label: u32,
+}
+
+impl WlVectorizer {
+    /// A vectorizer performing `iterations` WL refinement rounds (the
+    /// paper's `n` in eq. (1); 3 is the customary default).
+    ///
+    /// By default label counts ignore conflation weights — the paper runs
+    /// WL on the merged graph as-is, so a conflated fan-in embeds exactly
+    /// like a native 2-node chain. Use [`weighted`](Self::weighted) to make
+    /// merged nodes count with their original multiplicity instead.
+    pub fn new(iterations: usize) -> Self {
+        WlVectorizer {
+            iterations,
+            use_weights: false,
+            table: FxHashMap::default(),
+            next_label: 0,
+        }
+    }
+
+    /// Toggle conflation-weight-aware counting (see [`new`](Self::new)).
+    pub fn weighted(mut self, yes: bool) -> Self {
+        self.use_weights = yes;
+        self
+    }
+
+    /// Number of WL iterations this vectorizer performs.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Size of the compressed-label vocabulary accumulated so far.
+    pub fn vocabulary_size(&self) -> usize {
+        self.table.len()
+    }
+
+    fn compress(&mut self, key: Box<[u32]>) -> u32 {
+        if let Some(&id) = self.table.get(&key) {
+            return id;
+        }
+        let id = self.next_label;
+        self.next_label += 1;
+        self.table.insert(key, id);
+        id
+    }
+
+    fn initial_label(&mut self, kind: TaskKind) -> u32 {
+        // Initial labels are hash-consed through the same table using a
+        // 1-element key (the letter), so ids never collide with signature
+        // labels.
+        self.compress(vec![kind.letter() as u32].into_boxed_slice())
+    }
+
+    /// Embed one DAG: returns the φ vector counting every label over
+    /// iterations `0..=h`, each node contributing its conflation weight.
+    pub fn transform(&mut self, dag: &JobDag) -> SparseVec {
+        let n = dag.len();
+        let mut labels: Vec<u32> = (0..n).map(|i| self.initial_label(dag.kind(i))).collect();
+        let mut counts: FxHashMap<u32, f64> = FxHashMap::default();
+        let use_weights = self.use_weights;
+        let bump = |counts: &mut FxHashMap<u32, f64>, labels: &[u32]| {
+            for (i, &l) in labels.iter().enumerate() {
+                let w = if use_weights {
+                    dag.weight(i) as f64
+                } else {
+                    1.0
+                };
+                *counts.entry(l).or_insert(0.0) += w;
+            }
+        };
+        bump(&mut counts, &labels);
+
+        let mut scratch: Vec<u32> = Vec::new();
+        for _ in 0..self.iterations {
+            let mut next = Vec::with_capacity(n);
+            for i in 0..n {
+                scratch.clear();
+                scratch.push(labels[i]);
+                scratch.push(SEP_PARENTS);
+                let mut ps: Vec<u32> = dag.parents(i).iter().map(|&p| labels[p as usize]).collect();
+                ps.sort_unstable();
+                scratch.extend_from_slice(&ps);
+                scratch.push(SEP_CHILDREN);
+                let mut cs: Vec<u32> = dag
+                    .children(i)
+                    .iter()
+                    .map(|&c| labels[c as usize])
+                    .collect();
+                cs.sort_unstable();
+                scratch.extend_from_slice(&cs);
+                next.push(self.compress(scratch.as_slice().into()));
+            }
+            labels = next;
+            bump(&mut counts, &labels);
+        }
+        SparseVec::from_pairs(counts)
+    }
+
+    /// Embed a batch. The shared vocabulary forces sequential processing,
+    /// but one pass over 100k small DAGs is milliseconds; the expensive
+    /// pairwise stage is parallelized in [`crate::kernel_matrix`].
+    pub fn transform_all(&mut self, dags: &[JobDag]) -> Vec<SparseVec> {
+        dags.iter().map(|d| self.transform(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagscope_trace::{Job, Status, TaskRecord};
+
+    fn t(name: &str) -> TaskRecord {
+        TaskRecord {
+            task_name: name.into(),
+            instance_num: 1,
+            job_name: "j".into(),
+            task_type: "1".into(),
+            status: Status::Terminated,
+            start_time: 1,
+            end_time: 2,
+            plan_cpu: 1.0,
+            plan_mem: 0.1,
+        }
+    }
+
+    fn dag(name: &str, names: &[&str]) -> JobDag {
+        JobDag::from_job(&Job {
+            name: name.into(),
+            tasks: names.iter().map(|n| t(n)).collect(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn isomorphic_graphs_same_features() {
+        // Same topology, different id spellings and row orders.
+        let a = dag("a", &["M1", "M2", "R3_2_1"]);
+        let b = dag("b", &["R9_7_5", "M5", "M7"]);
+        let mut wl = WlVectorizer::new(3);
+        let fa = wl.transform(&a);
+        let fb = wl.transform(&b);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn different_topologies_differ() {
+        let chain = dag("a", &["M1", "R2_1", "R3_2"]);
+        let tri = dag("b", &["M1", "M2", "R3_2_1"]);
+        let mut wl = WlVectorizer::new(3);
+        assert_ne!(wl.transform(&chain), wl.transform(&tri));
+    }
+
+    #[test]
+    fn direction_sensitivity() {
+        // Convergent (2 maps -> reduce) vs diffuse (1 map -> 2 reduces):
+        // undirected WL would confuse these mirrors; ours must not.
+        let conv = dag("a", &["M1", "M2", "R3_2_1"]);
+        let diff = dag("b", &["M1", "R2_1", "R3_1"]);
+        let mut wl = WlVectorizer::new(2);
+        let (fc, fd) = (wl.transform(&conv), wl.transform(&diff));
+        assert_ne!(fc, fd);
+        assert!(fc.cosine(&fd) < 1.0);
+    }
+
+    #[test]
+    fn label_mass_is_h_plus_one_times_weight() {
+        let d = dag("a", &["M1", "M3", "R2_1", "R4_3", "R5_4_3_2_1"]);
+        for h in 0..4 {
+            let mut wl = WlVectorizer::new(h);
+            let f = wl.transform(&d);
+            assert_eq!(f.mass(), ((h + 1) * 5) as f64);
+        }
+    }
+
+    #[test]
+    fn weighted_conflated_graph_keeps_h0_mass() {
+        let big = dag("a", &["M1", "M2", "M3", "R4_3_2_1"]);
+        let small = dagscope_graph::conflate::conflate(&big);
+        let mut wl = WlVectorizer::new(0).weighted(true);
+        let fb = wl.transform(&big);
+        let fs = wl.transform(&small);
+        // At h=0 the label masses per kind are identical (weights count).
+        assert_eq!(fb.mass(), fs.mass());
+        assert_eq!(fb, fs);
+    }
+
+    #[test]
+    fn unweighted_conflated_fanin_embeds_like_a_two_chain() {
+        // Paper behaviour: after conflation a wide map fan-in IS an M->R
+        // chain; unweighted WL must embed the two identically.
+        let fanin =
+            dagscope_graph::conflate::conflate(&dag("a", &["M1", "M2", "M3", "M4", "R5_4_3_2_1"]));
+        let two_chain = dag("b", &["M1", "R2_1"]);
+        let mut wl = WlVectorizer::new(3);
+        assert_eq!(wl.transform(&fanin), wl.transform(&two_chain));
+        // With weighting on they differ.
+        let mut wlw = WlVectorizer::new(3).weighted(true);
+        assert_ne!(wlw.transform(&fanin), wlw.transform(&two_chain));
+    }
+
+    #[test]
+    fn vocabulary_shared_and_growing() {
+        let mut wl = WlVectorizer::new(2);
+        let a = dag("a", &["M1", "R2_1"]);
+        let f1 = wl.transform(&a);
+        let v1 = wl.vocabulary_size();
+        // Transforming the same graph again adds nothing and reproduces
+        // the identical vector (vocabulary stability).
+        let f2 = wl.transform(&a);
+        assert_eq!(wl.vocabulary_size(), v1);
+        assert_eq!(f1, f2);
+        // A new structure extends the vocabulary.
+        let b = dag("b", &["M1", "M2", "J3_2_1", "R4_3"]);
+        let _ = wl.transform(&b);
+        assert!(wl.vocabulary_size() > v1);
+    }
+
+    #[test]
+    fn zero_iterations_counts_kinds_only() {
+        let mut wl = WlVectorizer::new(0);
+        let f = wl.transform(&dag("a", &["M1", "M2", "R3_2_1"]));
+        assert_eq!(f.nnz(), 2); // labels {M, R}
+        assert_eq!(f.mass(), 3.0);
+    }
+
+    #[test]
+    fn transform_all_matches_individual() {
+        let dags = vec![dag("a", &["M1", "R2_1"]), dag("b", &["M1", "M2", "R3_2_1"])];
+        let mut wl1 = WlVectorizer::new(3);
+        let batch = wl1.transform_all(&dags);
+        let mut wl2 = WlVectorizer::new(3);
+        let solo: Vec<_> = dags.iter().map(|d| wl2.transform(d)).collect();
+        assert_eq!(batch, solo);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests over random job DAGs: kernel axioms for both base
+//! kernels, plus PSD-ness of assembled Gram matrices.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dagscope_graph::JobDag;
+use dagscope_linalg::eigh;
+use dagscope_trace::gen::{build_shape, ShapeKind};
+use dagscope_wl::{kernel_matrix, normalize_kernel, sp_kernel, SpVectorizer, WlVectorizer};
+
+fn shape_strategy() -> impl Strategy<Value = ShapeKind> {
+    prop::sample::select(ShapeKind::ALL.to_vec())
+}
+
+fn arbitrary_dag() -> impl Strategy<Value = JobDag> {
+    (shape_strategy(), 2usize..=20, any::<u64>()).prop_map(|(shape, n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        JobDag::from_plan("j", &build_shape(&mut rng, shape, n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn wl_kernel_axioms(a in arbitrary_dag(), b in arbitrary_dag(), h in 0usize..4) {
+        let mut wl = WlVectorizer::new(h);
+        let fa = wl.transform(&a);
+        let fb = wl.transform(&b);
+        // Symmetry + Cauchy-Schwarz.
+        prop_assert!((fa.dot(&fb) - fb.dot(&fa)).abs() < 1e-9);
+        prop_assert!(fa.dot(&fb) <= (fa.norm_sq() * fb.norm_sq()).sqrt() + 1e-9);
+        // Self-similarity dominates after normalization.
+        let c = fa.cosine(&fb);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+    }
+
+    #[test]
+    fn sp_kernel_axioms(a in arbitrary_dag(), b in arbitrary_dag()) {
+        let k = sp_kernel(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&k));
+        prop_assert!((sp_kernel(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((sp_kernel(&b, &a) - k).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_matrices_are_psd(dags in prop::collection::vec(arbitrary_dag(), 2..12),
+                               h in 0usize..3) {
+        let mut wl = WlVectorizer::new(h);
+        let feats = wl.transform_all(&dags);
+        let k = kernel_matrix(&feats);
+        let eig = eigh(&k).unwrap();
+        let scale = eig.eigenvalues.last().copied().unwrap_or(1.0).abs().max(1.0);
+        for ev in &eig.eigenvalues {
+            prop_assert!(*ev >= -1e-8 * scale, "negative eigenvalue {ev}");
+        }
+        // Normalization keeps PSD and bounds entries.
+        let kn = normalize_kernel(&k);
+        for i in 0..kn.n() {
+            for j in 0..kn.n() {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&kn.get(i, j)));
+            }
+        }
+        let eign = eigh(&kn).unwrap();
+        for ev in &eign.eigenvalues {
+            prop_assert!(*ev >= -1e-8, "normalized negative eigenvalue {ev}");
+        }
+    }
+
+    #[test]
+    fn conflation_preserves_unweighted_embedding_for_pure_fanin(width in 2u32..12) {
+        // k parallel maps + one reduce conflates to M→R; unweighted WL and
+        // the weighted SP kernel must both treat it consistently.
+        let names: Vec<String> = (1..=width).map(|i| format!("M{i}")).collect();
+        let sink = format!(
+            "R{}_{}",
+            width + 1,
+            (1..=width).rev().map(|i| i.to_string()).collect::<Vec<_>>().join("_")
+        );
+        let tasks: Vec<dagscope_trace::TaskRecord> = names
+            .iter()
+            .chain(std::iter::once(&sink))
+            .map(|n| dagscope_trace::TaskRecord {
+                task_name: n.clone(),
+                instance_num: 1,
+                job_name: "j".into(),
+                task_type: "1".into(),
+                status: dagscope_trace::Status::Terminated,
+                start_time: 1,
+                end_time: 2,
+                plan_cpu: 1.0,
+                plan_mem: 0.1,
+            })
+            .collect();
+        let dag = JobDag::from_job(&dagscope_trace::Job { name: "j".into(), tasks }).unwrap();
+        let merged = dagscope_graph::conflate::conflate(&dag);
+        prop_assert_eq!(merged.len(), 2);
+        // Unweighted WL: merged fan-in == plain 2-chain.
+        let mut wl = WlVectorizer::new(2);
+        let f_merged = wl.transform(&merged);
+        let two = JobDag::from_job(&dagscope_trace::Job {
+            name: "c".into(),
+            tasks: vec![
+                dagscope_trace::TaskRecord {
+                    task_name: "M1".into(),
+                    instance_num: 1,
+                    job_name: "c".into(),
+                    task_type: "1".into(),
+                    status: dagscope_trace::Status::Terminated,
+                    start_time: 1,
+                    end_time: 2,
+                    plan_cpu: 1.0,
+                    plan_mem: 0.1,
+                },
+                dagscope_trace::TaskRecord {
+                    task_name: "R2_1".into(),
+                    instance_num: 1,
+                    job_name: "c".into(),
+                    task_type: "1".into(),
+                    status: dagscope_trace::Status::Terminated,
+                    start_time: 1,
+                    end_time: 2,
+                    plan_cpu: 1.0,
+                    plan_mem: 0.1,
+                },
+            ],
+        })
+        .unwrap();
+        prop_assert_eq!(f_merged, wl.transform(&two));
+        // Weighted SP kernel: merged == original (weights restore counts).
+        let mut sp = SpVectorizer::new();
+        prop_assert_eq!(sp.transform(&dag), sp.transform(&merged));
+    }
+}

@@ -1,0 +1,131 @@
+//! Regenerate any figure of the paper from a synthetic trace.
+//!
+//! ```text
+//! cargo run --release --example characterize -- --figure 7
+//! cargo run --release --example characterize -- --all
+//! cargo run --release --example characterize -- --summary --jobs 5000 --sample 100 --seed 1
+//! ```
+//!
+//! Figures: 2 (sample DAGs), 3 (conflation histogram), 4/5 (size-group
+//! tables before/after conflation), 6 (task-type distribution), 7 (WL
+//! similarity heat map), 8 (group representatives), 9 (group properties).
+
+use dagscope::core::{figures, Pipeline, PipelineConfig, Report};
+
+struct Args {
+    figures: Vec<u32>,
+    summary: bool,
+    jobs: usize,
+    sample: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        figures: Vec::new(),
+        summary: false,
+        jobs: 2_000,
+        sample: 100,
+        seed: 42,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--figure" => {
+                i += 1;
+                out.figures
+                    .push(argv[i].parse().expect("--figure takes 2..=9"));
+            }
+            "--all" => out.figures.extend([2, 3, 4, 5, 6, 7, 8, 9]),
+            "--summary" => out.summary = true,
+            "--jobs" => {
+                i += 1;
+                out.jobs = argv[i].parse().expect("--jobs takes a number");
+            }
+            "--sample" => {
+                i += 1;
+                out.sample = argv[i].parse().expect("--sample takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                out.seed = argv[i].parse().expect("--seed takes a number");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    if out.figures.is_empty() && !out.summary {
+        out.summary = true;
+        out.figures.extend([2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+    out
+}
+
+fn print_figure(report: &Report, figure: u32) {
+    println!("\n──────────────────────────────────────────────");
+    match figure {
+        2 => print!("{}", figures::fig2_sample_dags(report, 5)),
+        3 => print!("{}", figures::fig3_conflation(report).render()),
+        4 => print!(
+            "{}",
+            figures::render_size_groups(
+                "Fig 4: job features before node conflation",
+                &figures::fig4_size_groups(report)
+            )
+        ),
+        5 => print!(
+            "{}",
+            figures::render_size_groups(
+                "Fig 5: job features after node conflation",
+                &figures::fig5_size_groups(report)
+            )
+        ),
+        6 => print!(
+            "{}",
+            figures::render_type_distribution(&figures::fig6_type_distribution(report))
+        ),
+        7 => {
+            print!("{}", figures::fig7_heatmap(&report.similarity));
+            let s = figures::fig7_summary(&report.similarity);
+            println!(
+                "off-diagonal similarity: mean {:.3}, min {:.3}, max {:.3}, identical pairs {}",
+                s.mean, s.min, s.max, s.identical_pairs
+            );
+        }
+        8 => {
+            print!("{}", figures::fig8_representatives(report));
+            print!(
+                "\n{}",
+                figures::render_group_shapes(&figures::group_shape_composition(report))
+            );
+        }
+        9 => print!(
+            "{}",
+            figures::render_group_properties(&figures::fig9_group_properties(report))
+        ),
+        other => eprintln!("no figure {other}; available: 2..=9"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = PipelineConfig {
+        jobs: args.jobs,
+        sample: args.sample,
+        seed: args.seed,
+        ..Default::default()
+    };
+    eprintln!(
+        "running pipeline: {} jobs, sample {}, seed {}…",
+        cfg.jobs, cfg.sample, cfg.seed
+    );
+    let report = Pipeline::new(cfg).run().expect("pipeline failed");
+
+    if args.summary {
+        println!("{}", report.summary());
+    }
+    for f in &args.figures {
+        print_figure(&report, *f);
+    }
+}

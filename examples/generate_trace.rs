@@ -1,0 +1,54 @@
+//! Generate a synthetic cloud trace in the Alibaba cluster-trace-v2018
+//! schema and write `batch_task.csv` / `batch_instance.csv`.
+//!
+//! ```text
+//! cargo run --release --example generate_trace -- [jobs] [seed] [out_dir]
+//! ```
+//!
+//! Defaults: 10 000 jobs, seed 42, output into `./trace-out`.
+
+use std::fs::{self, File};
+use std::path::PathBuf;
+
+use dagscope::trace::gen::{GeneratorConfig, TraceGenerator};
+use dagscope::trace::stats::TraceStats;
+use dagscope::trace::{csv, JobSet};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let seed: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(42);
+    let out_dir = PathBuf::from(args.get(3).cloned().unwrap_or_else(|| "trace-out".into()));
+
+    let cfg = GeneratorConfig {
+        jobs,
+        seed,
+        emit_instances: true,
+        ..Default::default()
+    };
+    println!("generating {jobs} jobs (seed {seed})…");
+    let trace = TraceGenerator::new(cfg).generate();
+
+    fs::create_dir_all(&out_dir).expect("create output dir");
+    let task_path = out_dir.join("batch_task.csv");
+    let inst_path = out_dir.join("batch_instance.csv");
+    csv::write_tasks(File::create(&task_path).unwrap(), &trace.tasks).unwrap();
+    csv::write_instances(File::create(&inst_path).unwrap(), &trace.instances).unwrap();
+    println!(
+        "wrote {} task rows to {} and {} instance rows to {}",
+        trace.tasks.len(),
+        task_path.display(),
+        trace.instances.len(),
+        inst_path.display()
+    );
+
+    // Round-trip check + headline statistics (experiment E10).
+    let back = csv::read_tasks(std::io::BufReader::new(File::open(&task_path).unwrap())).unwrap();
+    assert_eq!(back.len(), trace.tasks.len(), "CSV round trip lost rows");
+    let stats = TraceStats::compute(&JobSet::from_tasks(back));
+    println!("\n== E10: trace headline statistics ==");
+    print!("{}", stats.render());
+    println!(
+        "(paper: ~50 % of batch jobs have dependencies and consume 70–80 % of batch resources)"
+    );
+}

@@ -1,0 +1,146 @@
+//! Close the loop the paper motivates: does topological grouping actually
+//! improve batch scheduling?
+//!
+//! 1. Characterize a historical sample into WL/spectral groups.
+//! 2. Learn a per-group median cost (total work) from that history.
+//! 3. Replay a *fresh* trace through the discrete-event cluster simulator
+//!    under four policies: FIFO, oracle SJF, oracle critical-path, and
+//!    **predicted SJF** whose only input is each incoming job's topology
+//!    (matched to its nearest historical group).
+//!
+//! ```text
+//! cargo run --release --example schedule_policies -- [jobs] [seed]
+//! ```
+
+use std::collections::HashMap;
+
+use dagscope::core::{Pipeline, PipelineConfig};
+use dagscope::graph::conflate;
+use dagscope::sched::{ClusterConfig, Policy, SimConfig, SimJob, Simulator};
+use dagscope::trace::filter::SampleCriteria;
+use dagscope::trace::gen::{GeneratorConfig, TraceGenerator};
+use dagscope::wl::WlVectorizer;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(400);
+    let seed: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    // ── 1. History: characterize and learn group costs. ────────────────
+    let report = Pipeline::new(PipelineConfig {
+        jobs: 3_000,
+        sample: 150,
+        seed,
+        ..Default::default()
+    })
+    .run()
+    .expect("pipeline failed");
+
+    let mut wl = WlVectorizer::new(report.config.wl_iterations);
+    let hist_feats = wl.transform_all(report.kernel_dags());
+    let k = report.groups.group_count();
+    let mut group_costs: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for (i, dag) in report.raw_dags.iter().enumerate() {
+        // Cost proxy learned from history: total CPU-seconds of the job.
+        let job_cost: f64 = (0..dag.len())
+            .map(|n| {
+                let a = dag.attr(n);
+                a.instance_num as f64 * a.plan_cpu * a.duration.max(1) as f64
+            })
+            .sum();
+        group_costs[report.groups.assignments[i]].push(job_cost);
+    }
+    let group_median: Vec<f64> = group_costs
+        .iter_mut()
+        .map(|v| {
+            if v.is_empty() {
+                return f64::MAX;
+            }
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        })
+        .collect();
+
+    // ── 2. Fresh workload the history never saw. ────────────────────────
+    let trace = TraceGenerator::new(GeneratorConfig {
+        jobs: jobs * 3,
+        seed: seed ^ 0xABCD_EF12,
+        ..Default::default()
+    })
+    .generate();
+    let set = trace.job_set();
+    let eligible = SampleCriteria::default().filter(&set);
+    let sim_jobs: Vec<SimJob> = eligible
+        .iter()
+        .take(jobs)
+        .map(|j| SimJob::from_trace_job(j).expect("filtered job builds"))
+        .collect();
+    eprintln!("replaying {} jobs through the simulator…", sim_jobs.len());
+
+    // Predict each incoming job's cost from its nearest group.
+    let mut predictions: HashMap<String, f64> = HashMap::new();
+    for job in &sim_jobs {
+        let feat = wl.transform(&conflate::conflate(&job.dag));
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for c in 0..k {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for (i, hf) in hist_feats.iter().enumerate() {
+                if report.groups.assignments[i] == c {
+                    total += feat.cosine(hf);
+                    count += 1;
+                }
+            }
+            if count > 0 && total / count as f64 > best.1 {
+                best = (c, total / count as f64);
+            }
+        }
+        predictions.insert(job.name.clone(), group_median[best.0]);
+    }
+
+    // ── 3. Race the policies on an intentionally tight cluster. ─────────
+    let cfg = SimConfig {
+        cluster: ClusterConfig {
+            machines: 48,
+            cpu_per_machine: 9_600.0,
+            mem_per_machine: 48.0,
+        },
+        arrival_compression: 2_000.0,
+        online_load: None,
+        evict_for_online: false,
+    };
+    println!(
+        "\npolicy comparison ({} machines, arrivals compressed):",
+        cfg.cluster.machines
+    );
+    let policies = vec![
+        Policy::Fifo,
+        Policy::PredictedSjf { predictions },
+        Policy::SjfOracle,
+        Policy::CriticalPathOracle,
+    ];
+    let mut rows = Vec::new();
+    for policy in policies {
+        let metrics = Simulator::new(cfg.clone(), policy)
+            .run(&sim_jobs)
+            .expect("simulation");
+        println!("  {}", metrics.render_row());
+        rows.push(metrics);
+    }
+
+    let fifo = rows.iter().find(|m| m.policy == "fifo").unwrap();
+    let pred = rows.iter().find(|m| m.policy == "predicted-sjf").unwrap();
+    let oracle = rows.iter().find(|m| m.policy == "sjf-oracle").unwrap();
+    let realized = if fifo.mean_jct > oracle.mean_jct {
+        (fifo.mean_jct - pred.mean_jct) / (fifo.mean_jct - oracle.mean_jct) * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "\npredicted-SJF (topology only, no duration oracle) realizes {realized:.0} % of \
+         the oracle-SJF improvement over FIFO\n\
+         — the measurable version of the paper's claim that topological\n\
+         characterization 'helps foresee … execution time of new jobs and\n\
+         make better decisions in job scheduling'."
+    );
+}

@@ -1,0 +1,45 @@
+//! # dagscope
+//!
+//! Graph-learning characterization of job-task dependency in cloud batch
+//! workloads — a Rust reproduction of Gu et al., *"Characterizing Job-Task
+//! Dependency in Cloud Workloads Using Graph Learning"* (IPPS 2021).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`trace`] — Alibaba-v2018-schema trace records, CSV I/O and the
+//!   synthetic workload generator,
+//! * [`graph`] — job DAG construction, structural metrics, node conflation
+//!   and shape-pattern classification,
+//! * [`linalg`] — dense symmetric matrices and the Jacobi eigensolver,
+//! * [`wl`] — the Weisfeiler-Lehman subtree kernel,
+//! * [`cluster`] — k-means and spectral clustering with validation indices,
+//! * [`core`] — the end-to-end characterization pipeline and the
+//!   figure-regeneration entry points,
+//! * [`sched`] — a discrete-event co-located-cluster scheduling simulator
+//!   that measures what the topological grouping buys a batch scheduler,
+//! * [`par`] — the scoped-thread parallel primitives everything runs on.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dagscope::core::{Pipeline, PipelineConfig};
+//!
+//! let report = Pipeline::new(PipelineConfig {
+//!     jobs: 300,
+//!     sample: 100,
+//!     seed: 7,
+//!     ..PipelineConfig::default()
+//! })
+//! .run()
+//! .expect("pipeline");
+//! assert_eq!(report.groups.group_count(), 5);
+//! ```
+
+pub use dagscope_cluster as cluster;
+pub use dagscope_core as core;
+pub use dagscope_graph as graph;
+pub use dagscope_linalg as linalg;
+pub use dagscope_par as par;
+pub use dagscope_sched as sched;
+pub use dagscope_trace as trace;
+pub use dagscope_wl as wl;

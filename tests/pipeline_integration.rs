@@ -1,0 +1,197 @@
+//! End-to-end integration tests: the full trace → DAG → kernel → groups
+//! pipeline, checked against the paper's qualitative claims.
+
+use dagscope::cluster::validation::is_partition;
+use dagscope::core::{figures, Pipeline, PipelineConfig, Report};
+use dagscope::graph::JobDag;
+use dagscope::trace::filter::SampleCriteria;
+use dagscope::trace::gen::{GeneratorConfig, TraceGenerator};
+use dagscope::trace::stats::TraceStats;
+
+fn run(jobs: usize, sample: usize, seed: u64) -> Report {
+    Pipeline::new(PipelineConfig {
+        jobs,
+        sample,
+        seed,
+        ..Default::default()
+    })
+    .run()
+    .expect("pipeline")
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let a = run(800, 60, 5);
+    let b = run(800, 60, 5);
+    assert_eq!(a.sample_names, b.sample_names);
+    assert_eq!(a.groups.assignments, b.groups.assignments);
+    assert_eq!(a.similarity, b.similarity);
+}
+
+#[test]
+fn e10_dependency_share_headline() {
+    // Paper: ~50 % of batch jobs have dependencies; they consume 70–80 %
+    // of batch resources. Accept a generous band — the claim is the shape,
+    // not the digit.
+    let trace = TraceGenerator::new(GeneratorConfig {
+        jobs: 6_000,
+        seed: 42,
+        ..Default::default()
+    })
+    .generate();
+    let stats = TraceStats::compute(&trace.job_set());
+    assert!(
+        (0.45..=0.55).contains(&stats.dag_fraction),
+        "dep fraction {}",
+        stats.dag_fraction
+    );
+    assert!(
+        (0.60..=0.90).contains(&stats.dag_cpu_share),
+        "dep cpu share {}",
+        stats.dag_cpu_share
+    );
+}
+
+#[test]
+fn section_v_b_pattern_mix() {
+    // Paper: 58 % straight chains, 37 % inverted triangles among DAG jobs.
+    let trace = TraceGenerator::new(GeneratorConfig {
+        jobs: 8_000,
+        seed: 42,
+        ..Default::default()
+    })
+    .generate();
+    let set = trace.job_set();
+    let dags: Vec<JobDag> = SampleCriteria::default()
+        .filter(&set)
+        .into_iter()
+        .map(|j| JobDag::from_job(j).unwrap())
+        .collect();
+    let census = figures::pattern_census_of(&dags);
+    let chain = census.fraction("straight-chain");
+    let tri = census.fraction("inverted-triangle");
+    assert!((0.50..=0.66).contains(&chain), "chain fraction {chain}");
+    assert!((0.30..=0.44).contains(&tri), "triangle fraction {tri}");
+    assert!(chain > tri, "chains must dominate");
+    // The named rare shapes exist but stay rare.
+    for label in ["diamond", "hourglass", "trapezium"] {
+        let f = census.fraction(label);
+        assert!(f > 0.0 && f < 0.1, "{label} fraction {f}");
+    }
+}
+
+#[test]
+fn fig9_group_shape_holds() {
+    let report = run(2_000, 100, 42);
+    let groups = &report.groups.groups;
+    assert_eq!(groups.len(), 5);
+    assert!(is_partition(&report.groups.assignments, 5));
+
+    // Group A dominates and is made of short jobs (paper: 75 % population,
+    // 90.6 % short, 91 % chains).
+    let a = &groups[0];
+    assert!(a.fraction >= 0.35, "group A fraction {}", a.fraction);
+    assert!(
+        a.fraction > 1.5 * groups[1].fraction,
+        "A must clearly dominate B"
+    );
+    assert!(
+        a.short_fraction >= 0.6,
+        "group A short-job share {}",
+        a.short_fraction
+    );
+    assert!(a.mean_size <= 4.0, "group A mean size {}", a.mean_size);
+
+    // Larger structured jobs live outside A: some group's mean size must
+    // be several times A's (the paper's groups B–D trend upward).
+    let max_mean = groups.iter().map(|g| g.mean_size).fold(0.0, f64::max);
+    assert!(max_mean > 2.0 * a.mean_size, "no large-job group found");
+
+    // Critical paths stay in the published 2–8 band.
+    for g in groups {
+        for &cp in &g.critical_paths {
+            assert!((1..=8).contains(&cp), "critical path {cp}");
+        }
+    }
+}
+
+#[test]
+fn fig7_similarity_structure() {
+    let report = run(1_000, 80, 9);
+    let s = figures::fig7_summary(&report.similarity);
+    // Identical small jobs exist in any realistic sample.
+    assert!(s.identical_pairs > 0);
+    assert!(s.max <= 1.0 + 1e-9);
+    assert!(s.min >= 0.0);
+    // Not everything is identical — structure varies.
+    assert!(s.mean < 0.95);
+
+    // Paper: smaller simple graphs score higher on average. Compare mean
+    // pairwise similarity among small (≤3) vs among large (≥10) jobs.
+    let sizes: Vec<usize> = report.features_raw.iter().map(|f| f.size).collect();
+    let mut small_scores = Vec::new();
+    let mut large_scores = Vec::new();
+    for i in 0..sizes.len() {
+        for j in (i + 1)..sizes.len() {
+            let v = report.similarity.get(i, j);
+            if sizes[i] <= 3 && sizes[j] <= 3 {
+                small_scores.push(v);
+            } else if sizes[i] >= 10 && sizes[j] >= 10 {
+                large_scores.push(v);
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(
+        mean(&small_scores) > mean(&large_scores),
+        "small {} vs large {}",
+        mean(&small_scores),
+        mean(&large_scores)
+    );
+}
+
+#[test]
+fn conflation_monotone_on_whole_sample() {
+    let report = run(600, 80, 13);
+    let h = figures::fig3_conflation(&report);
+    // Mass conserved and distribution shifted toward smaller sizes.
+    let total_before: usize = h.before.values().sum();
+    let total_after: usize = h.after.values().sum();
+    assert_eq!(total_before, total_after);
+    for s in [2usize, 3, 5, 8] {
+        assert!(
+            h.cdf(true, s) >= h.cdf(false, s) - 1e-12,
+            "CDF regressed at {s}"
+        );
+    }
+    assert!(
+        h.cdf(true, 3) > h.cdf(false, 3),
+        "conflation had no effect at all"
+    );
+}
+
+#[test]
+fn sample_respects_variability_criterion() {
+    let report = run(2_000, 100, 42);
+    let sizes: std::collections::BTreeSet<usize> =
+        report.features_raw.iter().map(|f| f.size).collect();
+    // Paper: 17 size types in the 100-job sample, sizes 2..=31.
+    assert!(sizes.len() >= 17, "only {} size types", sizes.len());
+    assert!(*sizes.iter().min().unwrap() >= 2);
+    assert!(*sizes.iter().max().unwrap() <= 31);
+}
+
+#[test]
+fn eigengap_mode_also_works_end_to_end() {
+    let cfg = PipelineConfig {
+        jobs: 600,
+        sample: 50,
+        seed: 21,
+        clusters: dagscope::cluster::ClusterCount::Eigengap { max_k: 8 },
+        ..Default::default()
+    };
+    let report = Pipeline::new(cfg).run().unwrap();
+    let k = report.groups.group_count();
+    assert!((1..=8).contains(&k), "eigengap chose k={k}");
+    assert!(is_partition(&report.groups.assignments, k));
+}

@@ -1,0 +1,160 @@
+//! Property-based invariants across the whole stack, driven by randomly
+//! generated DAG shapes and traces.
+
+use proptest::prelude::*;
+
+use dagscope::graph::{algo, conflate, JobDag};
+use dagscope::trace::gen::{build_shape, ShapeKind};
+use dagscope::trace::taskname::{self, ParsedTaskName};
+use dagscope::trace::{csv, Job, Status, TaskRecord};
+use dagscope::wl::WlVectorizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn shape_strategy() -> impl Strategy<Value = ShapeKind> {
+    prop::sample::select(ShapeKind::ALL.to_vec())
+}
+
+fn arbitrary_dag() -> impl Strategy<Value = JobDag> {
+    (shape_strategy(), 2usize..=31, any::<u64>()).prop_map(|(shape, n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        JobDag::from_plan("j_prop", &build_shape(&mut rng, shape, n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_plans_validate(shape in shape_strategy(), n in 2usize..=31, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = build_shape(&mut rng, shape, n);
+        prop_assert!(plan.validate().is_ok());
+        prop_assert!(plan.size() >= shape.min_size().min(n));
+        // Chains are exactly as deep as they are long (the trace generator
+        // bounds their *size* separately); every other shape stays within
+        // the paper's observed depth band.
+        if shape == ShapeKind::Chain {
+            prop_assert_eq!(plan.critical_path(), plan.size());
+        } else {
+            prop_assert!(plan.critical_path() <= 8, "depth {}", plan.critical_path());
+        }
+    }
+
+    #[test]
+    fn dag_roundtrip_through_task_names(dag in arbitrary_dag()) {
+        // Rebuilding the DAG from its rendered task names is lossless.
+        let tasks: Vec<TaskRecord> = (0..dag.len()).map(|i| TaskRecord {
+            task_name: dag.task_name(i).to_string(),
+            instance_num: 1,
+            job_name: "j_prop".into(),
+            task_type: "1".into(),
+            status: Status::Terminated,
+            start_time: 1,
+            end_time: 2,
+            plan_cpu: 1.0,
+            plan_mem: 0.1,
+        }).collect();
+        let rebuilt = JobDag::from_job(&Job { name: "j_prop".into(), tasks }).unwrap();
+        prop_assert_eq!(rebuilt.len(), dag.len());
+        prop_assert_eq!(
+            rebuilt.edges().collect::<Vec<_>>(),
+            dag.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn conflation_invariants(dag in arbitrary_dag()) {
+        let merged = conflate::conflate(&dag);
+        prop_assert!(merged.check_invariants().is_ok());
+        // Task mass conserved, node count never grows.
+        prop_assert_eq!(merged.total_weight(), dag.total_weight());
+        prop_assert!(merged.len() <= dag.len());
+        // Depth and width never increase.
+        prop_assert!(algo::critical_path(&merged) <= algo::critical_path(&dag));
+        prop_assert!(algo::max_width(&merged) <= algo::max_width(&dag));
+        // Idempotent.
+        prop_assert_eq!(conflate::conflate(&merged), merged);
+    }
+
+    #[test]
+    fn wl_kernel_bounds_and_self_similarity(a in arbitrary_dag(), b in arbitrary_dag()) {
+        let mut wl = WlVectorizer::new(3);
+        let fa = wl.transform(&a);
+        let fb = wl.transform(&b);
+        // Cauchy–Schwarz: normalized kernel in [0, 1]; self similarity 1.
+        let kab = fa.cosine(&fb);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&kab), "k={kab}");
+        prop_assert!((fa.cosine(&fa) - 1.0).abs() < 1e-9);
+        // Symmetry.
+        prop_assert!((fa.dot(&fb) - fb.dot(&fa)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wl_iteration_monotone_vocabulary(dag in arbitrary_dag()) {
+        // More iterations can only refine (never coarsen) the feature map:
+        // nnz is non-decreasing in h.
+        let mut last = 0usize;
+        for h in 0..4usize {
+            let mut wl = WlVectorizer::new(h);
+            let f = wl.transform(&dag);
+            prop_assert!(f.nnz() >= last, "h={h}: {} < {last}", f.nnz());
+            last = f.nnz();
+        }
+    }
+
+    #[test]
+    fn taskname_roundtrip(kind in prop::sample::select(vec!['M', 'R', 'J']),
+                          id in 1u32..1000,
+                          parents in prop::collection::vec(1u32..1000, 0..6)) {
+        // Render then parse with normalized (descending, deduped) parents.
+        let mut ps = parents.clone();
+        ps.sort_unstable_by(|a, b| b.cmp(a));
+        ps.dedup();
+        let name = taskname::format_dag(taskname::TaskKind::from_letter(kind), id, &ps);
+        match taskname::parse(&name) {
+            ParsedTaskName::Dag { kind: k2, id: id2, parents: p2 } => {
+                prop_assert_eq!(k2.letter(), kind);
+                prop_assert_eq!(id2, id);
+                prop_assert_eq!(p2, ps);
+            }
+            other => prop_assert!(false, "did not parse as DAG: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_task_roundtrip(instance_num in 0u32..10_000,
+                          start in 0i64..1_000_000,
+                          dur in 0i64..100_000,
+                          cpu in 0u32..10_000,
+                          mem in 0u32..1_000) {
+        let t = TaskRecord {
+            task_name: "R2_1".into(),
+            instance_num,
+            job_name: "j_1".into(),
+            task_type: "12".into(),
+            status: Status::Terminated,
+            start_time: start,
+            end_time: start + dur,
+            plan_cpu: cpu as f64 / 4.0,
+            plan_mem: mem as f64 / 128.0,
+        };
+        let line = csv::format_task_line(&t);
+        let back = csv::parse_task_line(1, &line).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn level_structure_consistent(dag in arbitrary_dag()) {
+        let levels = algo::levels(&dag);
+        // Every edge increases the level by at least one.
+        for (p, c) in dag.edges() {
+            prop_assert!(levels[c as usize] > levels[p as usize]);
+        }
+        // Width × depth bounds the size; critical path = deepest level + 1.
+        let widths = algo::level_widths(&dag);
+        prop_assert_eq!(widths.iter().sum::<usize>(), dag.len());
+        prop_assert_eq!(algo::critical_path(&dag), widths.len());
+        prop_assert_eq!(algo::max_width(&dag), *widths.iter().max().unwrap());
+    }
+}

@@ -1,0 +1,70 @@
+//! Replication sweep: the paper's qualitative grouping results must be
+//! stable across seeds, not an artifact of one lucky sample.
+
+use dagscope::core::{Pipeline, PipelineConfig};
+
+#[test]
+fn group_structure_replicates_across_seeds() {
+    let seeds = [1u64, 2, 3];
+    let mut dominant_short_led = 0usize;
+    for &seed in &seeds {
+        let report = Pipeline::new(PipelineConfig {
+            jobs: 1_200,
+            sample: 80,
+            seed,
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+        let a = &report.groups.groups[0];
+        // Group A dominates and is led by short jobs.
+        assert!(a.fraction >= 0.25, "seed {seed}: A fraction {}", a.fraction);
+        if a.fraction >= 0.35 && a.short_fraction >= 0.5 {
+            dominant_short_led += 1;
+        }
+        // Critical-path band holds for every group, every seed.
+        for g in &report.groups.groups {
+            for &cp in &g.critical_paths {
+                assert!((1..=8).contains(&cp), "seed {seed}: critical path {cp}");
+            }
+        }
+        // Clustering quality stays healthy.
+        assert!(
+            report.groups.silhouette > 0.3,
+            "seed {seed}: silhouette {}",
+            report.groups.silhouette
+        );
+    }
+    assert!(
+        dominant_short_led >= 2,
+        "A-dominance replicated in only {dominant_short_led}/3 seeds"
+    );
+}
+
+#[test]
+fn pattern_mix_replicates_across_seeds() {
+    use dagscope::core::figures;
+    use dagscope::graph::JobDag;
+    use dagscope::trace::filter::SampleCriteria;
+    use dagscope::trace::gen::{GeneratorConfig, TraceGenerator};
+
+    for seed in [11u64, 22, 33] {
+        let trace = TraceGenerator::new(GeneratorConfig {
+            jobs: 3_000,
+            seed,
+            ..Default::default()
+        })
+        .generate();
+        let set = trace.job_set();
+        let dags: Vec<JobDag> = SampleCriteria::default()
+            .filter(&set)
+            .into_iter()
+            .map(|j| JobDag::from_job(j).unwrap())
+            .collect();
+        let census = figures::pattern_census_of(&dags);
+        let chain = census.fraction("straight-chain");
+        let tri = census.fraction("inverted-triangle");
+        assert!((0.48..=0.68).contains(&chain), "seed {seed}: chain {chain}");
+        assert!((0.28..=0.46).contains(&tri), "seed {seed}: triangle {tri}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration: trace → DAGs → scheduling simulator, including the
+//! clustering-informed policy path.
+
+use std::collections::HashMap;
+
+use dagscope::sched::{ClusterConfig, Policy, SimConfig, SimJob, Simulator};
+use dagscope::trace::filter::SampleCriteria;
+use dagscope::trace::gen::{GeneratorConfig, TraceGenerator};
+
+fn workload(jobs: usize, seed: u64) -> Vec<SimJob> {
+    let trace = TraceGenerator::new(GeneratorConfig {
+        jobs: jobs * 3,
+        seed,
+        ..Default::default()
+    })
+    .generate();
+    let set = trace.job_set();
+    let eligible = SampleCriteria::default().filter(&set);
+    eligible
+        .iter()
+        .take(jobs)
+        .map(|j| SimJob::from_trace_job(j).expect("filtered job builds"))
+        .collect()
+}
+
+fn tight() -> SimConfig {
+    SimConfig {
+        cluster: ClusterConfig {
+            machines: 24,
+            cpu_per_machine: 9_600.0,
+            mem_per_machine: 48.0,
+        },
+        arrival_compression: 2_000.0,
+        online_load: None,
+        evict_for_online: false,
+    }
+}
+
+#[test]
+fn generated_workload_schedules_to_completion() {
+    let jobs = workload(150, 3);
+    assert!(!jobs.is_empty());
+    let m = Simulator::new(tight(), Policy::Fifo).run(&jobs).unwrap();
+    assert_eq!(m.jobs, jobs.len());
+    assert!(m.mean_jct > 0.0);
+    assert!(m.makespan > 0);
+    assert!((0.0..=1.0).contains(&m.mean_utilization));
+    // Every JCT at least the job's ideal makespan (can't beat physics):
+    // checked in aggregate via the mean.
+    let ideal_mean: f64 =
+        jobs.iter().map(|j| j.ideal_makespan() as f64).sum::<f64>() / jobs.len() as f64;
+    assert!(
+        m.mean_jct >= ideal_mean,
+        "mean {} < ideal {}",
+        m.mean_jct,
+        ideal_mean
+    );
+}
+
+#[test]
+fn oracle_sjf_improves_mean_jct_under_contention() {
+    let jobs = workload(250, 42);
+    let fifo = Simulator::new(tight(), Policy::Fifo).run(&jobs).unwrap();
+    let sjf = Simulator::new(tight(), Policy::SjfOracle)
+        .run(&jobs)
+        .unwrap();
+    assert!(
+        sjf.mean_jct < fifo.mean_jct,
+        "sjf {} !< fifo {}",
+        sjf.mean_jct,
+        fifo.mean_jct
+    );
+}
+
+#[test]
+fn perfect_predictions_match_oracle() {
+    let jobs = workload(120, 7);
+    let mut predictions = HashMap::new();
+    for j in &jobs {
+        predictions.insert(j.name.clone(), j.total_work());
+    }
+    let pred = Simulator::new(tight(), Policy::PredictedSjf { predictions })
+        .run(&jobs)
+        .unwrap();
+    let oracle = Simulator::new(tight(), Policy::SjfOracle)
+        .run(&jobs)
+        .unwrap();
+    assert!((pred.mean_jct - oracle.mean_jct).abs() < 1e-9);
+}
+
+#[test]
+fn uncontended_cluster_gives_ideal_jcts() {
+    // A huge cluster with uncompressed arrivals: every job runs at its
+    // weighted critical path (plus instance waves for very wide tasks).
+    let jobs = workload(40, 9);
+    let cfg = SimConfig {
+        cluster: ClusterConfig {
+            machines: 4_000,
+            cpu_per_machine: 9_600.0,
+            mem_per_machine: 480.0,
+        },
+        arrival_compression: 1.0,
+        online_load: None,
+        evict_for_online: false,
+    };
+    let m = Simulator::new(cfg, Policy::Fifo).run(&jobs).unwrap();
+    let ideal_mean: f64 =
+        jobs.iter().map(|j| j.ideal_makespan() as f64).sum::<f64>() / jobs.len() as f64;
+    assert!(
+        (m.mean_jct - ideal_mean).abs() < 1.0,
+        "mean {} vs ideal {}",
+        m.mean_jct,
+        ideal_mean
+    );
+}
