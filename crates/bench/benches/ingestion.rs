@@ -1,0 +1,142 @@
+//! Ingestion throughput: chunked parallel CSV decode vs the sequential
+//! reader over a ≥1M-row synthetic `batch_task.csv`, swept at 1/2/4
+//! worker threads.
+//!
+//! After the Criterion sweep the bench writes `BENCH_ingest.json` at the
+//! repository root with best-of-N rows/sec per configuration, so the
+//! numbers are recorded alongside the host's actual parallelism (speedup
+//! claims are meaningless without it).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dagscope_par::ParScope;
+use dagscope_trace::csv;
+
+/// Row count for the synthetic trace (≥1M per the scaling target).
+const ROWS: usize = 1_000_000;
+
+/// A varied but deterministic v2018-schema task file: several task-name
+/// spellings and numeric shapes so the parser sees realistic branching.
+fn synthetic_csv(rows: usize) -> String {
+    let mut s = String::with_capacity(rows * 56);
+    for i in 0..rows {
+        let job = i / 8;
+        let t = (i % 97) as i64 * 13;
+        match i % 4 {
+            0 => writeln!(
+                s,
+                "M{},2,j_{job},1,Terminated,{t},{},100.0,0.5",
+                i % 9 + 1,
+                t + 60
+            ),
+            1 => writeln!(
+                s,
+                "R{}_{},1,j_{job},2,Terminated,{t},{},50.0,0.25",
+                i % 9 + 2,
+                i % 9 + 1,
+                t + 30
+            ),
+            2 => writeln!(
+                s,
+                "task_x{i},1,j_{job},3,Terminated,{t},{},75.5,0.125",
+                t + 15
+            ),
+            _ => writeln!(
+                s,
+                "J{}_{}_{},4,j_{job},12,Failed,{t},{},25.0,0.0625",
+                i % 9 + 3,
+                i % 9 + 2,
+                i % 9 + 1,
+                t + 90
+            ),
+        }
+        .unwrap();
+    }
+    s
+}
+
+/// Best-of-`reps` decode rate in rows/sec under a pinned thread count
+/// (0 = sequential reader).
+fn measure_rows_per_sec(bytes: &[u8], threads: usize, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let elapsed = if threads == 0 {
+            let start = Instant::now();
+            black_box(csv::read_tasks(bytes).expect("valid synthetic csv"));
+            start.elapsed()
+        } else {
+            let _scope = ParScope::new(threads);
+            let start = Instant::now();
+            black_box(csv::read_tasks_parallel(bytes).expect("valid synthetic csv"));
+            start.elapsed()
+        };
+        best = best.min(elapsed.as_secs_f64());
+    }
+    ROWS as f64 / best
+}
+
+fn write_bench_json(bytes: &[u8]) {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut results = String::new();
+    let seq = measure_rows_per_sec(bytes, 0, 3);
+    write!(
+        results,
+        "    {{\"config\": \"sequential\", \"rows_per_sec\": {seq:.0}}}"
+    )
+    .unwrap();
+    for threads in [1usize, 2, 4] {
+        let r = measure_rows_per_sec(bytes, threads, 3);
+        write!(
+            results,
+            ",\n    {{\"config\": \"parallel-{threads}\", \"rows_per_sec\": {r:.0}, \"speedup_vs_sequential\": {:.2}}}",
+            r / seq
+        )
+        .unwrap();
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"ingest_tasks\",\n  \"rows\": {ROWS},\n  \"bytes\": {},\n  \
+         \"host_parallelism\": {host},\n  \"results\": [\n{results}\n  ],\n  \
+         \"note\": \"best-of-3 wall clock; parallel speedup is bounded by host_parallelism — \
+         on a single-CPU host all thread counts measure the same core\"\n}}\n",
+        bytes.len()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let data = synthetic_csv(ROWS);
+    let bytes = data.as_bytes();
+    let mut group = c.benchmark_group("ingest_tasks");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            csv::read_tasks(black_box(bytes))
+                .expect("valid synthetic csv")
+                .len()
+        })
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            let _scope = ParScope::new(t);
+            b.iter(|| {
+                csv::read_tasks_parallel(black_box(bytes))
+                    .expect("valid synthetic csv")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+    write_bench_json(bytes);
+}
+
+criterion_group!(benches, bench_ingestion);
+criterion_main!(benches);

@@ -29,7 +29,8 @@ COMMANDS
   generate    synthesize a v2018-schema trace and write batch_task.csv
               (--jobs N --seed S --out DIR [--instances] [--machines])
   summary     run the full pipeline, print trace stats + group table
-              (--jobs N --sample N --seed S [--base-kernel wl|sp])
+              (--jobs N --sample N --seed S [--base-kernel wl|sp]
+               [--trace DIR] [--timings])
   figure      regenerate one paper figure 2..9, or all
               (--n N | --all) [--csv DIR] [--dot DIR] [pipeline flags]
   census      Section V-B shape-pattern census over a full trace
@@ -44,6 +45,13 @@ COMMANDS
   report      auto-generated paper-vs-measured markdown record
               (--jobs N --sample N --seed S)
   help        this text
+
+GLOBAL FLAGS
+  --threads N   pin the worker-thread count for all parallel stages
+                (default: DAGSCOPE_THREADS env var, else autodetect)
+  --trace DIR   pipeline commands ingest DIR/batch_task.csv (parallel
+                CSV decode) instead of synthesizing a trace
+  --timings     summary/report: append per-stage wall-clock table
 ";
 
 /// CLI-level errors.
@@ -106,9 +114,29 @@ fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, CliError> {
 }
 
 fn run_pipeline(flags: &Flags) -> Result<Report, CliError> {
-    Pipeline::new(pipeline_config(flags)?)
-        .run()
-        .map_err(CliError::Run)
+    let pipeline = Pipeline::new(pipeline_config(flags)?);
+    match flags.str_opt("trace") {
+        // Ingest a real (or pre-generated) batch_task.csv instead of
+        // synthesizing a trace; chunks decode in parallel.
+        Some(dir) => {
+            let path = Path::new(dir).join("batch_task.csv");
+            let bytes = fs::read(&path)?;
+            let tasks = csv::read_tasks_parallel(&bytes).map_err(io_err)?;
+            pipeline
+                .run_on(&dagscope_trace::JobSet::from_tasks(tasks))
+                .map_err(CliError::Run)
+        }
+        None => pipeline.run().map_err(CliError::Run),
+    }
+}
+
+/// Render the report's primary text, appending stage timings on demand.
+fn with_timings(flags: &Flags, report: &Report, body: String) -> String {
+    if flags.switch("timings") {
+        format!("{body}\n{}", report.timings.render())
+    } else {
+        body
+    }
 }
 
 fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
@@ -172,11 +200,15 @@ fn io_err(e: dagscope_trace::TraceError) -> CliError {
 }
 
 fn cmd_summary(flags: &Flags) -> Result<String, CliError> {
-    Ok(run_pipeline(flags)?.summary())
+    let report = run_pipeline(flags)?;
+    let body = report.summary();
+    Ok(with_timings(flags, &report, body))
 }
 
 fn cmd_report(flags: &Flags) -> Result<String, CliError> {
-    Ok(run_pipeline(flags)?.markdown())
+    let report = run_pipeline(flags)?;
+    let body = report.markdown();
+    Ok(with_timings(flags, &report, body))
 }
 
 fn render_figure(report: &Report, n: u32) -> String {
@@ -419,6 +451,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     if flags.switch("help") {
         return Ok(HELP.to_string());
     }
+    // Pin the worker-thread count for every parallel stage this command
+    // runs (0 = autodetect, the default).
+    let threads = flags.get_or("threads", 0usize, "a thread count")?;
+    let _par_scope = (threads > 0).then(|| dagscope_par::ParScope::new(threads));
     match command.as_str() {
         "generate" => cmd_generate(&flags),
         "summary" => cmd_summary(&flags),
@@ -529,6 +565,41 @@ mod tests {
             .unwrap_err();
             assert!(err.to_string().contains("--online"), "{bad}");
         }
+    }
+
+    #[test]
+    fn summary_with_timings_and_threads() {
+        let out = run(&argv(
+            "summary --jobs 200 --sample 20 --seed 3 --threads 1 --timings",
+        ))
+        .unwrap();
+        assert!(out.contains("== groups"));
+        assert!(out.contains("== stage timings =="));
+        for stage in [
+            "stats", "sample", "dags", "embed", "kernel", "cluster", "total",
+        ] {
+            assert!(out.contains(stage), "missing {stage}");
+        }
+        // Without the switch the table is absent.
+        let plain = run(&argv("summary --jobs 200 --sample 20 --seed 3")).unwrap();
+        assert!(!plain.contains("stage timings"));
+    }
+
+    #[test]
+    fn summary_ingests_generated_trace() {
+        let dir = std::env::temp_dir().join(format!("dagscope_cli_trace_{}", std::process::id()));
+        run(&argv(&format!(
+            "generate --jobs 300 --seed 5 --out {}",
+            dir.display()
+        )))
+        .unwrap();
+        let out = run(&argv(&format!(
+            "summary --trace {} --sample 20 --seed 5",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("== groups"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -27,9 +27,11 @@ pub mod figures;
 pub mod groups;
 mod pipeline;
 mod report;
+mod timings;
 
 pub use baseline::{compare_baselines, conflation_stability, BaselineComparison};
 pub use config::{BaseKernel, PipelineConfig};
 pub use groups::{GroupAnalysis, GroupStats};
 pub use pipeline::Pipeline;
 pub use report::Report;
+pub use timings::StageTimings;

@@ -9,8 +9,10 @@ use dagscope_trace::stats::TraceStats;
 use dagscope_trace::{Job, JobSet};
 use dagscope_wl::{kernel_matrix, normalize_kernel, SpVectorizer, WlVectorizer};
 
+use std::time::Instant;
+
 use crate::groups::GroupAnalysis;
-use crate::{PipelineConfig, Report};
+use crate::{PipelineConfig, Report, StageTimings};
 
 /// Orchestrates trace synthesis → filtering → DAGs → WL kernel →
 /// spectral groups, producing a [`Report`].
@@ -39,27 +41,38 @@ impl Pipeline {
     /// Run on an existing job population (e.g. parsed from the real trace
     /// CSVs) — the synthetic generator is bypassed entirely.
     pub fn run_on(&self, jobs: &JobSet) -> Result<Report, String> {
+        let run_start = Instant::now();
+        let mut timings = StageTimings::default();
+
+        let clock = Instant::now();
         let stats = TraceStats::compute(jobs);
+        timings.stats = clock.elapsed();
 
         // Integrity + availability filters, then the variability-stratified
         // sample.
+        let clock = Instant::now();
         let criteria = SampleCriteria::default();
         let eligible: Vec<&Job> = criteria.filter(jobs);
         if eligible.is_empty() {
             return Err("no job passed the integrity/availability filters".to_string());
         }
         let sample = stratified_sample(&eligible, self.cfg.sample, self.cfg.seed);
+        timings.sample = clock.elapsed();
 
         // DAG construction (parallel); filters guarantee buildability.
+        let clock = Instant::now();
         let raw_dags: Vec<JobDag> = dagscope_par::par_map(&sample, |job| {
             JobDag::from_job(job).expect("filtered job must build")
         });
         let conflated: Vec<JobDag> = dagscope_par::par_map(&raw_dags, conflate::conflate);
+        timings.dags = clock.elapsed();
 
         // Features before and after conflation (Figs 4 and 5).
+        let clock = Instant::now();
         let features_raw: Vec<JobFeatures> = dagscope_par::par_map(&raw_dags, JobFeatures::extract);
         let features_conflated: Vec<JobFeatures> =
             dagscope_par::par_map(&conflated, JobFeatures::extract);
+        timings.features = clock.elapsed();
 
         // Kernel embedding + normalized similarity matrix (Fig 7). The
         // base kernel of eq. (1) is configurable: WL subtree (default) or
@@ -69,6 +82,7 @@ impl Pipeline {
         } else {
             &raw_dags
         };
+        let clock = Instant::now();
         let wl_features = match self.cfg.base_kernel {
             crate::BaseKernel::WlSubtree => {
                 let mut wl = WlVectorizer::new(self.cfg.wl_iterations);
@@ -79,9 +93,13 @@ impl Pipeline {
                 sp.transform_all(kernel_input)
             }
         };
+        timings.embed = clock.elapsed();
+        let clock = Instant::now();
         let similarity = normalize_kernel(&kernel_matrix(&wl_features));
+        timings.kernel = clock.elapsed();
 
         // Spectral grouping (Figs 8–9).
+        let clock = Instant::now();
         let spectral = spectral_cluster(
             &similarity,
             &SpectralConfig {
@@ -101,6 +119,8 @@ impl Pipeline {
             &features_raw,
             &similarity,
         );
+        timings.cluster = clock.elapsed();
+        timings.total = run_start.elapsed();
 
         Ok(Report {
             config: self.cfg.clone(),
@@ -114,6 +134,7 @@ impl Pipeline {
             similarity,
             laplacian_eigenvalues: spectral.eigenvalues,
             groups,
+            timings,
         })
     }
 }
@@ -208,6 +229,17 @@ mod tests {
         let wl = Pipeline::new(small_cfg()).run().unwrap();
         assert!(report.groups.groups[0].fraction >= 0.2);
         assert!(wl.groups.groups[0].fraction >= 0.2);
+    }
+
+    #[test]
+    fn timings_cover_the_run() {
+        let report = Pipeline::new(small_cfg()).run().unwrap();
+        let t = &report.timings;
+        assert!(t.total > std::time::Duration::ZERO);
+        // Stages are disjoint sub-intervals of the run.
+        let staged: std::time::Duration = t.stages().iter().map(|(_, d)| *d).sum();
+        assert!(staged <= t.total);
+        assert!(t.render().contains("total"));
     }
 
     #[test]

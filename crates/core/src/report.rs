@@ -6,7 +6,7 @@ use dagscope_linalg::SymMatrix;
 use dagscope_trace::stats::TraceStats;
 use dagscope_wl::SparseVec;
 
-use crate::{GroupAnalysis, PipelineConfig};
+use crate::{GroupAnalysis, PipelineConfig, StageTimings};
 
 /// Everything one pipeline run produces. The [`crate::figures`] module
 /// renders individual paper figures from this bundle.
@@ -34,6 +34,8 @@ pub struct Report {
     pub laplacian_eigenvalues: Vec<f64>,
     /// Spectral grouping and per-group statistics (Figs 8–9).
     pub groups: GroupAnalysis,
+    /// Per-stage wall-clock times for this run.
+    pub timings: StageTimings,
 }
 
 impl Report {

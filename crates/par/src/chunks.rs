@@ -1,0 +1,124 @@
+//! Ordered parallel map over delimiter-aligned byte chunks.
+//!
+//! Large trace files are parsed fastest by splitting the raw byte buffer
+//! into a handful of multi-megabyte chunks and decoding each chunk on its
+//! own worker thread. The split must never land mid-record, so chunk
+//! boundaries are advanced to the next delimiter (a newline for CSV); the
+//! per-chunk results come back in input order, which lets callers
+//! reconstruct exact record indices and line numbers afterwards.
+
+use crate::map::par_map;
+
+/// Compute delimiter-aligned `(start, end)` byte ranges covering `data`.
+///
+/// Each range is at least `target` bytes (except the final one) and ends
+/// immediately *after* an occurrence of `delim`, so a record terminated by
+/// `delim` is never split across two ranges. A trailing record without a
+/// final delimiter lands wholly inside the last range. The ranges are
+/// contiguous, non-overlapping, and cover `0..data.len()`.
+///
+/// ```
+/// let b = dagscope_par::chunk_bounds(b"aa\nbbbb\ncc", 4, b'\n');
+/// assert_eq!(b, vec![(0, 8), (8, 10)]);
+/// ```
+pub fn chunk_bounds(data: &[u8], target: usize, delim: u8) -> Vec<(usize, usize)> {
+    let target = target.max(1);
+    let mut bounds = Vec::with_capacity(data.len() / target + 1);
+    let mut start = 0usize;
+    while start < data.len() {
+        let mut end = (start + target).min(data.len());
+        while end < data.len() && data[end - 1] != delim {
+            end += 1;
+        }
+        bounds.push((start, end));
+        start = end;
+    }
+    bounds
+}
+
+/// Map `f` over delimiter-aligned chunks of `data` in parallel, returning
+/// the per-chunk results in input order.
+///
+/// `f` receives the byte offset of the chunk within `data` and the chunk
+/// itself. Chunking follows [`chunk_bounds`]: boundaries always fall just
+/// after `delim`, so line-oriented parsers can treat every chunk as a
+/// self-contained sequence of whole records. Like [`crate::par_map`], the
+/// work is self-scheduled across [`crate::parallelism`] threads and the
+/// output never depends on thread interleaving; a single chunk (or one
+/// configured thread) runs inline without spawning.
+///
+/// ```
+/// let counts = dagscope_par::par_chunk_map(b"a\nbb\nccc\n", 3, b'\n', |_, c| c.len());
+/// assert_eq!(counts.iter().sum::<usize>(), 9);
+/// ```
+pub fn par_chunk_map<U, F>(data: &[u8], target: usize, delim: u8, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize, &[u8]) -> U + Sync,
+{
+    let bounds = chunk_bounds(data, target, delim);
+    par_map(&bounds, |&(start, end)| f(start, &data[start..end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_no_chunks() {
+        assert!(chunk_bounds(b"", 4, b'\n').is_empty());
+        let out: Vec<usize> = par_chunk_map(b"", 4, b'\n', |_, c| c.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn bounds_cover_and_align() {
+        let data = b"one\ntwo\nthree\nfour\nfive";
+        for target in 1..=data.len() + 2 {
+            let bounds = chunk_bounds(data, target, b'\n');
+            assert_eq!(bounds.first().unwrap().0, 0);
+            assert_eq!(bounds.last().unwrap().1, data.len());
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+                // Every internal boundary sits right after a newline.
+                assert_eq!(data[w[0].1 - 1], b'\n', "target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_target_clamped() {
+        let bounds = chunk_bounds(b"a\nb\n", 0, b'\n');
+        assert_eq!(bounds, vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn chunks_concatenate_to_input() {
+        let data: Vec<u8> = (0..999u32)
+            .flat_map(|i| format!("row{i}\n").into_bytes())
+            .collect();
+        for target in [1, 7, 64, 1 << 12, usize::MAX / 2] {
+            let parts = par_chunk_map(&data, target, b'\n', |_, c| c.to_vec());
+            let glued: Vec<u8> = parts.concat();
+            assert_eq!(glued, data, "target {target}");
+        }
+    }
+
+    #[test]
+    fn offsets_match_chunk_starts() {
+        let data = b"aa\nbbb\ncccc\nd";
+        let offs = par_chunk_map(data, 4, b'\n', |off, chunk| (off, chunk.len()));
+        let mut expect = 0usize;
+        for (off, len) in offs {
+            assert_eq!(off, expect);
+            expect += len;
+        }
+        assert_eq!(expect, data.len());
+    }
+
+    #[test]
+    fn no_trailing_delimiter() {
+        let bounds = chunk_bounds(b"abc", 1, b'\n');
+        assert_eq!(bounds, vec![(0, 3)]);
+    }
+}

@@ -7,9 +7,11 @@
 //! [`crossbeam::thread::scope`]:
 //!
 //! * [`par_map`] — order-preserving parallel map over a slice,
+//! * [`par_chunk_map`] — order-preserving parallel map over
+//!   delimiter-aligned byte chunks (the CSV-ingestion shape),
 //! * [`par_reduce`] — parallel fold + associative merge,
-//! * [`pairs::par_upper_triangle`] — parallel fill of a packed symmetric
-//!   pairwise table (the kernel-matrix shape).
+//! * [`pairs::par_upper_triangle`] — parallel in-place fill of a packed
+//!   symmetric pairwise table (the kernel-matrix shape).
 //!
 //! All primitives use dynamic chunk self-scheduling: worker threads pull
 //! chunk indices from a shared atomic counter, so skewed per-item costs
@@ -27,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chunks;
 mod config;
 mod map;
 pub mod pairs;
 mod reduce;
 
+pub use chunks::{chunk_bounds, par_chunk_map};
 pub use config::{parallelism, ParScope};
 pub use map::{par_map, par_map_with};
 pub use reduce::{par_reduce, par_sum_f64};

@@ -34,6 +34,12 @@ pub fn packed_len(n: usize) -> usize {
 /// `f(i, j)` is invoked exactly once for every `0 <= i <= j < n`; the result
 /// lands at [`packed_index`]`(n, i, j)`.
 ///
+/// The packed buffer is allocated up front and split into per-row slices;
+/// worker threads self-schedule rows (row `i` costs `n - i` evaluations) and
+/// write each row directly into its slice, so assembly needs no result
+/// sorting and no per-row `Vec` allocations. Each row's mutex is locked by
+/// exactly one worker, so the locks are always uncontended.
+///
 /// ```
 /// // 3×3 multiplication table, upper triangle packed row-major.
 /// let t = dagscope_par::pairs::par_upper_triangle(3, |i, j| (i + 1) * (j + 1));
@@ -41,7 +47,7 @@ pub fn packed_len(n: usize) -> usize {
 /// ```
 pub fn par_upper_triangle<U, F>(n: usize, f: F) -> Vec<U>
 where
-    U: Send,
+    U: Send + Default,
     F: Fn(usize, usize) -> U + Sync,
 {
     let threads = parallelism();
@@ -55,28 +61,35 @@ where
         return out;
     }
 
-    let next_row = AtomicUsize::new(0);
-    let rows: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(n));
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
-                let i = next_row.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let row: Vec<U> = (i..n).map(|j| f(i, j)).collect();
-                rows.lock().push((i, row));
-            });
+    let mut out: Vec<U> = (0..packed_len(n)).map(|_| U::default()).collect();
+    {
+        // Split the packed buffer into one mutable slice per row. Each row
+        // index is claimed by exactly one worker via the atomic ticket, so
+        // every mutex is locked once and without contention.
+        let mut rows: Vec<Mutex<&mut [U]>> = Vec::with_capacity(n);
+        let mut rest: &mut [U] = &mut out;
+        for i in 0..n {
+            let (row, tail) = std::mem::take(&mut rest).split_at_mut(n - i);
+            rows.push(Mutex::new(row));
+            rest = tail;
         }
-    })
-    .expect("dagscope-par worker thread panicked");
 
-    let mut rows = rows.into_inner();
-    rows.sort_unstable_by_key(|(i, _)| *i);
-    let mut out = Vec::with_capacity(packed_len(n));
-    for (_, mut row) in rows {
-        out.append(&mut row);
+        let next_row = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(n) {
+                scope.spawn(|_| loop {
+                    let i = next_row.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut row = rows[i].lock();
+                    for (off, slot) in row.iter_mut().enumerate() {
+                        *slot = f(i, i + off);
+                    }
+                });
+            }
+        })
+        .expect("dagscope-par worker thread panicked");
     }
     out
 }
@@ -85,8 +98,6 @@ where
 /// matrix buffer.
 pub fn unpack_symmetric<U: Clone>(n: usize, packed: &[U]) -> Vec<U> {
     assert_eq!(packed.len(), packed_len(n), "packed length mismatch");
-    // Seed with clones of the diagonal-start value pattern; simpler: build
-    // row by row using packed_index for both triangles.
     let mut full = Vec::with_capacity(n * n);
     for i in 0..n {
         for j in 0..n {

@@ -255,11 +255,11 @@ impl Simulator {
                         instance_name: format!("{}_{}_{}", jobs[j].name, node, sq),
                         task_name: jobs[j].dag.task_name(node).to_string(),
                         job_name: jobs[j].name.clone(),
-                        task_type: "1".to_string(),
+                        task_type: "1".into(),
                         status: dagscope_trace::Status::Terminated,
                         start_time: started,
                         end_time: t,
-                        machine_id: format!("m_{}", machine + 1),
+                        machine_id: format!("m_{}", machine + 1).into(),
                         seq_no: 1,
                         total_seq_no: 1,
                         cpu_avg: task.cpu * 0.7,

@@ -4,14 +4,36 @@
 //! contain commas or quotes, so a split-based codec is both correct for the
 //! real data and fast. Empty numeric fields (common in the real trace for
 //! missing timestamps/resources) decode as `0`.
+//!
+//! Two ingestion paths are provided:
+//!
+//! * the **sequential** readers [`read_tasks`] / [`read_instances`], which
+//!   stream from any [`BufRead`], and
+//! * the **parallel** readers [`read_tasks_parallel`] /
+//!   [`read_instances_parallel`], which split an in-memory byte buffer into
+//!   large newline-aligned chunks and decode them across threads via
+//!   [`dagscope_par::par_chunk_map`].
+//!
+//! The two paths produce identical records and identical errors — including
+//! exact 1-based line numbers — on every input; the sequential readers stay
+//! as the oracle the property tests compare against.
 
 use std::io::{BufRead, BufWriter, Write};
 
+use crate::intern::Interner;
 use crate::schema::{InstanceRecord, Status, TaskRecord};
 use crate::TraceError;
 
 const TASK_FIELDS: usize = 9;
 const INSTANCE_FIELDS: usize = 14;
+
+/// Chunk size for the default parallel readers: large enough to amortize
+/// thread dispatch, small enough to load-balance a multi-GB trace file.
+const DEFAULT_CHUNK_BYTES: usize = 4 << 20;
+
+/// The message `BufRead::lines` produces for invalid UTF-8; the parallel
+/// path emits the same text so errors compare equal across paths.
+const UTF8_ERR: &str = "stream did not contain valid UTF-8";
 
 fn parse_num<T: std::str::FromStr + Default>(
     s: &str,
@@ -28,81 +50,255 @@ fn parse_num<T: std::str::FromStr + Default>(
     })
 }
 
-/// Decode one `batch_task.csv` row.
-pub fn parse_task_line(line_no: usize, line: &str) -> Result<TaskRecord, TraceError> {
-    let fields: Vec<&str> = line.split(',').collect();
-    if fields.len() != TASK_FIELDS {
+/// Split a row into exactly `N` comma-separated fields without allocating.
+fn split_fields<const N: usize>(line_no: usize, line: &str) -> Result<[&str; N], TraceError> {
+    let mut fields = [""; N];
+    let mut it = line.split(',');
+    for (i, slot) in fields.iter_mut().enumerate() {
+        match it.next() {
+            Some(f) => *slot = f,
+            None => {
+                return Err(TraceError::FieldCount {
+                    line: line_no,
+                    expected: N,
+                    found: i,
+                })
+            }
+        }
+    }
+    if it.next().is_some() {
         return Err(TraceError::FieldCount {
             line: line_no,
-            expected: TASK_FIELDS,
-            found: fields.len(),
+            expected: N,
+            found: line.split(',').count(),
         });
     }
+    Ok(fields)
+}
+
+/// Decode one `batch_task.csv` row, interning `task_type` through `interner`.
+pub fn parse_task_line_interned(
+    line_no: usize,
+    line: &str,
+    interner: &mut Interner,
+) -> Result<TaskRecord, TraceError> {
+    let f: [&str; TASK_FIELDS] = split_fields(line_no, line)?;
     Ok(TaskRecord {
-        task_name: fields[0].to_string(),
-        instance_num: parse_num(fields[1], line_no, "instance_num")?,
-        job_name: fields[2].to_string(),
-        task_type: fields[3].to_string(),
-        status: Status::parse(fields[4]),
-        start_time: parse_num(fields[5], line_no, "start_time")?,
-        end_time: parse_num(fields[6], line_no, "end_time")?,
-        plan_cpu: parse_num(fields[7], line_no, "plan_cpu")?,
-        plan_mem: parse_num(fields[8], line_no, "plan_mem")?,
+        task_name: f[0].to_string(),
+        instance_num: parse_num(f[1], line_no, "instance_num")?,
+        job_name: f[2].to_string(),
+        task_type: interner.intern(f[3]),
+        status: Status::parse(f[4]),
+        start_time: parse_num(f[5], line_no, "start_time")?,
+        end_time: parse_num(f[6], line_no, "end_time")?,
+        plan_cpu: parse_num(f[7], line_no, "plan_cpu")?,
+        plan_mem: parse_num(f[8], line_no, "plan_mem")?,
+    })
+}
+
+/// Decode one `batch_task.csv` row.
+pub fn parse_task_line(line_no: usize, line: &str) -> Result<TaskRecord, TraceError> {
+    parse_task_line_interned(line_no, line, &mut Interner::new())
+}
+
+/// Decode one `batch_instance.csv` row, interning `task_type` and
+/// `machine_id` through `interner`.
+pub fn parse_instance_line_interned(
+    line_no: usize,
+    line: &str,
+    interner: &mut Interner,
+) -> Result<InstanceRecord, TraceError> {
+    let f: [&str; INSTANCE_FIELDS] = split_fields(line_no, line)?;
+    Ok(InstanceRecord {
+        instance_name: f[0].to_string(),
+        task_name: f[1].to_string(),
+        job_name: f[2].to_string(),
+        task_type: interner.intern(f[3]),
+        status: Status::parse(f[4]),
+        start_time: parse_num(f[5], line_no, "start_time")?,
+        end_time: parse_num(f[6], line_no, "end_time")?,
+        machine_id: interner.intern(f[7]),
+        seq_no: parse_num(f[8], line_no, "seq_no")?,
+        total_seq_no: parse_num(f[9], line_no, "total_seq_no")?,
+        cpu_avg: parse_num(f[10], line_no, "cpu_avg")?,
+        cpu_max: parse_num(f[11], line_no, "cpu_max")?,
+        mem_avg: parse_num(f[12], line_no, "mem_avg")?,
+        mem_max: parse_num(f[13], line_no, "mem_max")?,
     })
 }
 
 /// Decode one `batch_instance.csv` row.
 pub fn parse_instance_line(line_no: usize, line: &str) -> Result<InstanceRecord, TraceError> {
-    let fields: Vec<&str> = line.split(',').collect();
-    if fields.len() != INSTANCE_FIELDS {
-        return Err(TraceError::FieldCount {
-            line: line_no,
-            expected: INSTANCE_FIELDS,
-            found: fields.len(),
-        });
-    }
-    Ok(InstanceRecord {
-        instance_name: fields[0].to_string(),
-        task_name: fields[1].to_string(),
-        job_name: fields[2].to_string(),
-        task_type: fields[3].to_string(),
-        status: Status::parse(fields[4]),
-        start_time: parse_num(fields[5], line_no, "start_time")?,
-        end_time: parse_num(fields[6], line_no, "end_time")?,
-        machine_id: fields[7].to_string(),
-        seq_no: parse_num(fields[8], line_no, "seq_no")?,
-        total_seq_no: parse_num(fields[9], line_no, "total_seq_no")?,
-        cpu_avg: parse_num(fields[10], line_no, "cpu_avg")?,
-        cpu_max: parse_num(fields[11], line_no, "cpu_max")?,
-        mem_avg: parse_num(fields[12], line_no, "mem_avg")?,
-        mem_max: parse_num(fields[13], line_no, "mem_max")?,
-    })
+    parse_instance_line_interned(line_no, line, &mut Interner::new())
 }
 
 /// Read a whole `batch_task.csv` stream.
 pub fn read_tasks<R: BufRead>(reader: R) -> Result<Vec<TaskRecord>, TraceError> {
+    let mut interner = Interner::new();
     let mut out = Vec::new();
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
         if line.is_empty() {
             continue;
         }
-        out.push(parse_task_line(i + 1, &line)?);
+        out.push(parse_task_line_interned(i + 1, &line, &mut interner)?);
     }
     Ok(out)
 }
 
 /// Read a whole `batch_instance.csv` stream.
 pub fn read_instances<R: BufRead>(reader: R) -> Result<Vec<InstanceRecord>, TraceError> {
+    let mut interner = Interner::new();
     let mut out = Vec::new();
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
         if line.is_empty() {
             continue;
         }
-        out.push(parse_instance_line(i + 1, &line)?);
+        out.push(parse_instance_line_interned(i + 1, &line, &mut interner)?);
     }
     Ok(out)
+}
+
+/// Per-chunk decode result: rows parsed, total lines seen (counting blank
+/// and erroring ones), and the first error with a chunk-local line number.
+struct ChunkOut<T> {
+    rows: Vec<T>,
+    lines: usize,
+    err: Option<TraceError>,
+}
+
+/// Shift an error's line number from chunk-local to document coordinates.
+fn offset_error(err: TraceError, base: usize) -> TraceError {
+    match err {
+        TraceError::FieldCount {
+            line,
+            expected,
+            found,
+        } => TraceError::FieldCount {
+            line: line + base,
+            expected,
+            found,
+        },
+        TraceError::BadField {
+            line,
+            column,
+            value,
+        } => TraceError::BadField {
+            line: line + base,
+            column,
+            value,
+        },
+        other => other,
+    }
+}
+
+/// Decode every line of one newline-aligned chunk, mirroring
+/// `BufRead::lines` semantics exactly: a final `\n` does not open an empty
+/// trailing line, `\r\n` endings are trimmed (a bare trailing `\r` on the
+/// last unterminated line is kept), and blank lines are skipped but still
+/// numbered.
+fn parse_chunk<T>(
+    chunk: &[u8],
+    parse: impl Fn(usize, &str, &mut Interner) -> Result<T, TraceError>,
+) -> ChunkOut<T> {
+    let mut interner = Interner::new();
+    let mut out = ChunkOut {
+        rows: Vec::new(),
+        lines: 0,
+        err: None,
+    };
+    let ends_with_nl = chunk.last() == Some(&b'\n');
+    let body = if ends_with_nl {
+        &chunk[..chunk.len() - 1]
+    } else {
+        chunk
+    };
+    if body.is_empty() && !ends_with_nl {
+        return out;
+    }
+    let mut pieces = body.split(|&b| b == b'\n').peekable();
+    while let Some(mut raw) = pieces.next() {
+        out.lines += 1;
+        let terminated = pieces.peek().is_some() || ends_with_nl;
+        if terminated {
+            if let [rest @ .., b'\r'] = raw {
+                raw = rest;
+            }
+        }
+        if raw.is_empty() {
+            continue;
+        }
+        let line = match std::str::from_utf8(raw) {
+            Ok(s) => s,
+            Err(_) => {
+                out.err = Some(TraceError::Io(UTF8_ERR.to_string()));
+                return out;
+            }
+        };
+        match parse(out.lines, line, &mut interner) {
+            Ok(row) => out.rows.push(row),
+            Err(e) => {
+                out.err = Some(e);
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Stitch per-chunk outputs back together in document order, re-basing the
+/// first error's line number onto the whole file.
+fn merge_chunks<T>(outs: Vec<ChunkOut<T>>) -> Result<Vec<T>, TraceError> {
+    let mut rows = Vec::with_capacity(outs.iter().map(|o| o.rows.len()).sum());
+    let mut base = 0usize;
+    for out in outs {
+        rows.extend(out.rows);
+        if let Some(err) = out.err {
+            return Err(offset_error(err, base));
+        }
+        base += out.lines;
+    }
+    Ok(rows)
+}
+
+/// Read `batch_task.csv` bytes with an explicit target chunk size.
+///
+/// Exposed so tests can force chunk boundaries to land mid-row; use
+/// [`read_tasks_parallel`] for the tuned default.
+pub fn read_tasks_chunked(data: &[u8], chunk_bytes: usize) -> Result<Vec<TaskRecord>, TraceError> {
+    merge_chunks(dagscope_par::par_chunk_map(
+        data,
+        chunk_bytes,
+        b'\n',
+        |_, chunk| parse_chunk(chunk, parse_task_line_interned),
+    ))
+}
+
+/// Read `batch_task.csv` bytes, decoding newline-aligned chunks in
+/// parallel. Produces exactly what [`read_tasks`] produces on the same
+/// bytes — same records, same first error, same line numbers.
+pub fn read_tasks_parallel(data: &[u8]) -> Result<Vec<TaskRecord>, TraceError> {
+    read_tasks_chunked(data, DEFAULT_CHUNK_BYTES)
+}
+
+/// Read `batch_instance.csv` bytes with an explicit target chunk size.
+pub fn read_instances_chunked(
+    data: &[u8],
+    chunk_bytes: usize,
+) -> Result<Vec<InstanceRecord>, TraceError> {
+    merge_chunks(dagscope_par::par_chunk_map(
+        data,
+        chunk_bytes,
+        b'\n',
+        |_, chunk| parse_chunk(chunk, parse_instance_line_interned),
+    ))
+}
+
+/// Read `batch_instance.csv` bytes, decoding newline-aligned chunks in
+/// parallel. Equivalent to [`read_instances`] on the same bytes.
+pub fn read_instances_parallel(data: &[u8]) -> Result<Vec<InstanceRecord>, TraceError> {
+    read_instances_chunked(data, DEFAULT_CHUNK_BYTES)
 }
 
 /// Format a float the way the published trace does: integers print bare
@@ -251,5 +447,93 @@ mod tests {
         let data = format!("{TASK_LINE}\n\n{TASK_LINE}\n");
         let rows = read_tasks(data.as_bytes()).unwrap();
         assert_eq!(rows.len(), 2);
+    }
+
+    const TASK_LINE2: &str = "M1,2,j_1001389,2,Terminated,86000,86400,50,0.25";
+
+    /// Messy-but-valid document: CRLF ending, blank lines, and a final row
+    /// with no trailing newline.
+    fn messy_doc() -> String {
+        format!("{TASK_LINE}\r\n\n{TASK_LINE2}\n\r\n{TASK_LINE}")
+    }
+
+    #[test]
+    fn parallel_matches_sequential_at_every_chunk_size() {
+        let data = messy_doc();
+        let seq = read_tasks(data.as_bytes()).unwrap();
+        assert_eq!(seq.len(), 3);
+        // Chunk sizes from 1 byte (every row its own chunk) past the whole
+        // document (single chunk) all agree with the sequential oracle.
+        for chunk_bytes in 1..data.len() + 2 {
+            let par = read_tasks_chunked(data.as_bytes(), chunk_bytes).unwrap();
+            assert_eq!(par, seq, "chunk_bytes={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn parallel_empty_input() {
+        assert_eq!(read_tasks_parallel(b"").unwrap(), vec![]);
+        assert_eq!(read_tasks_parallel(b"\n\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parallel_error_line_numbers_match_sequential() {
+        // Bad row on (1-based) line 5; blank lines still count.
+        let data = format!("{TASK_LINE}\n\n{TASK_LINE2}\n\na,b,c\n{TASK_LINE}\n");
+        let want = read_tasks(data.as_bytes()).unwrap_err();
+        assert_eq!(
+            want,
+            TraceError::FieldCount {
+                line: 5,
+                expected: 9,
+                found: 3
+            }
+        );
+        for chunk_bytes in 1..data.len() + 2 {
+            let got = read_tasks_chunked(data.as_bytes(), chunk_bytes).unwrap_err();
+            assert_eq!(got, want, "chunk_bytes={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn parallel_reports_first_error_only() {
+        // Two bad rows: the earlier one must win regardless of chunking.
+        let data = format!("{TASK_LINE}\nM1,x,j_1,1,Terminated,1,2,3,4\nbad\n");
+        let want = read_tasks(data.as_bytes()).unwrap_err();
+        for chunk_bytes in 1..data.len() + 2 {
+            let got = read_tasks_chunked(data.as_bytes(), chunk_bytes).unwrap_err();
+            assert_eq!(got, want, "chunk_bytes={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn parallel_invalid_utf8_matches_sequential() {
+        let mut data = format!("{TASK_LINE}\n").into_bytes();
+        data.extend_from_slice(b"\xff\xfe,bad,utf8\n");
+        let want = read_tasks(&data[..]).unwrap_err();
+        for chunk_bytes in [1, 7, 64, data.len() + 1] {
+            let got = read_tasks_chunked(&data, chunk_bytes).unwrap_err();
+            assert_eq!(got, want, "chunk_bytes={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn parallel_instances_match_sequential() {
+        let line = "inst_1,M1,j_9,1,Terminated,100,200,m_1997,1,1,50.5,80,0.1,0.2";
+        let data = format!("{line}\n{line}\n\n{line}");
+        let seq = read_instances(data.as_bytes()).unwrap();
+        for chunk_bytes in 1..data.len() + 2 {
+            let par = read_instances_chunked(data.as_bytes(), chunk_bytes).unwrap();
+            assert_eq!(par, seq, "chunk_bytes={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn interning_dedups_within_reader() {
+        let line = "inst_1,M1,j_9,1,Terminated,100,200,m_7,1,1,1,1,1,1";
+        let data = format!("{line}\n{line}\n");
+        let rows = read_instances(data.as_bytes()).unwrap();
+        assert_eq!(rows[0].machine_id, rows[1].machine_id);
+        assert_eq!(rows[0].machine_id, "m_7");
     }
 }

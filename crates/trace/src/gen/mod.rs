@@ -313,7 +313,7 @@ impl TraceGenerator {
                 task_name: names[i].clone(),
                 instance_num,
                 job_name: job_name.to_string(),
-                task_type: format!("{}", rng.random_range(1..=12)),
+                task_type: format!("{}", rng.random_range(1..=12)).into(),
                 status,
                 start_time,
                 end_time,
@@ -351,7 +351,7 @@ impl TraceGenerator {
                     1 + (79.0 * u * u) as u32
                 },
                 job_name: job_name.to_string(),
-                task_type: format!("{}", rng.random_range(1..=12)),
+                task_type: format!("{}", rng.random_range(1..=12)).into(),
                 status,
                 start_time: start,
                 end_time: if status == Status::Terminated {
@@ -419,7 +419,7 @@ impl TraceGenerator {
                 status: Status::Terminated,
                 start_time: start,
                 end_time: start + inst_duration,
-                machine_id: format!("m_{}", rng.random_range(1..=self.cfg.machines)),
+                machine_id: format!("m_{}", rng.random_range(1..=self.cfg.machines)).into(),
                 seq_no: 1,
                 total_seq_no: 1,
                 cpu_avg: (cpu_avg * 100.0).round() / 100.0,

@@ -1,0 +1,196 @@
+//! Cheap interned strings for low-cardinality trace columns.
+//!
+//! The v2018 trace repeats a handful of values millions of times in the
+//! `task_type` and `machine_id` columns (~a dozen task types, ~4k
+//! machines). Storing them as `String` per row costs an allocation and
+//! 20+ heap bytes each; [`IStr`] stores one shared `Arc<str>` per distinct
+//! value instead, so a clone is a reference-count bump and equality is
+//! usually pointer equality.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable, interned string.
+///
+/// Behaves like a `&str` for comparison, ordering, hashing, and display.
+/// Two `IStr`s are equal when their text is equal, whether or not they came
+/// from the same [`Interner`].
+#[derive(Clone)]
+pub struct IStr(Arc<str>);
+
+impl IStr {
+    /// View as a plain string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for IStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for IStr {
+    fn default() -> IStr {
+        IStr(Arc::from(""))
+    }
+}
+
+impl From<&str> for IStr {
+    fn from(s: &str) -> IStr {
+        IStr(Arc::from(s))
+    }
+}
+
+impl From<String> for IStr {
+    fn from(s: String) -> IStr {
+        IStr(Arc::from(s))
+    }
+}
+
+impl Borrow<str> for IStr {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for IStr {
+    fn eq(&self, other: &IStr) -> bool {
+        // Interned duplicates share the allocation, so the common case is a
+        // pointer comparison.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for IStr {}
+
+impl PartialEq<&str> for IStr {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<str> for IStr {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<IStr> for &str {
+    fn eq(&self, other: &IStr) -> bool {
+        *self == &*other.0
+    }
+}
+
+impl PartialOrd for IStr {
+    fn partial_cmp(&self, other: &IStr) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IStr {
+    fn cmp(&self, other: &IStr) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for IStr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl fmt::Debug for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+impl fmt::Display for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&*self.0, f)
+    }
+}
+
+/// Deduplicating factory for [`IStr`]s: one allocation per distinct value.
+#[derive(Debug, Default)]
+pub struct Interner {
+    table: HashMap<IStr, ()>,
+}
+
+impl Interner {
+    /// Empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Return the canonical `IStr` for `s`, allocating on first sight.
+    pub fn intern(&mut self, s: &str) -> IStr {
+        if let Some((k, ())) = self.table.get_key_value(s) {
+            return k.clone();
+        }
+        let v = IStr::from(s);
+        self.table.insert(v.clone(), ());
+        v
+    }
+
+    /// Number of distinct strings seen.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_allocations() {
+        let mut i = Interner::new();
+        let a = i.intern("m_1997");
+        let b = i.intern("m_1997");
+        let c = i.intern("m_2");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert!(!Arc::ptr_eq(&a.0, &c.0));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn equality_across_interners() {
+        let a = Interner::new().intern("x");
+        let b = Interner::new().intern("x");
+        assert_eq!(a, b);
+        assert_eq!(a, "x");
+        assert_eq!("x", a);
+        assert_ne!(a, Interner::new().intern("y"));
+    }
+
+    #[test]
+    fn str_like_behavior() {
+        let s: IStr = "m_42".into();
+        assert!(s.starts_with("m_"));
+        assert_eq!(s.as_str(), "m_42");
+        assert_eq!(format!("{s}"), "m_42");
+        assert_eq!(format!("{s:?}"), "\"m_42\"");
+        assert_eq!(IStr::default(), "");
+        let owned: IStr = String::from("j_1").into();
+        assert_eq!(owned, "j_1");
+    }
+
+    #[test]
+    fn ordering_matches_str() {
+        let mut v: Vec<IStr> = ["b", "a", "c"].into_iter().map(IStr::from).collect();
+        v.sort();
+        assert_eq!(v, vec![IStr::from("a"), IStr::from("b"), IStr::from("c")]);
+    }
+}

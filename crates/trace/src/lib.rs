@@ -34,6 +34,7 @@ pub mod csv;
 mod error;
 pub mod filter;
 pub mod gen;
+pub mod intern;
 mod job;
 pub mod machine;
 pub mod placement;
@@ -42,6 +43,7 @@ pub mod stats;
 pub mod taskname;
 
 pub use error::TraceError;
+pub use intern::{IStr, Interner};
 pub use job::{Job, JobSet};
 pub use schema::{InstanceRecord, Status, TaskRecord};
 pub use taskname::{ParsedTaskName, TaskKind};

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::intern::IStr;
+
 /// Lifecycle status of a task or instance, following the v2018 vocabulary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Status {
@@ -66,8 +68,9 @@ pub struct TaskRecord {
     pub instance_num: u32,
     /// Owning job identifier (`j_1001388`…).
     pub job_name: String,
-    /// Free-form task type code from the trace (opaque in v2018).
-    pub task_type: String,
+    /// Free-form task type code from the trace (opaque in v2018); interned
+    /// because the whole trace uses only a handful of distinct codes.
+    pub task_type: IStr,
     /// Final status of the task.
     pub status: Status,
     /// Start timestamp, seconds since trace start.
@@ -104,16 +107,17 @@ pub struct InstanceRecord {
     pub task_name: String,
     /// Owning job name.
     pub job_name: String,
-    /// Task type code (copied from the task row).
-    pub task_type: String,
+    /// Task type code (copied from the task row); interned.
+    pub task_type: IStr,
     /// Final status of the instance.
     pub status: Status,
     /// Start timestamp, seconds since trace start.
     pub start_time: i64,
     /// End timestamp, seconds since trace start.
     pub end_time: i64,
-    /// Machine the instance ran on (`m_1997`…).
-    pub machine_id: String,
+    /// Machine the instance ran on (`m_1997`…); interned because a ~4k
+    /// machine fleet appears across millions of instance rows.
+    pub machine_id: IStr,
     /// Retry sequence number.
     pub seq_no: u32,
     /// Total retries observed for this instance slot.

@@ -1,0 +1,108 @@
+//! Property tests: the chunked parallel CSV readers are observationally
+//! identical to the sequential `BufRead` readers — same records, same
+//! first error, same error line numbers — for random documents mixing
+//! valid rows, blank lines, malformed rows, CRLF endings, missing
+//! trailing newlines, and chunk boundaries landing mid-row.
+
+use proptest::prelude::*;
+
+use dagscope_trace::csv;
+
+/// One random document line: valid task rows in several spellings, blank
+/// lines, and the two malformed-row families (wrong field count, bad
+/// numeric field).
+fn task_line() -> impl Strategy<Value = String> {
+    (0u8..8, 1u32..6, 0i64..500).prop_map(|(kind, k, t)| match kind {
+        0 => String::new(),
+        1 => format!("task_x{k},1,j_{t},1,Terminated,{t},{},50.0,0.5", t + 9),
+        2 => format!("M{k},2,j_{t},2,Terminated,{t},{},100.0,0.25", t + 4),
+        3 => format!("R{}_{k},1,j_{t},3,Failed,{t},{},75.5,0.125", k + 1, t + 7),
+        4 => format!("J{}_{k}_{k},4,j_{t},12,Running,{t},0,25.0,0.0625", k + 2),
+        // Wrong field count (under and over).
+        5 => format!("M{k},1,j_{t}"),
+        6 => format!(
+            "M{k},1,j_{t},1,Terminated,{t},{},1.0,0.5,extra,fields",
+            t + 1
+        ),
+        // Right field count, unparsable number.
+        _ => format!("M{k},notanum,j_{t},1,Terminated,{t},{},1.0,0.5", t + 2),
+    })
+}
+
+/// Valid-or-blank `batch_instance.csv` line (14 fields), plus a malformed
+/// variant.
+fn instance_line() -> impl Strategy<Value = String> {
+    (0u8..4, 1u32..6, 0i64..500).prop_map(|(kind, k, t)| match kind {
+        0 => String::new(),
+        1 => format!(
+            "inst_{k},M{k},j_{t},1,Terminated,{t},{},m_{k},1,1,40.0,80.0,0.1,0.2",
+            t + 3
+        ),
+        2 => format!(
+            "inst_{k},R{}_{k},j_{t},2,Failed,{t},{},m_{},2,3,10.5,20.5,0.01,0.02",
+            k + 1,
+            t + 6,
+            k + 100
+        ),
+        _ => format!("inst_{k},M{k},j_{t},1,Terminated,{t}"),
+    })
+}
+
+fn assemble(lines: &[String], crlf: bool, trailing_newline: bool) -> String {
+    let sep = if crlf { "\r\n" } else { "\n" };
+    let mut doc = lines.join(sep);
+    if trailing_newline && !doc.is_empty() {
+        doc.push_str(sep);
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chunked_task_reader_matches_sequential(
+        lines in prop::collection::vec(task_line(), 0..24),
+        crlf in any::<bool>(),
+        trailing_newline in any::<bool>(),
+        chunk_bytes in 1usize..96,
+    ) {
+        let doc = assemble(&lines, crlf, trailing_newline);
+        let seq = csv::read_tasks(doc.as_bytes());
+        let par = csv::read_tasks_chunked(doc.as_bytes(), chunk_bytes);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn chunked_instance_reader_matches_sequential(
+        lines in prop::collection::vec(instance_line(), 0..16),
+        crlf in any::<bool>(),
+        trailing_newline in any::<bool>(),
+        chunk_bytes in 1usize..96,
+    ) {
+        let doc = assemble(&lines, crlf, trailing_newline);
+        let seq = csv::read_instances(doc.as_bytes());
+        let par = csv::read_instances_chunked(doc.as_bytes(), chunk_bytes);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn error_line_numbers_survive_every_chunk_split(
+        prefix in prop::collection::vec(task_line(), 0..12),
+        suffix in prop::collection::vec(task_line(), 0..6),
+    ) {
+        // Force a guaranteed-bad row between random halves, then sweep
+        // every chunk size so some split always lands inside or right at
+        // the bad row.
+        let mut lines = prefix;
+        lines.push("definitely,not,a,task,row".to_string());
+        lines.extend(suffix);
+        let doc = assemble(&lines, false, true);
+        let seq = csv::read_tasks(doc.as_bytes());
+        prop_assert!(seq.is_err());
+        for chunk_bytes in 1..=doc.len() + 1 {
+            let par = csv::read_tasks_chunked(doc.as_bytes(), chunk_bytes);
+            prop_assert_eq!(&seq, &par, "chunk_bytes={}", chunk_bytes);
+        }
+    }
+}

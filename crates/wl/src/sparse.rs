@@ -13,35 +13,30 @@ pub struct SparseVec {
 
 impl SparseVec {
     /// Build from `(index, value)` pairs; duplicate indices are summed and
-    /// zero values dropped.
+    /// zero values dropped, in a single pass over the sorted pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, f64)>) -> SparseVec {
         let mut pairs: Vec<(u32, f64)> = pairs.into_iter().collect();
         pairs.sort_unstable_by_key(|(i, _)| *i);
-        let mut indices = Vec::with_capacity(pairs.len());
+        let mut indices: Vec<u32> = Vec::with_capacity(pairs.len());
         let mut values: Vec<f64> = Vec::with_capacity(pairs.len());
         for (i, v) in pairs {
-            if let Some(last) = indices.last() {
-                if *last == i {
-                    *values.last_mut().unwrap() += v;
-                    continue;
+            if indices.last() == Some(&i) {
+                let last = values.last_mut().unwrap();
+                *last += v;
+                // A running sum that cancels to zero leaves no entry; a
+                // later pair with the same index restarts accumulation,
+                // which matches summing first and dropping zeros at the
+                // end (adding onto ±0.0 is exact).
+                if *last == 0.0 {
+                    indices.pop();
+                    values.pop();
                 }
-            }
-            indices.push(i);
-            values.push(v);
-        }
-        // Drop explicit zeros produced by summation.
-        let mut out_i = Vec::with_capacity(indices.len());
-        let mut out_v = Vec::with_capacity(values.len());
-        for (i, v) in indices.into_iter().zip(values) {
-            if v != 0.0 {
-                out_i.push(i);
-                out_v.push(v);
+            } else if v != 0.0 {
+                indices.push(i);
+                values.push(v);
             }
         }
-        SparseVec {
-            indices: out_i,
-            values: out_v,
-        }
+        SparseVec { indices, values }
     }
 
     /// Number of stored (non-zero) entries.

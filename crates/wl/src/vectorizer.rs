@@ -135,11 +135,118 @@ impl WlVectorizer {
         SparseVec::from_pairs(counts)
     }
 
-    /// Embed a batch. The shared vocabulary forces sequential processing,
-    /// but one pass over 100k small DAGs is milliseconds; the expensive
-    /// pairwise stage is parallelized in [`crate::kernel_matrix`].
+    /// Embed a batch, sharding the work across threads for large batches.
+    ///
+    /// Produces **bit-identical** output to
+    /// [`transform_all_sequential`](Self::transform_all_sequential) — same
+    /// vectors, same final vocabulary, same label ids — for any thread
+    /// count and any shard split. Small batches take the sequential path
+    /// directly; the crossover is where shard bookkeeping stops paying for
+    /// itself on typical job DAGs.
     pub fn transform_all(&mut self, dags: &[JobDag]) -> Vec<SparseVec> {
+        const PAR_THRESHOLD: usize = 64;
+        let threads = dagscope_par::parallelism();
+        if threads <= 1 || dags.len() < PAR_THRESHOLD {
+            return self.transform_all_sequential(dags);
+        }
+        self.transform_all_sharded(dags, threads)
+    }
+
+    /// Embed a batch one DAG at a time on the calling thread. This is the
+    /// reference implementation the sharded path is tested against.
+    pub fn transform_all_sequential(&mut self, dags: &[JobDag]) -> Vec<SparseVec> {
         dags.iter().map(|d| self.transform(d)).collect()
+    }
+
+    /// Two-phase sharded embedding.
+    ///
+    /// **Phase 1 (parallel):** split `dags` into contiguous shards; each
+    /// shard clones the current vocabulary snapshot and embeds its DAGs
+    /// locally, assigning provisional ids from the snapshot's `next_label`
+    /// upward. **Phase 2 (sequential merge):** walk shards in order,
+    /// re-playing each shard's newly discovered keys (in local-id order)
+    /// against the shared table to obtain canonical ids, then rewrite each
+    /// shard vector through the local→canonical map.
+    ///
+    /// Equivalence to the sequential path holds exactly:
+    /// * a shard's local ids are assigned in first-occurrence order, so
+    ///   replaying its new keys in id order reproduces the discovery order
+    ///   a sequential pass over those DAGs would have had;
+    /// * signature keys only reference labels that already exist when the
+    ///   key is formed, so by induction every element of a new key has a
+    ///   canonical id by the time the key is remapped (1-element keys are
+    ///   initial letter keys and are replayed verbatim);
+    /// * the neighbour segments of a signature are *sorted by label id*, and
+    ///   local ids order differently than canonical ids, so after remapping
+    ///   each segment is re-sorted — yielding exactly the byte key the
+    ///   sequential pass forms for that signature;
+    /// * per-DAG counts are accumulated in node order either way, so the
+    ///   `f64` values — not just their ordering — match bit for bit.
+    pub fn transform_all_sharded(&mut self, dags: &[JobDag], threads: usize) -> Vec<SparseVec> {
+        let base = self.next_label;
+        let shard_size = dags.len().div_ceil(threads);
+        let shards: Vec<&[JobDag]> = dags.chunks(shard_size).collect();
+
+        let outs = dagscope_par::par_map(&shards, |shard: &&[JobDag]| {
+            let mut local = WlVectorizer {
+                iterations: self.iterations,
+                use_weights: self.use_weights,
+                table: self.table.clone(),
+                next_label: self.next_label,
+            };
+            let vecs: Vec<SparseVec> = shard.iter().map(|d| local.transform(d)).collect();
+            let mut new_keys: Vec<(Box<[u32]>, u32)> = local
+                .table
+                .into_iter()
+                .filter(|&(_, id)| id >= base)
+                .collect();
+            new_keys.sort_unstable_by_key(|&(_, id)| id);
+            let new_keys: Vec<Box<[u32]>> = new_keys.into_iter().map(|(k, _)| k).collect();
+            (vecs, new_keys)
+        });
+
+        let mut result = Vec::with_capacity(dags.len());
+        for (vecs, new_keys) in outs {
+            // Canonical id for each of this shard's provisional ids
+            // `base..base + new_keys.len()`, in order.
+            let mut local_to_global: Vec<u32> = Vec::with_capacity(new_keys.len());
+            let remap = |e: u32, map: &[u32]| -> u32 {
+                if e >= SEP_PARENTS || e < base {
+                    e
+                } else {
+                    map[(e - base) as usize]
+                }
+            };
+            for key in new_keys {
+                let canonical: Box<[u32]> = if key.len() == 1 {
+                    // Initial letter key: its element is a character code,
+                    // not a label id.
+                    key
+                } else {
+                    let mut k: Vec<u32> = key.iter().map(|&e| remap(e, &local_to_global)).collect();
+                    // Re-sort the neighbour segments: the shard sorted them
+                    // by local id, the canonical key is sorted by global id.
+                    // Layout: [own, SEP_PARENTS, parents.., SEP_CHILDREN,
+                    // children..]; the separators exceed every label id, so
+                    // sorting the segments between them is safe.
+                    let sep = k
+                        .iter()
+                        .position(|&e| e == SEP_CHILDREN)
+                        .expect("signature key has a children separator");
+                    k[2..sep].sort_unstable();
+                    k[sep + 1..].sort_unstable();
+                    k.into_boxed_slice()
+                };
+                let gid = self.compress(canonical);
+                local_to_global.push(gid);
+            }
+            for v in vecs {
+                result.push(SparseVec::from_pairs(
+                    v.iter().map(|(i, c)| (remap(i, &local_to_global), c)),
+                ));
+            }
+        }
+        result
     }
 }
 
@@ -270,5 +377,78 @@ mod tests {
         let mut wl2 = WlVectorizer::new(3);
         let solo: Vec<_> = dags.iter().map(|d| wl2.transform(d)).collect();
         assert_eq!(batch, solo);
+    }
+
+    /// A varied batch mixing chains, fan-ins, fan-outs, and joins so shards
+    /// both rediscover shared signatures and contribute fresh ones.
+    fn varied_batch(n: usize) -> Vec<JobDag> {
+        let shapes: [&[&str]; 6] = [
+            &["M1", "R2_1"],
+            &["M1", "R2_1", "R3_2"],
+            &["M1", "M2", "R3_2_1"],
+            &["M1", "R2_1", "R3_1"],
+            &["M1", "M2", "J3_2_1", "R4_3"],
+            &["M1", "M3", "R2_1", "R4_3", "R5_4_3_2_1"],
+        ];
+        (0..n)
+            .map(|i| dag(&format!("j{i}"), shapes[i % shapes.len()]))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_bit_identical_to_sequential() {
+        let dags = varied_batch(100);
+        let probe = dag("probe", &["M1", "M2", "M3", "R4_3_2_1"]);
+        let mut seq = WlVectorizer::new(3);
+        let want = seq.transform_all_sequential(&dags);
+        let want_vocab = seq.vocabulary_size();
+        let want_probe = seq.transform(&probe);
+        for threads in [2, 3, 5, 16] {
+            let mut par = WlVectorizer::new(3);
+            let got = par.transform_all_sharded(&dags, threads);
+            assert_eq!(got, want, "threads={threads}");
+            // The merged vocabulary is canonical too: same size, and a
+            // subsequent embedding agrees with the sequential vectorizer's.
+            assert_eq!(par.vocabulary_size(), want_vocab);
+            assert_eq!(par.transform(&probe), want_probe);
+        }
+    }
+
+    #[test]
+    fn sharded_with_prepopulated_vocabulary() {
+        let dags = varied_batch(80);
+        let warmup = dag("w", &["M1", "M2", "R3_2_1", "J4_3"]);
+        let mut seq = WlVectorizer::new(3);
+        seq.transform(&warmup);
+        let want = seq.transform_all_sequential(&dags);
+        let mut par = WlVectorizer::new(3);
+        par.transform(&warmup);
+        let got = par.transform_all_sharded(&dags, 4);
+        assert_eq!(got, want);
+        assert_eq!(par.vocabulary_size(), seq.vocabulary_size());
+    }
+
+    #[test]
+    fn sharded_weighted_matches_sequential() {
+        let dags: Vec<JobDag> = varied_batch(70)
+            .iter()
+            .map(dagscope_graph::conflate::conflate)
+            .collect();
+        let mut seq = WlVectorizer::new(2).weighted(true);
+        let want = seq.transform_all_sequential(&dags);
+        let mut par = WlVectorizer::new(2).weighted(true);
+        assert_eq!(par.transform_all_sharded(&dags, 3), want);
+    }
+
+    #[test]
+    fn public_transform_all_uses_parallel_path_above_threshold() {
+        // Under a forced multi-thread scope, a 100-dag batch crosses the
+        // threshold; results must still match the sequential oracle.
+        let dags = varied_batch(100);
+        let _scope = dagscope_par::ParScope::new(4);
+        let mut par = WlVectorizer::new(3);
+        let got = par.transform_all(&dags);
+        let mut seq = WlVectorizer::new(3);
+        assert_eq!(got, seq.transform_all_sequential(&dags));
     }
 }

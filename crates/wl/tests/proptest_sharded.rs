@@ -1,0 +1,62 @@
+//! Property tests: sharded batch embedding is bit-identical to the
+//! sequential oracle for random DAG batches, iteration depths, shard
+//! counts, and weighting modes — and leaves the vectorizer in the same
+//! vocabulary state.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dagscope_graph::JobDag;
+use dagscope_trace::gen::{build_shape, ShapeKind};
+use dagscope_wl::WlVectorizer;
+
+fn shape_strategy() -> impl Strategy<Value = ShapeKind> {
+    prop::sample::select(ShapeKind::ALL.to_vec())
+}
+
+fn arbitrary_dag() -> impl Strategy<Value = JobDag> {
+    (shape_strategy(), 2usize..=16, any::<u64>()).prop_map(|(shape, n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        JobDag::from_plan("j", &build_shape(&mut rng, shape, n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_bit_identical_for_random_batches(
+        dags in prop::collection::vec(arbitrary_dag(), 1..32),
+        h in 0usize..4,
+        threads in 1usize..9,
+        weighted in any::<bool>(),
+    ) {
+        let mut seq = WlVectorizer::new(h).weighted(weighted);
+        let want = seq.transform_all_sequential(&dags);
+        let mut par = WlVectorizer::new(h).weighted(weighted);
+        let got = par.transform_all_sharded(&dags, threads);
+        prop_assert_eq!(&got, &want);
+        // The merged vocabulary is canonical: same size, and the next
+        // embedding out of either vectorizer agrees.
+        prop_assert_eq!(par.vocabulary_size(), seq.vocabulary_size());
+        prop_assert_eq!(par.transform(&dags[0]), seq.transform(&dags[0]));
+    }
+
+    #[test]
+    fn sharded_after_warmup_matches(
+        warmup in arbitrary_dag(),
+        dags in prop::collection::vec(arbitrary_dag(), 1..16),
+        threads in 2usize..6,
+    ) {
+        // A pre-populated vocabulary (labels below the shard base) must
+        // be reused, not re-minted, by every shard.
+        let mut seq = WlVectorizer::new(3);
+        seq.transform(&warmup);
+        let want = seq.transform_all_sequential(&dags);
+        let mut par = WlVectorizer::new(3);
+        par.transform(&warmup);
+        prop_assert_eq!(par.transform_all_sharded(&dags, threads), want);
+        prop_assert_eq!(par.vocabulary_size(), seq.vocabulary_size());
+    }
+}

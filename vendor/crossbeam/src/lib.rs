@@ -1,0 +1,69 @@
+//! Offline stub of `crossbeam`: just `crossbeam::thread::scope`, delegated
+//! to `std::thread::scope` (available since Rust 1.63).
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::marker::PhantomData;
+
+    /// Mirror of `crossbeam::thread::Scope`: spawns borrowing threads that
+    /// are joined before `scope` returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _marker: PhantomData<&'env ()>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again (to
+        /// match crossbeam's signature); the join handle is discarded —
+        /// `scope` joins all threads at the end.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let shadow = Scope {
+                inner: self.inner,
+                _marker: PhantomData,
+            };
+            self.inner.spawn(move || f(&shadow))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned; all
+    /// threads are joined before this returns. Always `Ok` — a panicking
+    /// child propagates its panic on join, matching how dagscope uses the
+    /// crossbeam API (`.expect(...)` on the result).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope {
+                inner: s,
+                _marker: PhantomData,
+            };
+            f(&wrapper)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        crate::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(data.len(), Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+}

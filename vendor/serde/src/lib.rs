@@ -1,0 +1,12 @@
+//! Offline stub of `serde`. The workspace derives `Serialize`/`Deserialize`
+//! on a few types but never actually serializes anything, so the traits are
+//! empty markers and the derives expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline stub of `serde_derive`: the derive macros expand to nothing, so
+//! `#[derive(Serialize, Deserialize)]` compiles but implements no trait.
+//! The stub `serde` traits are never used as bounds in this workspace.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
