@@ -1,0 +1,208 @@
+//! Serving throughput and latency: a live `dagscope-serve` instance on an
+//! ephemeral port, driven over real TCP connections.
+//!
+//! The Criterion group times a single classify round-trip; afterwards the
+//! bench sustains bursts of classify traffic at 1/2/4 concurrent
+//! keep-alive connections and writes `BENCH_serve.json` at the repository
+//! root with requests/sec and client-observed latency percentiles per
+//! concurrency level.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dagscope_core::{IndexSnapshot, Pipeline, PipelineConfig};
+use dagscope_serve::{ServeIndex, Server, ServerHandle};
+use dagscope_trace::csv;
+
+/// Requests per concurrency level in the sustained-throughput sweep.
+const BURST: usize = 400;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn post(&mut self, path: &str, body: &str) -> u16 {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(raw.as_bytes()).expect("send");
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).expect("status");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        status
+    }
+}
+
+struct Fixture {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+    bodies: Vec<String>,
+}
+
+fn start() -> Fixture {
+    let report = Pipeline::new(PipelineConfig {
+        jobs: 2_000,
+        sample: 100,
+        seed: 42,
+        ..Default::default()
+    })
+    .run()
+    .expect("pipeline");
+    let snapshot = IndexSnapshot::from_report(&report).expect("snapshot");
+    // Classify probes are the indexed jobs themselves, cycled.
+    let bodies: Vec<String> = snapshot
+        .jobs
+        .iter()
+        .map(|job| {
+            let rows: Vec<String> = job
+                .tasks
+                .iter()
+                .map(|t| format!("\"{}\"", csv::format_task_line(t)))
+                .collect();
+            format!(
+                "{{\"job_name\":\"{}\",\"tasks\":[{}]}}",
+                job.name,
+                rows.join(",")
+            )
+        })
+        .collect();
+    let index = ServeIndex::build(snapshot).expect("index");
+    let server = Server::bind(index, "127.0.0.1:0", 4).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle().expect("handle");
+    let join = std::thread::spawn(move || server.run());
+    Fixture {
+        addr,
+        handle,
+        join,
+        bodies,
+    }
+}
+
+/// Drive `total` classify requests over `conns` keep-alive connections;
+/// returns (wall seconds, sorted per-request latencies in seconds).
+fn sustain(fx: &Fixture, conns: usize, total: usize) -> (f64, Vec<f64>) {
+    let per_conn = total / conns;
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = Vec::with_capacity(per_conn * conns);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|w| {
+                let bodies = &fx.bodies;
+                let addr = fx.addr;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut lat = Vec::with_capacity(per_conn);
+                    for i in 0..per_conn {
+                        let body = &bodies[(w * per_conn + i) % bodies.len()];
+                        let t = Instant::now();
+                        let status = client.post("/v1/classify", body);
+                        lat.push(t.elapsed().as_secs_f64());
+                        assert_eq!(status, 200);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (wall, latencies)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let i = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[i]
+}
+
+fn write_bench_json(fx: &Fixture) {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut results = String::new();
+    for (i, conns) in [1usize, 2, 4].into_iter().enumerate() {
+        let (wall, lat) = sustain(fx, conns, BURST);
+        if i > 0 {
+            results.push_str(",\n");
+        }
+        write!(
+            results,
+            "    {{\"connections\": {conns}, \"requests\": {}, \"requests_per_sec\": {:.0}, \
+             \"latency_p50_us\": {:.0}, \"latency_p99_us\": {:.0}}}",
+            (BURST / conns) * conns,
+            (BURST / conns * conns) as f64 / wall,
+            percentile(&lat, 0.50) * 1e6,
+            percentile(&lat, 0.99) * 1e6,
+        )
+        .unwrap();
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"serve_classify\",\n  \"index_jobs\": 100,\n  \
+         \"server_threads\": 4,\n  \"host_parallelism\": {host},\n  \"results\": [\n{results}\n  ],\n  \
+         \"note\": \"classify round-trips over real TCP on localhost; throughput scaling is \
+         bounded by host_parallelism and the 4 server workers\"\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let fx = start();
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("classify_round_trip", |b| {
+        let mut client = Client::connect(fx.addr);
+        let mut i = 0usize;
+        b.iter(|| {
+            let status = client.post("/v1/classify", &fx.bodies[i % fx.bodies.len()]);
+            i += 1;
+            assert_eq!(status, 200);
+        })
+    });
+    group.finish();
+    write_bench_json(&fx);
+    fx.handle.shutdown();
+    fx.join.join().expect("server thread").expect("server run");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

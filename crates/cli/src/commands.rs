@@ -7,7 +7,7 @@ use std::fs;
 use std::path::Path;
 
 use dagscope_core::{
-    compare_baselines, export, figures, BaseKernel, Pipeline, PipelineConfig, Report,
+    compare_baselines, export, figures, BaseKernel, IndexSnapshot, Pipeline, PipelineConfig, Report,
 };
 use dagscope_graph::JobDag;
 use dagscope_sched::{ClusterConfig, OnlineLoad, Policy, SimConfig, SimJob, Simulator};
@@ -44,6 +44,10 @@ COMMANDS
                [--online trough,peak])
   report      auto-generated paper-vs-measured markdown record
               (--jobs N --sample N --seed S)
+  snapshot    run the pipeline and write a loadable serve index
+              (--out DIR [pipeline flags])
+  serve       answer classify/similar/census queries over HTTP from a
+              snapshot (--snapshot DIR [--addr HOST:PORT] [--threads N])
   help        this text
 
 GLOBAL FLAGS
@@ -120,7 +124,8 @@ fn run_pipeline(flags: &Flags) -> Result<Report, CliError> {
         // synthesizing a trace; chunks decode in parallel.
         Some(dir) => {
             let path = Path::new(dir).join("batch_task.csv");
-            let bytes = fs::read(&path)?;
+            let bytes = fs::read(&path)
+                .map_err(|e| CliError::Run(format!("read {}: {e}", path.display())))?;
             let tasks = csv::read_tasks_parallel(&bytes).map_err(io_err)?;
             pipeline
                 .run_on(&dagscope_trace::JobSet::from_tasks(tasks))
@@ -241,7 +246,7 @@ fn render_figure(report: &Report, n: u32) -> String {
             figures::render_group_shapes(&figures::group_shape_composition(report))
         ),
         9 => figures::render_group_properties(&figures::fig9_group_properties(report)),
-        other => format!("no figure {other}; available 2..=9\n"),
+        other => unreachable!("figure {other} must be rejected before rendering"),
     }
 }
 
@@ -266,6 +271,11 @@ fn cmd_figure(flags: &Flags) -> Result<String, CliError> {
     };
     if ns == [0] {
         return Err(CliError::Run("pass --n 2..=9 or --all".to_string()));
+    }
+    if let Some(bad) = ns.iter().find(|n| !(2..=9).contains(*n)) {
+        return Err(CliError::Run(format!(
+            "no figure {bad}; available --n 2..=9"
+        )));
     }
     let report = run_pipeline(flags)?;
     let mut out = String::new();
@@ -442,6 +452,45 @@ fn cmd_schedule(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_snapshot(flags: &Flags) -> Result<String, CliError> {
+    let out = flags.str_or("out", "snapshot-out");
+    let report = run_pipeline(flags)?;
+    let snapshot = IndexSnapshot::from_report(&report).map_err(CliError::Run)?;
+    snapshot.save(Path::new(&out)).map_err(CliError::Run)?;
+    Ok(format!(
+        "wrote snapshot of {} jobs in {} groups (silhouette {:.3}) to {out}\nserve it with: dagscope serve --snapshot {out}\n",
+        snapshot.jobs.len(),
+        snapshot.meta.k,
+        snapshot.meta.silhouette,
+    ))
+}
+
+fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    let Some(dir) = flags.str_opt("snapshot") else {
+        return Err(CliError::Run(
+            "--snapshot DIR is required (write one with `dagscope snapshot`)".to_string(),
+        ));
+    };
+    let addr = flags.str_or("addr", "127.0.0.1:7700");
+    let threads = match flags.get_or("threads", 0usize, "a thread count")? {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(4, 64),
+        n => n,
+    };
+    let snapshot = IndexSnapshot::load(Path::new(dir)).map_err(CliError::Run)?;
+    let index = dagscope_serve::ServeIndex::build(snapshot).map_err(CliError::Run)?;
+    let jobs = index.len();
+    let server = dagscope_serve::Server::bind(index, &addr, threads)?;
+    let local = server.local_addr()?;
+    // The accept loop blocks until killed, so the liveness line must go
+    // out before it (stderr keeps stdout clean for actual results).
+    eprintln!("dagscope: serving {jobs} jobs on http://{local} with {threads} workers");
+    server.run()?;
+    Ok(format!("server on {local} stopped\n"))
+}
+
 /// Dispatch a full argv (excluding the program name).
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let Some(command) = argv.first() else {
@@ -464,6 +513,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "baselines" => cmd_baselines(&flags),
         "placement" => cmd_placement(&flags),
         "schedule" => cmd_schedule(&flags),
+        "snapshot" => cmd_snapshot(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -635,6 +686,51 @@ mod tests {
         let body = std::fs::read_to_string(dots[0].path()).unwrap();
         assert!(body.starts_with("digraph"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn figure_out_of_range_is_an_error() {
+        // These used to render a "no figure" string with a zero exit; any
+        // number outside 2..=9 must be a hard error.
+        for bad in ["1", "10", "12"] {
+            let err = run(&argv(&format!("figure --n {bad} --jobs 200 --sample 20"))).unwrap_err();
+            assert!(err.to_string().contains("available"), "--n {bad}");
+        }
+    }
+
+    #[test]
+    fn snapshot_writes_a_loadable_index() {
+        let dir = std::env::temp_dir().join(format!("dagscope_cli_snap_{}", std::process::id()));
+        let out = run(&argv(&format!(
+            "snapshot --jobs 200 --sample 20 --seed 3 --out {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("wrote snapshot of 20 jobs"));
+        for file in ["meta.txt", "jobs.csv", "model.txt", "groups.csv"] {
+            assert!(dir.join(file).exists(), "missing {file}");
+        }
+        let snap = IndexSnapshot::load(&dir).unwrap();
+        assert_eq!(snap.jobs.len(), 20);
+        dagscope_serve::ServeIndex::build(snap).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_rejects_sp_kernel() {
+        let err = run(&argv(
+            "snapshot --jobs 200 --sample 20 --seed 3 --base-kernel sp --out /tmp/never_written",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("WL"), "{err}");
+    }
+
+    #[test]
+    fn serve_errors_without_a_usable_snapshot() {
+        let err = run(&argv("serve")).unwrap_err();
+        assert!(err.to_string().contains("--snapshot"));
+        let err = run(&argv("serve --snapshot /no/such/dagscope/dir")).unwrap_err();
+        assert!(err.to_string().contains("meta.txt"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Process-level exit-code audit: every error path of the `dagscope`
+//! binary must exit nonzero with a diagnostic on stderr, and every success
+//! path must exit zero. Scripts (including the CI smoke test) rely on
+//! this contract.
+
+use std::process::{Command, Output};
+
+fn dagscope(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dagscope"))
+        .args(args)
+        .output()
+        .expect("spawn dagscope")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_paths_exit_zero() {
+    for args in [&[][..], &["help"][..], &["--help"][..]] {
+        let out = dagscope(args);
+        assert!(out.status.success(), "{args:?} must exit 0");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+    }
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = dagscope(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("frobnicate"));
+}
+
+#[test]
+fn bad_flag_value_exits_nonzero() {
+    let out = dagscope(&["summary", "--jobs", "many"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("jobs"));
+}
+
+#[test]
+fn unknown_positional_exits_nonzero() {
+    let out = dagscope(&["summary", "oops"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("oops"));
+}
+
+#[test]
+fn figure_out_of_range_exits_nonzero() {
+    // Regression: this used to print "no figure 12" and exit 0.
+    let out = dagscope(&["figure", "--n", "12", "--jobs", "100", "--sample", "10"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("available"));
+
+    let out = dagscope(&["figure", "--jobs", "100", "--sample", "10"]);
+    assert!(!out.status.success(), "figure without --n/--all must fail");
+}
+
+#[test]
+fn missing_trace_dir_exits_nonzero() {
+    let out = dagscope(&["summary", "--trace", "/no/such/dagscope/trace"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("batch_task.csv"));
+}
+
+#[test]
+fn serve_without_snapshot_exits_nonzero() {
+    let out = dagscope(&["serve"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--snapshot"));
+
+    let out = dagscope(&["serve", "--snapshot", "/no/such/dagscope/snapshot"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("meta.txt"));
+}
+
+#[test]
+fn snapshot_with_sp_kernel_exits_nonzero() {
+    let out = dagscope(&[
+        "snapshot",
+        "--jobs",
+        "200",
+        "--sample",
+        "20",
+        "--seed",
+        "3",
+        "--base-kernel",
+        "sp",
+        "--out",
+        "/tmp/dagscope_never_written",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("WL"));
+}
+
+#[test]
+fn bad_online_spec_exits_nonzero() {
+    let out = dagscope(&[
+        "schedule", "--jobs", "10", "--seed", "1", "--online", "0.9,0.1",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--online"));
+}
+
+#[test]
+fn successful_small_run_exits_zero() {
+    let out = dagscope(&["summary", "--jobs", "200", "--sample", "20", "--seed", "3"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("== groups"));
+}

@@ -10,7 +10,9 @@
 //! * [`spectral`] — normalized-Laplacian spectral clustering over an
 //!   affinity matrix, with fixed `k` or the eigengap heuristic,
 //! * [`validation`] — silhouette and Davies–Bouldin internal indices plus
-//!   partition sanity helpers, used to verify grouping quality.
+//!   partition sanity helpers, used to verify grouping quality,
+//! * [`model`](mod@model) — a serializable [`GroupModel`] (per-group WL
+//!   centroids) for classifying out-of-sample jobs online.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,12 +20,14 @@
 pub mod compare;
 pub mod hierarchical;
 pub mod kmeans;
+pub mod model;
 pub mod spectral;
 pub mod validation;
 
 pub use compare::{adjusted_rand_index, purity, rand_index};
 pub use hierarchical::{agglomerative, HierarchicalResult};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use model::{Classification, GroupModel};
 pub use spectral::{
     choose_k_by_silhouette, spectral_cluster, ClusterCount, SpectralConfig, SpectralResult,
 };

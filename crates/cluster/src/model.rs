@@ -1,0 +1,328 @@
+//! A serializable classification model distilled from a clustering run.
+//!
+//! Spectral clustering assigns the *sample* to groups, but an online
+//! service must also place jobs it has never seen. The spectral embedding
+//! cannot be applied out-of-sample cheaply, so [`GroupModel`] keeps, per
+//! group, the **centroid of the members' L2-normalized WL feature
+//! vectors**: classifying a probe is then one WL embedding plus `k` sparse
+//! cosines, and the scores are directly comparable across groups because
+//! every member contributed a unit vector.
+//!
+//! The model is a pure value (no RNG, no interior mutability) with an
+//! exact text serialization — `f64` components round-trip through their
+//! IEEE bit patterns, so a model written by the offline pipeline and
+//! loaded by a server classifies **bit-identically**.
+
+use dagscope_wl::SparseVec;
+
+/// Per-group WL centroids plus the sample assignment that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupModel {
+    /// Number of groups (`k`).
+    k: usize,
+    /// Cluster id per sample index, exactly as the clustering produced it.
+    assignments: Vec<usize>,
+    /// Mean of the members' L2-normalized φ vectors, per cluster id.
+    centroids: Vec<SparseVec>,
+}
+
+/// One classification verdict: the winning cluster, a confidence in
+/// `[0, 1]`, and the raw per-cluster scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// Winning cluster id (index into the model's clusters).
+    pub cluster: usize,
+    /// Winning score as a fraction of the total score mass — 1.0 when the
+    /// probe resembles only one group, `1/k` when it is torn evenly.
+    pub confidence: f64,
+    /// Cosine similarity of the probe to each cluster centroid.
+    pub scores: Vec<f64>,
+}
+
+impl GroupModel {
+    /// Fit centroids from cluster `assignments` over the sample's WL
+    /// `features` (one φ vector per sample index, same order).
+    ///
+    /// Each member contributes its L2-normalized vector, so a huge job and
+    /// a 2-task chain weigh equally within their group; empty clusters get
+    /// an empty centroid that scores 0 against every probe.
+    pub fn fit(assignments: &[usize], k: usize, features: &[SparseVec]) -> GroupModel {
+        assert_eq!(
+            assignments.len(),
+            features.len(),
+            "one feature vector per assigned sample"
+        );
+        let mut sums: Vec<std::collections::BTreeMap<u32, f64>> = vec![Default::default(); k];
+        let mut counts = vec![0usize; k];
+        for (&c, f) in assignments.iter().zip(features) {
+            let norm = f.norm_sq().sqrt();
+            if norm == 0.0 {
+                continue;
+            }
+            counts[c] += 1;
+            for (i, v) in f.iter() {
+                *sums[c].entry(i).or_insert(0.0) += v / norm;
+            }
+        }
+        let centroids = sums
+            .into_iter()
+            .zip(&counts)
+            .map(|(sum, &count)| {
+                if count == 0 {
+                    SparseVec::default()
+                } else {
+                    SparseVec::from_pairs(sum.into_iter().map(|(i, v)| (i, v / count as f64)))
+                }
+            })
+            .collect();
+        GroupModel {
+            k,
+            assignments: assignments.to_vec(),
+            centroids,
+        }
+    }
+
+    /// Number of groups.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The sample assignment the model was fitted from.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Centroid of cluster `c`.
+    pub fn centroid(&self, c: usize) -> &SparseVec {
+        &self.centroids[c]
+    }
+
+    /// Score a probe φ vector against every centroid and pick the winner.
+    ///
+    /// Ties break toward the lower cluster id, so results are deterministic.
+    pub fn classify(&self, probe: &SparseVec) -> Classification {
+        let scores: Vec<f64> = self.centroids.iter().map(|c| probe.cosine(c)).collect();
+        let cluster = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let total: f64 = scores.iter().sum();
+        let confidence = if total > 0.0 {
+            scores[cluster] / total
+        } else {
+            0.0
+        };
+        Classification {
+            cluster,
+            confidence,
+            scores,
+        }
+    }
+
+    /// Serialize to a line-oriented text form.
+    ///
+    /// ```text
+    /// groupmodel v1
+    /// k <k>
+    /// assignments <c0> <c1> ...
+    /// centroid <c> <index>:<f64-bits-hex> ...
+    /// ```
+    ///
+    /// Values are written as hexadecimal IEEE-754 bit patterns so parsing
+    /// reproduces every component exactly.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("groupmodel v1\n");
+        writeln!(s, "k {}", self.k).unwrap();
+        s.push_str("assignments");
+        for a in &self.assignments {
+            write!(s, " {a}").unwrap();
+        }
+        s.push('\n');
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            write!(s, "centroid {c}").unwrap();
+            for (i, v) in centroid.iter() {
+                write!(s, " {i}:{:016x}", v.to_bits()).unwrap();
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parse the [`to_text`](Self::to_text) form.
+    pub fn from_text(text: &str) -> Result<GroupModel, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("groupmodel v1") => {}
+            other => return Err(format!("bad model header: {other:?}")),
+        }
+        let k: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("k "))
+            .ok_or("missing k line")?
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad k: {e}"))?;
+        let assignments: Vec<usize> = lines
+            .next()
+            .and_then(|l| l.strip_prefix("assignments"))
+            .ok_or("missing assignments line")?
+            .split_whitespace()
+            .map(|t| {
+                t.parse::<usize>()
+                    .map_err(|e| format!("bad assignment: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        if let Some(&bad) = assignments.iter().find(|&&c| c >= k) {
+            return Err(format!("assignment {bad} out of range for k={k}"));
+        }
+        let mut centroids = vec![SparseVec::default(); k];
+        let mut seen = vec![false; k];
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("centroid ")
+                .ok_or_else(|| format!("unexpected model line: {line:?}"))?;
+            let mut toks = rest.split_whitespace();
+            let c: usize = toks
+                .next()
+                .ok_or("centroid line missing id")?
+                .parse()
+                .map_err(|e| format!("bad centroid id: {e}"))?;
+            if c >= k {
+                return Err(format!("centroid id {c} out of range for k={k}"));
+            }
+            if seen[c] {
+                return Err(format!("duplicate centroid {c}"));
+            }
+            seen[c] = true;
+            let pairs: Vec<(u32, f64)> = toks
+                .map(|t| {
+                    let (i, bits) = t
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad centroid entry: {t:?}"))?;
+                    let i: u32 = i.parse().map_err(|e| format!("bad index: {e}"))?;
+                    let bits =
+                        u64::from_str_radix(bits, 16).map_err(|e| format!("bad value: {e}"))?;
+                    Ok((i, f64::from_bits(bits)))
+                })
+                .collect::<Result<_, String>>()?;
+            centroids[c] = SparseVec::from_pairs(pairs);
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("missing centroid {missing}"));
+        }
+        Ok(GroupModel {
+            k,
+            assignments,
+            centroids,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f64)]) -> SparseVec {
+        SparseVec::from_pairs(pairs.iter().copied())
+    }
+
+    fn sample() -> (Vec<usize>, Vec<SparseVec>) {
+        // Two clean groups: label-0-heavy and label-5-heavy, plus one
+        // mixed member.
+        let features = vec![
+            sv(&[(0, 2.0), (1, 1.0)]),
+            sv(&[(0, 4.0), (1, 2.0)]),
+            sv(&[(5, 3.0), (6, 1.0)]),
+            sv(&[(5, 1.0), (6, 0.5), (0, 0.1)]),
+        ];
+        (vec![0, 0, 1, 1], features)
+    }
+
+    #[test]
+    fn fit_and_classify() {
+        let (assignments, features) = sample();
+        let model = GroupModel::fit(&assignments, 2, &features);
+        assert_eq!(model.k(), 2);
+        assert_eq!(model.assignments(), &assignments[..]);
+        // A probe matching group 0's direction lands in cluster 0 with
+        // high confidence.
+        let c = model.classify(&sv(&[(0, 10.0), (1, 5.0)]));
+        assert_eq!(c.cluster, 0);
+        assert!(c.confidence > 0.9, "confidence {}", c.confidence);
+        assert_eq!(c.scores.len(), 2);
+        // And vice versa.
+        let c = model.classify(&sv(&[(5, 1.0), (6, 0.4)]));
+        assert_eq!(c.cluster, 1);
+        // Members classify into their own groups.
+        for (i, f) in features.iter().enumerate() {
+            assert_eq!(model.classify(f).cluster, assignments[i], "member {i}");
+        }
+    }
+
+    #[test]
+    fn orthogonal_probe_has_zero_confidence() {
+        let (assignments, features) = sample();
+        let model = GroupModel::fit(&assignments, 2, &features);
+        let c = model.classify(&sv(&[(99, 1.0)]));
+        assert_eq!(c.confidence, 0.0);
+        assert!(c.scores.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn empty_cluster_scores_zero() {
+        let features = vec![sv(&[(0, 1.0)])];
+        let model = GroupModel::fit(&[0], 3, &features);
+        let c = model.classify(&sv(&[(0, 1.0)]));
+        assert_eq!(c.cluster, 0);
+        assert_eq!(c.scores[1], 0.0);
+        assert_eq!(c.scores[2], 0.0);
+        assert!((c.confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let (assignments, features) = sample();
+        let model = GroupModel::fit(&assignments, 2, &features);
+        let text = model.to_text();
+        let back = GroupModel::from_text(&text).unwrap();
+        assert_eq!(back, model);
+        // Classification through the round-tripped model is bit-identical.
+        let probe = sv(&[(0, 1.0), (5, 1.0), (7, 0.25)]);
+        let (a, b) = (model.classify(&probe), back.classify(&probe));
+        assert_eq!(a.cluster, b.cluster);
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+    }
+
+    #[test]
+    fn from_text_rejects_malformed() {
+        for bad in [
+            "",
+            "groupmodel v2\nk 1\nassignments 0\ncentroid 0",
+            "groupmodel v1\nassignments 0",
+            "groupmodel v1\nk 2\nassignments 0 2\ncentroid 0\ncentroid 1",
+            "groupmodel v1\nk 1\nassignments 0\ncentroid 5 0:3ff0000000000000",
+            "groupmodel v1\nk 1\nassignments 0\nwhat is this",
+            "groupmodel v1\nk 2\nassignments 0 1\ncentroid 0",
+            "groupmodel v1\nk 1\nassignments 0\ncentroid 0 nonsense",
+        ] {
+            assert!(GroupModel::from_text(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn ties_break_to_lower_cluster() {
+        // Identical centroids: scores tie exactly; winner must be cluster 0.
+        let features = vec![sv(&[(0, 1.0)]), sv(&[(0, 1.0)])];
+        let model = GroupModel::fit(&[0, 1], 2, &features);
+        let c = model.classify(&sv(&[(0, 2.0)]));
+        assert_eq!(c.cluster, 0);
+        assert!((c.confidence - 0.5).abs() < 1e-12);
+    }
+}

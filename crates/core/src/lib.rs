@@ -27,6 +27,7 @@ pub mod figures;
 pub mod groups;
 mod pipeline;
 mod report;
+pub mod snapshot;
 mod timings;
 
 pub use baseline::{compare_baselines, conflation_stability, BaselineComparison};
@@ -34,4 +35,5 @@ pub use config::{BaseKernel, PipelineConfig};
 pub use groups::{GroupAnalysis, GroupStats};
 pub use pipeline::Pipeline;
 pub use report::Report;
+pub use snapshot::{IndexSnapshot, SnapshotGroup, SnapshotMeta};
 pub use timings::StageTimings;

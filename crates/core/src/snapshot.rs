@@ -1,0 +1,472 @@
+//! A loadable on-disk index of a completed pipeline run.
+//!
+//! The batch pipeline characterizes a sample once; `dagscope serve` must
+//! answer queries about that characterization long after the process that
+//! computed it has exited. [`IndexSnapshot`] is the hand-off format: the
+//! sampled jobs (as `batch_task`-format rows, so the snapshot reuses the
+//! trace CSV codec), the fitted [`GroupModel`], and the per-group summary
+//! statistics.
+//!
+//! The snapshot deliberately stores *jobs*, not derived artifacts like DAGs
+//! or WL vectors: every derivation in this workspace is deterministic, so a
+//! loader that replays DAG construction → conflation → WL embedding over
+//! the same rows reproduces the offline run **bit-identically**, and the
+//! format stays robust to internal representation changes.
+//!
+//! Layout of a snapshot directory:
+//!
+//! ```text
+//! meta.txt         key=value lines (version, kernel, wl_iterations, …)
+//! jobs.csv         batch_task rows of the sample, in sample order
+//! model.txt        GroupModel text form (see dagscope_cluster::model)
+//! groups.csv       per-group summary rows (label, population, medoid, …)
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use dagscope_cluster::GroupModel;
+use dagscope_trace::{csv, Job, Status, TaskRecord};
+
+use crate::{BaseKernel, Report};
+
+/// Snapshot format version this build writes and reads.
+const VERSION: u32 = 1;
+
+/// Run-level metadata carried alongside the index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotMeta {
+    /// WL refinement iterations used by the offline embedding.
+    pub wl_iterations: usize,
+    /// Whether the kernel stage ran on conflated DAGs.
+    pub conflate: bool,
+    /// Seed of the producing run (provenance only).
+    pub seed: u64,
+    /// Number of groups.
+    pub k: usize,
+    /// Silhouette of the offline clustering (provenance only).
+    pub silhouette: f64,
+}
+
+/// Summary of one group, mirroring [`crate::GroupStats`] minus the bulky
+/// per-member distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotGroup {
+    /// Group label (`'A'` = most populated).
+    pub label: char,
+    /// Raw cluster id behind the label.
+    pub cluster: usize,
+    /// Member count.
+    pub population: usize,
+    /// Fraction of the sample.
+    pub fraction: f64,
+    /// Mean job size.
+    pub mean_size: f64,
+    /// Share of straight-chain jobs.
+    pub chain_fraction: f64,
+    /// Share of short (≤ 3 task) jobs.
+    pub short_fraction: f64,
+    /// Medoid job name.
+    pub representative: String,
+}
+
+/// Everything `dagscope serve` needs, in saveable/loadable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexSnapshot {
+    /// Run metadata.
+    pub meta: SnapshotMeta,
+    /// The sampled jobs in sample order (aligned with the model's
+    /// assignment vector).
+    pub jobs: Vec<Job>,
+    /// Assignments + per-group WL centroids.
+    pub model: GroupModel,
+    /// Group summaries, ordered by label.
+    pub groups: Vec<SnapshotGroup>,
+}
+
+impl IndexSnapshot {
+    /// Distill a completed [`Report`] into a snapshot.
+    ///
+    /// Only WL-subtree runs are supported: the online classifier embeds
+    /// probes with the WL vectorizer, so centroids from a shortest-path
+    /// run would live in the wrong feature space.
+    pub fn from_report(report: &Report) -> Result<IndexSnapshot, String> {
+        if report.config.base_kernel != BaseKernel::WlSubtree {
+            return Err(
+                "serve snapshots require the WL subtree base kernel (--base-kernel wl)".to_string(),
+            );
+        }
+        let jobs: Vec<Job> = report.raw_dags.iter().map(dag_to_job).collect();
+        let model = GroupModel::fit(
+            &report.groups.assignments,
+            report.groups.group_count(),
+            &report.wl_features,
+        );
+        let groups = report
+            .groups
+            .groups
+            .iter()
+            .map(|g| SnapshotGroup {
+                label: g.label,
+                cluster: g.cluster,
+                population: g.population,
+                fraction: g.fraction,
+                mean_size: g.mean_size,
+                chain_fraction: g.chain_fraction,
+                short_fraction: g.short_fraction,
+                representative: g.representative.clone(),
+            })
+            .collect();
+        Ok(IndexSnapshot {
+            meta: SnapshotMeta {
+                wl_iterations: report.config.wl_iterations,
+                conflate: report.config.conflate,
+                seed: report.config.seed,
+                k: report.groups.group_count(),
+                silhouette: report.groups.silhouette,
+            },
+            jobs,
+            model,
+            groups,
+        })
+    }
+
+    /// Write the snapshot into `dir` (created if absent).
+    pub fn save(&self, dir: &Path) -> Result<(), String> {
+        fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let write = |name: &str, data: &str| -> Result<(), String> {
+            let path = dir.join(name);
+            fs::write(&path, data).map_err(|e| format!("write {}: {e}", path.display()))
+        };
+
+        let mut meta = String::new();
+        writeln!(meta, "version={VERSION}").unwrap();
+        writeln!(meta, "kernel=wl").unwrap();
+        writeln!(meta, "wl_iterations={}", self.meta.wl_iterations).unwrap();
+        writeln!(meta, "conflate={}", self.meta.conflate as u8).unwrap();
+        writeln!(meta, "seed={}", self.meta.seed).unwrap();
+        writeln!(meta, "k={}", self.meta.k).unwrap();
+        writeln!(meta, "silhouette={}", self.meta.silhouette).unwrap();
+        write("meta.txt", &meta)?;
+
+        let mut rows = String::new();
+        for job in &self.jobs {
+            for t in &job.tasks {
+                rows.push_str(&csv::format_task_line(t));
+                rows.push('\n');
+            }
+        }
+        write("jobs.csv", &rows)?;
+
+        write("model.txt", &self.model.to_text())?;
+
+        let mut groups = String::from(
+            "label,cluster,population,fraction,mean_size,chain_fraction,short_fraction,representative\n",
+        );
+        for g in &self.groups {
+            writeln!(
+                groups,
+                "{},{},{},{},{},{},{},{}",
+                g.label,
+                g.cluster,
+                g.population,
+                g.fraction,
+                g.mean_size,
+                g.chain_fraction,
+                g.short_fraction,
+                g.representative
+            )
+            .unwrap();
+        }
+        write("groups.csv", &groups)
+    }
+
+    /// Load a snapshot previously written with [`save`](Self::save).
+    pub fn load(dir: &Path) -> Result<IndexSnapshot, String> {
+        let read = |name: &str| -> Result<String, String> {
+            let path = dir.join(name);
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))
+        };
+
+        let meta_text = read("meta.txt")?;
+        let meta_kv = |key: &str| -> Result<&str, String> {
+            meta_text
+                .lines()
+                .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+                .ok_or_else(|| format!("meta.txt missing {key}"))
+        };
+        let version: u32 = meta_kv("version")?
+            .parse()
+            .map_err(|e| format!("bad version: {e}"))?;
+        if version != VERSION {
+            return Err(format!(
+                "snapshot version {version} unsupported (this build reads {VERSION})"
+            ));
+        }
+        if meta_kv("kernel")? != "wl" {
+            return Err("snapshot built with a non-WL base kernel".to_string());
+        }
+        let meta = SnapshotMeta {
+            wl_iterations: meta_kv("wl_iterations")?
+                .parse()
+                .map_err(|e| format!("bad wl_iterations: {e}"))?,
+            conflate: meta_kv("conflate")? == "1",
+            seed: meta_kv("seed")?
+                .parse()
+                .map_err(|e| format!("bad seed: {e}"))?,
+            k: meta_kv("k")?.parse().map_err(|e| format!("bad k: {e}"))?,
+            silhouette: meta_kv("silhouette")?
+                .parse()
+                .map_err(|e| format!("bad silhouette: {e}"))?,
+        };
+
+        let rows = csv::read_tasks(read("jobs.csv")?.as_bytes()).map_err(|e| e.to_string())?;
+        let jobs = group_rows_in_order(rows);
+
+        let model = GroupModel::from_text(&read("model.txt")?)?;
+
+        let mut groups = Vec::new();
+        for line in read("groups.csv")?.lines().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != 8 {
+                return Err(format!("bad groups.csv row: {line:?}"));
+            }
+            let num = |s: &str, what: &str| -> Result<f64, String> {
+                s.parse().map_err(|e| format!("bad {what}: {e}"))
+            };
+            groups.push(SnapshotGroup {
+                label: f[0]
+                    .chars()
+                    .next()
+                    .ok_or_else(|| format!("empty label in {line:?}"))?,
+                cluster: f[1].parse().map_err(|e| format!("bad cluster: {e}"))?,
+                population: f[2].parse().map_err(|e| format!("bad population: {e}"))?,
+                fraction: num(f[3], "fraction")?,
+                mean_size: num(f[4], "mean_size")?,
+                chain_fraction: num(f[5], "chain_fraction")?,
+                short_fraction: num(f[6], "short_fraction")?,
+                representative: f[7].to_string(),
+            });
+        }
+
+        let snapshot = IndexSnapshot {
+            meta,
+            jobs,
+            model,
+            groups,
+        };
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+
+    /// Internal consistency checks shared by loaders.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.model.k() != self.meta.k {
+            return Err(format!(
+                "model k={} disagrees with meta k={}",
+                self.model.k(),
+                self.meta.k
+            ));
+        }
+        if self.model.assignments().len() != self.jobs.len() {
+            return Err(format!(
+                "{} assignments for {} jobs",
+                self.model.assignments().len(),
+                self.jobs.len()
+            ));
+        }
+        if self.groups.len() != self.meta.k {
+            return Err(format!(
+                "{} group rows for k={}",
+                self.groups.len(),
+                self.meta.k
+            ));
+        }
+        let mut covered = vec![false; self.meta.k];
+        for g in &self.groups {
+            if g.cluster >= self.meta.k || covered[g.cluster] {
+                return Err(format!(
+                    "group rows do not partition clusters 0..{}",
+                    self.meta.k
+                ));
+            }
+            covered[g.cluster] = true;
+        }
+        Ok(())
+    }
+}
+
+/// Reconstruct a [`Job`]'s task rows from its (pre-conflation) DAG. The
+/// dependency structure lives entirely in the task names; attributes the
+/// DAG kept are restored, and fields it dropped (status, absolute
+/// timestamps, type code) get fixed placeholder values — none of them
+/// participate in serving.
+fn dag_to_job(dag: &dagscope_graph::JobDag) -> Job {
+    let tasks = (0..dag.len())
+        .map(|i| {
+            let a = dag.attr(i);
+            TaskRecord {
+                task_name: dag.task_name(i).to_string(),
+                instance_num: a.instance_num,
+                job_name: dag.name.clone(),
+                task_type: "1".into(),
+                status: Status::Terminated,
+                start_time: 1,
+                end_time: 1 + a.duration,
+                plan_cpu: a.plan_cpu,
+                plan_mem: a.plan_mem,
+            }
+        })
+        .collect();
+    Job {
+        name: dag.name.clone(),
+        tasks,
+    }
+}
+
+/// Group task rows into jobs preserving **first-appearance order** — unlike
+/// [`dagscope_trace::JobSet::from_tasks`], which name-sorts. Snapshot rows
+/// are written in sample order and the model's assignment vector is aligned
+/// with that order, so it must survive the round trip.
+fn group_rows_in_order(rows: Vec<TaskRecord>) -> Vec<Job> {
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for row in rows {
+        match index.get(&row.job_name) {
+            Some(&i) => jobs[i].tasks.push(row),
+            None => {
+                index.insert(row.job_name.clone(), jobs.len());
+                jobs.push(Job {
+                    name: row.job_name.clone(),
+                    tasks: vec![row],
+                });
+            }
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pipeline, PipelineConfig};
+
+    fn report() -> Report {
+        Pipeline::new(PipelineConfig {
+            jobs: 300,
+            sample: 25,
+            seed: 11,
+            ..Default::default()
+        })
+        .run()
+        .unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dagscope_snap_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let r = report();
+        let snap = IndexSnapshot::from_report(&r).unwrap();
+        assert_eq!(snap.jobs.len(), 25);
+        assert_eq!(snap.model.assignments(), &r.groups.assignments[..]);
+        assert_eq!(snap.groups.len(), 5);
+
+        let dir = tmp_dir("rt");
+        snap.save(&dir).unwrap();
+        let back = IndexSnapshot::load(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(back.meta, snap.meta);
+        assert_eq!(back.model, snap.model, "model must round-trip bit-exactly");
+        assert_eq!(back.groups, snap.groups);
+        // Job order and structure survive; rebuilt DAGs embed identically.
+        assert_eq!(back.jobs.len(), snap.jobs.len());
+        for (a, b) in back.jobs.iter().zip(&snap.jobs) {
+            assert_eq!(a.name, b.name);
+            let da = dagscope_graph::JobDag::from_job(a).unwrap();
+            let db = dagscope_graph::JobDag::from_job(b).unwrap();
+            let mut wl = dagscope_wl::WlVectorizer::new(3);
+            assert_eq!(wl.transform(&da), wl.transform(&db));
+        }
+    }
+
+    #[test]
+    fn rebuilt_dags_match_report_wl_features() {
+        // The core bit-identity claim: replaying DAG build → conflate → WL
+        // over snapshot rows reproduces the offline feature vectors.
+        let r = report();
+        let snap = IndexSnapshot::from_report(&r).unwrap();
+        let dags: Vec<_> = snap
+            .jobs
+            .iter()
+            .map(|j| dagscope_graph::JobDag::from_job(j).unwrap())
+            .collect();
+        let kernel_input: Vec<_> = if snap.meta.conflate {
+            dags.iter()
+                .map(dagscope_graph::conflate::conflate)
+                .collect()
+        } else {
+            dags
+        };
+        let mut wl = dagscope_wl::WlVectorizer::new(snap.meta.wl_iterations);
+        let feats = wl.transform_all_sequential(&kernel_input);
+        assert_eq!(feats, r.wl_features);
+    }
+
+    #[test]
+    fn sp_kernel_run_is_rejected() {
+        let r = Pipeline::new(PipelineConfig {
+            jobs: 300,
+            sample: 20,
+            seed: 3,
+            base_kernel: BaseKernel::ShortestPath,
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+        assert!(IndexSnapshot::from_report(&r).is_err());
+    }
+
+    #[test]
+    fn load_rejects_corruption() {
+        let r = report();
+        let snap = IndexSnapshot::from_report(&r).unwrap();
+        let dir = tmp_dir("bad");
+        snap.save(&dir).unwrap();
+
+        // Wrong version.
+        let meta = std::fs::read_to_string(dir.join("meta.txt")).unwrap();
+        std::fs::write(dir.join("meta.txt"), meta.replace("version=1", "version=9")).unwrap();
+        assert!(IndexSnapshot::load(&dir).is_err());
+        std::fs::write(dir.join("meta.txt"), meta).unwrap();
+        assert!(IndexSnapshot::load(&dir).is_ok());
+
+        // Truncated model: assignments no longer match the job count.
+        let model = std::fs::read_to_string(dir.join("model.txt")).unwrap();
+        let truncated = model.replace("assignments ", "assignments 0 ");
+        std::fs::write(dir.join("model.txt"), truncated).unwrap();
+        assert!(IndexSnapshot::load(&dir).is_err());
+        std::fs::write(dir.join("model.txt"), model).unwrap();
+
+        // Missing file.
+        std::fs::remove_file(dir.join("groups.csv")).unwrap();
+        assert!(IndexSnapshot::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn first_appearance_grouping_keeps_sample_order() {
+        let r = report();
+        let snap = IndexSnapshot::from_report(&r).unwrap();
+        let names: Vec<&str> = snap.jobs.iter().map(|j| j.name.as_str()).collect();
+        let sample: Vec<&str> = r.sample_names.iter().map(String::as_str).collect();
+        assert_eq!(names, sample);
+    }
+}

@@ -11,7 +11,9 @@
 //!   delimiter-aligned byte chunks (the CSV-ingestion shape),
 //! * [`par_reduce`] — parallel fold + associative merge,
 //! * [`pairs::par_upper_triangle`] — parallel in-place fill of a packed
-//!   symmetric pairwise table (the kernel-matrix shape).
+//!   symmetric pairwise table (the kernel-matrix shape),
+//! * [`WorkerPool`] — a long-lived fixed-size pool consuming queued
+//!   closures (the request-dispatch shape of `dagscope-serve`).
 //!
 //! All primitives use dynamic chunk self-scheduling: worker threads pull
 //! chunk indices from a shared atomic counter, so skewed per-item costs
@@ -33,9 +35,11 @@ mod chunks;
 mod config;
 mod map;
 pub mod pairs;
+mod pool;
 mod reduce;
 
 pub use chunks::{chunk_bounds, par_chunk_map};
 pub use config::{parallelism, ParScope};
 pub use map::{par_map, par_map_with};
+pub use pool::WorkerPool;
 pub use reduce::{par_reduce, par_sum_f64};

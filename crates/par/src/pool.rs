@@ -1,0 +1,201 @@
+//! A reusable worker pool for long-lived services.
+//!
+//! The scoped primitives in this crate ([`crate::par_map`] and friends)
+//! spawn threads per call, which is the right shape for batch stages but
+//! not for a server that must dispatch many small, independent jobs over
+//! its whole lifetime. [`WorkerPool`] keeps a fixed set of threads alive
+//! and feeds them closures through a shared queue; dropping the pool
+//! drains the queue and joins every worker.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A job the pool can run.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared pool state: the job queue plus a shutdown flag, guarded by one
+/// mutex so workers can wait on a single condvar.
+struct Shared {
+    queue: Mutex<(VecDeque<Job>, bool)>,
+    available: Condvar,
+}
+
+/// A fixed-size pool of worker threads consuming queued closures.
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = dagscope_par::WorkerPool::new(4);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let hits = Arc::clone(&hits);
+///     pool.execute(move || {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// drop(pool); // joins workers after the queue drains
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    queued: Arc<AtomicUsize>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new((VecDeque::new(), false)),
+            available: Condvar::new(),
+        });
+        let queued = Arc::new(AtomicUsize::new(0));
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let queued = Arc::clone(&queued);
+                std::thread::Builder::new()
+                    .name(format!("dagscope-pool-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let mut guard = shared.queue.lock().expect("pool mutex poisoned");
+                            loop {
+                                if let Some(job) = guard.0.pop_front() {
+                                    break job;
+                                }
+                                if guard.1 {
+                                    return; // shutting down and queue drained
+                                }
+                                guard = shared.available.wait(guard).expect("pool mutex poisoned");
+                            }
+                        };
+                        job();
+                        queued.fetch_sub(1, Ordering::Release);
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            queued,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs queued or currently running.
+    pub fn pending(&self) -> usize {
+        self.queued.load(Ordering::Acquire)
+    }
+
+    /// Queue a job for execution by some worker. Jobs start in FIFO order.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.queued.fetch_add(1, Ordering::AcqRel);
+        {
+            let mut guard = self.shared.queue.lock().expect("pool mutex poisoned");
+            guard.0.push_back(Box::new(job));
+        }
+        self.shared.available.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Drain remaining jobs, then join every worker.
+    fn drop(&mut self) {
+        {
+            let mut guard = self.shared.queue.lock().expect("pool mutex poisoned");
+            guard.1 = true;
+        }
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            // A worker panic already aborted its job; surfacing it here
+            // would double-panic during drop, so ignore the result.
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = WorkerPool::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1_000 {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(hits.load(Ordering::Relaxed), 1_000);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hit);
+        pool.execute(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        // Two jobs that each wait for the other prove two workers run at
+        // once; a single-threaded pool would deadlock (bounded by timeout).
+        let pool = WorkerPool::new(2);
+        let gate = Arc::new((Mutex::new(0usize), Condvar::new()));
+        for _ in 0..2 {
+            let gate = Arc::clone(&gate);
+            pool.execute(move || {
+                let (lock, cv) = &*gate;
+                let mut n = lock.lock().unwrap();
+                *n += 1;
+                cv.notify_all();
+                while *n < 2 {
+                    let (next, timeout) = cv
+                        .wait_timeout(n, Duration::from_secs(10))
+                        .expect("gate mutex poisoned");
+                    n = next;
+                    assert!(!timeout.timed_out(), "second worker never arrived");
+                }
+            });
+        }
+        drop(pool);
+        assert_eq!(*gate.0.lock().unwrap(), 2);
+    }
+
+    #[test]
+    fn pending_counts_down() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..16 {
+            pool.execute(|| {});
+        }
+        drop(pool); // drains
+    }
+}

@@ -1,0 +1,371 @@
+//! A deliberately small HTTP/1.1 subset over `std::net`.
+//!
+//! The service needs exactly: request line + headers + optional
+//! `Content-Length` body in, status + JSON body out, with keep-alive so a
+//! client can pipeline a session over one connection. No chunked encoding,
+//! no TLS, no HTTP/2 — clients that need more sit behind a real proxy.
+//! Every limit (line length, header count, body size) is bounded so a
+//! hostile peer cannot make a handler allocate without end.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of headers.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (e.g. `/v1/jobs/j_42`).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string.
+    pub query: Vec<(String, String)>,
+    /// Raw body bytes (empty when the request had none).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First query value for `key`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response ready to encode.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body text (always JSON in this service).
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn ok(body: String) -> Response {
+        Response { status: 200, body }
+    }
+
+    /// An error response with a JSON `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            body: crate::json::obj(vec![("error", crate::json::Json::from(message))]).encode(),
+        }
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Peer closed the connection before a request line (normal end of a
+    /// keep-alive session).
+    Closed,
+    /// The bytes did not form an acceptable request; the given status and
+    /// message should be sent back before closing.
+    Bad(u16, String),
+    /// Transport error.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> ReadError {
+        ReadError::Io(e)
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Error",
+    }
+}
+
+/// Read one line up to CRLF (or bare LF), bounded by [`MAX_LINE`].
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, ReadError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ReadError::Bad(400, "truncated request".to_string()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| ReadError::Bad(400, "non-UTF-8 request".to_string()));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(ReadError::Bad(400, "request line too long".to_string()));
+                }
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+}
+
+/// Decode `%XX` escapes and `+` in a query component.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Read and parse one request from the stream. Returns
+/// [`ReadError::Closed`] on a clean end-of-stream between requests.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
+    let request_line = match read_line(reader)? {
+        None => return Err(ReadError::Closed),
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m.to_string(), t.to_string(), v),
+        _ => return Err(ReadError::Bad(400, "malformed request line".to_string())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Bad(400, "unsupported HTTP version".to_string()));
+    }
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+
+    let mut content_length: usize = 0;
+    for count in 0.. {
+        if count > MAX_HEADERS {
+            return Err(ReadError::Bad(400, "too many headers".to_string()));
+        }
+        let line = match read_line(reader)? {
+            None => return Err(ReadError::Bad(400, "truncated headers".to_string())),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Bad(400, "malformed header".to_string()));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ReadError::Bad(400, "bad content-length".to_string()))?;
+                if content_length > MAX_BODY {
+                    return Err(ReadError::Bad(413, "body too large".to_string()));
+                }
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "transfer-encoding" => {
+                return Err(ReadError::Bad(
+                    400,
+                    "transfer-encoding not supported; send content-length".to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|_| ReadError::Bad(400, "body shorter than content-length".to_string()))?;
+    }
+
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.clone(), ""),
+    };
+    let query = query_string
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect();
+
+    Ok(Request {
+        method,
+        path: percent_decode(&path),
+        query,
+        body,
+        keep_alive,
+    })
+}
+
+/// Encode and send a response.
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
+        response.status,
+        status_text(response.status),
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+        response.body
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse("GET /v1/similar/j_7?k=5&x=a%20b HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/similar/j_7");
+        assert_eq!(r.query_param("k"), Some("5"));
+        assert_eq!(r.query_param("x"), Some("a b"));
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse("POST /v1/classify HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"\"}").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"\"}");
+    }
+
+    #[test]
+    fn connection_close_wins() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+        let r = parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn eof_before_request_is_closed() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / SPDY/3\r\n\r\n",
+            "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "GET / HTTP/1.1\r\n", // truncated: headers never terminated
+        ] {
+            assert!(
+                matches!(parse(raw), Err(ReadError::Bad(..))),
+                "accepted: {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        match parse(&raw) {
+            Err(ReadError::Bad(413, _)) => {}
+            other => panic!("expected 413, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::ok("{\"a\":1}".to_string()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 7\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::error(404, "no such job"), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("{\"error\":\"no such job\"}"));
+    }
+
+    #[test]
+    fn keep_alive_session_reads_sequential_requests() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = raw.as_bytes();
+        let a = read_request(&mut reader).unwrap();
+        assert_eq!(a.path, "/a");
+        let b = read_request(&mut reader).unwrap();
+        assert_eq!((b.path.as_str(), b.body.as_slice()), ("/b", &b"hi"[..]));
+        let c = read_request(&mut reader).unwrap();
+        assert_eq!(c.path, "/c");
+        assert!(!c.keep_alive);
+        assert!(matches!(read_request(&mut reader), Err(ReadError::Closed)));
+    }
+}

@@ -1,0 +1,39 @@
+//! dagscope-serve: an online DAG query service over a characterized sample.
+//!
+//! The batch pipeline answers "what does this workload look like?" once;
+//! this crate keeps the answer queryable. It loads an
+//! [`IndexSnapshot`](dagscope_core::IndexSnapshot) written by the pipeline
+//! into an immutable in-memory [`ServeIndex`] and serves JSON over a
+//! hand-rolled HTTP/1.1 stack (`std::net` + the
+//! [`dagscope_par::WorkerPool`] — no external dependencies):
+//!
+//! | Endpoint | Answers |
+//! |---|---|
+//! | `POST /v1/classify` | reconstruct a DAG from `batch_task` rows, place it in a group |
+//! | `GET /v1/jobs/{name}` | structural features + group of an indexed job |
+//! | `GET /v1/similar/{name}?k=` | top-k WL-nearest indexed jobs |
+//! | `GET /v1/census` | group populations and shape-pattern counts |
+//! | `GET /healthz` | liveness + index size |
+//! | `GET /metrics` | request counts and latency histograms |
+//!
+//! **Concurrency model.** The index is built once and never mutated:
+//! probes embed against the frozen WL vocabulary
+//! ([`dagscope_wl::KernelCache::probe`]) with novel labels resolved in a
+//! call-local overlay, so every request thread reads shared state
+//! lock-free. Classification online is **bit-identical** to the offline
+//! pipeline because the index replays the same deterministic derivation
+//! chain over the snapshot's rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod index;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use index::{ClassifyOutcome, Neighbour, ServeIndex};
+pub use json::Json;
+pub use metrics::{Endpoint, Metrics};
+pub use server::{Server, ServerHandle};

@@ -1,0 +1,222 @@
+//! Lock-free request metrics: per-endpoint counters and latency histograms.
+//!
+//! Handlers run on the worker pool, so everything here is plain atomics —
+//! recording a request is a handful of relaxed fetch-adds, never a lock.
+//! Latencies land in fixed logarithmic microsecond buckets (a poor man's
+//! HDR histogram); `/metrics` renders the whole structure as one JSON
+//! document.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::{obj, Json};
+
+/// Upper bounds (inclusive) of the latency buckets, in microseconds. The
+/// last bucket is unbounded.
+pub const BUCKET_BOUNDS_US: [u64; 11] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+];
+
+const BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
+
+/// The endpoints the service distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/classify`
+    Classify,
+    /// `GET /v1/jobs/{name}`
+    Jobs,
+    /// `GET /v1/similar/{name}`
+    Similar,
+    /// `GET /v1/census`
+    Census,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything that matched no route.
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 7] = [
+        Endpoint::Classify,
+        Endpoint::Jobs,
+        Endpoint::Similar,
+        Endpoint::Census,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Endpoint::Classify => "classify",
+            Endpoint::Jobs => "jobs",
+            Endpoint::Similar => "similar",
+            Endpoint::Census => "census",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL.iter().position(|e| *e == self).unwrap()
+    }
+}
+
+#[derive(Debug, Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    /// Responses with status >= 400.
+    errors: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl EndpointStats {
+    fn record(&self, status: u16, micros: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_us.fetch_add(micros, Ordering::Relaxed);
+        self.max_us.fetch_max(micros, Ordering::Relaxed);
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Shared, lock-free service metrics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    stats: [EndpointStats; 7],
+}
+
+impl Metrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one finished request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, micros: u64) {
+        self.stats[endpoint.index()].record(status, micros);
+    }
+
+    /// Total requests seen across endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.stats
+            .iter()
+            .map(|s| s.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Render as the `/metrics` JSON document. `index_jobs` is the size of
+    /// the in-memory index the server answers from.
+    pub fn render(&self, index_jobs: usize) -> Json {
+        let endpoints = Endpoint::ALL
+            .iter()
+            .map(|e| {
+                let s = &self.stats[e.index()];
+                let requests = s.requests.load(Ordering::Relaxed);
+                let total_us = s.total_us.load(Ordering::Relaxed);
+                let histogram: Vec<Json> = (0..BUCKETS)
+                    .map(|i| {
+                        let le = BUCKET_BOUNDS_US
+                            .get(i)
+                            .map_or_else(|| "inf".to_string(), |b| b.to_string());
+                        obj(vec![
+                            ("le_us", Json::Str(le)),
+                            ("count", Json::from(s.buckets[i].load(Ordering::Relaxed))),
+                        ])
+                    })
+                    .collect();
+                (
+                    e.name().to_string(),
+                    obj(vec![
+                        ("requests", Json::from(requests)),
+                        ("errors", Json::from(s.errors.load(Ordering::Relaxed))),
+                        (
+                            "mean_us",
+                            if requests == 0 {
+                                Json::Null
+                            } else {
+                                Json::from(total_us as f64 / requests as f64)
+                            },
+                        ),
+                        ("max_us", Json::from(s.max_us.load(Ordering::Relaxed))),
+                        ("latency_histogram", Json::Arr(histogram)),
+                    ]),
+                )
+            })
+            .collect();
+        obj(vec![
+            ("index_jobs", Json::from(index_jobs)),
+            ("total_requests", Json::from(self.total_requests())),
+            ("endpoints", Json::Obj(endpoints)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_the_right_bucket() {
+        let m = Metrics::new();
+        m.record(Endpoint::Classify, 200, 40); // <= 50
+        m.record(Endpoint::Classify, 200, 3_000); // <= 5000
+        m.record(Endpoint::Classify, 400, 999_999_999); // overflow bucket
+        let doc = m.render(7);
+        assert_eq!(doc.get("index_jobs").unwrap().as_num(), Some(7.0));
+        assert_eq!(doc.get("total_requests").unwrap().as_num(), Some(3.0));
+        let c = doc.get("endpoints").unwrap().get("classify").unwrap();
+        assert_eq!(c.get("requests").unwrap().as_num(), Some(3.0));
+        assert_eq!(c.get("errors").unwrap().as_num(), Some(1.0));
+        let hist = c.get("latency_histogram").unwrap().as_arr().unwrap();
+        assert_eq!(hist[0].get("count").unwrap().as_num(), Some(1.0));
+        assert_eq!(
+            hist.last().unwrap().get("count").unwrap().as_num(),
+            Some(1.0)
+        );
+        assert_eq!(
+            hist.last().unwrap().get("le_us").unwrap().as_str(),
+            Some("inf")
+        );
+        let total: f64 = hist
+            .iter()
+            .map(|b| b.get("count").unwrap().as_num().unwrap())
+            .sum();
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn untouched_endpoint_reports_null_mean() {
+        let m = Metrics::new();
+        let doc = m.render(0);
+        let j = doc.get("endpoints").unwrap().get("jobs").unwrap();
+        assert_eq!(j.get("mean_us"), Some(&Json::Null));
+        assert_eq!(j.get("requests").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000u64 {
+                        m.record(Endpoint::Census, 200, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.total_requests(), 4000);
+    }
+}

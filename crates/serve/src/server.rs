@@ -1,0 +1,486 @@
+//! Accept loop, routing and request handlers.
+//!
+//! One listener thread accepts connections and hands each to the shared
+//! [`WorkerPool`]; a worker owns the connection for its whole keep-alive
+//! session (bounded by a read timeout so an idle peer cannot pin a worker
+//! forever). The index is immutable and the metrics are atomic, so
+//! handlers run without any lock.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dagscope_par::WorkerPool;
+use dagscope_trace::{csv, Job};
+
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::index::ServeIndex;
+use crate::json::{obj, Json};
+use crate::metrics::{Endpoint, Metrics};
+
+/// How long a keep-alive connection may sit idle before the worker closes
+/// it.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A bound but not yet running server.
+pub struct Server {
+    listener: TcpListener,
+    index: Arc<ServeIndex>,
+    metrics: Arc<Metrics>,
+    threads: usize,
+    stop: Arc<AtomicBool>,
+}
+
+/// Remote control for a running [`Server`] — lets another thread (or a
+/// signal handler) stop the accept loop.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to exit. In-flight requests complete; the pool
+    /// drains before [`Server::run`] returns.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept call is blocking; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and prepare
+    /// `threads` request workers over the given index.
+    pub fn bind(index: ServeIndex, addr: &str, threads: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            index: Arc::new(index),
+            metrics: Arc::new(Metrics::new()),
+            threads: threads.max(1),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared metrics (live while the server runs).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A handle that can stop the accept loop from another thread.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.listener.local_addr()?,
+            stop: Arc::clone(&self.stop),
+        })
+    }
+
+    /// Run the accept loop until [`ServerHandle::shutdown`] is called.
+    /// Returns after every accepted connection has been served.
+    pub fn run(self) -> std::io::Result<()> {
+        let pool = WorkerPool::new(self.threads);
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept failure
+            };
+            let index = Arc::clone(&self.index);
+            let metrics = Arc::clone(&self.metrics);
+            pool.execute(move || handle_connection(stream, &index, &metrics));
+        }
+        drop(pool); // joins workers: drains in-flight sessions
+        Ok(())
+    }
+}
+
+/// Serve one connection's whole keep-alive session.
+fn handle_connection(stream: TcpStream, index: &ServeIndex, metrics: &Metrics) {
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    // Responses are small; without NODELAY, Nagle holds each one behind
+    // the peer's delayed ACK and a keep-alive session crawls at ~40 ms
+    // per round-trip.
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Bad(status, message)) => {
+                metrics.record(Endpoint::Other, status, 0);
+                let _ = write_response(&mut writer, &Response::error(status, &message), false);
+                return;
+            }
+            Err(ReadError::Io(_)) => return, // timeout or reset
+        };
+        let started = Instant::now();
+        let (endpoint, response) = route(&request, index, metrics);
+        let micros = started.elapsed().as_micros() as u64;
+        metrics.record(endpoint, response.status, micros);
+        if write_response(&mut writer, &response, request.keep_alive).is_err() {
+            return;
+        }
+        if !request.keep_alive {
+            return;
+        }
+    }
+}
+
+/// Dispatch one request to its handler.
+fn route(request: &Request, index: &ServeIndex, metrics: &Metrics) -> (Endpoint, Response) {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => (
+            Endpoint::Healthz,
+            Response::ok(
+                obj(vec![
+                    ("status", Json::from("ok")),
+                    ("jobs", Json::from(index.len())),
+                    ("groups", Json::from(index.meta().k)),
+                ])
+                .encode(),
+            ),
+        ),
+        ("GET", "/metrics") => (
+            Endpoint::Metrics,
+            Response::ok(metrics.render(index.len()).encode()),
+        ),
+        ("GET", "/v1/census") => (Endpoint::Census, census(index)),
+        ("POST", "/v1/classify") => (Endpoint::Classify, classify(request, index)),
+        _ if path.starts_with("/v1/jobs/") => {
+            let name = &path["/v1/jobs/".len()..];
+            if method != "GET" {
+                return (Endpoint::Jobs, Response::error(405, "use GET"));
+            }
+            (Endpoint::Jobs, job_info(index, name))
+        }
+        _ if path.starts_with("/v1/similar/") => {
+            let name = &path["/v1/similar/".len()..];
+            if method != "GET" {
+                return (Endpoint::Similar, Response::error(405, "use GET"));
+            }
+            (Endpoint::Similar, similar(request, index, name))
+        }
+        ("POST", "/v1/census") | ("POST", "/healthz") | ("POST", "/metrics") => {
+            let endpoint = match path {
+                "/v1/census" => Endpoint::Census,
+                "/healthz" => Endpoint::Healthz,
+                _ => Endpoint::Metrics,
+            };
+            (endpoint, Response::error(405, "use GET"))
+        }
+        ("GET", "/v1/classify") => (Endpoint::Classify, Response::error(405, "use POST")),
+        _ => (Endpoint::Other, Response::error(404, "no such endpoint")),
+    }
+}
+
+/// Per-cluster scores keyed by group label, in label order.
+fn scores_by_label(index: &ServeIndex, scores: &[f64]) -> Json {
+    Json::Obj(
+        index
+            .groups()
+            .iter()
+            .map(|g| (g.label.to_string(), Json::from(scores[g.cluster])))
+            .collect(),
+    )
+}
+
+/// `POST /v1/classify` — body:
+/// `{"job_name": "...", "tasks": ["<batch_task CSV row>", ...]}`.
+fn classify(request: &Request, index: &ServeIndex) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(s) => s,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let doc = match Json::parse(body) {
+        Ok(d) => d,
+        Err(e) => return Response::error(400, &format!("malformed JSON: {e}")),
+    };
+    let Some(task_rows) = doc.get("tasks").and_then(Json::as_arr) else {
+        return Response::error(400, "missing \"tasks\" array");
+    };
+    if task_rows.is_empty() {
+        return Response::error(400, "\"tasks\" is empty");
+    }
+    let mut tasks = Vec::with_capacity(task_rows.len());
+    for (i, row) in task_rows.iter().enumerate() {
+        let Some(line) = row.as_str() else {
+            return Response::error(400, "\"tasks\" entries must be CSV row strings");
+        };
+        match csv::parse_task_line(i + 1, line) {
+            Ok(t) => tasks.push(t),
+            Err(e) => return Response::error(400, &format!("task row {}: {e}", i + 1)),
+        }
+    }
+    let name = doc
+        .get("job_name")
+        .and_then(Json::as_str)
+        .unwrap_or(tasks[0].job_name.as_str())
+        .to_string();
+    let job = Job { name, tasks };
+    match index.classify(&job) {
+        Ok(outcome) => {
+            let f = &outcome.features;
+            Response::ok(
+                obj(vec![
+                    ("job_name", Json::from(job.name.clone())),
+                    ("size", Json::from(f.size)),
+                    ("tasks", Json::from(f.weight as u64)),
+                    ("critical_path", Json::from(f.critical_path)),
+                    ("max_width", Json::from(f.max_width)),
+                    ("pattern", Json::from(outcome.pattern)),
+                    ("group", Json::from(outcome.group.to_string())),
+                    ("cluster", Json::from(outcome.classification.cluster)),
+                    ("confidence", Json::from(outcome.classification.confidence)),
+                    (
+                        "scores",
+                        scores_by_label(index, &outcome.classification.scores),
+                    ),
+                ])
+                .encode(),
+            )
+        }
+        Err(e) => Response::error(400, &e),
+    }
+}
+
+/// `GET /v1/jobs/{name}`.
+fn job_info(index: &ServeIndex, name: &str) -> Response {
+    let Some(i) = index.find(name) else {
+        return Response::error(404, &format!("unknown job {name:?}"));
+    };
+    let f = index.features(i);
+    Response::ok(
+        obj(vec![
+            ("name", Json::from(name)),
+            ("size", Json::from(f.size)),
+            ("tasks", Json::from(f.weight as u64)),
+            ("critical_path", Json::from(f.critical_path)),
+            ("max_width", Json::from(f.max_width)),
+            ("sources", Json::from(f.sources)),
+            ("sinks", Json::from(f.sinks)),
+            ("edges", Json::from(f.edges)),
+            ("pattern", Json::from(index.pattern(i))),
+            ("group", Json::from(index.group_of(i).to_string())),
+        ])
+        .encode(),
+    )
+}
+
+/// `GET /v1/similar/{name}?k=N`.
+fn similar(request: &Request, index: &ServeIndex, name: &str) -> Response {
+    let Some(i) = index.find(name) else {
+        return Response::error(404, &format!("unknown job {name:?}"));
+    };
+    let k = match request.query_param("k") {
+        None => 5,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) if k >= 1 => k,
+            _ => return Response::error(400, "k must be a positive integer"),
+        },
+    };
+    let neighbours: Vec<Json> = index
+        .similar(i, k)
+        .into_iter()
+        .map(|n| {
+            obj(vec![
+                ("name", Json::from(n.name)),
+                ("score", Json::from(n.score)),
+                ("group", Json::from(n.group.to_string())),
+            ])
+        })
+        .collect();
+    Response::ok(
+        obj(vec![
+            ("job", Json::from(name)),
+            ("group", Json::from(index.group_of(i).to_string())),
+            ("neighbours", Json::Arr(neighbours)),
+        ])
+        .encode(),
+    )
+}
+
+/// `GET /v1/census`.
+fn census(index: &ServeIndex) -> Response {
+    let meta = index.meta();
+    let groups: Vec<Json> = index
+        .groups()
+        .iter()
+        .map(|g| {
+            obj(vec![
+                ("label", Json::from(g.label.to_string())),
+                ("population", Json::from(g.population)),
+                ("fraction", Json::from(g.fraction)),
+                ("mean_size", Json::from(g.mean_size)),
+                ("chain_fraction", Json::from(g.chain_fraction)),
+                ("short_fraction", Json::from(g.short_fraction)),
+                ("representative", Json::from(g.representative.clone())),
+            ])
+        })
+        .collect();
+    let patterns: Vec<Json> = index
+        .pattern_counts()
+        .into_iter()
+        .map(|(label, count)| {
+            obj(vec![
+                ("pattern", Json::from(label)),
+                ("count", Json::from(count)),
+            ])
+        })
+        .collect();
+    Response::ok(
+        obj(vec![
+            ("jobs", Json::from(index.len())),
+            ("k", Json::from(meta.k)),
+            ("silhouette", Json::from(meta.silhouette)),
+            ("wl_iterations", Json::from(meta.wl_iterations)),
+            ("conflate", Json::Bool(meta.conflate)),
+            ("groups", Json::Arr(groups)),
+            ("patterns", Json::Arr(patterns)),
+        ])
+        .encode(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagscope_core::{IndexSnapshot, Pipeline, PipelineConfig};
+
+    fn test_index() -> ServeIndex {
+        let report = Pipeline::new(PipelineConfig {
+            jobs: 300,
+            sample: 25,
+            seed: 9,
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+        ServeIndex::build(IndexSnapshot::from_report(&report).unwrap()).unwrap()
+    }
+
+    fn get(index: &ServeIndex, metrics: &Metrics, path: &str) -> (u16, Json) {
+        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+        let request = read_request(&mut raw.as_bytes()).unwrap();
+        let (endpoint, response) = route(&request, index, metrics);
+        metrics.record(endpoint, response.status, 1);
+        let body = Json::parse(&response.body).expect("response body is JSON");
+        (response.status, body)
+    }
+
+    #[test]
+    fn routes_cover_the_api() {
+        let index = test_index();
+        let metrics = Metrics::new();
+
+        let (status, body) = get(&index, &metrics, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body.get("jobs").unwrap().as_num(), Some(25.0));
+
+        let (status, body) = get(&index, &metrics, "/v1/census");
+        assert_eq!(status, 200);
+        assert_eq!(body.get("groups").unwrap().as_arr().unwrap().len(), 5);
+
+        let name = index.features(0).name.clone();
+        let (status, body) = get(&index, &metrics, &format!("/v1/jobs/{name}"));
+        assert_eq!(status, 200);
+        assert!(body.get("pattern").unwrap().as_str().is_some());
+
+        let (status, body) = get(&index, &metrics, &format!("/v1/similar/{name}?k=3"));
+        assert_eq!(status, 200);
+        assert_eq!(body.get("neighbours").unwrap().as_arr().unwrap().len(), 3);
+
+        let (status, _) = get(&index, &metrics, "/v1/jobs/definitely_missing");
+        assert_eq!(status, 404);
+        let (status, _) = get(&index, &metrics, "/v1/similar/definitely_missing");
+        assert_eq!(status, 404);
+        let (status, _) = get(&index, &metrics, &format!("/v1/similar/{name}?k=zero"));
+        assert_eq!(status, 400);
+        let (status, _) = get(&index, &metrics, "/nope");
+        assert_eq!(status, 404);
+        let (status, _) = get(&index, &metrics, "/v1/classify");
+        assert_eq!(status, 405);
+
+        // Metrics saw everything above.
+        let (status, body) = get(&index, &metrics, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.get("total_requests").unwrap().as_num().unwrap() >= 8.0);
+    }
+
+    #[test]
+    fn classify_accepts_batch_task_rows() {
+        let index = test_index();
+        let metrics = Metrics::new();
+        let body = r#"{"job_name":"probe","tasks":[
+            "M1,2,probe,1,Terminated,1,10,100,0.5",
+            "R2_1,1,probe,1,Terminated,10,20,50,0.25"
+        ]}"#;
+        let raw = format!(
+            "POST /v1/classify HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let request = read_request(&mut raw.as_bytes()).unwrap();
+        let (_, response) = route(&request, &index, &metrics);
+        assert_eq!(response.status, 200, "{}", response.body);
+        let doc = Json::parse(&response.body).unwrap();
+        assert_eq!(doc.get("size").unwrap().as_num(), Some(2.0));
+        assert_eq!(doc.get("pattern").unwrap().as_str(), Some("straight-chain"));
+        let group = doc.get("group").unwrap().as_str().unwrap();
+        assert!(("A".."F").contains(&group), "group {group}");
+        let confidence = doc.get("confidence").unwrap().as_num().unwrap();
+        assert!((0.0..=1.0).contains(&confidence));
+        let scores = doc.get("scores").unwrap();
+        assert!(scores.get(group).is_some());
+    }
+
+    #[test]
+    fn classify_rejects_bad_bodies() {
+        let index = test_index();
+        let metrics = Metrics::new();
+        for body in [
+            "not json at all",
+            "{}",
+            r#"{"tasks":[]}"#,
+            r#"{"tasks":[42]}"#,
+            r#"{"tasks":["not,enough,fields"]}"#,
+        ] {
+            let raw = format!(
+                "POST /v1/classify HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let request = read_request(&mut raw.as_bytes()).unwrap();
+            let (_, response) = route(&request, &index, &metrics);
+            assert_eq!(response.status, 400, "accepted: {body:?}");
+            assert!(Json::parse(&response.body).unwrap().get("error").is_some());
+        }
+    }
+
+    #[test]
+    fn server_binds_and_shuts_down() {
+        let server = Server::bind(test_index(), "127.0.0.1:0", 2).unwrap();
+        let handle = server.handle().unwrap();
+        let join = std::thread::spawn(move || server.run());
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+}

@@ -24,11 +24,20 @@ use crate::{SparseVec, WlVectorizer};
 /// #         end_time: 2, plan_cpu: 100.0, plan_mem: 0.5 }
 /// # }
 /// let hist = JobDag::from_job(&Job { name: "old".into(), tasks: vec![t("M1"), t("R2_1")] }).unwrap();
-/// let mut cache = KernelCache::from_dags(3, &[hist]);
-/// // Probe an incoming job against the history in O(n):
+/// let cache = KernelCache::from_dags(3, &[hist]);
+/// // Probe an incoming job against the history in O(n) — read-only, so a
+/// // server can share the cache across request threads without locking:
 /// let incoming = JobDag::from_job(&Job { name: "new".into(), tasks: vec![t("M1"), t("R2_1")] }).unwrap();
 /// assert!((cache.probe(&incoming)[0] - 1.0).abs() < 1e-12);
 /// ```
+///
+/// The lifecycle is split in two phases: a **build phase** where
+/// [`push`](Self::push) interns each population member's labels into the
+/// shared vocabulary (`&mut self`), and a **read phase** where
+/// [`probe`](Self::probe) / [`similarity`](Self::similarity) /
+/// [`nearest`](Self::nearest) answer queries through `&self` — probes of
+/// novel structures use a call-local label overlay
+/// ([`WlVectorizer::transform_frozen`]) instead of growing the vocabulary.
 #[derive(Debug, Default)]
 pub struct KernelCache {
     vectorizer: WlVectorizer,
@@ -70,6 +79,23 @@ impl KernelCache {
         &self.names[i]
     }
 
+    /// The embedded φ vector of cached job `i`.
+    pub fn feature(&self, i: usize) -> &SparseVec {
+        &self.features[i]
+    }
+
+    /// The shared vectorizer (read access; the vocabulary only grows via
+    /// [`push`](Self::push)).
+    pub fn vectorizer(&self) -> &WlVectorizer {
+        &self.vectorizer
+    }
+
+    /// Embed an uncached DAG against the frozen vocabulary (see
+    /// [`WlVectorizer::transform_frozen`]).
+    pub fn embed(&self, dag: &JobDag) -> SparseVec {
+        self.vectorizer.transform_frozen(dag)
+    }
+
     /// Embed and append a job; returns its index. Previously computed
     /// vectors stay valid (the vocabulary only grows).
     pub fn push(&mut self, dag: &JobDag) -> usize {
@@ -83,10 +109,15 @@ impl KernelCache {
         self.features[i].cosine(&self.features[j])
     }
 
-    /// Similarities of an *uncached* probe DAG against every cached job
-    /// (embedding the probe extends the shared vocabulary).
-    pub fn probe(&mut self, dag: &JobDag) -> Vec<f64> {
-        let feat = self.vectorizer.transform(dag);
+    /// Similarities of an *uncached* probe DAG against every cached job.
+    ///
+    /// Read-only: the probe embeds against the frozen vocabulary, with any
+    /// novel signature resolved in a call-local overlay, so concurrent
+    /// request handlers can probe a shared cache without locking. Results
+    /// are bit-identical to the mutable embedding path and independent of
+    /// probe order.
+    pub fn probe(&self, dag: &JobDag) -> Vec<f64> {
+        let feat = self.vectorizer.transform_frozen(dag);
         self.features.iter().map(|f| feat.cosine(f)).collect()
     }
 
@@ -179,11 +210,52 @@ mod tests {
 
     #[test]
     fn probe_without_inserting() {
-        let mut cache = KernelCache::from_dags(3, &population());
+        let cache = KernelCache::from_dags(3, &population());
+        let vocab = cache.vectorizer().vocabulary_size();
         let sims = cache.probe(&dag("probe", &["M1", "R2_1"]));
         assert_eq!(sims.len(), 4);
         assert!((sims[0] - 1.0).abs() < 1e-12, "identical to c2");
         assert_eq!(cache.len(), 4, "probe must not insert");
+        // Probing a novel structure must not grow the vocabulary either.
+        cache.probe(&dag("novel", &["M1", "M2", "M3", "J4_3_2_1", "R5_4"]));
+        assert_eq!(cache.vectorizer().vocabulary_size(), vocab);
+    }
+
+    #[test]
+    fn probe_matches_interning_oracle() {
+        // The read-only probe must score exactly like the old interning
+        // probe (a fresh transform through a mutable clone of the shared
+        // vocabulary).
+        let cache = KernelCache::from_dags(3, &population());
+        for probe in [
+            dag("p1", &["M1", "R2_1"]),
+            dag("p2", &["M1", "M2", "M3", "J4_3_2_1", "R5_4"]),
+        ] {
+            let got = cache.probe(&probe);
+            let mut oracle = WlVectorizer::new(3);
+            let feats: Vec<SparseVec> = population().iter().map(|d| oracle.transform(d)).collect();
+            let pf = oracle.transform(&probe);
+            for (g, f) in got.iter().zip(&feats) {
+                assert_eq!(*g, pf.cosine(f));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_probes_share_the_cache() {
+        let cache = KernelCache::from_dags(3, &population());
+        let want = cache.probe(&dag("probe", &["M1", "M2", "R3_2_1"]));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = &cache;
+                    s.spawn(move || cache.probe(&dag("probe", &["M1", "M2", "R3_2_1"])))
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), want);
+            }
+        });
     }
 
     #[test]
@@ -204,7 +276,7 @@ mod tests {
 
     #[test]
     fn empty_cache() {
-        let mut cache = KernelCache::new(2);
+        let cache = KernelCache::new(2);
         assert!(cache.is_empty());
         assert!(cache.probe(&dag("p", &["M1", "R2_1"])).is_empty());
         assert_eq!(cache.matrix().n(), 0);

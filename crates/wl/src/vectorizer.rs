@@ -135,6 +135,84 @@ impl WlVectorizer {
         SparseVec::from_pairs(counts)
     }
 
+    /// Embed one DAG **without mutating the vocabulary** — the read path
+    /// for concurrent servers.
+    ///
+    /// Signatures already in the vocabulary resolve to their canonical ids;
+    /// novel signatures get provisional ids from `next_label` upward in a
+    /// call-local overlay that is discarded afterwards. Because the mutable
+    /// [`transform`](Self::transform) assigns exactly those ids in exactly
+    /// that discovery order, the returned vector is **bit-identical** to
+    /// what `transform` would have produced on the same state — but `self`
+    /// stays untouched, so any number of threads can call this through a
+    /// shared reference with no locking.
+    ///
+    /// Provisional ids are only meaningful within the returned vector: they
+    /// can never collide with a cached vector's ids (those are all below
+    /// `next_label`), so dot products against vocabulary-resident vectors
+    /// are exact; two *frozen* vectors from different calls must not be
+    /// compared against each other unless both structures were fully
+    /// in-vocabulary.
+    pub fn transform_frozen(&self, dag: &JobDag) -> SparseVec {
+        let mut overlay: FxHashMap<Box<[u32]>, u32> = FxHashMap::default();
+        let mut next_overlay = self.next_label;
+        let mut compress = |key: Box<[u32]>| -> u32 {
+            if let Some(&id) = self.table.get(&key) {
+                return id;
+            }
+            if let Some(&id) = overlay.get(&key) {
+                return id;
+            }
+            let id = next_overlay;
+            next_overlay += 1;
+            overlay.insert(key, id);
+            id
+        };
+
+        let n = dag.len();
+        let mut labels: Vec<u32> = (0..n)
+            .map(|i| compress(vec![dag.kind(i).letter() as u32].into_boxed_slice()))
+            .collect();
+        let mut counts: FxHashMap<u32, f64> = FxHashMap::default();
+        let use_weights = self.use_weights;
+        let bump = |counts: &mut FxHashMap<u32, f64>, labels: &[u32]| {
+            for (i, &l) in labels.iter().enumerate() {
+                let w = if use_weights {
+                    dag.weight(i) as f64
+                } else {
+                    1.0
+                };
+                *counts.entry(l).or_insert(0.0) += w;
+            }
+        };
+        bump(&mut counts, &labels);
+
+        let mut scratch: Vec<u32> = Vec::new();
+        for _ in 0..self.iterations {
+            let mut next = Vec::with_capacity(n);
+            for i in 0..n {
+                scratch.clear();
+                scratch.push(labels[i]);
+                scratch.push(SEP_PARENTS);
+                let mut ps: Vec<u32> = dag.parents(i).iter().map(|&p| labels[p as usize]).collect();
+                ps.sort_unstable();
+                scratch.extend_from_slice(&ps);
+                scratch.push(SEP_CHILDREN);
+                let mut cs: Vec<u32> = dag
+                    .children(i)
+                    .iter()
+                    .map(|&c| labels[c as usize])
+                    .collect();
+                cs.sort_unstable();
+                scratch.extend_from_slice(&cs);
+                next.push(compress(scratch.as_slice().into()));
+            }
+            labels = next;
+            bump(&mut counts, &labels);
+        }
+        SparseVec::from_pairs(counts)
+    }
+
     /// Embed a batch, sharding the work across threads for large batches.
     ///
     /// Produces **bit-identical** output to
@@ -438,6 +516,43 @@ mod tests {
         let want = seq.transform_all_sequential(&dags);
         let mut par = WlVectorizer::new(2).weighted(true);
         assert_eq!(par.transform_all_sharded(&dags, 3), want);
+    }
+
+    #[test]
+    fn frozen_transform_matches_mut_transform() {
+        // Warm a vocabulary, then embed a mix of seen and novel structures
+        // through both paths; vectors must be bit-identical and the frozen
+        // path must leave the vocabulary untouched.
+        let mut wl = WlVectorizer::new(3);
+        wl.transform_all(&varied_batch(30));
+        let vocab = wl.vocabulary_size();
+        let probes = [
+            dag("seen", &["M1", "R2_1"]),
+            dag("novel", &["M1", "M2", "M3", "J4_3_2_1", "R5_4", "R6_5"]),
+        ];
+        for p in &probes {
+            let frozen = wl.transform_frozen(p);
+            assert_eq!(wl.vocabulary_size(), vocab, "frozen path must not intern");
+            // Oracle: a clone that IS allowed to intern.
+            let mut oracle = WlVectorizer {
+                iterations: wl.iterations,
+                use_weights: wl.use_weights,
+                table: wl.table.clone(),
+                next_label: wl.next_label,
+            };
+            assert_eq!(frozen, oracle.transform(p), "probe {}", p.name);
+        }
+    }
+
+    #[test]
+    fn frozen_transform_weighted() {
+        let big = dag("a", &["M1", "M2", "M3", "R4_3_2_1"]);
+        let small = dagscope_graph::conflate::conflate(&big);
+        let mut wl = WlVectorizer::new(2).weighted(true);
+        wl.transform(&big);
+        let frozen = wl.transform_frozen(&small);
+        let mutated = wl.transform(&small);
+        assert_eq!(frozen, mutated);
     }
 
     #[test]

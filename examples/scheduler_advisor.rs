@@ -45,7 +45,7 @@ fn main() {
 
     // Index the historical sample in an incremental kernel cache, so new
     // jobs embed against the same label vocabulary in O(n).
-    let mut cache = KernelCache::from_dags(report.config.wl_iterations, report.kernel_dags());
+    let cache = KernelCache::from_dags(report.config.wl_iterations, report.kernel_dags());
 
     // Per-group medians of the quantities a scheduler wants to foresee.
     let hist_features: &[JobFeatures] = report.kernel_features();
