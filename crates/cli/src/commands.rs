@@ -14,7 +14,7 @@ use dagscope_sched::{ClusterConfig, OnlineLoad, Policy, SimConfig, SimJob, Simul
 use dagscope_trace::filter::SampleCriteria;
 use dagscope_trace::gen::{GeneratorConfig, TraceGenerator};
 use dagscope_trace::placement::PlacementStats;
-use dagscope_trace::{csv, machine, stats::TraceStats};
+use dagscope_trace::{csv, machine, stats::TraceStats, ReadPolicy};
 
 use crate::args::{ArgError, Flags};
 
@@ -47,15 +47,21 @@ COMMANDS
   snapshot    run the pipeline and write a loadable serve index
               (--out DIR [pipeline flags])
   serve       answer classify/similar/census queries over HTTP from a
-              snapshot (--snapshot DIR [--addr HOST:PORT] [--threads N])
+              snapshot (--snapshot DIR [--addr HOST:PORT] [--threads N]
+               [--queue-depth N] [--max-body BYTES]
+               [--request-deadline SECS] [--drain-timeout SECS]);
+              SIGTERM/SIGINT drain gracefully (finish in-flight, exit 0)
   help        this text
 
 GLOBAL FLAGS
-  --threads N   pin the worker-thread count for all parallel stages
-                (default: DAGSCOPE_THREADS env var, else autodetect)
-  --trace DIR   pipeline commands ingest DIR/batch_task.csv (parallel
-                CSV decode) instead of synthesizing a trace
-  --timings     summary/report: append per-stage wall-clock table
+  --threads N        pin the worker-thread count for all parallel stages
+                     (default: DAGSCOPE_THREADS env var, else autodetect)
+  --trace DIR        pipeline commands ingest DIR/batch_task.csv (parallel
+                     CSV decode) instead of synthesizing a trace
+  --max-bad-rows N   with --trace: quarantine up to N malformed rows
+                     instead of aborting on the first; implicated jobs
+                     are dropped and a report goes to stderr
+  --timings          summary/report: append per-stage wall-clock table
 ";
 
 /// CLI-level errors.
@@ -126,7 +132,37 @@ fn run_pipeline(flags: &Flags) -> Result<Report, CliError> {
             let path = Path::new(dir).join("batch_task.csv");
             let bytes = fs::read(&path)
                 .map_err(|e| CliError::Run(format!("read {}: {e}", path.display())))?;
-            let tasks = csv::read_tasks_parallel(&bytes).map_err(io_err)?;
+            let tasks = match flags.str_opt("max-bad-rows") {
+                // Default: strict decode, first malformed row aborts.
+                None => csv::read_tasks_parallel(&bytes).map_err(io_err)?,
+                Some(_) => {
+                    let max_bad = flags.get_or("max-bad-rows", 0usize, "a row count")?;
+                    let policy = ReadPolicy::Quarantine { max_bad };
+                    let (tasks, quarantine) =
+                        csv::read_tasks_parallel_with_policy(&bytes, &policy).map_err(io_err)?;
+                    if quarantine.is_clean() {
+                        tasks
+                    } else {
+                        // A quarantined row leaves its job's task set
+                        // incomplete, so the whole job is unusable; drop
+                        // every implicated job, not just the bad rows.
+                        eprintln!("dagscope: {}", quarantine.render());
+                        let suspects: std::collections::BTreeSet<&str> =
+                            quarantine.suspect_jobs().keys().copied().collect();
+                        let before = tasks.len();
+                        let tasks: Vec<_> = tasks
+                            .into_iter()
+                            .filter(|t| !suspects.contains(t.job_name.as_str()))
+                            .collect();
+                        eprintln!(
+                            "dagscope: dropped {} decoded rows across {} suspect jobs (quarantine-incomplete)",
+                            before - tasks.len(),
+                            suspects.len()
+                        );
+                        tasks
+                    }
+                }
+            };
             pipeline
                 .run_on(&dagscope_trace::JobSet::from_tasks(tasks))
                 .map_err(CliError::Run)
@@ -455,8 +491,10 @@ fn cmd_schedule(flags: &Flags) -> Result<String, CliError> {
 fn cmd_snapshot(flags: &Flags) -> Result<String, CliError> {
     let out = flags.str_or("out", "snapshot-out");
     let report = run_pipeline(flags)?;
-    let snapshot = IndexSnapshot::from_report(&report).map_err(CliError::Run)?;
-    snapshot.save(Path::new(&out)).map_err(CliError::Run)?;
+    let snapshot = IndexSnapshot::from_report(&report).map_err(|e| CliError::Run(e.to_string()))?;
+    snapshot
+        .save(Path::new(&out))
+        .map_err(|e| CliError::Run(e.to_string()))?;
     Ok(format!(
         "wrote snapshot of {} jobs in {} groups (silhouette {:.3}) to {out}\nserve it with: dagscope serve --snapshot {out}\n",
         snapshot.jobs.len(),
@@ -466,6 +504,9 @@ fn cmd_snapshot(flags: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
     let Some(dir) = flags.str_opt("snapshot") else {
         return Err(CliError::Run(
             "--snapshot DIR is required (write one with `dagscope snapshot`)".to_string(),
@@ -479,16 +520,45 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
             .clamp(4, 64),
         n => n,
     };
-    let snapshot = IndexSnapshot::load(Path::new(dir)).map_err(CliError::Run)?;
+    let defaults = dagscope_serve::ServerConfig::default();
+    let config = dagscope_serve::ServerConfig {
+        threads,
+        queue_depth: flags.get_or("queue-depth", defaults.queue_depth, "a queue depth")?,
+        max_body: flags.get_or("max-body", defaults.max_body, "a byte count")?,
+        request_deadline: Duration::from_secs(flags.get_or(
+            "request-deadline",
+            defaults.request_deadline.as_secs(),
+            "a whole number of seconds",
+        )?),
+        drain_timeout: Duration::from_secs(flags.get_or(
+            "drain-timeout",
+            defaults.drain_timeout.as_secs(),
+            "a whole number of seconds",
+        )?),
+        ..defaults
+    };
+    let snapshot = IndexSnapshot::load(Path::new(dir)).map_err(|e| CliError::Run(e.to_string()))?;
     let index = dagscope_serve::ServeIndex::build(snapshot).map_err(CliError::Run)?;
     let jobs = index.len();
-    let server = dagscope_serve::Server::bind(index, &addr, threads)?;
+    let server = dagscope_serve::Server::bind_with(index, &addr, config)?;
     let local = server.local_addr()?;
+    // Bridge the process signal handler to a graceful drain: the binary's
+    // SIGTERM/SIGINT handler sets `SHUTDOWN`; this watcher turns it into
+    // `handle.drain()` (stop accepting, finish in-flight, then `run`
+    // returns Ok and the process exits 0).
+    let handle = server.handle()?;
+    std::thread::spawn(move || loop {
+        if crate::SHUTDOWN.load(Ordering::SeqCst) {
+            handle.drain();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
     // The accept loop blocks until killed, so the liveness line must go
     // out before it (stderr keeps stdout clean for actual results).
     eprintln!("dagscope: serving {jobs} jobs on http://{local} with {threads} workers");
     server.run()?;
-    Ok(format!("server on {local} stopped\n"))
+    Ok(format!("server on {local} drained and stopped\n"))
 }
 
 /// Dispatch a full argv (excluding the program name).
@@ -730,7 +800,7 @@ mod tests {
         let err = run(&argv("serve")).unwrap_err();
         assert!(err.to_string().contains("--snapshot"));
         let err = run(&argv("serve --snapshot /no/such/dagscope/dir")).unwrap_err();
-        assert!(err.to_string().contains("meta.txt"), "{err}");
+        assert!(err.to_string().contains("/no/such/dagscope/dir"), "{err}");
     }
 
     #[test]

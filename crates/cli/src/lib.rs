@@ -25,3 +25,8 @@ mod commands;
 
 pub use args::{ArgError, Flags};
 pub use commands::{run, CliError, HELP};
+
+/// Set (by the binary's SIGTERM/SIGINT handler) to request a graceful
+/// stop; the `serve` command polls it and drains the server — in-flight
+/// requests finish, then `run` returns `Ok` so the process exits 0.
+pub static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);

@@ -1,7 +1,42 @@
 //! `dagscope` binary entry point — a thin shell over [`dagscope_cli::run`].
 
+/// Signal-to-flag bridge. The handler only stores to an atomic (the one
+/// async-signal-safe thing worth doing); the `serve` command watches
+/// [`dagscope_cli::SHUTDOWN`] and drains gracefully.
+#[cfg(unix)]
+mod term {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        dagscope_cli::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // From the C library std already links; `usize` stands in for the
+        // previous-handler pointer we ignore.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Only `serve` drains on signals; every other command keeps the
+    // default die-on-SIGINT behavior (a trapped Ctrl-C with no watcher
+    // would make batch runs unkillable).
+    #[cfg(unix)]
+    if argv.first().map(String::as_str) == Some("serve") {
+        term::install();
+    }
     match dagscope_cli::run(&argv) {
         Ok(output) => print!("{output}"),
         Err(e) => {

@@ -1,0 +1,106 @@
+//! Process-level graceful-drain audit: `dagscope serve` under SIGTERM
+//! must finish the request in flight, report `draining`, close the
+//! connection, and exit 0 — the contract the CI `fault-smoke` job and
+//! any process supervisor (systemd, k8s) rely on.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn dagscope() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dagscope"))
+}
+
+/// Send `signal` to `child` via the portable shell utility (std has no
+/// kill API and this crate links no signal library).
+fn send_signal(child: &Child, signal: &str) {
+    let status = Command::new("kill")
+        .arg(format!("-{signal}"))
+        .arg(child.id().to_string())
+        .status()
+        .expect("spawn kill");
+    assert!(status.success(), "kill -{signal} failed");
+}
+
+#[test]
+fn sigterm_mid_request_drains_and_exits_zero() {
+    // A snapshot to serve.
+    let dir = std::env::temp_dir().join(format!("dagscope_drain_{}", std::process::id()));
+    let out = dagscope()
+        .args([
+            "snapshot", "--jobs", "200", "--sample", "16", "--seed", "3", "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("spawn snapshot");
+    assert!(
+        out.status.success(),
+        "snapshot: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Serve it on an ephemeral port; the liveness line on stderr carries
+    // the bound address.
+    let mut child = dagscope()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--snapshot",
+        ])
+        .arg(&dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stderr = BufReader::new(child.stderr.take().expect("child stderr"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("liveness line");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in liveness line {line:?}"))
+        .to_string();
+
+    // Open a request and stall it half-written…
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.write_all(b"GET /health").expect("partial request");
+    std::thread::sleep(Duration::from_millis(150));
+
+    // …then ask the process to terminate while the request is in flight.
+    send_signal(&child, "TERM");
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The in-flight request still completes — answered as draining, then
+    // the connection closes.
+    stream
+        .write_all(b"z HTTP/1.1\r\n\r\n")
+        .expect("finish request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read until close");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("\"status\":\"draining\""), "{response}");
+    assert!(response.contains("connection: close"), "{response}");
+
+    // And the process exits 0 once the drain completes.
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "serve must exit 0 after SIGTERM drain");
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .expect("child stdout")
+        .read_to_string(&mut stdout)
+        .expect("read stdout");
+    assert!(stdout.contains("drained"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -72,7 +72,7 @@ fn serve_without_snapshot_exits_nonzero() {
 
     let out = dagscope(&["serve", "--snapshot", "/no/such/dagscope/snapshot"]);
     assert!(!out.status.success());
-    assert!(stderr(&out).contains("meta.txt"));
+    assert!(stderr(&out).contains("/no/such/dagscope/snapshot"));
 }
 
 #[test]

@@ -20,11 +20,21 @@
 //! jobs.csv         batch_task rows of the sample, in sample order
 //! model.txt        GroupModel text form (see dagscope_cluster::model)
 //! groups.csv       per-group summary rows (label, population, medoid, …)
+//! checksums.txt    CRC64 per section, verified on load
 //! ```
+//!
+//! **Integrity**: every section carries a CRC64 (ECMA-182, reflected)
+//! recorded in `checksums.txt` and verified before parsing, so a torn or
+//! bit-flipped file is rejected with [`SnapshotError::Corrupt`] naming
+//! the damaged section instead of surfacing as a confusing parse error
+//! deep in a codec. Saves are **atomic**: sections are staged into a
+//! sibling temp directory and renamed into place, so a crashed
+//! `snapshot` command never leaves a half-written index where a loader
+//! can find it.
 
 use std::fmt::Write as _;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use dagscope_cluster::GroupModel;
 use dagscope_trace::{csv, Job, Status, TaskRecord};
@@ -32,7 +42,111 @@ use dagscope_trace::{csv, Job, Status, TaskRecord};
 use crate::{BaseKernel, Report};
 
 /// Snapshot format version this build writes and reads.
-const VERSION: u32 = 1;
+/// Version 2 added `checksums.txt`; version-1 snapshots must be
+/// regenerated.
+const VERSION: u32 = 2;
+
+/// A disposable sibling path of `dir`: `<dir>.<tag>`. Staging and backup
+/// directories live next to the target so the final rename stays within
+/// one filesystem.
+fn sibling(dir: &Path, tag: &str) -> PathBuf {
+    let name = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("snapshot");
+    dir.with_file_name(format!("{name}.{tag}"))
+}
+
+/// Errors from snapshot persistence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// A section's bytes disagree with the CRC64 recorded at save time.
+    Corrupt {
+        /// Damaged section file name (e.g. `jobs.csv`).
+        section: String,
+        /// Checksum recorded in `checksums.txt`.
+        expected: u64,
+        /// Checksum of the bytes actually on disk.
+        found: u64,
+    },
+    /// An I/O failure, with the path involved.
+    Io {
+        /// Path that failed.
+        path: String,
+        /// Stringified OS error.
+        detail: String,
+    },
+    /// A structural or parse problem in an intact (checksum-verified)
+    /// snapshot, or an unsupported configuration.
+    Format(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Corrupt {
+                section,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot section {section} is corrupt: \
+                 crc64 {found:016x} does not match recorded {expected:016x}"
+            ),
+            SnapshotError::Io { path, detail } => write!(f, "{path}: {detail}"),
+            SnapshotError::Format(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// CRC64/ECMA-182 (reflected; the `xz` variant), table-driven.
+mod crc64 {
+    /// Reflected ECMA-182 polynomial.
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+
+    const fn build_table() -> [u64; 256] {
+        let mut table = [0u64; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u64;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    }
+
+    static TABLE: [u64; 256] = build_table();
+
+    /// Checksum of one byte slice.
+    pub fn checksum(data: &[u8]) -> u64 {
+        let mut crc = !0u64;
+        for &b in data {
+            crc = TABLE[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        !crc
+    }
+
+    #[cfg(test)]
+    mod tests {
+        /// Known-answer test for CRC-64/XZ ("123456789" → 0x995DC9BBDF1939FA).
+        #[test]
+        fn known_answer() {
+            assert_eq!(super::checksum(b"123456789"), 0x995D_C9BB_DF19_39FA);
+            assert_eq!(super::checksum(b""), 0);
+        }
+    }
+}
 
 /// Run-level metadata carried alongside the index.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,11 +205,11 @@ impl IndexSnapshot {
     /// Only WL-subtree runs are supported: the online classifier embeds
     /// probes with the WL vectorizer, so centroids from a shortest-path
     /// run would live in the wrong feature space.
-    pub fn from_report(report: &Report) -> Result<IndexSnapshot, String> {
+    pub fn from_report(report: &Report) -> Result<IndexSnapshot, SnapshotError> {
         if report.config.base_kernel != BaseKernel::WlSubtree {
-            return Err(
+            return Err(SnapshotError::Format(
                 "serve snapshots require the WL subtree base kernel (--base-kernel wl)".to_string(),
-            );
+            ));
         }
         let jobs: Vec<Job> = report.raw_dags.iter().map(dag_to_job).collect();
         let model = GroupModel::fit(
@@ -132,14 +246,8 @@ impl IndexSnapshot {
         })
     }
 
-    /// Write the snapshot into `dir` (created if absent).
-    pub fn save(&self, dir: &Path) -> Result<(), String> {
-        fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-        let write = |name: &str, data: &str| -> Result<(), String> {
-            let path = dir.join(name);
-            fs::write(&path, data).map_err(|e| format!("write {}: {e}", path.display()))
-        };
-
+    /// Render every section to its text form, in write order.
+    fn render_sections(&self) -> [(&'static str, String); 4] {
         let mut meta = String::new();
         writeln!(meta, "version={VERSION}").unwrap();
         writeln!(meta, "kernel=wl").unwrap();
@@ -148,7 +256,6 @@ impl IndexSnapshot {
         writeln!(meta, "seed={}", self.meta.seed).unwrap();
         writeln!(meta, "k={}", self.meta.k).unwrap();
         writeln!(meta, "silhouette={}", self.meta.silhouette).unwrap();
-        write("meta.txt", &meta)?;
 
         let mut rows = String::new();
         for job in &self.jobs {
@@ -157,9 +264,6 @@ impl IndexSnapshot {
                 rows.push('\n');
             }
         }
-        write("jobs.csv", &rows)?;
-
-        write("model.txt", &self.model.to_text())?;
 
         let mut groups = String::from(
             "label,cluster,population,fraction,mean_size,chain_fraction,short_fraction,representative\n",
@@ -179,52 +283,141 @@ impl IndexSnapshot {
             )
             .unwrap();
         }
-        write("groups.csv", &groups)
+
+        [
+            ("meta.txt", meta),
+            ("jobs.csv", rows),
+            ("model.txt", self.model.to_text()),
+            ("groups.csv", groups),
+        ]
+    }
+
+    /// Write the snapshot into `dir` (created if absent), atomically.
+    ///
+    /// Sections and their checksums are staged into a sibling temp
+    /// directory, then renamed into place; a crash mid-save leaves the
+    /// previous snapshot (or nothing) at `dir`, never a torn one. The
+    /// rename sequence swaps any existing snapshot out via a `.old`
+    /// sibling, so re-saving over a live directory is safe too.
+    pub fn save(&self, dir: &Path) -> Result<(), SnapshotError> {
+        let io = |path: &Path, e: std::io::Error| SnapshotError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        };
+        let staging = sibling(dir, "staging");
+        let backup = sibling(dir, "old");
+        // A dead process may have left either sibling behind; both are
+        // disposable by construction.
+        fs::remove_dir_all(&staging).ok();
+        fs::remove_dir_all(&backup).ok();
+        fs::create_dir_all(&staging).map_err(|e| io(&staging, e))?;
+
+        let result = (|| {
+            let mut sums = String::new();
+            for (name, data) in self.render_sections() {
+                let path = staging.join(name);
+                fs::write(&path, &data).map_err(|e| io(&path, e))?;
+                writeln!(sums, "{name} {:016x}", crc64::checksum(data.as_bytes())).unwrap();
+            }
+            let sums_path = staging.join("checksums.txt");
+            fs::write(&sums_path, &sums).map_err(|e| io(&sums_path, e))?;
+
+            let had_previous = dir.exists();
+            if had_previous {
+                fs::rename(dir, &backup).map_err(|e| io(dir, e))?;
+            }
+            if let Err(e) = fs::rename(&staging, dir) {
+                if had_previous {
+                    // Roll the previous snapshot back into place.
+                    fs::rename(&backup, dir).ok();
+                }
+                return Err(io(&staging, e));
+            }
+            fs::remove_dir_all(&backup).ok();
+            Ok(())
+        })();
+        if result.is_err() {
+            fs::remove_dir_all(&staging).ok();
+        }
+        result
     }
 
     /// Load a snapshot previously written with [`save`](Self::save).
-    pub fn load(dir: &Path) -> Result<IndexSnapshot, String> {
-        let read = |name: &str| -> Result<String, String> {
+    ///
+    /// Every section's CRC64 is verified against `checksums.txt` before
+    /// its bytes are parsed; damage surfaces as
+    /// [`SnapshotError::Corrupt`] naming the section.
+    pub fn load(dir: &Path) -> Result<IndexSnapshot, SnapshotError> {
+        let read_raw = |name: &str| -> Result<String, SnapshotError> {
             let path = dir.join(name);
-            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))
+            fs::read_to_string(&path).map_err(|e| SnapshotError::Io {
+                path: path.display().to_string(),
+                detail: e.to_string(),
+            })
+        };
+        let bad = |msg: String| SnapshotError::Format(msg);
+
+        let sums_text = read_raw("checksums.txt")?;
+        let recorded = |name: &str| -> Result<u64, SnapshotError> {
+            let hex = sums_text
+                .lines()
+                .find_map(|l| l.strip_prefix(name).and_then(|r| r.strip_prefix(' ')))
+                .ok_or_else(|| bad(format!("checksums.txt has no entry for {name}")))?;
+            u64::from_str_radix(hex.trim(), 16)
+                .map_err(|e| bad(format!("checksums.txt entry for {name}: {e}")))
+        };
+        let read = |name: &str| -> Result<String, SnapshotError> {
+            let data = read_raw(name)?;
+            let expected = recorded(name)?;
+            let found = crc64::checksum(data.as_bytes());
+            if found != expected {
+                return Err(SnapshotError::Corrupt {
+                    section: name.to_string(),
+                    expected,
+                    found,
+                });
+            }
+            Ok(data)
         };
 
         let meta_text = read("meta.txt")?;
-        let meta_kv = |key: &str| -> Result<&str, String> {
+        let meta_kv = |key: &str| -> Result<&str, SnapshotError> {
             meta_text
                 .lines()
                 .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
-                .ok_or_else(|| format!("meta.txt missing {key}"))
+                .ok_or_else(|| SnapshotError::Format(format!("meta.txt missing {key}")))
         };
         let version: u32 = meta_kv("version")?
             .parse()
-            .map_err(|e| format!("bad version: {e}"))?;
+            .map_err(|e| bad(format!("bad version: {e}")))?;
         if version != VERSION {
-            return Err(format!(
+            return Err(bad(format!(
                 "snapshot version {version} unsupported (this build reads {VERSION})"
-            ));
+            )));
         }
         if meta_kv("kernel")? != "wl" {
-            return Err("snapshot built with a non-WL base kernel".to_string());
+            return Err(bad("snapshot built with a non-WL base kernel".to_string()));
         }
         let meta = SnapshotMeta {
             wl_iterations: meta_kv("wl_iterations")?
                 .parse()
-                .map_err(|e| format!("bad wl_iterations: {e}"))?,
+                .map_err(|e| bad(format!("bad wl_iterations: {e}")))?,
             conflate: meta_kv("conflate")? == "1",
             seed: meta_kv("seed")?
                 .parse()
-                .map_err(|e| format!("bad seed: {e}"))?,
-            k: meta_kv("k")?.parse().map_err(|e| format!("bad k: {e}"))?,
+                .map_err(|e| bad(format!("bad seed: {e}")))?,
+            k: meta_kv("k")?
+                .parse()
+                .map_err(|e| bad(format!("bad k: {e}")))?,
             silhouette: meta_kv("silhouette")?
                 .parse()
-                .map_err(|e| format!("bad silhouette: {e}"))?,
+                .map_err(|e| bad(format!("bad silhouette: {e}")))?,
         };
 
-        let rows = csv::read_tasks(read("jobs.csv")?.as_bytes()).map_err(|e| e.to_string())?;
+        let rows = csv::read_tasks(read("jobs.csv")?.as_bytes()).map_err(|e| bad(e.to_string()))?;
         let jobs = group_rows_in_order(rows);
 
-        let model = GroupModel::from_text(&read("model.txt")?)?;
+        let model = GroupModel::from_text(&read("model.txt")?).map_err(bad)?;
 
         let mut groups = Vec::new();
         for line in read("groups.csv")?.lines().skip(1) {
@@ -233,18 +426,20 @@ impl IndexSnapshot {
             }
             let f: Vec<&str> = line.split(',').collect();
             if f.len() != 8 {
-                return Err(format!("bad groups.csv row: {line:?}"));
+                return Err(bad(format!("bad groups.csv row: {line:?}")));
             }
-            let num = |s: &str, what: &str| -> Result<f64, String> {
-                s.parse().map_err(|e| format!("bad {what}: {e}"))
+            let num = |s: &str, what: &str| -> Result<f64, SnapshotError> {
+                s.parse().map_err(|e| bad(format!("bad {what}: {e}")))
             };
             groups.push(SnapshotGroup {
                 label: f[0]
                     .chars()
                     .next()
-                    .ok_or_else(|| format!("empty label in {line:?}"))?,
-                cluster: f[1].parse().map_err(|e| format!("bad cluster: {e}"))?,
-                population: f[2].parse().map_err(|e| format!("bad population: {e}"))?,
+                    .ok_or_else(|| bad(format!("empty label in {line:?}")))?,
+                cluster: f[1].parse().map_err(|e| bad(format!("bad cluster: {e}")))?,
+                population: f[2]
+                    .parse()
+                    .map_err(|e| bad(format!("bad population: {e}")))?,
                 fraction: num(f[3], "fraction")?,
                 mean_size: num(f[4], "mean_size")?,
                 chain_fraction: num(f[5], "chain_fraction")?,
@@ -259,7 +454,7 @@ impl IndexSnapshot {
             model,
             groups,
         };
-        snapshot.validate()?;
+        snapshot.validate().map_err(bad)?;
         Ok(snapshot)
     }
 
@@ -434,6 +629,24 @@ mod tests {
         assert!(IndexSnapshot::from_report(&r).is_err());
     }
 
+    /// Rewrite one section and refresh its recorded checksum, so the
+    /// tamper reaches the parser instead of tripping the CRC gate.
+    fn tamper_with_valid_crc(dir: &Path, name: &str, data: &str) {
+        std::fs::write(dir.join(name), data).unwrap();
+        let sums = std::fs::read_to_string(dir.join("checksums.txt")).unwrap();
+        let fixed: String = sums
+            .lines()
+            .map(|l| {
+                if l.starts_with(name) {
+                    format!("{name} {:016x}\n", crc64::checksum(data.as_bytes()))
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        std::fs::write(dir.join("checksums.txt"), fixed).unwrap();
+    }
+
     #[test]
     fn load_rejects_corruption() {
         let r = report();
@@ -441,23 +654,83 @@ mod tests {
         let dir = tmp_dir("bad");
         snap.save(&dir).unwrap();
 
-        // Wrong version.
+        // A bit-flip in any section trips the CRC gate, naming the section.
         let meta = std::fs::read_to_string(dir.join("meta.txt")).unwrap();
-        std::fs::write(dir.join("meta.txt"), meta.replace("version=1", "version=9")).unwrap();
-        assert!(IndexSnapshot::load(&dir).is_err());
-        std::fs::write(dir.join("meta.txt"), meta).unwrap();
+        std::fs::write(dir.join("meta.txt"), meta.replace("kernel=wl", "kernel=wL")).unwrap();
+        match IndexSnapshot::load(&dir).unwrap_err() {
+            SnapshotError::Corrupt { section, .. } => assert_eq!(section, "meta.txt"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::write(dir.join("meta.txt"), meta.clone()).unwrap();
+        assert!(IndexSnapshot::load(&dir).is_ok());
+
+        // Wrong version (checksum refreshed so the parser sees it).
+        tamper_with_valid_crc(&dir, "meta.txt", &meta.replace("version=2", "version=9"));
+        assert!(matches!(
+            IndexSnapshot::load(&dir).unwrap_err(),
+            SnapshotError::Format(_)
+        ));
+        tamper_with_valid_crc(&dir, "meta.txt", &meta);
         assert!(IndexSnapshot::load(&dir).is_ok());
 
         // Truncated model: assignments no longer match the job count.
         let model = std::fs::read_to_string(dir.join("model.txt")).unwrap();
-        let truncated = model.replace("assignments ", "assignments 0 ");
-        std::fs::write(dir.join("model.txt"), truncated).unwrap();
+        tamper_with_valid_crc(
+            &dir,
+            "model.txt",
+            &model.replace("assignments ", "assignments 0 "),
+        );
         assert!(IndexSnapshot::load(&dir).is_err());
-        std::fs::write(dir.join("model.txt"), model).unwrap();
+        tamper_with_valid_crc(&dir, "model.txt", &model);
+        assert!(IndexSnapshot::load(&dir).is_ok());
+
+        // Torn write: a truncated section is caught by the CRC, not by a
+        // codec error deep inside parsing.
+        let rows = std::fs::read_to_string(dir.join("jobs.csv")).unwrap();
+        std::fs::write(dir.join("jobs.csv"), &rows[..rows.len() / 2]).unwrap();
+        match IndexSnapshot::load(&dir).unwrap_err() {
+            SnapshotError::Corrupt { section, .. } => assert_eq!(section, "jobs.csv"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::write(dir.join("jobs.csv"), rows).unwrap();
+
+        // checksums.txt missing an entry.
+        let sums = std::fs::read_to_string(dir.join("checksums.txt")).unwrap();
+        let partial: String = sums.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        std::fs::write(dir.join("checksums.txt"), partial).unwrap();
+        assert!(matches!(
+            IndexSnapshot::load(&dir).unwrap_err(),
+            SnapshotError::Format(_)
+        ));
+        std::fs::write(dir.join("checksums.txt"), sums).unwrap();
 
         // Missing file.
         std::fs::remove_file(dir.join("groups.csv")).unwrap();
-        assert!(IndexSnapshot::load(&dir).is_err());
+        assert!(matches!(
+            IndexSnapshot::load(&dir).unwrap_err(),
+            SnapshotError::Io { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_resave_safe() {
+        let r = report();
+        let snap = IndexSnapshot::from_report(&r).unwrap();
+        let dir = tmp_dir("atomic");
+        snap.save(&dir).unwrap();
+        // Re-saving over a live snapshot must succeed and leave no
+        // staging/backup residue.
+        snap.save(&dir).unwrap();
+        assert!(!sibling(&dir, "staging").exists());
+        assert!(!sibling(&dir, "old").exists());
+        assert!(IndexSnapshot::load(&dir).is_ok());
+        // A stale staging directory from a crashed save is swept.
+        std::fs::create_dir_all(sibling(&dir, "staging")).unwrap();
+        std::fs::write(sibling(&dir, "staging").join("junk"), "x").unwrap();
+        snap.save(&dir).unwrap();
+        assert!(!sibling(&dir, "staging").exists());
+        assert!(IndexSnapshot::load(&dir).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

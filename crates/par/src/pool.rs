@@ -81,7 +81,11 @@ impl WorkerPool {
                                 guard = shared.available.wait(guard).expect("pool mutex poisoned");
                             }
                         };
-                        job();
+                        // A panicking job must neither kill the worker
+                        // nor leak the queued count (long-lived services
+                        // read `pending()` for load shedding, and a dead
+                        // worker would silently shrink the pool).
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                         queued.fetch_sub(1, Ordering::Release);
                     })
                     .expect("failed to spawn pool worker")
@@ -124,8 +128,9 @@ impl Drop for WorkerPool {
         }
         self.shared.available.notify_all();
         for w in self.workers.drain(..) {
-            // A worker panic already aborted its job; surfacing it here
-            // would double-panic during drop, so ignore the result.
+            // Worker bodies catch job panics, so join failures are
+            // limited to catastrophic cases; surfacing one here would
+            // double-panic during drop, so ignore the result.
             let _ = w.join();
         }
     }
@@ -197,5 +202,23 @@ mod tests {
             pool.execute(|| {});
         }
         drop(pool); // drains
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker_or_leak_pending() {
+        let pool = WorkerPool::new(1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        pool.execute(|| panic!("injected"));
+        // The single worker must survive to run the next job.
+        let h = Arc::clone(&hits);
+        pool.execute(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        while pool.pending() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.pending(), 0, "panicked job must not leak the count");
+        drop(pool);
     }
 }

@@ -48,12 +48,19 @@ pub struct Response {
     pub status: u16,
     /// Body text (always JSON in this service).
     pub body: String,
+    /// Seconds for a `Retry-After` header (load shedding sets this so
+    /// well-behaved clients back off instead of hammering).
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
     /// A `200 OK` JSON response.
     pub fn ok(body: String) -> Response {
-        Response { status: 200, body }
+        Response {
+            status: 200,
+            body,
+            retry_after: None,
+        }
     }
 
     /// An error response with a JSON `{"error": …}` body.
@@ -61,7 +68,16 @@ impl Response {
         Response {
             status,
             body: crate::json::obj(vec![("error", crate::json::Json::from(message))]).encode(),
+            retry_after: None,
         }
+    }
+
+    /// A `503 Service Unavailable` with a `Retry-After` hint — the
+    /// load-shedding response.
+    pub fn unavailable(retry_after_secs: u32) -> Response {
+        let mut r = Response::error(503, "server overloaded; retry later");
+        r.retry_after = Some(retry_after_secs);
+        r
     }
 }
 
@@ -90,8 +106,10 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Error",
     }
 }
@@ -156,9 +174,19 @@ fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Read and parse one request from the stream. Returns
-/// [`ReadError::Closed`] on a clean end-of-stream between requests.
+/// Read and parse one request from the stream with the default
+/// [`MAX_BODY`] limit. Returns [`ReadError::Closed`] on a clean
+/// end-of-stream between requests.
 pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
+    read_request_limited(reader, MAX_BODY)
+}
+
+/// Read and parse one request from the stream, rejecting declared bodies
+/// larger than `max_body` with a 413.
+pub fn read_request_limited(
+    reader: &mut impl BufRead,
+    max_body: usize,
+) -> Result<Request, ReadError> {
     let request_line = match read_line(reader)? {
         None => return Err(ReadError::Closed),
         Some(l) => l,
@@ -196,7 +224,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
                 content_length = value
                     .parse()
                     .map_err(|_| ReadError::Bad(400, "bad content-length".to_string()))?;
-                if content_length > MAX_BODY {
+                if content_length > max_body {
                     return Err(ReadError::Bad(413, "body too large".to_string()));
                 }
             }
@@ -220,9 +248,16 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
 
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
-        reader
-            .read_exact(&mut body)
-            .map_err(|_| ReadError::Bad(400, "body shorter than content-length".to_string()))?;
+        // Only a clean EOF means the peer sent a short body; timeouts and
+        // resets must keep their error kind so the caller can count them
+        // (and answer a stalled body with 408 rather than 400).
+        reader.read_exact(&mut body).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                ReadError::Bad(400, "body shorter than content-length".to_string())
+            } else {
+                ReadError::Io(e)
+            }
+        })?;
     }
 
     let (path, query_string) = match target.split_once('?') {
@@ -253,13 +288,18 @@ pub fn write_response(
     response: &Response,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    let retry_after = match response.retry_after {
+        Some(secs) => format!("retry-after: {secs}\r\n"),
+        None => String::new(),
+    };
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n{}\r\n{}",
         response.status,
         status_text(response.status),
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
+        retry_after,
         response.body
     )?;
     writer.flush()
@@ -335,6 +375,33 @@ mod tests {
             Err(ReadError::Bad(413, _)) => {}
             other => panic!("expected 413, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn custom_body_limit_applies() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 64\r\n\r\n";
+        match read_request_limited(&mut raw.as_bytes(), 16) {
+            Err(ReadError::Bad(413, _)) => {}
+            other => panic!("expected 413, got {other:?}"),
+        }
+        // The same declaration passes under the default limit (the body
+        // itself is then short, which is a 400).
+        assert!(matches!(
+            read_request(&mut raw.as_bytes()),
+            Err(ReadError::Bad(400, _))
+        ));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::unavailable(7), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 7\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        // Headers still terminate with a blank line before the body.
+        assert!(text.contains("\r\n\r\n{"));
     }
 
     #[test]

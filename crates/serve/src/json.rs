@@ -80,6 +80,7 @@ impl Json {
             Json::Num(n) => {
                 if n.is_finite() {
                     // Rust's shortest-round-trip Display keeps every bit.
+                    // fmt::Write into a String is infallible.
                     if *n == n.trunc() && n.abs() < 1e15 {
                         write!(out, "{}", *n as i64).unwrap()
                     } else {
@@ -170,6 +171,7 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            // fmt::Write into a String is infallible.
             c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
             c => out.push(c),
         }
@@ -345,6 +347,8 @@ impl Parser<'_> {
                     // Consume one full UTF-8 scalar from the source text.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid utf-8".to_string())?;
+                    // `Some(_)` above guarantees at least one byte, and
+                    // from_utf8 just validated it, so a char exists.
                     let c = rest.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();

@@ -33,7 +33,8 @@ pub mod json;
 pub mod metrics;
 pub mod server;
 
+pub use http::MAX_BODY;
 pub use index::{ClassifyOutcome, Neighbour, ServeIndex};
 pub use json::Json;
 pub use metrics::{Endpoint, Metrics};
-pub use server::{Server, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -61,7 +61,17 @@ impl Endpoint {
     }
 
     fn index(self) -> usize {
-        Endpoint::ALL.iter().position(|e| *e == self).unwrap()
+        // Must stay aligned with the order of `Endpoint::ALL`; the
+        // `all_indices_align` test pins the correspondence.
+        match self {
+            Endpoint::Classify => 0,
+            Endpoint::Jobs => 1,
+            Endpoint::Similar => 2,
+            Endpoint::Census => 3,
+            Endpoint::Healthz => 4,
+            Endpoint::Metrics => 5,
+            Endpoint::Other => 6,
+        }
     }
 }
 
@@ -91,10 +101,51 @@ impl EndpointStats {
     }
 }
 
+/// Transport-level failure counters — connections that never produced a
+/// routable request, plus overload and panic events. Kept separate from
+/// per-endpoint stats because none of these have an endpoint.
+#[derive(Debug, Default)]
+pub struct Transport {
+    /// Connections refused with 503 because the accept queue was full.
+    pub shed: AtomicU64,
+    /// Keep-alive connections closed after sitting idle past the idle
+    /// timeout (normal client behavior, not an error).
+    pub idle_timeouts: AtomicU64,
+    /// Requests answered 408 because the peer stalled mid-request past
+    /// the request deadline (slowloris defense).
+    pub request_timeouts: AtomicU64,
+    /// Connections torn down by the peer (reset / aborted / broken pipe).
+    pub resets: AtomicU64,
+    /// Genuine transport I/O errors that were none of the above.
+    pub io_errors: AtomicU64,
+    /// Handler panics caught and answered with 500.
+    pub panics: AtomicU64,
+}
+
+impl Transport {
+    /// Bump one counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn render(&self) -> Json {
+        let n = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+        obj(vec![
+            ("shed_total", n(&self.shed)),
+            ("timeouts_total", n(&self.idle_timeouts)),
+            ("request_timeouts_total", n(&self.request_timeouts)),
+            ("resets_total", n(&self.resets)),
+            ("io_errors_total", n(&self.io_errors)),
+            ("panics_total", n(&self.panics)),
+        ])
+    }
+}
+
 /// Shared, lock-free service metrics.
 #[derive(Debug, Default)]
 pub struct Metrics {
     stats: [EndpointStats; 7],
+    transport: Transport,
 }
 
 impl Metrics {
@@ -106,6 +157,11 @@ impl Metrics {
     /// Record one finished request.
     pub fn record(&self, endpoint: Endpoint, status: u16, micros: u64) {
         self.stats[endpoint.index()].record(status, micros);
+    }
+
+    /// Transport-level counters.
+    pub fn transport(&self) -> &Transport {
+        &self.transport
     }
 
     /// Total requests seen across endpoints.
@@ -158,6 +214,7 @@ impl Metrics {
         obj(vec![
             ("index_jobs", Json::from(index_jobs)),
             ("total_requests", Json::from(self.total_requests())),
+            ("transport", self.transport.render()),
             ("endpoints", Json::Obj(endpoints)),
         ])
     }
@@ -194,6 +251,30 @@ mod tests {
             .map(|b| b.get("count").unwrap().as_num().unwrap())
             .sum();
         assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn all_indices_align() {
+        for (i, e) in Endpoint::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn transport_counters_render() {
+        let m = Metrics::new();
+        Transport::bump(&m.transport().shed);
+        Transport::bump(&m.transport().shed);
+        Transport::bump(&m.transport().request_timeouts);
+        Transport::bump(&m.transport().panics);
+        let t = m.render(0);
+        let t = t.get("transport").unwrap();
+        assert_eq!(t.get("shed_total").unwrap().as_num(), Some(2.0));
+        assert_eq!(t.get("request_timeouts_total").unwrap().as_num(), Some(1.0));
+        assert_eq!(t.get("panics_total").unwrap().as_num(), Some(1.0));
+        assert_eq!(t.get("timeouts_total").unwrap().as_num(), Some(0.0));
+        assert_eq!(t.get("resets_total").unwrap().as_num(), Some(0.0));
+        assert_eq!(t.get("io_errors_total").unwrap().as_num(), Some(0.0));
     }
 
     #[test]

@@ -5,40 +5,225 @@
 //! session (bounded by a read timeout so an idle peer cannot pin a worker
 //! forever). The index is immutable and the metrics are atomic, so
 //! handlers run without any lock.
+//!
+//! **Overload and failure behavior** (see DESIGN.md, "Failure modes and
+//! degradation"):
+//!
+//! * connections beyond `threads + queue_depth` in-flight sessions are
+//!   shed immediately with `503` + `Retry-After` instead of queueing
+//!   without bound;
+//! * a request must complete within [`ServerConfig::request_deadline`]
+//!   of its first byte or the worker answers `408` and closes — a
+//!   slowloris client costs one deadline, not a pinned worker;
+//! * declared bodies over [`ServerConfig::max_body`] are refused with
+//!   `413` before any allocation;
+//! * a panicking handler is caught ([`catch_unwind`]), answered with
+//!   `500`, and the worker survives;
+//! * [`ServerHandle::drain`] (also wired to SIGTERM by the CLI) stops
+//!   accepting, lets in-flight requests finish up to
+//!   [`ServerConfig::drain_timeout`], reports `draining` from
+//!   `/healthz`, then force-closes stragglers.
 
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::io::{BufReader, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dagscope_par::WorkerPool;
 use dagscope_trace::{csv, Job};
 
-use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::http::{read_request_limited, write_response, ReadError, Request, Response, MAX_BODY};
 use crate::index::ServeIndex;
 use crate::json::{obj, Json};
-use crate::metrics::{Endpoint, Metrics};
+use crate::metrics::{Endpoint, Metrics, Transport};
 
-/// How long a keep-alive connection may sit idle before the worker closes
-/// it.
-const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Tunable limits for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Request worker threads.
+    pub threads: usize,
+    /// Connections allowed to wait beyond the busy workers before the
+    /// acceptor starts shedding with 503.
+    pub queue_depth: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the worker closes it.
+    pub idle_timeout: Duration,
+    /// How long a request may take from its first byte to the end of its
+    /// body before the worker answers 408 and closes.
+    pub request_deadline: Duration,
+    /// How long [`Server::run`] waits for in-flight sessions after a
+    /// drain begins before force-closing them.
+    pub drain_timeout: Duration,
+    /// Expose `GET /v1/_panic`, which panics inside the handler — fault
+    /// injection for tests; never enabled in production configs.
+    pub panic_route: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: 4,
+            queue_depth: 128,
+            max_body: MAX_BODY,
+            idle_timeout: Duration::from_secs(30),
+            request_deadline: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(10),
+            panic_route: false,
+        }
+    }
+}
+
+/// Registry of live connections, so a drain can close idle sessions
+/// immediately and force-close stragglers at the deadline. Entries hold a
+/// `TcpStream` clone only for `shutdown` — workers keep owning the I/O.
+#[derive(Default)]
+struct Registry {
+    conns: Mutex<HashMap<u64, RegisteredConn>>,
+    next_id: AtomicU64,
+}
+
+struct RegisteredConn {
+    stream: TcpStream,
+    /// True while a request is in flight on this connection (from first
+    /// byte to response written); a drain leaves busy connections alone
+    /// until the drain deadline.
+    busy: Arc<AtomicBool>,
+}
+
+impl Registry {
+    /// Track a connection; returns a guard that deregisters on drop.
+    fn register(
+        self: &Arc<Registry>,
+        stream: &TcpStream,
+        busy: Arc<AtomicBool>,
+    ) -> Option<ConnGuard> {
+        let stream = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.conns
+            .lock()
+            .expect("registry mutex poisoned")
+            .insert(id, RegisteredConn { stream, busy });
+        Some(ConnGuard {
+            registry: Arc::clone(self),
+            id,
+        })
+    }
+
+    /// Shut down connections with no request in flight (drain start).
+    fn shutdown_idle(&self) {
+        for conn in self.conns.lock().expect("registry mutex poisoned").values() {
+            if !conn.busy.load(Ordering::SeqCst) {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Shut down every tracked connection (drain deadline).
+    fn shutdown_all(&self) {
+        for conn in self.conns.lock().expect("registry mutex poisoned").values() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.conns.lock().expect("registry mutex poisoned").len()
+    }
+}
+
+/// Deregisters a connection when its session ends, however it ends.
+struct ConnGuard {
+    registry: Arc<Registry>,
+    id: u64,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.registry
+            .conns
+            .lock()
+            .expect("registry mutex poisoned")
+            .remove(&self.id);
+    }
+}
+
+/// A [`Read`] wrapper enforcing the two request timeouts over one
+/// `TcpStream`: the *idle* timeout while waiting for a request's first
+/// byte, and the *deadline* from that first byte to the end of the
+/// request. Implemented with `SO_RCVTIMEO` per read, so a stalled peer
+/// surfaces as `WouldBlock`/`TimedOut` rather than blocking a worker.
+struct TimedStream {
+    inner: TcpStream,
+    idle_timeout: Duration,
+    request_deadline: Duration,
+    /// Absolute deadline of the in-flight request; `None` between
+    /// requests.
+    deadline: Option<Instant>,
+    busy: Arc<AtomicBool>,
+}
+
+impl TimedStream {
+    /// Reset for the next request on the session.
+    fn finish_request(&mut self) {
+        self.deadline = None;
+        self.busy.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether a request was underway when the last error surfaced —
+    /// distinguishes a dead keep-alive (close silently) from a stalled
+    /// request (answer 408).
+    fn mid_request(&self) -> bool {
+        self.deadline.is_some()
+    }
+}
+
+impl Read for TimedStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let timeout = match self.deadline {
+            None => self.idle_timeout,
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(std::io::ErrorKind::TimedOut.into());
+                }
+                remaining
+            }
+        };
+        self.inner.set_read_timeout(Some(timeout))?;
+        let n = self.inner.read(buf)?;
+        if self.deadline.is_none() && n > 0 {
+            // First byte of a request: arm the deadline and mark the
+            // connection busy so a drain lets it finish.
+            self.deadline = Some(Instant::now() + self.request_deadline);
+            self.busy.store(true, Ordering::SeqCst);
+        }
+        Ok(n)
+    }
+}
 
 /// A bound but not yet running server.
 pub struct Server {
     listener: TcpListener,
     index: Arc<ServeIndex>,
     metrics: Arc<Metrics>,
-    threads: usize,
+    config: Arc<ServerConfig>,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    registry: Arc<Registry>,
 }
 
 /// Remote control for a running [`Server`] — lets another thread (or a
-/// signal handler) stop the accept loop.
+/// signal handler's watcher) drain and stop the accept loop.
 #[derive(Clone)]
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    registry: Arc<Registry>,
 }
 
 impl ServerHandle {
@@ -47,26 +232,59 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Ask the accept loop to exit. In-flight requests complete; the pool
-    /// drains before [`Server::run`] returns.
-    pub fn shutdown(&self) {
+    /// Begin a graceful drain: stop accepting, close idle keep-alive
+    /// sessions, let in-flight requests finish (up to the server's drain
+    /// timeout), flip `/healthz` to `draining`. [`Server::run`] returns
+    /// once the drain completes.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
         // The accept call is blocking; poke it awake.
         let _ = TcpStream::connect(self.addr);
+        self.registry.shutdown_idle();
+    }
+
+    /// Ask the server to stop. Alias of [`ServerHandle::drain`] — every
+    /// shutdown is graceful.
+    pub fn shutdown(&self) {
+        self.drain();
     }
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and prepare
-    /// `threads` request workers over the given index.
+    /// `threads` request workers over the given index, with default
+    /// limits.
     pub fn bind(index: ServeIndex, addr: &str, threads: usize) -> std::io::Result<Server> {
+        Server::bind_with(
+            index,
+            addr,
+            ServerConfig {
+                threads,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Bind with explicit limits.
+    pub fn bind_with(
+        index: ServeIndex,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let config = ServerConfig {
+            threads: config.threads.max(1),
+            ..config
+        };
         Ok(Server {
             listener,
             index: Arc::new(index),
             metrics: Arc::new(Metrics::new()),
-            threads: threads.max(1),
+            config: Arc::new(config),
             stop: Arc::new(AtomicBool::new(false)),
+            draining: Arc::new(AtomicBool::new(false)),
+            registry: Arc::new(Registry::default()),
         })
     }
 
@@ -80,18 +298,22 @@ impl Server {
         Arc::clone(&self.metrics)
     }
 
-    /// A handle that can stop the accept loop from another thread.
+    /// A handle that can drain/stop the server from another thread.
     pub fn handle(&self) -> std::io::Result<ServerHandle> {
         Ok(ServerHandle {
             addr: self.listener.local_addr()?,
             stop: Arc::clone(&self.stop),
+            draining: Arc::clone(&self.draining),
+            registry: Arc::clone(&self.registry),
         })
     }
 
-    /// Run the accept loop until [`ServerHandle::shutdown`] is called.
-    /// Returns after every accepted connection has been served.
+    /// Run the accept loop until [`ServerHandle::drain`] (or
+    /// [`ServerHandle::shutdown`]) is called, then drain in-flight
+    /// sessions up to the drain timeout and return.
     pub fn run(self) -> std::io::Result<()> {
-        let pool = WorkerPool::new(self.threads);
+        let pool = WorkerPool::new(self.config.threads);
+        let shed_threshold = self.config.threads + self.config.queue_depth;
         for conn in self.listener.incoming() {
             if self.stop.load(Ordering::SeqCst) {
                 break;
@@ -100,53 +322,159 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue, // transient accept failure
             };
-            let index = Arc::clone(&self.index);
-            let metrics = Arc::clone(&self.metrics);
-            pool.execute(move || handle_connection(stream, &index, &metrics));
+            if pool.pending() >= shed_threshold {
+                shed(stream, &self.metrics);
+                continue;
+            }
+            let ctx = ConnCtx {
+                index: Arc::clone(&self.index),
+                metrics: Arc::clone(&self.metrics),
+                config: Arc::clone(&self.config),
+                draining: Arc::clone(&self.draining),
+                registry: Arc::clone(&self.registry),
+            };
+            pool.execute(move || handle_connection(stream, &ctx));
         }
-        drop(pool); // joins workers: drains in-flight sessions
+        // Graceful drain: sessions were told to wrap up (idle ones are
+        // already shut down, busy ones close after their response).
+        let deadline = Instant::now() + self.config.drain_timeout;
+        while (pool.pending() > 0 || self.registry.len() > 0) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Past the deadline: force-close stragglers so the pool join
+        // below cannot hang on a slow or hostile peer.
+        self.registry.shutdown_all();
+        drop(pool); // joins workers
         Ok(())
     }
 }
 
+/// Refuse one connection with `503` + `Retry-After` (load shedding).
+fn shed(mut stream: TcpStream, metrics: &Metrics) {
+    Transport::bump(&metrics.transport().shed);
+    let _ = stream.set_nodelay(true);
+    // Bound the write so a peer that never reads cannot pin the acceptor.
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = write_response(&mut stream, &Response::unavailable(1), false);
+}
+
+/// Everything a connection worker needs.
+struct ConnCtx {
+    index: Arc<ServeIndex>,
+    metrics: Arc<Metrics>,
+    config: Arc<ServerConfig>,
+    draining: Arc<AtomicBool>,
+    registry: Arc<Registry>,
+}
+
 /// Serve one connection's whole keep-alive session.
-fn handle_connection(stream: TcpStream, index: &ServeIndex, metrics: &Metrics) {
-    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
     // Responses are small; without NODELAY, Nagle holds each one behind
     // the peer's delayed ACK and a keep-alive session crawls at ~40 ms
     // per round-trip.
     let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(match stream.try_clone() {
+    let busy = Arc::new(AtomicBool::new(false));
+    let Some(_guard) = ctx.registry.register(&stream, Arc::clone(&busy)) else {
+        return; // try_clone failed; nothing to serve
+    };
+    let read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
+    };
+    let mut reader = BufReader::new(TimedStream {
+        inner: read_half,
+        idle_timeout: ctx.config.idle_timeout,
+        request_deadline: ctx.config.request_deadline,
+        deadline: None,
+        busy: Arc::clone(&busy),
     });
     let mut writer = stream;
+    let transport = ctx.metrics.transport();
     loop {
-        let request = match read_request(&mut reader) {
+        let request = match read_request_limited(&mut reader, ctx.config.max_body) {
             Ok(r) => r,
             Err(ReadError::Closed) => return,
             Err(ReadError::Bad(status, message)) => {
-                metrics.record(Endpoint::Other, status, 0);
+                ctx.metrics.record(Endpoint::Other, status, 0);
                 let _ = write_response(&mut writer, &Response::error(status, &message), false);
                 return;
             }
-            Err(ReadError::Io(_)) => return, // timeout or reset
+            Err(ReadError::Io(e)) => {
+                // Distinguish the three transport outcomes instead of
+                // collapsing them: a stalled request gets 408 and counts
+                // as a request timeout, an idle keep-alive expiry is
+                // normal, a peer reset and a real I/O error each get
+                // their own counter.
+                use std::io::ErrorKind;
+                match e.kind() {
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                        if reader.get_ref().mid_request() {
+                            Transport::bump(&transport.request_timeouts);
+                            ctx.metrics.record(Endpoint::Other, 408, 0);
+                            let _ = write_response(
+                                &mut writer,
+                                &Response::error(408, "request timed out"),
+                                false,
+                            );
+                        } else {
+                            Transport::bump(&transport.idle_timeouts);
+                        }
+                    }
+                    ErrorKind::ConnectionReset
+                    | ErrorKind::ConnectionAborted
+                    | ErrorKind::BrokenPipe => {
+                        Transport::bump(&transport.resets);
+                    }
+                    _ => {
+                        Transport::bump(&transport.io_errors);
+                    }
+                }
+                return;
+            }
         };
+        busy.store(true, Ordering::SeqCst);
         let started = Instant::now();
-        let (endpoint, response) = route(&request, index, metrics);
+        let route_ctx = RouteCtx {
+            index: &ctx.index,
+            metrics: &ctx.metrics,
+            draining: ctx.draining.load(Ordering::SeqCst),
+            panic_route: ctx.config.panic_route,
+        };
+        // Panic isolation: a handler bug answers 500 on this connection;
+        // the worker (and every other session) survives.
+        let (endpoint, response) =
+            match catch_unwind(AssertUnwindSafe(|| route(&request, &route_ctx))) {
+                Ok(routed) => routed,
+                Err(_) => {
+                    Transport::bump(&transport.panics);
+                    (Endpoint::Other, Response::error(500, "internal error"))
+                }
+            };
         let micros = started.elapsed().as_micros() as u64;
-        metrics.record(endpoint, response.status, micros);
-        if write_response(&mut writer, &response, request.keep_alive).is_err() {
+        ctx.metrics.record(endpoint, response.status, micros);
+        // Draining: finish this response, then close so the session ends.
+        let keep_alive = request.keep_alive && !route_ctx.draining;
+        if write_response(&mut writer, &response, keep_alive).is_err() {
             return;
         }
-        if !request.keep_alive {
+        reader.get_mut().finish_request();
+        if !keep_alive {
             return;
         }
     }
 }
 
+/// Read-only context handlers route against.
+struct RouteCtx<'a> {
+    index: &'a ServeIndex,
+    metrics: &'a Metrics,
+    draining: bool,
+    panic_route: bool,
+}
+
 /// Dispatch one request to its handler.
-fn route(request: &Request, index: &ServeIndex, metrics: &Metrics) -> (Endpoint, Response) {
+fn route(request: &Request, ctx: &RouteCtx<'_>) -> (Endpoint, Response) {
+    let index = ctx.index;
     let method = request.method.as_str();
     let path = request.path.as_str();
     match (method, path) {
@@ -154,7 +482,10 @@ fn route(request: &Request, index: &ServeIndex, metrics: &Metrics) -> (Endpoint,
             Endpoint::Healthz,
             Response::ok(
                 obj(vec![
-                    ("status", Json::from("ok")),
+                    (
+                        "status",
+                        Json::from(if ctx.draining { "draining" } else { "ok" }),
+                    ),
                     ("jobs", Json::from(index.len())),
                     ("groups", Json::from(index.meta().k)),
                 ])
@@ -163,8 +494,11 @@ fn route(request: &Request, index: &ServeIndex, metrics: &Metrics) -> (Endpoint,
         ),
         ("GET", "/metrics") => (
             Endpoint::Metrics,
-            Response::ok(metrics.render(index.len()).encode()),
+            Response::ok(ctx.metrics.render(index.len()).encode()),
         ),
+        ("GET", "/v1/_panic") if ctx.panic_route => {
+            panic!("injected panic (/v1/_panic fault route)")
+        }
         ("GET", "/v1/census") => (Endpoint::Census, census(index)),
         ("POST", "/v1/classify") => (Endpoint::Classify, classify(request, index)),
         _ if path.starts_with("/v1/jobs/") => {
@@ -365,6 +699,7 @@ fn census(index: &ServeIndex) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::http::read_request;
     use dagscope_core::{IndexSnapshot, Pipeline, PipelineConfig};
 
     fn test_index() -> ServeIndex {
@@ -379,10 +714,26 @@ mod tests {
         ServeIndex::build(IndexSnapshot::from_report(&report).unwrap()).unwrap()
     }
 
+    fn route_plain<'a>(
+        request: &Request,
+        index: &'a ServeIndex,
+        metrics: &'a Metrics,
+    ) -> (Endpoint, Response) {
+        route(
+            request,
+            &RouteCtx {
+                index,
+                metrics,
+                draining: false,
+                panic_route: false,
+            },
+        )
+    }
+
     fn get(index: &ServeIndex, metrics: &Metrics, path: &str) -> (u16, Json) {
         let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
         let request = read_request(&mut raw.as_bytes()).unwrap();
-        let (endpoint, response) = route(&request, index, metrics);
+        let (endpoint, response) = route_plain(&request, index, metrics);
         metrics.record(endpoint, response.status, 1);
         let body = Json::parse(&response.body).expect("response body is JSON");
         (response.status, body)
@@ -395,6 +746,7 @@ mod tests {
 
         let (status, body) = get(&index, &metrics, "/healthz");
         assert_eq!(status, 200);
+        assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
         assert_eq!(body.get("jobs").unwrap().as_num(), Some(25.0));
 
         let (status, body) = get(&index, &metrics, "/v1/census");
@@ -420,11 +772,35 @@ mod tests {
         assert_eq!(status, 404);
         let (status, _) = get(&index, &metrics, "/v1/classify");
         assert_eq!(status, 405);
+        // The fault route does not exist unless explicitly enabled.
+        let (status, _) = get(&index, &metrics, "/v1/_panic");
+        assert_eq!(status, 404);
 
         // Metrics saw everything above.
         let (status, body) = get(&index, &metrics, "/metrics");
         assert_eq!(status, 200);
         assert!(body.get("total_requests").unwrap().as_num().unwrap() >= 8.0);
+        assert!(body.get("transport").is_some());
+    }
+
+    #[test]
+    fn healthz_reports_draining() {
+        let index = test_index();
+        let metrics = Metrics::new();
+        let raw = "GET /healthz HTTP/1.1\r\n\r\n";
+        let request = read_request(&mut raw.as_bytes()).unwrap();
+        let (_, response) = route(
+            &request,
+            &RouteCtx {
+                index: &index,
+                metrics: &metrics,
+                draining: true,
+                panic_route: false,
+            },
+        );
+        assert_eq!(response.status, 200);
+        let body = Json::parse(&response.body).unwrap();
+        assert_eq!(body.get("status").unwrap().as_str(), Some("draining"));
     }
 
     #[test]
@@ -440,7 +816,7 @@ mod tests {
             body.len()
         );
         let request = read_request(&mut raw.as_bytes()).unwrap();
-        let (_, response) = route(&request, &index, &metrics);
+        let (_, response) = route_plain(&request, &index, &metrics);
         assert_eq!(response.status, 200, "{}", response.body);
         let doc = Json::parse(&response.body).unwrap();
         assert_eq!(doc.get("size").unwrap().as_num(), Some(2.0));
@@ -469,7 +845,7 @@ mod tests {
                 body.len()
             );
             let request = read_request(&mut raw.as_bytes()).unwrap();
-            let (_, response) = route(&request, &index, &metrics);
+            let (_, response) = route_plain(&request, &index, &metrics);
             assert_eq!(response.status, 400, "accepted: {body:?}");
             assert!(Json::parse(&response.body).unwrap().get("error").is_some());
         }

@@ -21,6 +21,7 @@
 use std::io::{BufRead, BufWriter, Write};
 
 use crate::intern::Interner;
+use crate::quarantine::{Quarantine, QuarantinedRow, ReadPolicy};
 use crate::schema::{InstanceRecord, Status, TaskRecord};
 use crate::TraceError;
 
@@ -132,39 +133,160 @@ pub fn parse_instance_line(line_no: usize, line: &str) -> Result<InstanceRecord,
     parse_instance_line_interned(line_no, line, &mut Interner::new())
 }
 
-/// Read a whole `batch_task.csv` stream.
+/// A raw byte-line reader tracking 1-based line numbers and byte offsets,
+/// replicating `BufRead::lines` line-splitting exactly: a final `\n` does
+/// not open an empty trailing line, `\r\n` endings are trimmed, and a bare
+/// trailing `\r` on an unterminated last line is kept.
+struct RawLines<R> {
+    reader: R,
+    offset: u64,
+}
+
+impl<R: BufRead> RawLines<R> {
+    /// Next raw line as `(byte offset of its first byte, bytes)`, newline
+    /// terminator stripped. `None` at end of stream.
+    fn next_line(&mut self) -> Result<Option<(u64, Vec<u8>)>, std::io::Error> {
+        let mut buf = Vec::new();
+        let start = self.offset;
+        let n = self.reader.read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.offset += n as u64;
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+        }
+        Ok(Some((start, buf)))
+    }
+}
+
+/// Decide a decoded row's fate: the quarantine policy additionally rejects
+/// rows whose timestamps are impossible (end before start, both present),
+/// which a strict read accepts exactly as it always has.
+fn classify_row<T>(
+    policy: &ReadPolicy,
+    line_no: usize,
+    row: T,
+    times: impl Fn(&T) -> (i64, i64),
+) -> Result<T, TraceError> {
+    let (start, end) = times(&row);
+    if policy.is_quarantine() && start > 0 && end > 0 && end < start {
+        return Err(TraceError::BadTimestamps {
+            line: line_no,
+            start,
+            end,
+        });
+    }
+    Ok(row)
+}
+
+/// Sequential policy-aware row reader shared by the task and instance
+/// entry points. Under [`ReadPolicy::Strict`] this is observationally
+/// identical to the historical `BufRead::lines`-based readers — same
+/// records, same first error, same line numbers.
+fn read_rows_with_policy<R: BufRead, T>(
+    reader: R,
+    policy: &ReadPolicy,
+    parse: impl Fn(usize, &str, &mut Interner) -> Result<T, TraceError>,
+    times: impl Fn(&T) -> (i64, i64) + Copy,
+) -> Result<(Vec<T>, Quarantine), TraceError> {
+    let mut interner = Interner::new();
+    let mut lines = RawLines { reader, offset: 0 };
+    let mut out = Vec::new();
+    let mut q = Quarantine::default();
+    while let Some((offset, raw)) = lines.next_line()? {
+        q.lines_total += 1;
+        let line_no = q.lines_total;
+        if raw.is_empty() {
+            continue;
+        }
+        q.rows_total += 1;
+        let verdict = match std::str::from_utf8(&raw) {
+            Err(_) => Err(TraceError::Io(UTF8_ERR.to_string())),
+            Ok(text) => parse(line_no, text, &mut interner)
+                .and_then(|row| classify_row(policy, line_no, row, times)),
+        };
+        match verdict {
+            Ok(row) => {
+                q.rows_good += 1;
+                out.push(row);
+            }
+            Err(error) => {
+                if !policy.is_quarantine() || q.rows.len() >= policy.max_bad() {
+                    return Err(error);
+                }
+                q.rows.push(QuarantinedRow {
+                    line: line_no,
+                    byte_offset: offset,
+                    error,
+                    excerpt: crate::quarantine::excerpt_of(&raw),
+                    job_name: crate::quarantine::job_name_of(&raw),
+                });
+            }
+        }
+    }
+    Ok((out, q))
+}
+
+/// Read a whole `batch_task.csv` stream under a [`ReadPolicy`].
+pub fn read_tasks_with_policy<R: BufRead>(
+    reader: R,
+    policy: &ReadPolicy,
+) -> Result<(Vec<TaskRecord>, Quarantine), TraceError> {
+    read_rows_with_policy(
+        reader,
+        policy,
+        parse_task_line_interned,
+        |t: &TaskRecord| (t.start_time, t.end_time),
+    )
+}
+
+/// Read a whole `batch_instance.csv` stream under a [`ReadPolicy`].
+pub fn read_instances_with_policy<R: BufRead>(
+    reader: R,
+    policy: &ReadPolicy,
+) -> Result<(Vec<InstanceRecord>, Quarantine), TraceError> {
+    read_rows_with_policy(
+        reader,
+        policy,
+        parse_instance_line_interned,
+        |i: &InstanceRecord| (i.start_time, i.end_time),
+    )
+}
+
+/// Read a whole `batch_task.csv` stream (strict: first bad row aborts).
 pub fn read_tasks<R: BufRead>(reader: R) -> Result<Vec<TaskRecord>, TraceError> {
-    let mut interner = Interner::new();
-    let mut out = Vec::new();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        if line.is_empty() {
-            continue;
-        }
-        out.push(parse_task_line_interned(i + 1, &line, &mut interner)?);
-    }
-    Ok(out)
+    read_tasks_with_policy(reader, &ReadPolicy::Strict).map(|(rows, _)| rows)
 }
 
-/// Read a whole `batch_instance.csv` stream.
+/// Read a whole `batch_instance.csv` stream (strict: first bad row
+/// aborts).
 pub fn read_instances<R: BufRead>(reader: R) -> Result<Vec<InstanceRecord>, TraceError> {
-    let mut interner = Interner::new();
-    let mut out = Vec::new();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        if line.is_empty() {
-            continue;
-        }
-        out.push(parse_instance_line_interned(i + 1, &line, &mut interner)?);
-    }
-    Ok(out)
+    read_instances_with_policy(reader, &ReadPolicy::Strict).map(|(rows, _)| rows)
 }
 
-/// Per-chunk decode result: rows parsed, total lines seen (counting blank
-/// and erroring ones), and the first error with a chunk-local line number.
+/// Per-chunk decode result: rows parsed, quarantined rows in chunk-local
+/// coordinates, line/row accounting, and (strict mode) the first error
+/// with a chunk-local line number.
 struct ChunkOut<T> {
     rows: Vec<T>,
+    /// All lines in the chunk, blank ones included.
     lines: usize,
+    /// Non-blank rows seen.
+    rows_seen: usize,
+    /// Rows decoded successfully.
+    rows_good: usize,
+    /// Chunk length in bytes (re-bases byte offsets during the merge).
+    bytes: u64,
+    /// Quarantined rows with chunk-local line numbers and offsets,
+    /// capped at `max_bad + 1` — once a single chunk overflows the whole
+    /// budget the merge is guaranteed to abort at or before its last
+    /// collected entry, so parsing further rows would be wasted work.
+    quarantined: Vec<QuarantinedRow>,
+    /// First error (strict mode only; quarantine mode never sets this).
     err: Option<TraceError>,
 }
 
@@ -189,6 +311,11 @@ fn offset_error(err: TraceError, base: usize) -> TraceError {
             column,
             value,
         },
+        TraceError::BadTimestamps { line, start, end } => TraceError::BadTimestamps {
+            line: line + base,
+            start,
+            end,
+        },
         other => other,
     }
 }
@@ -200,27 +327,35 @@ fn offset_error(err: TraceError, base: usize) -> TraceError {
 /// numbered.
 fn parse_chunk<T>(
     chunk: &[u8],
+    policy: &ReadPolicy,
     parse: impl Fn(usize, &str, &mut Interner) -> Result<T, TraceError>,
+    times: impl Fn(&T) -> (i64, i64) + Copy,
 ) -> ChunkOut<T> {
     let mut interner = Interner::new();
     let mut out = ChunkOut {
         rows: Vec::new(),
         lines: 0,
+        rows_seen: 0,
+        rows_good: 0,
+        bytes: chunk.len() as u64,
+        quarantined: Vec::new(),
         err: None,
     };
-    let ends_with_nl = chunk.last() == Some(&b'\n');
-    let body = if ends_with_nl {
-        &chunk[..chunk.len() - 1]
-    } else {
-        chunk
-    };
-    if body.is_empty() && !ends_with_nl {
-        return out;
-    }
-    let mut pieces = body.split(|&b| b == b'\n').peekable();
-    while let Some(mut raw) = pieces.next() {
+    let cap = policy.max_bad().saturating_add(1);
+    let mut pos = 0usize;
+    while pos < chunk.len() {
+        let line_start = pos;
+        let (mut raw, terminated) = match chunk[pos..].iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                pos += i + 1;
+                (&chunk[line_start..line_start + i], true)
+            }
+            None => {
+                pos = chunk.len();
+                (&chunk[line_start..], false)
+            }
+        };
         out.lines += 1;
-        let terminated = pieces.peek().is_some() || ends_with_nl;
         if terminated {
             if let [rest @ .., b'\r'] = raw {
                 raw = rest;
@@ -229,50 +364,109 @@ fn parse_chunk<T>(
         if raw.is_empty() {
             continue;
         }
-        let line = match std::str::from_utf8(raw) {
-            Ok(s) => s,
-            Err(_) => {
-                out.err = Some(TraceError::Io(UTF8_ERR.to_string()));
-                return out;
-            }
+        out.rows_seen += 1;
+        let line_no = out.lines;
+        let verdict = match std::str::from_utf8(raw) {
+            Err(_) => Err(TraceError::Io(UTF8_ERR.to_string())),
+            Ok(text) => parse(line_no, text, &mut interner)
+                .and_then(|row| classify_row(policy, line_no, row, times)),
         };
-        match parse(out.lines, line, &mut interner) {
-            Ok(row) => out.rows.push(row),
-            Err(e) => {
-                out.err = Some(e);
-                return out;
+        match verdict {
+            Ok(row) => {
+                out.rows_good += 1;
+                out.rows.push(row);
+            }
+            Err(error) => {
+                if policy.is_quarantine() {
+                    out.quarantined.push(QuarantinedRow {
+                        line: line_no,
+                        byte_offset: line_start as u64,
+                        error,
+                        excerpt: crate::quarantine::excerpt_of(raw),
+                        job_name: crate::quarantine::job_name_of(raw),
+                    });
+                    if out.quarantined.len() >= cap {
+                        return out;
+                    }
+                } else {
+                    out.err = Some(error);
+                    return out;
+                }
             }
         }
     }
     out
 }
 
-/// Stitch per-chunk outputs back together in document order, re-basing the
-/// first error's line number onto the whole file.
-fn merge_chunks<T>(outs: Vec<ChunkOut<T>>) -> Result<Vec<T>, TraceError> {
+/// Stitch per-chunk outputs back together in document order, re-basing
+/// line numbers and byte offsets onto the whole file and enforcing the
+/// policy's bad-row budget globally — the `max_bad + 1`-th quarantined
+/// row in document order aborts with exactly the error the sequential
+/// reader would report.
+fn merge_chunks<T>(
+    outs: Vec<ChunkOut<T>>,
+    policy: &ReadPolicy,
+) -> Result<(Vec<T>, Quarantine), TraceError> {
     let mut rows = Vec::with_capacity(outs.iter().map(|o| o.rows.len()).sum());
-    let mut base = 0usize;
+    let mut q = Quarantine::default();
+    let mut base_lines = 0usize;
+    let mut base_bytes = 0u64;
     for out in outs {
         rows.extend(out.rows);
-        if let Some(err) = out.err {
-            return Err(offset_error(err, base));
+        for mut entry in out.quarantined {
+            if q.rows.len() >= policy.max_bad() {
+                return Err(offset_error(entry.error, base_lines));
+            }
+            entry.line += base_lines;
+            entry.byte_offset += base_bytes;
+            entry.error = offset_error(entry.error, base_lines);
+            q.rows.push(entry);
         }
-        base += out.lines;
+        if let Some(err) = out.err {
+            return Err(offset_error(err, base_lines));
+        }
+        q.rows_good += out.rows_good;
+        q.rows_total += out.rows_seen;
+        q.lines_total += out.lines;
+        base_lines += out.lines;
+        base_bytes += out.bytes;
     }
-    Ok(rows)
+    Ok((rows, q))
 }
 
-/// Read `batch_task.csv` bytes with an explicit target chunk size.
-///
-/// Exposed so tests can force chunk boundaries to land mid-row; use
-/// [`read_tasks_parallel`] for the tuned default.
+/// Read `batch_task.csv` bytes with an explicit target chunk size under a
+/// [`ReadPolicy`]. Exposed so tests can force chunk boundaries to land
+/// mid-row; use [`read_tasks_parallel_with_policy`] for the tuned default.
+pub fn read_tasks_chunked_with_policy(
+    data: &[u8],
+    chunk_bytes: usize,
+    policy: &ReadPolicy,
+) -> Result<(Vec<TaskRecord>, Quarantine), TraceError> {
+    merge_chunks(
+        dagscope_par::par_chunk_map(data, chunk_bytes, b'\n', |_, chunk| {
+            parse_chunk(chunk, policy, parse_task_line_interned, |t: &TaskRecord| {
+                (t.start_time, t.end_time)
+            })
+        }),
+        policy,
+    )
+}
+
+/// Read `batch_task.csv` bytes, decoding newline-aligned chunks in
+/// parallel under a [`ReadPolicy`]. Produces exactly what
+/// [`read_tasks_with_policy`] produces on the same bytes — same records,
+/// same quarantine report, same first error past the budget.
+pub fn read_tasks_parallel_with_policy(
+    data: &[u8],
+    policy: &ReadPolicy,
+) -> Result<(Vec<TaskRecord>, Quarantine), TraceError> {
+    read_tasks_chunked_with_policy(data, DEFAULT_CHUNK_BYTES, policy)
+}
+
+/// Read `batch_task.csv` bytes with an explicit target chunk size
+/// (strict).
 pub fn read_tasks_chunked(data: &[u8], chunk_bytes: usize) -> Result<Vec<TaskRecord>, TraceError> {
-    merge_chunks(dagscope_par::par_chunk_map(
-        data,
-        chunk_bytes,
-        b'\n',
-        |_, chunk| parse_chunk(chunk, parse_task_line_interned),
-    ))
+    read_tasks_chunked_with_policy(data, chunk_bytes, &ReadPolicy::Strict).map(|(rows, _)| rows)
 }
 
 /// Read `batch_task.csv` bytes, decoding newline-aligned chunks in
@@ -282,17 +476,42 @@ pub fn read_tasks_parallel(data: &[u8]) -> Result<Vec<TaskRecord>, TraceError> {
     read_tasks_chunked(data, DEFAULT_CHUNK_BYTES)
 }
 
-/// Read `batch_instance.csv` bytes with an explicit target chunk size.
+/// Read `batch_instance.csv` bytes with an explicit target chunk size
+/// under a [`ReadPolicy`].
+pub fn read_instances_chunked_with_policy(
+    data: &[u8],
+    chunk_bytes: usize,
+    policy: &ReadPolicy,
+) -> Result<(Vec<InstanceRecord>, Quarantine), TraceError> {
+    merge_chunks(
+        dagscope_par::par_chunk_map(data, chunk_bytes, b'\n', |_, chunk| {
+            parse_chunk(
+                chunk,
+                policy,
+                parse_instance_line_interned,
+                |i: &InstanceRecord| (i.start_time, i.end_time),
+            )
+        }),
+        policy,
+    )
+}
+
+/// Read `batch_instance.csv` bytes, decoding newline-aligned chunks in
+/// parallel under a [`ReadPolicy`].
+pub fn read_instances_parallel_with_policy(
+    data: &[u8],
+    policy: &ReadPolicy,
+) -> Result<(Vec<InstanceRecord>, Quarantine), TraceError> {
+    read_instances_chunked_with_policy(data, DEFAULT_CHUNK_BYTES, policy)
+}
+
+/// Read `batch_instance.csv` bytes with an explicit target chunk size
+/// (strict).
 pub fn read_instances_chunked(
     data: &[u8],
     chunk_bytes: usize,
 ) -> Result<Vec<InstanceRecord>, TraceError> {
-    merge_chunks(dagscope_par::par_chunk_map(
-        data,
-        chunk_bytes,
-        b'\n',
-        |_, chunk| parse_chunk(chunk, parse_instance_line_interned),
-    ))
+    read_instances_chunked_with_policy(data, chunk_bytes, &ReadPolicy::Strict).map(|(rows, _)| rows)
 }
 
 /// Read `batch_instance.csv` bytes, decoding newline-aligned chunks in

@@ -23,6 +23,18 @@ pub enum TraceError {
         /// Offending raw text.
         value: String,
     },
+    /// A row's timestamps are impossible: both present, but the end
+    /// precedes the start. Only the quarantine reader classifies rows
+    /// this way; strict reads accept them (the availability filter
+    /// rejects the enclosing job later).
+    BadTimestamps {
+        /// 1-based line number.
+        line: usize,
+        /// Row start time.
+        start: i64,
+        /// Row end time (earlier than `start`).
+        end: i64,
+    },
     /// An I/O error, stringified (kept `Clone`/`Eq` for test ergonomics).
     Io(String),
     /// A semantic validation failure (e.g. a dependency cycle).
@@ -47,6 +59,12 @@ impl fmt::Display for TraceError {
                 write!(
                     f,
                     "line {line}: cannot parse column `{column}` from {value:?}"
+                )
+            }
+            TraceError::BadTimestamps { line, start, end } => {
+                write!(
+                    f,
+                    "line {line}: impossible timestamps: end {end} precedes start {start}"
                 )
             }
             TraceError::Io(e) => write!(f, "I/O error: {e}"),

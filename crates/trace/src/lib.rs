@@ -38,6 +38,7 @@ pub mod intern;
 mod job;
 pub mod machine;
 pub mod placement;
+pub mod quarantine;
 mod schema;
 pub mod stats;
 pub mod taskname;
@@ -45,5 +46,6 @@ pub mod taskname;
 pub use error::TraceError;
 pub use intern::{IStr, Interner};
 pub use job::{Job, JobSet};
+pub use quarantine::{Quarantine, QuarantinedRow, ReadPolicy};
 pub use schema::{InstanceRecord, Status, TaskRecord};
 pub use taskname::{ParsedTaskName, TaskKind};
