@@ -61,7 +61,13 @@ GLOBAL FLAGS
   --max-bad-rows N   with --trace: quarantine up to N malformed rows
                      instead of aborting on the first; implicated jobs
                      are dropped and a report goes to stderr
+  --dedup-shapes on|off
+                     collapse bitwise-identical WL vectors before the
+                     Gram assembly (sparse engine; default on). Results
+                     are bit-identical either way; `off` forces the
+                     O(n²) pairwise oracle
   --timings          summary/report: append per-stage wall-clock table
+                     (plus gram-engine cost counters when dedup is on)
 ";
 
 /// CLI-level errors.
@@ -119,6 +125,15 @@ fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, CliError> {
                 )))
             }
         },
+        dedup_shapes: match flags.str_or("dedup-shapes", "on").as_str() {
+            "on" => true,
+            "off" => false,
+            other => {
+                return Err(CliError::Run(format!(
+                    "--dedup-shapes must be `on` or `off`, got {other:?}"
+                )))
+            }
+        },
         ..PipelineConfig::default()
     })
 }
@@ -171,10 +186,22 @@ fn run_pipeline(flags: &Flags) -> Result<Report, CliError> {
     }
 }
 
-/// Render the report's primary text, appending stage timings on demand.
+/// Render the report's primary text, appending stage timings (and, when
+/// the sparse Gram engine ran, its cost counters) on demand.
 fn with_timings(flags: &Flags, report: &Report, body: String) -> String {
     if flags.switch("timings") {
-        format!("{body}\n{}", report.timings.render())
+        let mut out = format!("{body}\n{}", report.timings.render());
+        if let Some(g) = report.gram {
+            let all_pairs = (g.jobs * (g.jobs + 1) / 2) as u64;
+            writeln!(
+                out,
+                "gram engine: {} jobs -> {} unique shapes, {} dot products \
+                 (all-pairs would take {all_pairs})",
+                g.jobs, g.unique_shapes, g.dot_products
+            )
+            .unwrap();
+        }
+        out
     } else {
         body
     }
@@ -697,13 +724,35 @@ mod tests {
         assert!(out.contains("== groups"));
         assert!(out.contains("== stage timings =="));
         for stage in [
-            "stats", "sample", "dags", "embed", "kernel", "cluster", "total",
+            "stats", "sample", "dags", "embed", "dedup", "kernel", "cluster", "total",
         ] {
             assert!(out.contains(stage), "missing {stage}");
         }
+        assert!(out.contains("unique shapes"), "gram counters shown");
         // Without the switch the table is absent.
         let plain = run(&argv("summary --jobs 200 --sample 20 --seed 3")).unwrap();
         assert!(!plain.contains("stage timings"));
+    }
+
+    #[test]
+    fn dedup_shapes_flag_controls_the_gram_engine() {
+        // Bit-identical results either way — the whole rendered summary
+        // must match to the character.
+        let on = run(&argv("summary --jobs 200 --sample 20 --seed 3")).unwrap();
+        let off = run(&argv(
+            "summary --jobs 200 --sample 20 --seed 3 --dedup-shapes off",
+        ))
+        .unwrap();
+        assert_eq!(on, off);
+        // The oracle path has no gram counters to report.
+        let off_timed = run(&argv(
+            "summary --jobs 200 --sample 20 --seed 3 --dedup-shapes off --timings",
+        ))
+        .unwrap();
+        assert!(off_timed.contains("== stage timings =="));
+        assert!(!off_timed.contains("unique shapes"));
+        let err = run(&argv("summary --jobs 200 --dedup-shapes maybe")).unwrap_err();
+        assert!(err.to_string().contains("dedup-shapes"));
     }
 
     #[test]
@@ -777,7 +826,14 @@ mod tests {
         )))
         .unwrap();
         assert!(out.contains("wrote snapshot of 20 jobs"));
-        for file in ["meta.txt", "jobs.csv", "model.txt", "groups.csv"] {
+        for file in [
+            "meta.txt",
+            "jobs.csv",
+            "model.txt",
+            "groups.csv",
+            "shapes.csv",
+            "checksums.txt",
+        ] {
             assert!(dir.join(file).exists(), "missing {file}");
         }
         let snap = IndexSnapshot::load(&dir).unwrap();

@@ -12,7 +12,10 @@
 //! * [`validation`] — silhouette and Davies–Bouldin internal indices plus
 //!   partition sanity helpers, used to verify grouping quality,
 //! * [`model`](mod@model) — a serializable [`GroupModel`] (per-group WL
-//!   centroids) for classifying out-of-sample jobs online.
+//!   centroids) for classifying out-of-sample jobs online,
+//! * [`weighted`] — multiplicity-weighted spectral/k-means over
+//!   deduplicated shape populations (the scalable path for traces whose
+//!   distinct-shape count is far below the job count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@ pub mod kmeans;
 pub mod model;
 pub mod spectral;
 pub mod validation;
+pub mod weighted;
 
 pub use compare::{adjusted_rand_index, purity, rand_index};
 pub use hierarchical::{agglomerative, HierarchicalResult};
@@ -31,3 +35,4 @@ pub use model::{Classification, GroupModel};
 pub use spectral::{
     choose_k_by_silhouette, spectral_cluster, ClusterCount, SpectralConfig, SpectralResult,
 };
+pub use weighted::{expand_assignments, kmeans_weighted, spectral_cluster_weighted};

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use dagscope_cluster::validation::{cluster_sizes, is_partition};
 use dagscope_cluster::{
-    adjusted_rand_index, agglomerative, kmeans, rand_index, spectral_cluster, ClusterCount,
-    KMeansConfig, SpectralConfig,
+    adjusted_rand_index, agglomerative, expand_assignments, kmeans, rand_index, spectral_cluster,
+    spectral_cluster_weighted, ClusterCount, KMeansConfig, SpectralConfig,
 };
 use dagscope_linalg::{Matrix, SymMatrix};
 
@@ -79,6 +79,56 @@ proptest! {
         let r = agglomerative(&d, k);
         prop_assert!(is_partition(&r.assignments, k));
         prop_assert_eq!(r.merge_heights.len(), n - k);
+    }
+
+    #[test]
+    fn weighted_spectral_matches_expanded_replication(
+        sizes in prop::collection::vec(2usize..4, 2..4),
+        mults in prop::collection::vec(1usize..4, 12),
+        seed in any::<u64>(),
+    ) {
+        // Unique shapes fall into well-separated blocks (within-affinity 1,
+        // across-affinity 0); each shape carries a multiplicity. Clustering
+        // the collapsed weighted problem and expanding must recover the
+        // same partition as clustering the job-level expanded problem —
+        // the grouping the dedup pipeline would have produced without
+        // collapsing. Separation is total, so both paths provably recover
+        // the blocks and the comparison cannot flake.
+        let m: usize = sizes.iter().sum();
+        let block_of: Vec<usize> = sizes
+            .iter()
+            .enumerate()
+            .flat_map(|(b, &s)| std::iter::repeat_n(b, s))
+            .collect();
+        let mut unique = SymMatrix::zeros(m);
+        for i in 0..m {
+            for j in i..m {
+                unique.set(i, j, if block_of[i] == block_of[j] { 1.0 } else { 0.0 });
+            }
+        }
+        let weights: Vec<f64> = (0..m).map(|s| mults[s % mults.len()] as f64).collect();
+        let k = sizes.len();
+        let cfg = SpectralConfig { k: ClusterCount::Fixed(k), seed, n_init: 10 };
+        let collapsed = spectral_cluster_weighted(&unique, &weights, &cfg).unwrap();
+
+        // Expand shapes into jobs (multiplicity copies each).
+        let shape_of: Vec<usize> = (0..m)
+            .flat_map(|s| std::iter::repeat_n(s, weights[s] as usize))
+            .collect();
+        let n = shape_of.len();
+        prop_assume!(n >= k);
+        let mut expanded = SymMatrix::zeros(n);
+        for a in 0..n {
+            for b in a..n {
+                expanded.set(a, b, unique.get(shape_of[a], shape_of[b]));
+            }
+        }
+        let plain = spectral_cluster(&expanded, &cfg).unwrap();
+
+        let via_weighted = expand_assignments(&shape_of, &collapsed.assignments);
+        let truth: Vec<usize> = shape_of.iter().map(|&s| block_of[s]).collect();
+        prop_assert_eq!(adjusted_rand_index(&via_weighted, &truth), 1.0);
+        prop_assert_eq!(adjusted_rand_index(&plain.assignments, &truth), 1.0);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct PipelineConfig {
     pub conflate: bool,
     /// Base kernel for the similarity stage.
     pub base_kernel: BaseKernel,
+    /// Collapse bitwise-identical WL feature vectors before the Gram
+    /// assembly (fingerprint dedup + inverted-index kernel). Results are
+    /// bit-identical to the brute-force path either way; `false` forces
+    /// the O(n²) pairwise scan (kept for oracle comparisons).
+    pub dedup_shapes: bool,
 }
 
 impl Default for PipelineConfig {
@@ -43,6 +48,7 @@ impl Default for PipelineConfig {
             clusters: ClusterCount::Fixed(5),
             conflate: true,
             base_kernel: BaseKernel::WlSubtree,
+            dedup_shapes: true,
         }
     }
 }
@@ -70,6 +76,7 @@ mod tests {
         assert_eq!(c.clusters, ClusterCount::Fixed(5));
         assert!(c.conflate);
         assert_eq!(c.base_kernel, BaseKernel::WlSubtree);
+        assert!(c.dedup_shapes, "the sparse Gram engine is the default");
         assert_eq!(c.generator().jobs, c.jobs);
         assert_eq!(c.generator().seed, c.seed);
     }

@@ -35,5 +35,5 @@ pub use config::{BaseKernel, PipelineConfig};
 pub use groups::{GroupAnalysis, GroupStats};
 pub use pipeline::Pipeline;
 pub use report::Report;
-pub use snapshot::{IndexSnapshot, SnapshotError, SnapshotGroup, SnapshotMeta};
+pub use snapshot::{IndexSnapshot, SnapshotError, SnapshotGroup, SnapshotMeta, SnapshotShape};
 pub use timings::StageTimings;

@@ -7,7 +7,10 @@ use dagscope_trace::filter::{stratified_sample, SampleCriteria};
 use dagscope_trace::gen::TraceGenerator;
 use dagscope_trace::stats::TraceStats;
 use dagscope_trace::{Job, JobSet};
-use dagscope_wl::{kernel_matrix, normalize_kernel, SpVectorizer, WlVectorizer};
+use dagscope_wl::{
+    kernel_matrix, kernel_matrix_via_dedup, normalize_kernel, ShapeDedup, SpVectorizer,
+    WlVectorizer,
+};
 
 use std::time::Instant;
 
@@ -94,8 +97,26 @@ impl Pipeline {
             }
         };
         timings.embed = clock.elapsed();
+
+        // Gram assembly: the sparse engine collapses bitwise-identical φ
+        // vectors to unique shapes and scans the feature→shape inverted
+        // index — bit-identical to the brute-force pairwise path, which
+        // stays available as the oracle (`dedup_shapes: false`).
         let clock = Instant::now();
-        let similarity = normalize_kernel(&kernel_matrix(&wl_features));
+        let dedup = self
+            .cfg
+            .dedup_shapes
+            .then(|| ShapeDedup::from_features(&wl_features));
+        timings.dedup = clock.elapsed();
+        let clock = Instant::now();
+        let (gram, gram_stats) = match &dedup {
+            Some(d) => {
+                let (k, stats) = kernel_matrix_via_dedup(d, &wl_features);
+                (k, Some(stats))
+            }
+            None => (kernel_matrix(&wl_features), None),
+        };
+        let similarity = normalize_kernel(&gram);
         timings.kernel = clock.elapsed();
 
         // Spectral grouping (Figs 8–9).
@@ -134,6 +155,7 @@ impl Pipeline {
             similarity,
             laplacian_eigenvalues: spectral.eigenvalues,
             groups,
+            gram: gram_stats,
             timings,
         })
     }
@@ -229,6 +251,50 @@ mod tests {
         let wl = Pipeline::new(small_cfg()).run().unwrap();
         assert!(report.groups.groups[0].fraction >= 0.2);
         assert!(wl.groups.groups[0].fraction >= 0.2);
+    }
+
+    #[test]
+    fn dedup_path_is_bit_identical_to_brute_force() {
+        // The acceptance bar of the sparse Gram engine: similarity matrix
+        // and downstream assignments must match the brute-force oracle
+        // bitwise, on the paper-scale 100-job sample.
+        let base = PipelineConfig {
+            jobs: 2_000,
+            sample: 100,
+            seed: 42,
+            ..PipelineConfig::default()
+        };
+        let dedup = Pipeline::new(base.clone()).run().unwrap();
+        let brute = Pipeline::new(PipelineConfig {
+            dedup_shapes: false,
+            ..base
+        })
+        .run()
+        .unwrap();
+        for (a, b) in dedup
+            .similarity
+            .packed()
+            .iter()
+            .zip(brute.similarity.packed())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(dedup.groups.assignments, brute.groups.assignments);
+        assert_eq!(
+            dedup.laplacian_eigenvalues, brute.laplacian_eigenvalues,
+            "identical input must produce identical spectra"
+        );
+        let stats = dedup.gram.expect("dedup path records gram stats");
+        assert!(brute.gram.is_none());
+        assert_eq!(stats.jobs, 100);
+        assert!(
+            stats.unique_shapes < stats.jobs,
+            "synthetic population must contain duplicate shapes"
+        );
+        assert!(
+            stats.dot_products < (stats.jobs * (stats.jobs + 1) / 2) as u64,
+            "inverted index must beat the all-pairs scan"
+        );
     }
 
     #[test]

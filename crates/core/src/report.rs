@@ -4,7 +4,7 @@ use dagscope_graph::metrics::JobFeatures;
 use dagscope_graph::JobDag;
 use dagscope_linalg::SymMatrix;
 use dagscope_trace::stats::TraceStats;
-use dagscope_wl::SparseVec;
+use dagscope_wl::{GramStats, SparseVec};
 
 use crate::{GroupAnalysis, PipelineConfig, StageTimings};
 
@@ -34,6 +34,9 @@ pub struct Report {
     pub laplacian_eigenvalues: Vec<f64>,
     /// Spectral grouping and per-group statistics (Figs 8–9).
     pub groups: GroupAnalysis,
+    /// Cost counters of the sparse Gram engine (`None` when
+    /// `dedup_shapes` is off and the brute-force path ran).
+    pub gram: Option<GramStats>,
     /// Per-stage wall-clock times for this run.
     pub timings: StageTimings,
 }

@@ -20,6 +20,7 @@
 //! jobs.csv         batch_task rows of the sample, in sample order
 //! model.txt        GroupModel text form (see dagscope_cluster::model)
 //! groups.csv       per-group summary rows (label, population, medoid, …)
+//! shapes.csv       per-job WL shape id + fingerprint (dedup provenance)
 //! checksums.txt    CRC64 per section, verified on load
 //! ```
 //!
@@ -38,13 +39,14 @@ use std::path::{Path, PathBuf};
 
 use dagscope_cluster::GroupModel;
 use dagscope_trace::{csv, Job, Status, TaskRecord};
+use dagscope_wl::ShapeDedup;
 
 use crate::{BaseKernel, Report};
 
 /// Snapshot format version this build writes and reads.
-/// Version 2 added `checksums.txt`; version-1 snapshots must be
-/// regenerated.
-const VERSION: u32 = 2;
+/// Version 2 added `checksums.txt`; version 3 added `shapes.csv` (WL
+/// shape dedup provenance). Older snapshots must be regenerated.
+const VERSION: u32 = 3;
 
 /// A disposable sibling path of `dir`: `<dir>.<tag>`. Staging and backup
 /// directories live next to the target so the final rename stays within
@@ -185,6 +187,20 @@ pub struct SnapshotGroup {
     pub representative: String,
 }
 
+/// Per-job WL shape provenance: which deduplicated shape a job's φ
+/// vector collapsed to, plus the fingerprint of that shape.
+///
+/// Shape ids are dense and assigned in **first-appearance order** over
+/// the sample, so a loader replaying the embedding can verify its own
+/// [`ShapeDedup`] reproduces the offline one exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotShape {
+    /// Dense shape id (first-appearance order).
+    pub shape: usize,
+    /// WL fingerprint of the shape's feature vector.
+    pub fingerprint: u64,
+}
+
 /// Everything `dagscope serve` needs, in saveable/loadable form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexSnapshot {
@@ -197,6 +213,8 @@ pub struct IndexSnapshot {
     pub model: GroupModel,
     /// Group summaries, ordered by label.
     pub groups: Vec<SnapshotGroup>,
+    /// Per-job shape ids + fingerprints, in sample order.
+    pub shapes: Vec<SnapshotShape>,
 }
 
 impl IndexSnapshot {
@@ -232,6 +250,15 @@ impl IndexSnapshot {
                 representative: g.representative.clone(),
             })
             .collect();
+        let dedup = ShapeDedup::from_features(&report.wl_features);
+        let shapes = dedup
+            .shape_of()
+            .iter()
+            .map(|&s| SnapshotShape {
+                shape: s,
+                fingerprint: dedup.fingerprints()[s],
+            })
+            .collect();
         Ok(IndexSnapshot {
             meta: SnapshotMeta {
                 wl_iterations: report.config.wl_iterations,
@@ -243,11 +270,12 @@ impl IndexSnapshot {
             jobs,
             model,
             groups,
+            shapes,
         })
     }
 
     /// Render every section to its text form, in write order.
-    fn render_sections(&self) -> [(&'static str, String); 4] {
+    fn render_sections(&self) -> [(&'static str, String); 5] {
         let mut meta = String::new();
         writeln!(meta, "version={VERSION}").unwrap();
         writeln!(meta, "kernel=wl").unwrap();
@@ -284,11 +312,17 @@ impl IndexSnapshot {
             .unwrap();
         }
 
+        let mut shapes = String::from("shape,fingerprint\n");
+        for s in &self.shapes {
+            writeln!(shapes, "{},{:016x}", s.shape, s.fingerprint).unwrap();
+        }
+
         [
             ("meta.txt", meta),
             ("jobs.csv", rows),
             ("model.txt", self.model.to_text()),
             ("groups.csv", groups),
+            ("shapes.csv", shapes),
         ]
     }
 
@@ -448,11 +482,27 @@ impl IndexSnapshot {
             });
         }
 
+        let mut shapes = Vec::new();
+        for line in read("shapes.csv")?.lines().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (shape, fp) = line
+                .split_once(',')
+                .ok_or_else(|| bad(format!("bad shapes.csv row: {line:?}")))?;
+            shapes.push(SnapshotShape {
+                shape: shape.parse().map_err(|e| bad(format!("bad shape: {e}")))?,
+                fingerprint: u64::from_str_radix(fp.trim(), 16)
+                    .map_err(|e| bad(format!("bad fingerprint: {e}")))?,
+            });
+        }
+
         let snapshot = IndexSnapshot {
             meta,
             jobs,
             model,
             groups,
+            shapes,
         };
         snapshot.validate().map_err(bad)?;
         Ok(snapshot)
@@ -490,6 +540,35 @@ impl IndexSnapshot {
                 ));
             }
             covered[g.cluster] = true;
+        }
+        if self.shapes.len() != self.jobs.len() {
+            return Err(format!(
+                "{} shape rows for {} jobs",
+                self.shapes.len(),
+                self.jobs.len()
+            ));
+        }
+        // Shape ids must be dense in first-appearance order, and every
+        // occurrence of a shape must carry the same fingerprint.
+        let mut next_shape = 0usize;
+        let mut fp_of: Vec<u64> = Vec::new();
+        for (i, s) in self.shapes.iter().enumerate() {
+            if s.shape > next_shape {
+                return Err(format!(
+                    "shapes.csv row {i}: shape {} breaks first-appearance order",
+                    s.shape
+                ));
+            }
+            if s.shape == next_shape {
+                next_shape += 1;
+                fp_of.push(s.fingerprint);
+            } else if fp_of[s.shape] != s.fingerprint {
+                return Err(format!(
+                    "shapes.csv row {i}: fingerprint {:016x} disagrees with \
+                     shape {}'s {:016x}",
+                    s.fingerprint, s.shape, fp_of[s.shape]
+                ));
+            }
         }
         Ok(())
     }
@@ -572,6 +651,7 @@ mod tests {
         assert_eq!(snap.jobs.len(), 25);
         assert_eq!(snap.model.assignments(), &r.groups.assignments[..]);
         assert_eq!(snap.groups.len(), 5);
+        assert_eq!(snap.shapes.len(), 25);
 
         let dir = tmp_dir("rt");
         snap.save(&dir).unwrap();
@@ -581,6 +661,7 @@ mod tests {
         assert_eq!(back.meta, snap.meta);
         assert_eq!(back.model, snap.model, "model must round-trip bit-exactly");
         assert_eq!(back.groups, snap.groups);
+        assert_eq!(back.shapes, snap.shapes);
         // Job order and structure survive; rebuilt DAGs embed identically.
         assert_eq!(back.jobs.len(), snap.jobs.len());
         for (a, b) in back.jobs.iter().zip(&snap.jobs) {
@@ -613,6 +694,12 @@ mod tests {
         let mut wl = dagscope_wl::WlVectorizer::new(snap.meta.wl_iterations);
         let feats = wl.transform_all_sequential(&kernel_input);
         assert_eq!(feats, r.wl_features);
+        // Replayed dedup reproduces the recorded shape provenance.
+        let dedup = ShapeDedup::from_features(&feats);
+        for (i, s) in snap.shapes.iter().enumerate() {
+            assert_eq!(s.shape, dedup.shape_of()[i]);
+            assert_eq!(s.fingerprint, dedup.fingerprints()[s.shape]);
+        }
     }
 
     #[test]
@@ -665,7 +752,7 @@ mod tests {
         assert!(IndexSnapshot::load(&dir).is_ok());
 
         // Wrong version (checksum refreshed so the parser sees it).
-        tamper_with_valid_crc(&dir, "meta.txt", &meta.replace("version=2", "version=9"));
+        tamper_with_valid_crc(&dir, "meta.txt", &meta.replace("version=3", "version=9"));
         assert!(matches!(
             IndexSnapshot::load(&dir).unwrap_err(),
             SnapshotError::Format(_)
@@ -693,6 +780,18 @@ mod tests {
             other => panic!("expected Corrupt, got {other:?}"),
         }
         std::fs::write(dir.join("jobs.csv"), rows).unwrap();
+
+        // Shape ids out of first-appearance order fail validation even
+        // with a valid checksum.
+        let shapes = std::fs::read_to_string(dir.join("shapes.csv")).unwrap();
+        let skipped = shapes.replacen("0,", "7,", 1);
+        tamper_with_valid_crc(&dir, "shapes.csv", &skipped);
+        assert!(matches!(
+            IndexSnapshot::load(&dir).unwrap_err(),
+            SnapshotError::Format(_)
+        ));
+        tamper_with_valid_crc(&dir, "shapes.csv", &shapes);
+        assert!(IndexSnapshot::load(&dir).is_ok());
 
         // checksums.txt missing an entry.
         let sums = std::fs::read_to_string(dir.join("checksums.txt")).unwrap();

@@ -20,6 +20,9 @@ pub struct StageTimings {
     pub features: Duration,
     /// WL (or shortest-path) embedding of the sample (parallel).
     pub embed: Duration,
+    /// WL-fingerprint deduplication of the embedded vectors (zero when
+    /// `dedup_shapes` is off).
+    pub dedup: Duration,
     /// Kernel-matrix assembly + normalization (parallel).
     pub kernel: Duration,
     /// Spectral clustering + per-group analysis.
@@ -31,13 +34,14 @@ pub struct StageTimings {
 impl StageTimings {
     /// Named `(stage, duration)` rows in pipeline order, excluding the
     /// total.
-    pub fn stages(&self) -> [(&'static str, Duration); 7] {
+    pub fn stages(&self) -> [(&'static str, Duration); 8] {
         [
             ("stats", self.stats),
             ("sample", self.sample),
             ("dags", self.dags),
             ("features", self.features),
             ("embed", self.embed),
+            ("dedup", self.dedup),
             ("kernel", self.kernel),
             ("cluster", self.cluster),
         ]
@@ -81,13 +85,14 @@ mod tests {
             dags: Duration::from_millis(3),
             features: Duration::from_millis(4),
             embed: Duration::from_millis(5),
+            dedup: Duration::from_millis(0),
             kernel: Duration::from_millis(6),
             cluster: Duration::from_millis(7),
             total: Duration::from_millis(28),
         };
         let s = t.render();
         for name in [
-            "stats", "sample", "dags", "features", "embed", "kernel", "cluster", "total",
+            "stats", "sample", "dags", "features", "embed", "dedup", "kernel", "cluster", "total",
         ] {
             assert!(s.contains(name), "missing {name} in:\n{s}");
         }

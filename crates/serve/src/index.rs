@@ -17,7 +17,7 @@ use dagscope_graph::conflate::conflate;
 use dagscope_graph::metrics::JobFeatures;
 use dagscope_graph::{pattern, JobDag};
 use dagscope_trace::Job;
-use dagscope_wl::KernelCache;
+use dagscope_wl::{KernelCache, QueryStats, ShapeDedup, SparseVec};
 
 /// Everything one classify verdict carries back to the client.
 #[derive(Debug, Clone)]
@@ -71,6 +71,7 @@ impl ServeIndex {
             jobs,
             model,
             groups,
+            shapes,
         } = snapshot;
 
         let mut raw_dags = Vec::with_capacity(jobs.len());
@@ -86,6 +87,27 @@ impl ServeIndex {
         // Sequential push order == the pipeline's embedding order, so the
         // shared vocabulary (and thus every φ vector) matches bit-for-bit.
         let cache = KernelCache::from_dags(meta.wl_iterations, &kernel_dags);
+
+        // The snapshot records each job's WL shape id + fingerprint; a
+        // replay that disagrees means the rebuild is NOT bit-identical to
+        // the offline run (codec drift, vocabulary change, …) and every
+        // answer the server would give is suspect — refuse to serve.
+        let replayed: Vec<SparseVec> = (0..jobs.len()).map(|i| cache.feature(i).clone()).collect();
+        let dedup = ShapeDedup::from_features(&replayed);
+        for (i, s) in shapes.iter().enumerate() {
+            if dedup.shape_of()[i] != s.shape || dedup.fingerprints()[s.shape] != s.fingerprint {
+                return Err(format!(
+                    "job {}: replayed WL shape {} (fp {:016x}) disagrees with \
+                     snapshot shape {} (fp {:016x}) — snapshot and binary are \
+                     out of sync",
+                    jobs[i].name,
+                    dedup.shape_of()[i],
+                    dedup.fingerprints()[dedup.shape_of()[i]],
+                    s.shape,
+                    s.fingerprint,
+                ));
+            }
+        }
 
         let features: Vec<JobFeatures> = raw_dags.iter().map(JobFeatures::extract).collect();
         let patterns: Vec<&'static str> = raw_dags
@@ -183,15 +205,22 @@ impl ServeIndex {
 
     /// Top-`k` most WL-similar indexed jobs to indexed job `i`.
     pub fn similar(&self, i: usize, k: usize) -> Vec<Neighbour> {
-        self.cache
-            .nearest(i, k)
+        self.similar_with_stats(i, k).0
+    }
+
+    /// [`similar`](Self::similar) plus the pruned searcher's cost
+    /// counters, for the `/metrics` endpoint.
+    pub fn similar_with_stats(&self, i: usize, k: usize) -> (Vec<Neighbour>, QueryStats) {
+        let (neighbours, stats) = self.cache.nearest_with_stats(i, k);
+        let neighbours = neighbours
             .into_iter()
             .map(|(j, score)| Neighbour {
                 name: self.cache.name(j).to_string(),
                 score,
                 group: self.group_of(j),
             })
-            .collect()
+            .collect();
+        (neighbours, stats)
     }
 
     /// Shape-pattern census over the indexed (raw) DAGs, in the paper's
@@ -286,6 +315,37 @@ mod tests {
         assert_eq!(total, idx.len());
         let by_group: usize = idx.groups().iter().map(|g| g.population).sum();
         assert_eq!(by_group, idx.len());
+    }
+
+    #[test]
+    fn rejects_shape_provenance_mismatch() {
+        let (_, report) = index();
+        let mut snap = IndexSnapshot::from_report(&report).unwrap();
+        // Corrupt shape 0's fingerprint everywhere (consistently, so the
+        // snapshot's own validation still passes) — the replayed dedup
+        // must catch the disagreement.
+        for s in &mut snap.shapes {
+            if s.shape == 0 {
+                s.fingerprint ^= 1;
+            }
+        }
+        let err = ServeIndex::build(snap).unwrap_err();
+        assert!(err.contains("out of sync"), "{err}");
+    }
+
+    #[test]
+    fn similar_stats_expose_search_costs() {
+        let (idx, _) = index();
+        let (nn, stats) = idx.similar_with_stats(0, 5);
+        assert_eq!(nn.len(), 5);
+        assert!(stats.candidates > 0);
+        assert!(stats.scanned > 0);
+        // The stats variant answers exactly what `similar` answers.
+        let plain = idx.similar(0, 5);
+        for (a, b) in nn.iter().zip(&plain) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
     }
 
     #[test]

@@ -141,11 +141,50 @@ impl Transport {
     }
 }
 
+/// Cost counters of the pruned top-k similarity searcher, accumulated
+/// across `/v1/similar` queries. `scanned` counts shapes whose partial
+/// scores were accumulated; `pruned_candidates` counts shapes the
+/// norm-bound admission test skipped — the searcher's savings over a
+/// full scan, observable in production without re-running the oracle.
+#[derive(Debug, Default)]
+pub struct Search {
+    /// Unique shapes admitted as candidates.
+    pub candidates: AtomicU64,
+    /// Posting-list entries accumulated into partial scores.
+    pub scanned: AtomicU64,
+    /// Shapes skipped by the norm-bound admission test.
+    pub pruned_candidates: AtomicU64,
+}
+
+impl Search {
+    /// Fold one query's counters in.
+    pub fn record(&self, stats: &dagscope_wl::QueryStats) {
+        self.candidates
+            .fetch_add(stats.candidates, Ordering::Relaxed);
+        self.scanned.fetch_add(stats.scanned, Ordering::Relaxed);
+        self.pruned_candidates
+            .fetch_add(stats.pruned, Ordering::Relaxed);
+    }
+
+    fn render(&self) -> Json {
+        let n = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+        obj(vec![
+            ("similar_candidates_total", n(&self.candidates)),
+            ("similar_scanned_total", n(&self.scanned)),
+            (
+                "similar_pruned_candidates_total",
+                n(&self.pruned_candidates),
+            ),
+        ])
+    }
+}
+
 /// Shared, lock-free service metrics.
 #[derive(Debug, Default)]
 pub struct Metrics {
     stats: [EndpointStats; 7],
     transport: Transport,
+    search: Search,
 }
 
 impl Metrics {
@@ -162,6 +201,11 @@ impl Metrics {
     /// Transport-level counters.
     pub fn transport(&self) -> &Transport {
         &self.transport
+    }
+
+    /// Similarity-search cost counters.
+    pub fn search(&self) -> &Search {
+        &self.search
     }
 
     /// Total requests seen across endpoints.
@@ -215,6 +259,7 @@ impl Metrics {
             ("index_jobs", Json::from(index_jobs)),
             ("total_requests", Json::from(self.total_requests())),
             ("transport", self.transport.render()),
+            ("search", self.search.render()),
             ("endpoints", Json::Obj(endpoints)),
         ])
     }
@@ -275,6 +320,32 @@ mod tests {
         assert_eq!(t.get("timeouts_total").unwrap().as_num(), Some(0.0));
         assert_eq!(t.get("resets_total").unwrap().as_num(), Some(0.0));
         assert_eq!(t.get("io_errors_total").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn search_counters_render() {
+        let m = Metrics::new();
+        m.search().record(&dagscope_wl::QueryStats {
+            candidates: 4,
+            scanned: 17,
+            pruned: 9,
+        });
+        m.search().record(&dagscope_wl::QueryStats {
+            candidates: 1,
+            scanned: 3,
+            pruned: 0,
+        });
+        let doc = m.render(0);
+        let s = doc.get("search").unwrap();
+        assert_eq!(
+            s.get("similar_candidates_total").unwrap().as_num(),
+            Some(5.0)
+        );
+        assert_eq!(s.get("similar_scanned_total").unwrap().as_num(), Some(20.0));
+        assert_eq!(
+            s.get("similar_pruned_candidates_total").unwrap().as_num(),
+            Some(9.0)
+        );
     }
 
     #[test]

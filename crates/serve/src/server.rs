@@ -513,7 +513,7 @@ fn route(request: &Request, ctx: &RouteCtx<'_>) -> (Endpoint, Response) {
             if method != "GET" {
                 return (Endpoint::Similar, Response::error(405, "use GET"));
             }
-            (Endpoint::Similar, similar(request, index, name))
+            (Endpoint::Similar, similar(request, ctx, name))
         }
         ("POST", "/v1/census") | ("POST", "/healthz") | ("POST", "/metrics") => {
             let endpoint = match path {
@@ -622,7 +622,8 @@ fn job_info(index: &ServeIndex, name: &str) -> Response {
 }
 
 /// `GET /v1/similar/{name}?k=N`.
-fn similar(request: &Request, index: &ServeIndex, name: &str) -> Response {
+fn similar(request: &Request, ctx: &RouteCtx<'_>, name: &str) -> Response {
+    let index = ctx.index;
     let Some(i) = index.find(name) else {
         return Response::error(404, &format!("unknown job {name:?}"));
     };
@@ -633,8 +634,9 @@ fn similar(request: &Request, index: &ServeIndex, name: &str) -> Response {
             _ => return Response::error(400, "k must be a positive integer"),
         },
     };
-    let neighbours: Vec<Json> = index
-        .similar(i, k)
+    let (neighbours, stats) = index.similar_with_stats(i, k);
+    ctx.metrics.search().record(&stats);
+    let neighbours: Vec<Json> = neighbours
         .into_iter()
         .map(|n| {
             obj(vec![
@@ -781,6 +783,12 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.get("total_requests").unwrap().as_num().unwrap() >= 8.0);
         assert!(body.get("transport").is_some());
+        // The similar query above fed the search cost counters.
+        let search = body.get("search").unwrap();
+        let counter = |key: &str| search.get(key).unwrap().as_num().unwrap();
+        assert!(counter("similar_candidates_total") > 0.0);
+        assert!(counter("similar_scanned_total") > 0.0);
+        assert!(counter("similar_pruned_candidates_total") >= 0.0);
     }
 
     #[test]

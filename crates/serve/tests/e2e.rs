@@ -261,6 +261,20 @@ fn every_endpoint_over_one_keep_alive_connection() {
         .unwrap();
     assert!(classify_errors >= 2.0, "both bad bodies counted as errors");
 
+    // The pruned top-k searcher's cost counters fed by the similar
+    // queries above.
+    let search = body.get("search").unwrap();
+    let counter = |key: &str| {
+        search
+            .get(key)
+            .unwrap_or_else(|| panic!("missing {key}"))
+            .as_num()
+            .unwrap()
+    };
+    assert!(counter("similar_candidates_total") >= 4.0, "k=4 answered");
+    assert!(counter("similar_scanned_total") > 0.0);
+    assert!(counter("similar_pruned_candidates_total") >= 0.0);
+
     // Close the client first: the worker owns the keep-alive session and
     // would otherwise hold shutdown until the idle timeout.
     drop(c);

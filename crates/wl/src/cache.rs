@@ -6,10 +6,13 @@
 //! embedded vectors, so adding a job costs one transform plus `n` sparse
 //! dots.
 
+use std::sync::OnceLock;
+
 use dagscope_graph::JobDag;
 use dagscope_linalg::SymMatrix;
 use dagscope_par::pairs::par_upper_triangle;
 
+use crate::topk::{QueryStats, TopkIndex};
 use crate::{SparseVec, WlVectorizer};
 
 /// A growing collection of WL-embedded jobs with cosine-similarity queries.
@@ -43,6 +46,10 @@ pub struct KernelCache {
     vectorizer: WlVectorizer,
     names: Vec<String>,
     features: Vec<SparseVec>,
+    // Lazily built pruned-search index; invalidated by `push`. Building
+    // through `OnceLock` keeps queries `&self` so concurrent readers
+    // share one index without locking.
+    topk: OnceLock<TopkIndex>,
 }
 
 impl KernelCache {
@@ -52,6 +59,7 @@ impl KernelCache {
             vectorizer: WlVectorizer::new(h),
             names: Vec::new(),
             features: Vec::new(),
+            topk: OnceLock::new(),
         }
     }
 
@@ -97,11 +105,19 @@ impl KernelCache {
     }
 
     /// Embed and append a job; returns its index. Previously computed
-    /// vectors stay valid (the vocabulary only grows).
+    /// vectors stay valid (the vocabulary only grows); the search index
+    /// is rebuilt lazily on the next query.
     pub fn push(&mut self, dag: &JobDag) -> usize {
         self.names.push(dag.name.clone());
         self.features.push(self.vectorizer.transform(dag));
+        self.topk.take();
         self.features.len() - 1
+    }
+
+    /// The pruned-search index over the current population, built on
+    /// first use.
+    fn index(&self) -> &TopkIndex {
+        self.topk.get_or_init(|| TopkIndex::build(&self.features))
     }
 
     /// Cosine similarity between cached jobs `i` and `j`.
@@ -117,6 +133,21 @@ impl KernelCache {
     /// are bit-identical to the mutable embedding path and independent of
     /// probe order.
     pub fn probe(&self, dag: &JobDag) -> Vec<f64> {
+        self.probe_with_stats(dag).0
+    }
+
+    /// [`probe`](Self::probe) with the searcher's cost counters: the probe
+    /// scores each *unique shape* once through the inverted index and
+    /// broadcasts the score to duplicates, instead of one cosine per job.
+    pub fn probe_with_stats(&self, dag: &JobDag) -> (Vec<f64>, QueryStats) {
+        let feat = self.vectorizer.transform_frozen(dag);
+        self.index().scores(&feat)
+    }
+
+    /// Reference full-scan probe (one cosine per cached job). Kept as the
+    /// equivalence oracle for the inverted-index path; results are
+    /// bitwise identical to [`probe`](Self::probe).
+    pub fn probe_scan(&self, dag: &JobDag) -> Vec<f64> {
         let feat = self.vectorizer.transform_frozen(dag);
         self.features.iter().map(|f| feat.cosine(f)).collect()
     }
@@ -124,6 +155,20 @@ impl KernelCache {
     /// Indices of the `k` most similar cached jobs to cached job `i`
     /// (excluding itself), best first.
     pub fn nearest(&self, i: usize, k: usize) -> Vec<(usize, f64)> {
+        self.nearest_with_stats(i, k).0
+    }
+
+    /// [`nearest`](Self::nearest) with the searcher's cost counters:
+    /// candidates come from the inverted index with norm-bound admission
+    /// pruning rather than a full scan.
+    pub fn nearest_with_stats(&self, i: usize, k: usize) -> (Vec<(usize, f64)>, QueryStats) {
+        self.index().nearest(&self.features[i], Some(i), k)
+    }
+
+    /// Reference full-scan `nearest`. Kept as the equivalence oracle for
+    /// the pruned searcher; results are bitwise identical to
+    /// [`nearest`](Self::nearest).
+    pub fn nearest_scan(&self, i: usize, k: usize) -> Vec<(usize, f64)> {
         let mut scored: Vec<(usize, f64)> = (0..self.len())
             .filter(|&j| j != i)
             .map(|j| (j, self.similarity(i, j)))
@@ -280,5 +325,56 @@ mod tests {
         assert!(cache.is_empty());
         assert!(cache.probe(&dag("p", &["M1", "R2_1"])).is_empty());
         assert_eq!(cache.matrix().n(), 0);
+    }
+
+    #[test]
+    fn pruned_nearest_matches_full_scan_bitwise() {
+        let mut dags = population();
+        dags.extend(population().into_iter().map(|mut d| {
+            d.name.push_str("-dup");
+            d
+        }));
+        let cache = KernelCache::from_dags(3, &dags);
+        for i in 0..cache.len() {
+            for k in 0..=cache.len() + 1 {
+                let got = cache.nearest(i, k);
+                let want = cache.nearest_scan(i, k);
+                assert_eq!(got.len(), want.len(), "i={i} k={k}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.0, w.0, "i={i} k={k}");
+                    assert_eq!(g.1.to_bits(), w.1.to_bits(), "i={i} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_probe_matches_full_scan_bitwise() {
+        let cache = KernelCache::from_dags(3, &population());
+        for probe in [
+            dag("p1", &["M1", "R2_1"]),
+            dag("p2", &["M1", "M2", "M3", "J4_3_2_1", "R5_4"]),
+            dag("p3", &["M1"]),
+        ] {
+            let got = cache.probe(&probe);
+            let want = cache.probe_scan(&probe);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn push_invalidates_the_search_index() {
+        let mut cache = KernelCache::from_dags(3, &population());
+        let before = cache.nearest(0, 10);
+        assert_eq!(before.len(), 3);
+        cache.push(&dag("c2-twin", &["M1", "R2_1"]));
+        let after = cache.nearest(0, 10);
+        assert_eq!(after.len(), 4, "new member must be searchable");
+        assert_eq!(after, cache.nearest_scan(0, 10));
+        let (_, stats) = cache.nearest_with_stats(0, 2);
+        assert!(stats.candidates > 0);
     }
 }

@@ -27,14 +27,21 @@
 mod cache;
 mod fx;
 pub mod ged;
+mod gram;
 mod kernel;
 pub mod sp;
 mod sparse;
+mod topk;
 mod vectorizer;
 
 pub use cache::KernelCache;
 pub use fx::FxHashMap;
+pub use gram::{
+    expand_gram, fingerprint, kernel_matrix_dedup, kernel_matrix_via_dedup, unique_gram, GramStats,
+    ShapeDedup,
+};
 pub use kernel::{kernel_matrix, normalize_kernel, wl_kernel};
 pub use sp::{sp_kernel, SpVectorizer};
 pub use sparse::SparseVec;
+pub use topk::{QueryStats, TopkIndex};
 pub use vectorizer::WlVectorizer;

@@ -13,28 +13,35 @@ pub struct SparseVec {
 
 impl SparseVec {
     /// Build from `(index, value)` pairs; duplicate indices are summed and
-    /// zero values dropped, in a single pass over the sorted pairs.
+    /// zero values dropped, compacted in place over the sorted pairs so
+    /// the final buffers are allocated at exactly the surviving length.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, f64)>) -> SparseVec {
         let mut pairs: Vec<(u32, f64)> = pairs.into_iter().collect();
         pairs.sort_unstable_by_key(|(i, _)| *i);
-        let mut indices: Vec<u32> = Vec::with_capacity(pairs.len());
-        let mut values: Vec<f64> = Vec::with_capacity(pairs.len());
-        for (i, v) in pairs {
-            if indices.last() == Some(&i) {
-                let last = values.last_mut().unwrap();
-                *last += v;
+        let mut w = 0usize;
+        for r in 0..pairs.len() {
+            let (i, v) = pairs[r];
+            if w > 0 && pairs[w - 1].0 == i {
+                let sum = pairs[w - 1].1 + v;
                 // A running sum that cancels to zero leaves no entry; a
                 // later pair with the same index restarts accumulation,
                 // which matches summing first and dropping zeros at the
                 // end (adding onto ±0.0 is exact).
-                if *last == 0.0 {
-                    indices.pop();
-                    values.pop();
+                if sum == 0.0 {
+                    w -= 1;
+                } else {
+                    pairs[w - 1].1 = sum;
                 }
             } else if v != 0.0 {
-                indices.push(i);
-                values.push(v);
+                pairs[w] = (i, v);
+                w += 1;
             }
+        }
+        let mut indices: Vec<u32> = Vec::with_capacity(w);
+        let mut values: Vec<f64> = Vec::with_capacity(w);
+        for &(i, v) in &pairs[..w] {
+            indices.push(i);
+            values.push(v);
         }
         SparseVec { indices, values }
     }
@@ -60,8 +67,26 @@ impl SparseVec {
         }
     }
 
-    /// Sparse dot product (merge join over the two index lists).
+    /// Sparse dot product: a merge join over the two index lists, or a
+    /// galloping (exponential-search) walk through the longer list when
+    /// the supports are badly skewed. Both paths visit the shared indices
+    /// in the same increasing order and multiplication is commutative, so
+    /// the result is bitwise identical either way.
     pub fn dot(&self, other: &SparseVec) -> f64 {
+        const GALLOP_RATIO: usize = 16;
+        let (short, long) = if self.indices.len() <= other.indices.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if short.indices.len().saturating_mul(GALLOP_RATIO) <= long.indices.len() {
+            Self::dot_gallop(short, long)
+        } else {
+            self.dot_merge(other)
+        }
+    }
+
+    fn dot_merge(&self, other: &SparseVec) -> f64 {
         let (mut a, mut b) = (0usize, 0usize);
         let mut sum = 0.0;
         while a < self.indices.len() && b < other.indices.len() {
@@ -73,6 +98,22 @@ impl SparseVec {
                     a += 1;
                     b += 1;
                 }
+            }
+        }
+        sum
+    }
+
+    fn dot_gallop(short: &SparseVec, long: &SparseVec) -> f64 {
+        let mut sum = 0.0;
+        let mut pos = 0usize;
+        for (s, &idx) in short.indices.iter().enumerate() {
+            pos = gallop_to(&long.indices, pos, idx);
+            if pos >= long.indices.len() {
+                break;
+            }
+            if long.indices[pos] == idx {
+                sum += short.values[s] * long.values[pos];
+                pos += 1;
             }
         }
         sum
@@ -99,6 +140,25 @@ impl SparseVec {
             self.dot(other) / denom
         }
     }
+}
+
+/// First position `p ≥ lo` with `arr[p] ≥ target`, found by doubling the
+/// step from `lo` and binary-searching the final bracket.
+fn gallop_to(arr: &[u32], lo: usize, target: u32) -> usize {
+    if lo >= arr.len() || arr[lo] >= target {
+        return lo;
+    }
+    // Invariant: arr[prev] < target.
+    let mut prev = lo;
+    let mut step = 1usize;
+    let mut probe = lo + 1;
+    while probe < arr.len() && arr[probe] < target {
+        prev = probe;
+        step *= 2;
+        probe = prev + step;
+    }
+    let hi = probe.min(arr.len());
+    prev + 1 + arr[prev + 1..hi].partition_point(|&x| x < target)
 }
 
 #[cfg(test)]
@@ -152,5 +212,40 @@ mod tests {
         let a = SparseVec::from_pairs([(4, 1.5), (2, 2.5)]);
         let back = SparseVec::from_pairs(a.iter());
         assert_eq!(a, back);
+    }
+
+    #[test]
+    fn gallop_to_finds_first_not_less() {
+        let arr: Vec<u32> = (0..100).map(|i| i * 3).collect();
+        for lo in [0usize, 1, 7, 50, 99, 100] {
+            for target in 0..310u32 {
+                let want = lo + arr[lo.min(arr.len())..].partition_point(|&x| x < target);
+                assert_eq!(gallop_to(&arr, lo, target), want, "lo={lo} target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_dot_gallops_and_matches_merge_join_bitwise() {
+        // 3 entries vs 1000 entries: the gallop path engages.
+        let short = SparseVec::from_pairs([(0, 0.1), (501, 2.7), (999, 1.3)]);
+        let long = SparseVec::from_pairs((0..1000u32).map(|i| (i, 1.0 + i as f64 * 0.001)));
+        let gallop = short.dot(&long);
+        let merge = short.dot_merge(&long);
+        assert_eq!(gallop.to_bits(), merge.to_bits());
+        assert_eq!(long.dot(&short).to_bits(), merge.to_bits(), "commutes");
+        // Disjoint supports short-circuit to zero.
+        let disjoint = SparseVec::from_pairs([(5000, 1.0)]);
+        assert_eq!(disjoint.dot(&long), 0.0);
+        assert_eq!(SparseVec::default().dot(&long), 0.0);
+    }
+
+    #[test]
+    fn from_pairs_allocates_exactly() {
+        let v = SparseVec::from_pairs([(1, 1.0), (1, -1.0), (2, 3.0), (2, 4.0), (9, 0.0)]);
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(v.indices.capacity(), 1);
+        assert_eq!(v.values.capacity(), 1);
+        assert_eq!(v.get(2), 7.0);
     }
 }

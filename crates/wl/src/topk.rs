@@ -1,0 +1,433 @@
+//! Exact cosine top-k search over the WL inverted index.
+//!
+//! Online queries (`KernelCache::nearest`, `KernelCache::probe`,
+//! `ServeIndex::similar`) used to linear-scan every cached job. This module
+//! scores *unique shapes* through the feature→shape postings lists instead,
+//! then broadcasts each shape's score to its member jobs, and prunes
+//! candidate admission with the query's suffix-norm bound (Bayardo,
+//! Ma & Srikant, "Scaling Up All Pairs Similarity Search", WWW 2007).
+//!
+//! # Exactness invariants
+//!
+//! The searcher reproduces the full-scan oracle **bitwise**:
+//!
+//! * partial dots accumulate over the query's features in increasing index
+//!   order from `0.0` — the exact add sequence of the merge-join
+//!   [`SparseVec::dot`]; shapes sharing no feature keep the same literal
+//!   `0.0` the full scan's `cosine` would return;
+//! * the final score divides by `(‖q‖²·‖x‖²).sqrt()` exactly as
+//!   [`SparseVec::cosine`] does, with the stored `‖x‖²` taken from a
+//!   bitwise-identical representative vector;
+//! * the norm bound only *suppresses admission of unseen candidates*, and
+//!   only once the k-th best already-admitted partial score strictly
+//!   exceeds the best score any unseen candidate could still reach
+//!   (partial cosines of non-negative vectors grow monotonically, so an
+//!   admitted candidate's partial score lower-bounds its final score).
+//!   The comparison is strict and the bound is inflated by a hair
+//!   (`1 + 1e-9`) to absorb floating-point rounding of the bound itself,
+//!   so ties are never pruned and tie-breaking stays exact. Populations
+//!   or queries with negative values disable pruning entirely.
+
+use crate::fx::FxHashMap;
+use crate::gram::ShapeDedup;
+use crate::SparseVec;
+
+/// Per-query cost counters, surfaced through `/metrics` on the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Distinct shapes admitted as candidates.
+    pub candidates: u64,
+    /// Postings entries visited while accumulating partial dots.
+    pub scanned: u64,
+    /// First-touch admissions suppressed by the norm bound.
+    pub pruned: u64,
+}
+
+impl QueryStats {
+    /// Accumulate another query's counters (used by batch callers).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.candidates += other.candidates;
+        self.scanned += other.scanned;
+        self.pruned += other.pruned;
+    }
+}
+
+/// An immutable cosine-similarity index over a job population: shape
+/// dedup, feature→shape postings, and per-shape norms.
+#[derive(Debug)]
+pub struct TopkIndex {
+    shape_of: Vec<usize>,
+    members: Vec<Vec<u32>>,
+    norms_sq: Vec<f64>,
+    postings: FxHashMap<u32, Vec<(u32, f64)>>,
+    nonnegative: bool,
+    jobs: usize,
+}
+
+impl TopkIndex {
+    /// Build the index from a job population's feature vectors.
+    pub fn build(features: &[SparseVec]) -> TopkIndex {
+        let dedup = ShapeDedup::from_features(features);
+        let m = dedup.unique_count();
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for (j, &s) in dedup.shape_of().iter().enumerate() {
+            members[s].push(j as u32);
+        }
+        let mut postings: FxHashMap<u32, Vec<(u32, f64)>> = FxHashMap::default();
+        let mut norms_sq = Vec::with_capacity(m);
+        let mut nonnegative = true;
+        for (s, &r) in dedup.representatives().iter().enumerate() {
+            let f = &features[r];
+            norms_sq.push(f.norm_sq());
+            for (idx, v) in f.iter() {
+                if v < 0.0 {
+                    nonnegative = false;
+                }
+                postings.entry(idx).or_default().push((s as u32, v));
+            }
+        }
+        TopkIndex {
+            shape_of: dedup.shape_of().to_vec(),
+            members,
+            norms_sq,
+            postings,
+            nonnegative,
+            jobs: features.len(),
+        }
+    }
+
+    /// Number of indexed jobs.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Number of distinct shapes.
+    pub fn shape_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Shape id of each indexed job.
+    pub fn shape_of(&self) -> &[usize] {
+        &self.shape_of
+    }
+
+    /// Accumulate candidate shapes and their exact cosine scores for
+    /// `query`. When `admit_jobs` is `Some(k)` (and every value in play is
+    /// non-negative), admission of unseen shapes stops once the k best
+    /// already-admitted jobs provably beat anything still unseen.
+    /// Already-admitted candidates always accumulate to their exact final
+    /// score. Returns `(shape, score)` pairs in admission order.
+    fn score_shapes(
+        &self,
+        query: &SparseVec,
+        admit: Option<(usize, Option<usize>)>,
+        stats: &mut QueryStats,
+    ) -> Vec<(usize, f64)> {
+        let qn = query.norm_sq();
+        if qn == 0.0 || self.jobs == 0 {
+            return Vec::new();
+        }
+        let m = self.members.len();
+        let mut acc = vec![0.0f64; m];
+        let mut touched = vec![false; m];
+        let mut order: Vec<usize> = Vec::new();
+
+        let prune = self.nonnegative && admit.is_some() && query.iter().all(|(_, v)| v >= 0.0);
+        // suffix_sq[t] = Σ_{u ≥ t} qv_u² — an upper bound (with ‖x‖) on
+        // the dot product any shape first seen at feature position t can
+        // still accumulate.
+        let suffix_sq: Vec<f64> = if prune {
+            let vals: Vec<f64> = query.iter().map(|(_, v)| v).collect();
+            let mut out = vec![0.0f64; vals.len() + 1];
+            for t in (0..vals.len()).rev() {
+                out[t] = out[t + 1] + vals[t] * vals[t];
+            }
+            out
+        } else {
+            Vec::new()
+        };
+        let (admit_k, exclude) = admit.unwrap_or((usize::MAX, None));
+        let excluded_shape = exclude.map(|j| self.shape_of[j]);
+
+        let mut closed = false;
+        for (t, (idx, qv)) in query.iter().enumerate() {
+            let Some(list) = self.postings.get(&idx) else {
+                continue;
+            };
+            if prune && !closed {
+                let bound = (suffix_sq[t] / qn).sqrt() * (1.0 + 1e-9);
+                if let Some(theta) = self.kth_partial(&order, &acc, qn, admit_k, excluded_shape) {
+                    if bound < theta {
+                        closed = true;
+                    }
+                }
+            }
+            for &(s, v) in list {
+                stats.scanned += 1;
+                let s = s as usize;
+                if touched[s] {
+                    acc[s] += qv * v;
+                } else if !closed {
+                    touched[s] = true;
+                    order.push(s);
+                    acc[s] += qv * v;
+                } else {
+                    stats.pruned += 1;
+                }
+            }
+        }
+        stats.candidates += order.len() as u64;
+        order
+            .into_iter()
+            .map(|s| {
+                let denom = (qn * self.norms_sq[s]).sqrt();
+                let score = if denom == 0.0 { 0.0 } else { acc[s] / denom };
+                (s, score)
+            })
+            .collect()
+    }
+
+    /// The k-th best (multiplicity-weighted, exclusion-adjusted) partial
+    /// cosine among admitted shapes, or `None` while fewer than `k`
+    /// candidate jobs have been admitted.
+    fn kth_partial(
+        &self,
+        order: &[usize],
+        acc: &[f64],
+        qn: f64,
+        k: usize,
+        excluded_shape: Option<usize>,
+    ) -> Option<f64> {
+        let mut partials: Vec<(f64, usize)> = order
+            .iter()
+            .map(|&s| {
+                let denom = (qn * self.norms_sq[s]).sqrt();
+                let p = if denom == 0.0 { 0.0 } else { acc[s] / denom };
+                let mut count = self.members[s].len();
+                if excluded_shape == Some(s) {
+                    count -= 1;
+                }
+                (p, count)
+            })
+            .collect();
+        partials.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let mut seen = 0usize;
+        for (p, count) in partials {
+            seen += count;
+            if seen >= k {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Exact cosine scores of `query` against every indexed job (the
+    /// `probe` shape): scores are computed once per shape and broadcast to
+    /// members; jobs sharing no feature with the query score exactly 0.0.
+    pub fn scores(&self, query: &SparseVec) -> (Vec<f64>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut out = vec![0.0f64; self.jobs];
+        for (s, score) in self.score_shapes(query, None, &mut stats) {
+            for &j in &self.members[s] {
+                out[j as usize] = score;
+            }
+        }
+        (out, stats)
+    }
+
+    /// The `k` most similar indexed jobs to `query`, best first, ties
+    /// broken by ascending job index — bitwise identical to sorting a full
+    /// scan with
+    /// `b.score.partial_cmp(&a.score).unwrap().then(a.index.cmp(&b.index))`
+    /// and truncating. `exclude` removes one job (the query itself when it
+    /// is a member of the index).
+    pub fn nearest(
+        &self,
+        query: &SparseVec,
+        exclude: Option<usize>,
+        k: usize,
+    ) -> (Vec<(usize, f64)>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let scored = self.score_shapes(query, Some((k, exclude)), &mut stats);
+        let negatives = scored.iter().any(|&(_, s)| s < 0.0);
+
+        let mut cands: Vec<(usize, f64)> = Vec::new();
+        let mut is_cand = vec![false; self.members.len()];
+        for &(s, score) in &scored {
+            is_cand[s] = true;
+            for &j in &self.members[s] {
+                let j = j as usize;
+                if Some(j) != exclude {
+                    cands.push((j, score));
+                }
+            }
+        }
+        cands.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+        let zero_jobs = |out: &mut Vec<(usize, f64)>, limit: usize| {
+            for j in 0..self.jobs {
+                if out.len() >= limit {
+                    break;
+                }
+                if Some(j) != exclude && !is_cand[self.shape_of[j]] {
+                    out.push((j, 0.0));
+                }
+            }
+        };
+
+        if negatives {
+            // Zeros outrank negative candidates: merge everything and
+            // re-sort (pruning was disabled on this path, so the list is
+            // complete).
+            zero_jobs(&mut cands, usize::MAX);
+            cands.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            cands.truncate(k);
+        } else {
+            // Non-negative scores are strictly positive for candidates, so
+            // zero-scored non-candidates pad the tail in ascending index
+            // order — exactly where the full sort would place them.
+            cands.truncate(k);
+            zero_jobs(&mut cands, k);
+        }
+        (cands, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVec {
+        SparseVec::from_pairs(pairs.iter().copied())
+    }
+
+    fn population() -> Vec<SparseVec> {
+        vec![
+            v(&[(0, 2.0), (3, 1.0)]),
+            v(&[(0, 2.0), (3, 1.0)]), // dup of 0
+            v(&[(3, 4.0), (5, 1.0)]),
+            v(&[(9, 7.0)]), // disjoint
+            v(&[(0, 1.0), (5, 2.0)]),
+            SparseVec::default(),
+        ]
+    }
+
+    fn oracle_nearest(
+        feats: &[SparseVec],
+        q: &SparseVec,
+        exclude: Option<usize>,
+        k: usize,
+    ) -> Vec<(usize, f64)> {
+        let mut scored: Vec<(usize, f64)> = (0..feats.len())
+            .filter(|&j| Some(j) != exclude)
+            .map(|j| (j, q.cosine(&feats[j])))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    #[test]
+    fn scores_match_full_scan_bitwise() {
+        let feats = population();
+        let index = TopkIndex::build(&feats);
+        for q in &feats {
+            let (got, _) = index.scores(q);
+            let want: Vec<f64> = feats.iter().map(|f| q.cosine(f)).collect();
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matches_oracle_for_every_k() {
+        let feats = population();
+        let index = TopkIndex::build(&feats);
+        for i in 0..feats.len() {
+            for k in 0..=feats.len() + 1 {
+                let (got, _) = index.nearest(&feats[i], Some(i), k);
+                let want = oracle_nearest(&feats, &feats[i], Some(i), k);
+                assert_eq!(got.len(), want.len(), "i={i} k={k}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.0, w.0, "i={i} k={k}");
+                    assert_eq!(g.1.to_bits(), w.1.to_bits(), "i={i} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_admissions_but_keeps_results_exact() {
+        // Many duplicate strong matches sharing the query's early
+        // features, plus weak tail shapes reachable only through a
+        // low-mass late feature: once the top-k partials beat the
+        // remaining suffix norm, admission must close without changing
+        // the answer.
+        let mut feats = vec![v(&[(0, 10.0), (1, 10.0), (2, 10.0)]); 8];
+        for t in 0..40 {
+            feats.push(v(&[(50, 30.0 + t as f64), (100 + t, 50.0)]));
+        }
+        let index = TopkIndex::build(&feats);
+        let q = v(&[(0, 10.0), (1, 10.0), (2, 10.0), (50, 0.001)]);
+        let (got, stats) = index.nearest(&q, None, 4);
+        let want = oracle_nearest(&feats, &q, None, 4);
+        assert_eq!(got, want);
+        assert!(
+            stats.pruned > 0,
+            "expected the norm bound to engage: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn negative_values_disable_pruning_and_stay_exact() {
+        let feats = vec![
+            v(&[(0, 1.0), (1, -2.0)]),
+            v(&[(0, 1.0), (1, 1.0)]),
+            v(&[(2, 1.0)]),
+            v(&[(1, 3.0)]),
+        ];
+        let index = TopkIndex::build(&feats);
+        for i in 0..feats.len() {
+            for k in 0..=feats.len() {
+                let (got, stats) = index.nearest(&feats[i], Some(i), k);
+                let want = oracle_nearest(&feats, &feats[i], Some(i), k);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.0, w.0);
+                    assert_eq!(g.1.to_bits(), w.1.to_bits());
+                }
+                assert_eq!(got.len(), want.len());
+                assert_eq!(stats.pruned, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_and_empty_query() {
+        let index = TopkIndex::build(&[]);
+        assert_eq!(index.scores(&v(&[(0, 1.0)])).0.len(), 0);
+        let feats = population();
+        let index = TopkIndex::build(&feats);
+        let (scores, _) = index.scores(&SparseVec::default());
+        assert!(scores.iter().all(|&s| s == 0.0));
+        let (nn, _) = index.nearest(&SparseVec::default(), None, 3);
+        assert_eq!(nn, vec![(0, 0.0), (1, 0.0), (2, 0.0)]);
+    }
+
+    #[test]
+    fn stats_absorb() {
+        let mut a = QueryStats {
+            candidates: 1,
+            scanned: 2,
+            pruned: 3,
+        };
+        a.absorb(&QueryStats {
+            candidates: 10,
+            scanned: 20,
+            pruned: 30,
+        });
+        assert_eq!(a.scanned, 22);
+        assert_eq!(a.candidates, 11);
+        assert_eq!(a.pruned, 33);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests pinning the sparse Gram engine to its brute-force
+//! oracles: the fingerprint-dedup + inverted-index kernel and the pruned
+//! top-k searcher must be **bit-identical** to the pairwise paths on
+//! arbitrary DAG populations. Populations get duplicates injected, since
+//! collapsing repeats is the whole point of the dedup layer.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dagscope_graph::JobDag;
+use dagscope_trace::gen::{build_shape, ShapeKind};
+use dagscope_wl::{kernel_matrix, kernel_matrix_dedup, KernelCache, WlVectorizer};
+
+fn shape_strategy() -> impl Strategy<Value = ShapeKind> {
+    prop::sample::select(ShapeKind::ALL.to_vec())
+}
+
+fn arbitrary_dag() -> impl Strategy<Value = JobDag> {
+    (shape_strategy(), 2usize..=20, any::<u64>()).prop_map(|(shape, n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        JobDag::from_plan("j", &build_shape(&mut rng, shape, n))
+    })
+}
+
+/// Base DAGs plus extra copies picked by index, so the dedup layer always
+/// has identical shapes to collapse.
+fn dag_population() -> impl Strategy<Value = Vec<JobDag>> {
+    (
+        prop::collection::vec(arbitrary_dag(), 2..10),
+        prop::collection::vec(any::<u64>(), 0..12),
+    )
+        .prop_map(|(mut dags, dups)| {
+            let extra: Vec<JobDag> = dups
+                .iter()
+                .map(|&d| dags[(d % dags.len() as u64) as usize].clone())
+                .collect();
+            dags.extend(extra);
+            dags
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dedup_gram_matches_brute_force_bitwise(dags in dag_population(), h in 0usize..3) {
+        let mut wl = WlVectorizer::new(h);
+        let feats = wl.transform_all_sequential(&dags);
+        let oracle = kernel_matrix(&feats);
+        let (engine, stats) = kernel_matrix_dedup(&feats);
+        prop_assert_eq!(engine.n(), oracle.n());
+        for (a, b) in engine.packed().iter().zip(oracle.packed()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(stats.jobs, dags.len());
+        prop_assert!(stats.unique_shapes <= stats.jobs);
+    }
+
+    #[test]
+    fn pruned_nearest_matches_full_scan(dags in dag_population(),
+                                        h in 0usize..3,
+                                        k in 0usize..25) {
+        let cache = KernelCache::from_dags(h, &dags);
+        for i in 0..cache.len() {
+            let fast = cache.nearest(i, k);
+            let slow = cache.nearest_scan(i, k);
+            prop_assert_eq!(fast.len(), slow.len());
+            for (a, b) in fast.iter().zip(&slow) {
+                prop_assert_eq!(a.0, b.0, "query {i} k {k}");
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "query {i} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_probe_matches_full_scan(dags in dag_population(),
+                                       probe in arbitrary_dag(),
+                                       h in 0usize..3) {
+        let cache = KernelCache::from_dags(h, &dags);
+        let fast = cache.probe(&probe);
+        let slow = cache.probe_scan(&probe);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
