@@ -149,10 +149,11 @@ fn bench_fig7_kernel_matrix(c: &mut Criterion) {
 
 fn bench_fig8_fig9_clustering(c: &mut Criterion) {
     let r = report();
+    let affinity = r.similarity.to_sym();
     c.bench_function("fig8_fig9_spectral_clustering_100", |b| {
         b.iter(|| {
             let res = dagscope_cluster::spectral_cluster(
-                black_box(&r.similarity),
+                black_box(&affinity),
                 &dagscope_cluster::SpectralConfig::default(),
             )
             .unwrap();

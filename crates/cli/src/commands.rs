@@ -7,7 +7,8 @@ use std::fs;
 use std::path::Path;
 
 use dagscope_core::{
-    compare_baselines, export, figures, BaseKernel, IndexSnapshot, Pipeline, PipelineConfig, Report,
+    compare_baselines, export, figures, BaseKernel, ClusterEngine, IndexSnapshot, Pipeline,
+    PipelineConfig, Report,
 };
 use dagscope_graph::JobDag;
 use dagscope_sched::{ClusterConfig, OnlineLoad, Policy, SimConfig, SimJob, Simulator};
@@ -66,8 +67,17 @@ GLOBAL FLAGS
                      Gram assembly (sparse engine; default on). Results
                      are bit-identical either way; `off` forces the
                      O(n²) pairwise oracle
-  --timings          summary/report: append per-stage wall-clock table
-                     (plus gram-engine cost counters when dedup is on)
+  --cluster-engine dense|collapsed|auto
+                     spectral-clustering engine (default auto). `dense`
+                     is the paper's NJW over the expanded n×n matrix;
+                     `collapsed` clusters unique shapes with a sparse
+                     CSR affinity + Lanczos eigensolver in O(nnz)
+                     memory (needs --dedup-shapes on); `auto` stays
+                     dense up to 512 sampled jobs, collapsed beyond
+  --timings          summary/report: append per-stage wall-clock table,
+                     engine provenance, and the Laplacian eigengap
+                     diagnostic (plus gram-engine cost counters when
+                     dedup is on)
 ";
 
 /// CLI-level errors.
@@ -131,6 +141,16 @@ fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, CliError> {
             other => {
                 return Err(CliError::Run(format!(
                     "--dedup-shapes must be `on` or `off`, got {other:?}"
+                )))
+            }
+        },
+        cluster_engine: match flags.str_or("cluster-engine", "auto").as_str() {
+            "dense" => ClusterEngine::Dense,
+            "collapsed" => ClusterEngine::Collapsed,
+            "auto" => ClusterEngine::Auto,
+            other => {
+                return Err(CliError::Run(format!(
+                    "--cluster-engine must be `dense`, `collapsed`, or `auto`, got {other:?}"
                 )))
             }
         },
@@ -201,6 +221,19 @@ fn with_timings(flags: &Flags, report: &Report, body: String) -> String {
             )
             .unwrap();
         }
+        writeln!(out, "cluster engine: {}", report.engine).unwrap();
+        // Eigengap diagnostic: the leading Laplacian spectrum justifies
+        // (or questions) the chosen group count.
+        let eig = &report.laplacian_eigenvalues;
+        let shown: Vec<String> = eig.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        writeln!(
+            out,
+            "laplacian eigenvalues (asc): {}{} | groups chosen: {}",
+            shown.join(", "),
+            if eig.len() > 8 { ", …" } else { "" },
+            report.groups.group_count()
+        )
+        .unwrap();
         out
     } else {
         body
@@ -729,9 +762,48 @@ mod tests {
             assert!(out.contains(stage), "missing {stage}");
         }
         assert!(out.contains("unique shapes"), "gram counters shown");
+        assert!(out.contains("cluster engine: dense"), "engine provenance");
+        assert!(
+            out.contains("laplacian eigenvalues (asc): 0.0000"),
+            "eigengap diagnostic: {out}"
+        );
+        assert!(out.contains("groups chosen: 5"));
         // Without the switch the table is absent.
         let plain = run(&argv("summary --jobs 200 --sample 20 --seed 3")).unwrap();
         assert!(!plain.contains("stage timings"));
+    }
+
+    #[test]
+    fn cluster_engine_flag_selects_the_engine() {
+        // The two engines agree on the whole group table at sample scale;
+        // only the --timings provenance line differs.
+        let dense = run(&argv(
+            "summary --jobs 200 --sample 20 --seed 3 --cluster-engine dense",
+        ))
+        .unwrap();
+        let collapsed = run(&argv(
+            "summary --jobs 200 --sample 20 --seed 3 --cluster-engine collapsed",
+        ))
+        .unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("silhouette"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&dense), strip(&collapsed));
+        let timed = run(&argv(
+            "summary --jobs 200 --sample 20 --seed 3 --cluster-engine collapsed --timings",
+        ))
+        .unwrap();
+        assert!(timed.contains("cluster engine: collapsed"), "{timed}");
+        let err = run(&argv("summary --jobs 200 --cluster-engine turbo")).unwrap_err();
+        assert!(err.to_string().contains("cluster-engine"));
+        let err = run(&argv(
+            "summary --jobs 200 --cluster-engine collapsed --dedup-shapes off",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("dedup"), "{err}");
     }
 
     #[test]

@@ -15,11 +15,15 @@
 //!   centroids) for classifying out-of-sample jobs online,
 //! * [`weighted`] — multiplicity-weighted spectral/k-means over
 //!   deduplicated shape populations (the scalable path for traces whose
-//!   distinct-shape count is far below the job count).
+//!   distinct-shape count is far below the job count),
+//! * [`collapsed`] — the sparse, matrix-free version of the weighted
+//!   path: CSR affinity + Lanczos smallest-k eigenpairs, so the full
+//!   trace clusters in `O(nnz)` affinity memory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collapsed;
 pub mod compare;
 pub mod hierarchical;
 pub mod kmeans;
@@ -28,6 +32,7 @@ pub mod spectral;
 pub mod validation;
 pub mod weighted;
 
+pub use collapsed::spectral_cluster_collapsed;
 pub use compare::{adjusted_rand_index, purity, rand_index};
 pub use hierarchical::{agglomerative, HierarchicalResult};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};

@@ -1,7 +1,7 @@
 //! Internal cluster-validation indices and partition helpers.
 
 use dagscope_linalg::vector::dist;
-use dagscope_linalg::{Matrix, SymMatrix};
+use dagscope_linalg::{CsrSym, Matrix, SymMatrix};
 
 /// True when `assignments` uses every label `0..k` at least once and no
 /// label `>= k`.
@@ -82,6 +82,88 @@ pub fn silhouette_from_distances(distances: &SymMatrix, assignments: &[usize], k
         }
     }
     total / n as f64
+}
+
+/// Mean silhouette of a collapsed population, **without** expanding the
+/// n×n distance matrix.
+///
+/// Semantically this is [`silhouette_from_distances`] applied to the
+/// expanded population whose job `i` has similarity row
+/// `unique[shape_of[i]]`, under the kernel distance
+/// `d(a, t) = √(diag_a + diag_t − 2·S(a, t))`. Because the unique
+/// matrix is a *normalized* kernel, every diagonal is exactly `0.0` or
+/// `1.0`, so the distance from shape `a` to any shape it shares **no**
+/// stored entry with is analytically `√(diag_a + diag_t)` — one of two
+/// constants per row. Per-cluster totals therefore start from those
+/// defaults (weight sums split by diagonal value) and are corrected
+/// once per stored CSR entry: `O(m·k + nnz)` time, `O(m + k)` space.
+///
+/// `shape_assignments` maps unique shapes (not jobs) to clusters;
+/// `weights[a]` is shape `a`'s job multiplicity. Equal to the dense
+/// silhouette up to floating-point summation order.
+pub fn silhouette_collapsed(
+    unique: &CsrSym,
+    weights: &[f64],
+    shape_assignments: &[usize],
+    k: usize,
+) -> f64 {
+    let m = unique.n();
+    assert_eq!(weights.len(), m, "weight length mismatch");
+    assert_eq!(shape_assignments.len(), m, "assignment length mismatch");
+    let n: f64 = weights.iter().sum();
+    if k < 2 || n <= k as f64 {
+        return 0.0;
+    }
+    let diag = unique.diagonal();
+    // Weighted cluster populations, split by diagonal value (0 or 1).
+    let mut size = vec![0.0f64; k];
+    let mut w1 = vec![0.0f64; k];
+    let mut w0 = vec![0.0f64; k];
+    for a in 0..m {
+        let c = shape_assignments[a];
+        size[c] += weights[a];
+        if diag[a] > 0.0 {
+            w1[c] += weights[a];
+        } else {
+            w0[c] += weights[a];
+        }
+    }
+    let mut total = 0.0;
+    for a in 0..m {
+        let own = shape_assignments[a];
+        if size[own] <= 1.0 {
+            continue; // every job of this shape is a singleton cluster
+        }
+        let da = diag[a];
+        // Distance to a shape with no stored similarity: S = 0 exactly.
+        let d1 = (da + 1.0).sqrt();
+        let d0 = da.sqrt();
+        let mut sums: Vec<f64> = (0..k).map(|c| d1 * w1[c] + d0 * w0[c]).collect();
+        // Correct the default for every shape actually sharing features.
+        let (cols, vals) = unique.row(a);
+        for (&t, &v) in cols.iter().zip(vals) {
+            let t = t as usize;
+            let dt = diag[t];
+            let default = (da + dt).sqrt();
+            let actual = (da + dt - 2.0 * v).max(0.0).sqrt();
+            sums[shape_assignments[t]] += weights[t] * (actual - default);
+        }
+        // Same-shape jobs sit at distance 0 from each other, so no self
+        // exclusion term is needed (the diagonal correction above lands
+        // on 0 exactly: diag ∈ {0, 1} makes √(2·diag − 2·diag) = 0).
+        let a_val = sums[own] / (size[own] - 1.0);
+        let b_val = (0..k)
+            .filter(|&c| c != own && size[c] > 0.0)
+            .map(|c| sums[c] / size[c])
+            .fold(f64::INFINITY, f64::min);
+        if b_val.is_finite() {
+            let denom = a_val.max(b_val);
+            if denom > 0.0 {
+                total += weights[a] * (b_val - a_val) / denom;
+            }
+        }
+    }
+    total / n
 }
 
 /// Davies–Bouldin index over points in feature space (lower is better;
@@ -197,6 +279,70 @@ mod tests {
         let d = SymMatrix::zeros(3);
         assert_eq!(silhouette_from_distances(&d, &[0, 0, 0], 1), 0.0);
         assert_eq!(silhouette_from_distances(&d, &[0, 1, 2], 3), 0.0);
+    }
+
+    /// Expand a unique similarity by multiplicity and compute the dense
+    /// silhouette the long way — the oracle for `silhouette_collapsed`.
+    fn dense_silhouette_oracle(
+        unique: &SymMatrix,
+        weights: &[f64],
+        shape_assignments: &[usize],
+        k: usize,
+    ) -> f64 {
+        let shape_of: Vec<usize> = (0..unique.n())
+            .flat_map(|s| std::iter::repeat_n(s, weights[s] as usize))
+            .collect();
+        let n = shape_of.len();
+        let mut sim = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                sim.set(i, j, unique.get(shape_of[i], shape_of[j]));
+            }
+        }
+        let assignments: Vec<usize> = shape_of.iter().map(|&s| shape_assignments[s]).collect();
+        let d = kernel_distance_matrix(&sim);
+        silhouette_from_distances(&d, &assignments, k)
+    }
+
+    #[test]
+    fn collapsed_silhouette_matches_dense_expansion() {
+        // Two similarity blocks plus a zero-diagonal (empty-φ) shape, all
+        // with multiplicities > 1, so defaults, corrections, and both
+        // diagonal classes are exercised.
+        let mut unique = SymMatrix::zeros(5);
+        for s in 0..4 {
+            unique.set(s, s, 1.0);
+        }
+        unique.set(0, 1, 0.8);
+        unique.set(2, 3, 0.7);
+        // Shape 4 has an all-zero row (normalized diag 0).
+        let weights = [2.0, 1.0, 3.0, 2.0, 2.0];
+        let assignments = [0, 0, 1, 1, 1];
+        let sparse = CsrSym::from_sym(&unique);
+        let fast = silhouette_collapsed(&sparse, &weights, &assignments, 2);
+        let slow = dense_silhouette_oracle(&unique, &weights, &assignments, 2);
+        assert!((fast - slow).abs() < 1e-12, "fast={fast} slow={slow}");
+        assert!(fast > 0.0, "separated blocks must score positive: {fast}");
+    }
+
+    #[test]
+    fn collapsed_silhouette_degenerate_and_singleton_cases() {
+        let mut unique = SymMatrix::zeros(3);
+        for s in 0..3 {
+            unique.set(s, s, 1.0);
+        }
+        unique.set(0, 1, 0.9);
+        let sparse = CsrSym::from_sym(&unique);
+        // k < 2 and n <= k are degenerate.
+        assert_eq!(silhouette_collapsed(&sparse, &[1.0; 3], &[0, 0, 0], 1), 0.0);
+        assert_eq!(silhouette_collapsed(&sparse, &[1.0; 3], &[0, 1, 2], 3), 0.0);
+        // A singleton cluster contributes zero, exactly like the dense
+        // convention.
+        let weights = [2.0, 2.0, 1.0];
+        let assignments = [0, 0, 1];
+        let fast = silhouette_collapsed(&sparse, &weights, &assignments, 2);
+        let slow = dense_silhouette_oracle(&unique, &weights, &assignments, 2);
+        assert!((fast - slow).abs() < 1e-12, "fast={fast} slow={slow}");
     }
 
     #[test]

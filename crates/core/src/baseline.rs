@@ -86,8 +86,10 @@ pub fn compare_baselines(report: &Report, seed: u64) -> BaselineComparison {
         },
     );
 
-    // Hierarchical on the same WL kernel distances.
-    let distances = kernel_distance_matrix(&report.similarity);
+    // Hierarchical on the same WL kernel distances. Baselines run at
+    // sample scale, so materializing the dense view of a collapsed run
+    // is affordable here.
+    let distances = kernel_distance_matrix(&report.similarity.to_sym());
     let hier = agglomerative(&distances, k);
 
     let silhouettes = (

@@ -12,6 +12,43 @@ pub enum BaseKernel {
     ShortestPath,
 }
 
+/// Which spectral-clustering engine the pipeline should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterEngine {
+    /// Dense NJW over the expanded n×n similarity matrix — the paper's
+    /// procedure verbatim, bit-identical across runs. O(n²) memory.
+    Dense,
+    /// Sparse collapsed path: CSR unique-shape affinity + Lanczos
+    /// smallest-k eigenpairs, weighted by shape multiplicities. O(nnz)
+    /// affinity memory; partition-equivalent to dense (ARI 1.0), not
+    /// floating-point-identical. Requires `dedup_shapes`.
+    Collapsed,
+    /// Dense at paper scale (preserving bit-identity with prior runs),
+    /// collapsed once the sample outgrows [`AUTO_DENSE_MAX`] jobs.
+    Auto,
+}
+
+/// Largest sample the `Auto` engine still clusters densely.
+pub const AUTO_DENSE_MAX: usize = 512;
+
+/// The engine a run actually used, after `Auto` resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Dense NJW ran.
+    Dense,
+    /// The collapsed sparse engine ran.
+    Collapsed,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EngineKind::Dense => "dense",
+            EngineKind::Collapsed => "collapsed",
+        })
+    }
+}
+
 /// Configuration of the end-to-end characterization pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
@@ -36,6 +73,9 @@ pub struct PipelineConfig {
     /// bit-identical to the brute-force path either way; `false` forces
     /// the O(n²) pairwise scan (kept for oracle comparisons).
     pub dedup_shapes: bool,
+    /// Spectral-clustering engine (dense NJW, sparse collapsed, or
+    /// size-based auto selection).
+    pub cluster_engine: ClusterEngine,
 }
 
 impl Default for PipelineConfig {
@@ -49,6 +89,7 @@ impl Default for PipelineConfig {
             conflate: true,
             base_kernel: BaseKernel::WlSubtree,
             dedup_shapes: true,
+            cluster_engine: ClusterEngine::Auto,
         }
     }
 }
@@ -77,6 +118,7 @@ mod tests {
         assert!(c.conflate);
         assert_eq!(c.base_kernel, BaseKernel::WlSubtree);
         assert!(c.dedup_shapes, "the sparse Gram engine is the default");
+        assert_eq!(c.cluster_engine, ClusterEngine::Auto);
         assert_eq!(c.generator().jobs, c.jobs);
         assert_eq!(c.generator().seed, c.seed);
     }

@@ -10,10 +10,9 @@ use std::fmt::Write;
 use dagscope_graph::metrics::SizeGroupRow;
 use dagscope_graph::pattern::PatternCensus;
 use dagscope_graph::tasktype::TypeCensusRow;
-use dagscope_linalg::SymMatrix;
 
 use crate::figures::{ConflationHistogram, GroupPropertyRow};
-use crate::Report;
+use crate::{Report, Similarity};
 
 /// Fig 3 — `size,before,after`.
 pub fn conflation_csv(h: &ConflationHistogram) -> String {
@@ -66,8 +65,11 @@ pub fn type_census_csv(rows: &[TypeCensusRow]) -> String {
     s
 }
 
-/// Fig 7 — dense similarity matrix, one row per line, comma separated.
-pub fn similarity_csv(similarity: &SymMatrix) -> String {
+/// Fig 7 — similarity matrix, one row per line, comma separated. The
+/// output is always the expanded n×n view; collapsed entries resolve
+/// through the job→shape map (CSV is inherently O(n²), so there is no
+/// memory to save here — only the intermediate matrix).
+pub fn similarity_csv(similarity: &Similarity) -> String {
     let n = similarity.n();
     let mut s = String::new();
     for i in 0..n {

@@ -14,7 +14,7 @@ use dagscope_graph::tasktype::{type_census, TypeCensusRow};
 use dagscope_graph::{render, JobDag};
 use dagscope_linalg::SymMatrix;
 
-use crate::Report;
+use crate::{Report, Similarity};
 
 /// Fig 2 — job-level abstraction of sampled DAG batch jobs: ASCII level
 /// renderings of the first `count` sample DAGs.
@@ -154,7 +154,7 @@ pub fn render_type_distribution(rows: &[TypeCensusRow]) -> String {
 
 /// Render the Fig 7 similarity matrix as an ASCII heat map (shade ramp
 /// `.:-=+*#%@`, diagonal marked `@`).
-pub fn fig7_heatmap(similarity: &SymMatrix) -> String {
+pub fn fig7_heatmap(similarity: &Similarity) -> String {
     const RAMP: &[u8] = b" .:-=+*#%@";
     let n = similarity.n();
     let mut s = String::new();
@@ -185,7 +185,18 @@ pub struct SimilaritySummary {
 }
 
 /// Compute the off-diagonal summary of a similarity matrix.
-pub fn fig7_summary(similarity: &SymMatrix) -> SimilaritySummary {
+///
+/// Dense runs scan all pairs; collapsed runs aggregate per stored CSR
+/// entry weighted by shape multiplicities (`O(m + nnz)` — absent entries
+/// are exact zeros, counted in bulk), so the summary never expands n×n.
+pub fn fig7_summary(similarity: &Similarity) -> SimilaritySummary {
+    match similarity {
+        Similarity::Dense(m) => fig7_summary_dense(m),
+        Similarity::Collapsed { unique, shape_of } => fig7_summary_collapsed(unique, shape_of),
+    }
+}
+
+fn fig7_summary_dense(similarity: &SymMatrix) -> SimilaritySummary {
     let n = similarity.n();
     let mut mean = 0.0;
     let mut min = f64::INFINITY;
@@ -212,6 +223,75 @@ pub fn fig7_summary(similarity: &SymMatrix) -> SimilaritySummary {
     }
     SimilaritySummary {
         mean,
+        min,
+        max,
+        identical_pairs: identical,
+    }
+}
+
+fn fig7_summary_collapsed(
+    unique: &dagscope_linalg::CsrSym,
+    shape_of: &[usize],
+) -> SimilaritySummary {
+    let n = shape_of.len();
+    let total_pairs = n * n.saturating_sub(1) / 2;
+    if total_pairs == 0 {
+        return SimilaritySummary {
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            identical_pairs: 0,
+        };
+    }
+    // Shape multiplicities.
+    let mut w = vec![0usize; unique.n()];
+    for &s in shape_of {
+        w[s] += 1;
+    }
+    let mut sum = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut identical = 0usize;
+    let mut covered = 0usize;
+    // One visit per stored upper-triangle entry. A diagonal entry stands
+    // for the within-shape pairs (all at the shape's self-similarity); an
+    // off-diagonal (a, b) entry stands for w_a·w_b cross pairs.
+    for a in 0..unique.n() {
+        let (cols, vals) = unique.row(a);
+        for (&b, &v) in cols.iter().zip(vals) {
+            let b = b as usize;
+            if b < a {
+                continue;
+            }
+            let pairs = if b == a {
+                w[a] * w[a].saturating_sub(1) / 2
+            } else {
+                w[a] * w[b]
+            };
+            if pairs == 0 {
+                continue;
+            }
+            sum += v * pairs as f64;
+            min = min.min(v);
+            max = max.max(v);
+            if v > 1.0 - 1e-9 {
+                identical += pairs;
+            }
+            covered += pairs;
+        }
+    }
+    // Every pair without a stored entry is an exact zero (disjoint WL
+    // feature sets — or a zero φ vector, whose diagonal is also absent).
+    if covered < total_pairs {
+        min = min.min(0.0);
+        max = max.max(0.0);
+    }
+    if covered == 0 {
+        min = 0.0;
+        max = 0.0;
+    }
+    SimilaritySummary {
+        mean: sum / total_pairs as f64,
         min,
         max,
         identical_pairs: identical,
@@ -474,9 +554,37 @@ mod tests {
 
     #[test]
     fn fig7_summary_degenerate() {
-        let s = fig7_summary(&dagscope_linalg::SymMatrix::zeros(1));
+        let s = fig7_summary(&Similarity::Dense(dagscope_linalg::SymMatrix::zeros(1)));
         assert_eq!(s.mean, 0.0);
         assert_eq!(s.identical_pairs, 0);
+        let c = fig7_summary(&Similarity::Collapsed {
+            unique: dagscope_linalg::CsrSym::from_sym(&dagscope_linalg::SymMatrix::zeros(1)),
+            shape_of: vec![0],
+        });
+        assert_eq!(c.mean, 0.0);
+        assert_eq!(c.identical_pairs, 0);
+    }
+
+    #[test]
+    fn fig7_summary_collapsed_matches_dense_expansion() {
+        // Dense oracle: expand the collapsed view and summarize all pairs.
+        let mut unique = dagscope_linalg::SymMatrix::zeros(3);
+        unique.set(0, 0, 1.0);
+        unique.set(1, 1, 1.0);
+        unique.set(0, 1, 0.25);
+        // Shape 2 has a zero φ vector: absent row, zero diagonal.
+        let shape_of = vec![0, 0, 1, 2, 2, 1];
+        let collapsed = Similarity::Collapsed {
+            unique: dagscope_linalg::CsrSym::from_sym(&unique),
+            shape_of: shape_of.clone(),
+        };
+        let dense = Similarity::Dense((*collapsed.to_sym()).clone());
+        let fast = fig7_summary(&collapsed);
+        let slow = fig7_summary(&dense);
+        assert!((fast.mean - slow.mean).abs() < 1e-12);
+        assert_eq!(fast.min, slow.min);
+        assert_eq!(fast.max, slow.max);
+        assert_eq!(fast.identical_pairs, slow.identical_pairs);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use dagscope_graph::metrics::JobFeatures;
 use dagscope_graph::pattern::{self, Pattern};
 use dagscope_graph::JobDag;
-use dagscope_linalg::SymMatrix;
+use dagscope_linalg::{CsrSym, SymMatrix};
 use dagscope_trace::gen::ShapeKind;
 
 /// Statistics of one clustered group.
@@ -73,86 +73,183 @@ impl GroupAnalysis {
         features: &[JobFeatures],
         similarity: &SymMatrix,
     ) -> GroupAnalysis {
-        assert_eq!(assignments.len(), dags.len());
-        assert_eq!(assignments.len(), features.len());
         assert_eq!(assignments.len(), similarity.n());
-        let n = assignments.len();
-
-        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
-        for (i, &c) in assignments.iter().enumerate() {
-            members[c].push(i);
-        }
-
-        // Order clusters by population descending (stable: by cluster id on
-        // ties) and label them A, B, C, ...
-        let mut order: Vec<usize> = (0..k).collect();
-        order.sort_by_key(|&c| (std::cmp::Reverse(members[c].len()), c));
-
-        let mut groups = Vec::with_capacity(k);
-        for (rank, &c) in order.iter().enumerate() {
-            let ms = &members[c];
-            let sizes: Vec<usize> = ms.iter().map(|&i| features[i].size).collect();
-            let critical_paths: Vec<usize> =
-                ms.iter().map(|&i| features[i].critical_path).collect();
-            let max_widths: Vec<usize> = ms.iter().map(|&i| features[i].max_width).collect();
-            let mean_size = if ms.is_empty() {
-                0.0
-            } else {
-                sizes.iter().sum::<usize>() as f64 / ms.len() as f64
-            };
-            let chains = ms
-                .iter()
-                .filter(|&&i| pattern::classify(&dags[i]) == Pattern::Shape(ShapeKind::Chain))
-                .count();
-            let short = sizes.iter().filter(|&&s| s <= 3).count();
-
-            // Medoid: member with the largest total similarity to the rest.
-            let representative = ms
-                .iter()
-                .map(|&i| {
-                    let total: f64 = ms.iter().map(|&j| similarity.get(i, j)).sum();
-                    (i, total)
-                })
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .map(|(i, _)| dags[i].name.clone())
-                .unwrap_or_default();
-
-            groups.push(GroupStats {
-                label: (b'A' + rank as u8) as char,
-                cluster: c,
-                population: ms.len(),
-                fraction: if n == 0 {
-                    0.0
-                } else {
-                    ms.len() as f64 / n as f64
-                },
-                mean_size,
-                chain_fraction: if ms.is_empty() {
-                    0.0
-                } else {
-                    chains as f64 / ms.len() as f64
-                },
-                short_fraction: if ms.is_empty() {
-                    0.0
-                } else {
-                    short as f64 / ms.len() as f64
-                },
-                sizes,
-                critical_paths,
-                max_widths,
-                representative,
-            });
-        }
 
         let distances = dagscope_cluster::validation::kernel_distance_matrix(similarity);
         let silhouette =
             dagscope_cluster::validation::silhouette_from_distances(&distances, assignments, k);
 
-        GroupAnalysis {
-            assignments: assignments.to_vec(),
-            groups,
-            silhouette,
+        // Medoid totals: member's summed similarity over its group.
+        let totals = |ms: &[usize]| -> Vec<f64> {
+            ms.iter()
+                .map(|&i| ms.iter().map(|&j| similarity.get(i, j)).sum())
+                .collect()
+        };
+        assemble(assignments, k, dags, features, &totals, silhouette)
+    }
+
+    /// Build the analysis for a collapsed run, never expanding the n×n
+    /// similarity: medoids come from weighted unique-shape row scans and
+    /// the silhouette from
+    /// [`dagscope_cluster::validation::silhouette_collapsed`]. Equal to
+    /// [`GroupAnalysis::build`] on the expanded matrix up to
+    /// floating-point summation order.
+    ///
+    /// `unique` is the normalized unique-shape similarity, `shape_of`
+    /// maps jobs to shapes, and `weights[a]` is shape `a`'s multiplicity.
+    /// Collapsed clustering assigns whole shapes, so all jobs of one
+    /// shape must share a cluster.
+    pub fn build_collapsed(
+        assignments: &[usize],
+        k: usize,
+        dags: &[JobDag],
+        features: &[JobFeatures],
+        unique: &CsrSym,
+        shape_of: &[usize],
+        weights: &[f64],
+    ) -> GroupAnalysis {
+        assert_eq!(assignments.len(), shape_of.len());
+        assert_eq!(unique.n(), weights.len());
+        // Recover per-shape clusters; shapes must not straddle clusters.
+        let mut shape_cluster = vec![usize::MAX; unique.n()];
+        for (i, &s) in shape_of.iter().enumerate() {
+            if shape_cluster[s] == usize::MAX {
+                shape_cluster[s] = assignments[i];
+            } else {
+                assert_eq!(
+                    shape_cluster[s], assignments[i],
+                    "jobs of shape {s} straddle clusters"
+                );
+            }
         }
+        // Shapes absent from the sample (none, by construction) would
+        // keep usize::MAX; map them to cluster 0 defensively.
+        for c in shape_cluster.iter_mut() {
+            if *c == usize::MAX {
+                *c = 0;
+            }
+        }
+
+        let silhouette =
+            dagscope_cluster::validation::silhouette_collapsed(unique, weights, &shape_cluster, k);
+
+        // Medoid totals per group: every member of shape `a` has the same
+        // summed similarity U(a) = Σ_t count_g(t)·S(a, t), computed by one
+        // sparse row scan per distinct member shape.
+        let totals = |ms: &[usize]| -> Vec<f64> {
+            let mut count_g: std::collections::HashMap<usize, f64> =
+                std::collections::HashMap::new();
+            for &i in ms {
+                *count_g.entry(shape_of[i]).or_insert(0.0) += 1.0;
+            }
+            let mut u_of: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+            for &a in count_g.keys() {
+                let (cols, vals) = unique.row(a);
+                let u = cols
+                    .iter()
+                    .zip(vals)
+                    .filter_map(|(&t, &v)| count_g.get(&(t as usize)).map(|c| c * v))
+                    .sum();
+                u_of.insert(a, u);
+            }
+            ms.iter().map(|&i| u_of[&shape_of[i]]).collect()
+        };
+        assemble(assignments, k, dags, features, &totals, silhouette)
+    }
+}
+
+/// Shared group-stat assembly: population ordering, labels, per-group
+/// structural statistics, and medoid selection from precomputed member
+/// totals (largest total wins; ties break to the last member, matching
+/// `Iterator::max_by`).
+fn assemble(
+    assignments: &[usize],
+    k: usize,
+    dags: &[JobDag],
+    features: &[JobFeatures],
+    member_totals: &dyn Fn(&[usize]) -> Vec<f64>,
+    silhouette: f64,
+) -> GroupAnalysis {
+    assert_eq!(assignments.len(), dags.len());
+    assert_eq!(assignments.len(), features.len());
+    let n = assignments.len();
+
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &c) in assignments.iter().enumerate() {
+        members[c].push(i);
+    }
+
+    // Order clusters by population descending and label them A, B, C, …
+    // Population ties break on the earliest member in sample order — a
+    // content-based key, so the labeling is invariant under the arbitrary
+    // cluster numbering k-means happens to produce (dense and collapsed
+    // engines agree on labels whenever they agree on the partition).
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&c| {
+        (
+            std::cmp::Reverse(members[c].len()),
+            members[c].first().copied().unwrap_or(usize::MAX),
+            c,
+        )
+    });
+
+    let mut groups = Vec::with_capacity(k);
+    for (rank, &c) in order.iter().enumerate() {
+        let ms = &members[c];
+        let sizes: Vec<usize> = ms.iter().map(|&i| features[i].size).collect();
+        let critical_paths: Vec<usize> = ms.iter().map(|&i| features[i].critical_path).collect();
+        let max_widths: Vec<usize> = ms.iter().map(|&i| features[i].max_width).collect();
+        let mean_size = if ms.is_empty() {
+            0.0
+        } else {
+            sizes.iter().sum::<usize>() as f64 / ms.len() as f64
+        };
+        let chains = ms
+            .iter()
+            .filter(|&&i| pattern::classify(&dags[i]) == Pattern::Shape(ShapeKind::Chain))
+            .count();
+        let short = sizes.iter().filter(|&&s| s <= 3).count();
+
+        // Medoid: member with the largest total similarity to the rest.
+        let totals = member_totals(ms);
+        let representative = ms
+            .iter()
+            .zip(&totals)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(&i, _)| dags[i].name.clone())
+            .unwrap_or_default();
+
+        groups.push(GroupStats {
+            label: (b'A' + rank as u8) as char,
+            cluster: c,
+            population: ms.len(),
+            fraction: if n == 0 {
+                0.0
+            } else {
+                ms.len() as f64 / n as f64
+            },
+            mean_size,
+            chain_fraction: if ms.is_empty() {
+                0.0
+            } else {
+                chains as f64 / ms.len() as f64
+            },
+            short_fraction: if ms.is_empty() {
+                0.0
+            } else {
+                short as f64 / ms.len() as f64
+            },
+            sizes,
+            critical_paths,
+            max_widths,
+            representative,
+        });
+    }
+
+    GroupAnalysis {
+        assignments: assignments.to_vec(),
+        groups,
+        silhouette,
     }
 }
 
@@ -242,5 +339,72 @@ mod tests {
         let (dags, features, sim) = setup();
         let good = GroupAnalysis::build(&[0, 0, 0, 1], 2, &dags, &features, &sim);
         assert!(good.silhouette > 0.0, "silhouette {}", good.silhouette);
+    }
+
+    #[test]
+    fn build_collapsed_matches_dense_build() {
+        // j_c1 and j_c2 are the same WL shape, so the collapsed view has
+        // three unique shapes with multiplicities [2, 1, 1].
+        let (dags, features, sim) = setup();
+        let wl_feats = {
+            let mut wl = dagscope_wl::WlVectorizer::new(3);
+            wl.transform_all(&dags)
+        };
+        let dedup = dagscope_wl::ShapeDedup::from_features(&wl_feats);
+        assert_eq!(dedup.unique_count(), 3, "j_c1/j_c2 must collapse");
+        let reps: Vec<&dagscope_wl::SparseVec> = dedup
+            .representatives()
+            .iter()
+            .map(|&i| &wl_feats[i])
+            .collect();
+        let (gram, _) = dagscope_wl::unique_gram_sparse(&reps);
+        let unique = dagscope_wl::normalize_unique_sparse(&gram);
+        let weights = dedup.weights();
+
+        let assignments = [0, 0, 0, 1];
+        let dense = GroupAnalysis::build(&assignments, 2, &dags, &features, &sim);
+        let collapsed = GroupAnalysis::build_collapsed(
+            &assignments,
+            2,
+            &dags,
+            &features,
+            &unique,
+            dedup.shape_of(),
+            &weights,
+        );
+        assert_eq!(collapsed.assignments, dense.assignments);
+        assert!(
+            (collapsed.silhouette - dense.silhouette).abs() < 1e-12,
+            "collapsed={} dense={}",
+            collapsed.silhouette,
+            dense.silhouette
+        );
+        for (c, d) in collapsed.groups.iter().zip(&dense.groups) {
+            assert_eq!(c.label, d.label);
+            assert_eq!(c.population, d.population);
+            assert_eq!(c.sizes, d.sizes);
+            assert_eq!(c.representative, d.representative, "medoids must agree");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "straddle clusters")]
+    fn build_collapsed_rejects_shape_straddling_clusters() {
+        let (dags, features, _) = setup();
+        let mut unique = dagscope_linalg::SymMatrix::zeros(3);
+        for s in 0..3 {
+            unique.set(s, s, 1.0);
+        }
+        let unique = CsrSym::from_sym(&unique);
+        // Jobs 0 and 1 share shape 0 but sit in different clusters.
+        GroupAnalysis::build_collapsed(
+            &[0, 1, 0, 1],
+            2,
+            &dags,
+            &features,
+            &unique,
+            &[0, 0, 1, 2],
+            &[2.0, 1.0, 1.0],
+        );
     }
 }

@@ -27,13 +27,15 @@ pub mod figures;
 pub mod groups;
 mod pipeline;
 mod report;
+mod similarity;
 pub mod snapshot;
 mod timings;
 
 pub use baseline::{compare_baselines, conflation_stability, BaselineComparison};
-pub use config::{BaseKernel, PipelineConfig};
+pub use config::{BaseKernel, ClusterEngine, EngineKind, PipelineConfig, AUTO_DENSE_MAX};
 pub use groups::{GroupAnalysis, GroupStats};
 pub use pipeline::Pipeline;
 pub use report::Report;
+pub use similarity::Similarity;
 pub use snapshot::{IndexSnapshot, SnapshotError, SnapshotGroup, SnapshotMeta, SnapshotShape};
 pub use timings::StageTimings;

@@ -1,6 +1,8 @@
 //! The end-to-end characterization pipeline.
 
-use dagscope_cluster::{spectral_cluster, SpectralConfig};
+use dagscope_cluster::{
+    expand_assignments, spectral_cluster, spectral_cluster_collapsed, SpectralConfig,
+};
 use dagscope_graph::metrics::JobFeatures;
 use dagscope_graph::{conflate, JobDag};
 use dagscope_trace::filter::{stratified_sample, SampleCriteria};
@@ -8,14 +10,15 @@ use dagscope_trace::gen::TraceGenerator;
 use dagscope_trace::stats::TraceStats;
 use dagscope_trace::{Job, JobSet};
 use dagscope_wl::{
-    kernel_matrix, kernel_matrix_via_dedup, normalize_kernel, ShapeDedup, SpVectorizer,
-    WlVectorizer,
+    kernel_matrix, kernel_matrix_via_dedup, normalize_kernel, normalize_unique_sparse,
+    unique_gram_sparse, ShapeDedup, SpVectorizer, SparseVec, WlVectorizer,
 };
 
 use std::time::Instant;
 
+use crate::config::{ClusterEngine, EngineKind, AUTO_DENSE_MAX};
 use crate::groups::GroupAnalysis;
-use crate::{PipelineConfig, Report, StageTimings};
+use crate::{PipelineConfig, Report, Similarity, StageTimings};
 
 /// Orchestrates trace synthesis → filtering → DAGs → WL kernel →
 /// spectral groups, producing a [`Report`].
@@ -98,6 +101,30 @@ impl Pipeline {
         };
         timings.embed = clock.elapsed();
 
+        // Resolve the clustering engine before the Gram stage: the
+        // collapsed engine consumes the unique-shape CSR affinity
+        // directly and must never see (or allocate) the dense matrix.
+        let engine = match self.cfg.cluster_engine {
+            ClusterEngine::Dense => EngineKind::Dense,
+            ClusterEngine::Collapsed => {
+                if !self.cfg.dedup_shapes {
+                    return Err(
+                        "--cluster-engine collapsed requires --dedup-shapes on: the sparse \
+                         affinity is built from the shape-deduplicated Gram index"
+                            .to_string(),
+                    );
+                }
+                EngineKind::Collapsed
+            }
+            ClusterEngine::Auto => {
+                if self.cfg.dedup_shapes && sample.len() > AUTO_DENSE_MAX {
+                    EngineKind::Collapsed
+                } else {
+                    EngineKind::Dense
+                }
+            }
+        };
+
         // Gram assembly: the sparse engine collapses bitwise-identical φ
         // vectors to unique shapes and scans the feature→shape inverted
         // index — bit-identical to the brute-force pairwise path, which
@@ -108,39 +135,80 @@ impl Pipeline {
             .dedup_shapes
             .then(|| ShapeDedup::from_features(&wl_features));
         timings.dedup = clock.elapsed();
-        let clock = Instant::now();
-        let (gram, gram_stats) = match &dedup {
-            Some(d) => {
-                let (k, stats) = kernel_matrix_via_dedup(d, &wl_features);
-                (k, Some(stats))
-            }
-            None => (kernel_matrix(&wl_features), None),
-        };
-        let similarity = normalize_kernel(&gram);
-        timings.kernel = clock.elapsed();
 
-        // Spectral grouping (Figs 8–9).
-        let clock = Instant::now();
-        let spectral = spectral_cluster(
-            &similarity,
-            &SpectralConfig {
-                k: self.cfg.clusters,
-                seed: self.cfg.seed,
-                n_init: 10,
-            },
-        )?;
-        // Group statistics describe the jobs as they ran (raw structure):
-        // the similarity stage may look at conflated DAGs, but Fig 9's
-        // sizes / critical paths / shape shares are properties of the
-        // original task graphs.
-        let groups = GroupAnalysis::build(
-            &spectral.assignments,
-            spectral.k,
-            &raw_dags,
-            &features_raw,
-            &similarity,
-        );
-        timings.cluster = clock.elapsed();
+        let spectral_cfg = SpectralConfig {
+            k: self.cfg.clusters,
+            seed: self.cfg.seed,
+            n_init: 10,
+        };
+
+        let (similarity, gram_stats, spectral, groups) = match engine {
+            EngineKind::Dense => {
+                let clock = Instant::now();
+                let (gram, gram_stats) = match &dedup {
+                    Some(d) => {
+                        let (k, stats) = kernel_matrix_via_dedup(d, &wl_features);
+                        (k, Some(stats))
+                    }
+                    None => (kernel_matrix(&wl_features), None),
+                };
+                let similarity = normalize_kernel(&gram);
+                timings.kernel = clock.elapsed();
+
+                // Spectral grouping (Figs 8–9).
+                let clock = Instant::now();
+                let spectral = spectral_cluster(&similarity, &spectral_cfg)?;
+                // Group statistics describe the jobs as they ran (raw
+                // structure): the similarity stage may look at conflated
+                // DAGs, but Fig 9's sizes / critical paths / shape shares
+                // are properties of the original task graphs.
+                let groups = GroupAnalysis::build(
+                    &spectral.assignments,
+                    spectral.k,
+                    &raw_dags,
+                    &features_raw,
+                    &similarity,
+                );
+                timings.cluster = clock.elapsed();
+                (Similarity::Dense(similarity), gram_stats, spectral, groups)
+            }
+            EngineKind::Collapsed => {
+                let dedup = dedup.as_ref().expect("collapsed engine requires dedup");
+                let clock = Instant::now();
+                let reps: Vec<&SparseVec> = dedup
+                    .representatives()
+                    .iter()
+                    .map(|&i| &wl_features[i])
+                    .collect();
+                let (gram, mut stats) = unique_gram_sparse(&reps);
+                // The sparse assembler only sees unique shapes; restore
+                // the population-level counters the dense engine reports.
+                stats.jobs = wl_features.len();
+                stats.unique_shapes = dedup.unique_count();
+                let unique = normalize_unique_sparse(&gram);
+                timings.kernel = clock.elapsed();
+
+                let clock = Instant::now();
+                let weights = dedup.weights();
+                let mut spectral = spectral_cluster_collapsed(&unique, &weights, &spectral_cfg)?;
+                spectral.assignments = expand_assignments(dedup.shape_of(), &spectral.assignments);
+                let groups = GroupAnalysis::build_collapsed(
+                    &spectral.assignments,
+                    spectral.k,
+                    &raw_dags,
+                    &features_raw,
+                    &unique,
+                    dedup.shape_of(),
+                    &weights,
+                );
+                timings.cluster = clock.elapsed();
+                let similarity = Similarity::Collapsed {
+                    unique,
+                    shape_of: dedup.shape_of().to_vec(),
+                };
+                (similarity, Some(stats), spectral, groups)
+            }
+        };
         timings.total = run_start.elapsed();
 
         Ok(Report {
@@ -153,6 +221,7 @@ impl Pipeline {
             features_conflated,
             wl_features,
             similarity,
+            engine,
             laplacian_eigenvalues: spectral.eigenvalues,
             groups,
             gram: gram_stats,
@@ -273,9 +342,11 @@ mod tests {
         .unwrap();
         for (a, b) in dedup
             .similarity
+            .as_dense()
+            .expect("paper scale runs dense")
             .packed()
             .iter()
-            .zip(brute.similarity.packed())
+            .zip(brute.similarity.as_dense().unwrap().packed())
         {
             assert_eq!(a.to_bits(), b.to_bits());
         }
@@ -314,5 +385,128 @@ mod tests {
             .run_on(&JobSet::default())
             .unwrap_err();
         assert!(err.contains("no job passed"));
+    }
+
+    #[test]
+    fn collapsed_engine_reproduces_the_dense_partition() {
+        // The acceptance bar of the collapsed engine: on the paper-scale
+        // 100-job sample, collapsed + Lanczos must reproduce the dense
+        // 5-group partition exactly (ARI 1.0) and leave the Fig 8/9 group
+        // story (labels, populations, medoids) unchanged.
+        let base = PipelineConfig {
+            jobs: 2_000,
+            sample: 100,
+            seed: 42,
+            ..PipelineConfig::default()
+        };
+        let dense = Pipeline::new(base.clone()).run().unwrap();
+        assert_eq!(
+            dense.engine,
+            crate::EngineKind::Dense,
+            "auto stays dense at paper scale"
+        );
+        let collapsed = Pipeline::new(PipelineConfig {
+            cluster_engine: crate::ClusterEngine::Collapsed,
+            ..base
+        })
+        .run()
+        .unwrap();
+        assert_eq!(collapsed.engine, crate::EngineKind::Collapsed);
+        assert!(
+            collapsed.similarity.as_dense().is_none(),
+            "no dense allocation"
+        );
+        assert_eq!(
+            dagscope_cluster::adjusted_rand_index(
+                &collapsed.groups.assignments,
+                &dense.groups.assignments
+            ),
+            1.0
+        );
+        for (c, d) in collapsed.groups.groups.iter().zip(&dense.groups.groups) {
+            assert_eq!(c.label, d.label);
+            assert_eq!(c.population, d.population);
+            assert_eq!(c.sizes, d.sizes);
+            assert_eq!(c.representative, d.representative);
+        }
+        assert!(
+            (collapsed.groups.silhouette - dense.groups.silhouette).abs() < 1e-9,
+            "collapsed={} dense={}",
+            collapsed.groups.silhouette,
+            dense.groups.silhouette
+        );
+        // The expanded views agree entry-wise (the Gram engines are
+        // bitwise-compatible; only the storage differs).
+        let expanded = collapsed.similarity.to_sym();
+        let dd = dense.similarity.as_dense().unwrap();
+        for (a, b) in expanded.packed().iter().zip(dd.packed()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Both spectra start at the Laplacian's zero eigenvalue.
+        assert!(collapsed.laplacian_eigenvalues[0].abs() < 1e-8);
+    }
+
+    #[test]
+    fn auto_engine_is_bit_identical_to_dense_at_paper_scale() {
+        let auto = Pipeline::new(small_cfg()).run().unwrap();
+        let dense = Pipeline::new(PipelineConfig {
+            cluster_engine: crate::ClusterEngine::Dense,
+            ..small_cfg()
+        })
+        .run()
+        .unwrap();
+        assert_eq!(auto.engine, crate::EngineKind::Dense);
+        assert_eq!(auto.groups.assignments, dense.groups.assignments);
+        assert_eq!(auto.laplacian_eigenvalues, dense.laplacian_eigenvalues);
+        for (a, b) in auto
+            .similarity
+            .as_dense()
+            .unwrap()
+            .packed()
+            .iter()
+            .zip(dense.similarity.as_dense().unwrap().packed())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn auto_engine_goes_collapsed_above_the_dense_ceiling() {
+        let report = Pipeline::new(PipelineConfig {
+            jobs: 4_000,
+            sample: crate::AUTO_DENSE_MAX + 88,
+            seed: 5,
+            ..PipelineConfig::default()
+        })
+        .run()
+        .unwrap();
+        assert_eq!(report.engine, crate::EngineKind::Collapsed);
+        assert!(report.similarity.as_dense().is_none());
+        assert_eq!(report.similarity.n(), crate::AUTO_DENSE_MAX + 88);
+        assert_eq!(report.groups.group_count(), 5);
+        assert!(is_partition(&report.groups.assignments, 5));
+        let stats = report.gram.expect("collapsed path records gram stats");
+        assert_eq!(stats.jobs, crate::AUTO_DENSE_MAX + 88);
+        assert!(stats.unique_shapes < stats.jobs);
+    }
+
+    #[test]
+    fn collapsed_engine_requires_dedup() {
+        let err = Pipeline::new(PipelineConfig {
+            cluster_engine: crate::ClusterEngine::Collapsed,
+            dedup_shapes: false,
+            ..small_cfg()
+        })
+        .run()
+        .unwrap_err();
+        assert!(err.contains("dedup"), "err: {err}");
+        // Auto with dedup off silently stays dense instead of failing.
+        let report = Pipeline::new(PipelineConfig {
+            dedup_shapes: false,
+            ..small_cfg()
+        })
+        .run()
+        .unwrap();
+        assert_eq!(report.engine, crate::EngineKind::Dense);
     }
 }

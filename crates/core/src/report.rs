@@ -2,11 +2,11 @@
 
 use dagscope_graph::metrics::JobFeatures;
 use dagscope_graph::JobDag;
-use dagscope_linalg::SymMatrix;
 use dagscope_trace::stats::TraceStats;
 use dagscope_wl::{GramStats, SparseVec};
 
-use crate::{GroupAnalysis, PipelineConfig, StageTimings};
+use crate::config::EngineKind;
+use crate::{GroupAnalysis, PipelineConfig, Similarity, StageTimings};
 
 /// Everything one pipeline run produces. The [`crate::figures`] module
 /// renders individual paper figures from this bundle.
@@ -28,8 +28,12 @@ pub struct Report {
     pub features_conflated: Vec<JobFeatures>,
     /// WL φ vectors of the kernel-stage DAGs.
     pub wl_features: Vec<SparseVec>,
-    /// Normalized pairwise WL similarity (Fig 7).
-    pub similarity: SymMatrix,
+    /// Normalized pairwise WL similarity (Fig 7) — dense at paper scale,
+    /// collapsed (unique-shape CSR) when the sparse engine ran.
+    pub similarity: Similarity,
+    /// The clustering engine this run actually used (after `Auto`
+    /// resolution) — provenance for the report and snapshot.
+    pub engine: EngineKind,
     /// Ascending eigenvalues of the normalized Laplacian (diagnostics).
     pub laplacian_eigenvalues: Vec<f64>,
     /// Spectral grouping and per-group statistics (Figs 8–9).

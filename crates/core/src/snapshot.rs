@@ -45,8 +45,13 @@ use crate::{BaseKernel, Report};
 
 /// Snapshot format version this build writes and reads.
 /// Version 2 added `checksums.txt`; version 3 added `shapes.csv` (WL
-/// shape dedup provenance). Older snapshots must be regenerated.
-const VERSION: u32 = 3;
+/// shape dedup provenance); version 4 added the clustering-engine and
+/// Laplacian-spectrum meta keys. Older snapshots must be regenerated.
+const VERSION: u32 = 4;
+
+/// How many leading Laplacian eigenvalues the snapshot records — enough
+/// to redraw the eigengap diagnostic, without ever scaling with n.
+const SPECTRUM_KEEP: usize = 16;
 
 /// A disposable sibling path of `dir`: `<dir>.<tag>`. Staging and backup
 /// directories live next to the target so the final rename stays within
@@ -163,6 +168,12 @@ pub struct SnapshotMeta {
     pub k: usize,
     /// Silhouette of the offline clustering (provenance only).
     pub silhouette: f64,
+    /// Clustering engine of the producing run (`"dense"` or
+    /// `"collapsed"`; provenance only).
+    pub cluster_engine: String,
+    /// Leading (smallest) normalized-Laplacian eigenvalues of the
+    /// offline clustering, ascending — the eigengap diagnostic.
+    pub eigenvalues: Vec<f64>,
 }
 
 /// Summary of one group, mirroring [`crate::GroupStats`] minus the bulky
@@ -266,6 +277,13 @@ impl IndexSnapshot {
                 seed: report.config.seed,
                 k: report.groups.group_count(),
                 silhouette: report.groups.silhouette,
+                cluster_engine: report.engine.to_string(),
+                eigenvalues: report
+                    .laplacian_eigenvalues
+                    .iter()
+                    .take(SPECTRUM_KEEP)
+                    .copied()
+                    .collect(),
             },
             jobs,
             model,
@@ -284,6 +302,10 @@ impl IndexSnapshot {
         writeln!(meta, "seed={}", self.meta.seed).unwrap();
         writeln!(meta, "k={}", self.meta.k).unwrap();
         writeln!(meta, "silhouette={}", self.meta.silhouette).unwrap();
+        writeln!(meta, "cluster_engine={}", self.meta.cluster_engine).unwrap();
+        // `{}` on f64 round-trips exactly through parse.
+        let spectrum: Vec<String> = self.meta.eigenvalues.iter().map(f64::to_string).collect();
+        writeln!(meta, "eigenvalues={}", spectrum.join(",")).unwrap();
 
         let mut rows = String::new();
         for job in &self.jobs {
@@ -446,6 +468,23 @@ impl IndexSnapshot {
             silhouette: meta_kv("silhouette")?
                 .parse()
                 .map_err(|e| bad(format!("bad silhouette: {e}")))?,
+            cluster_engine: {
+                let engine = meta_kv("cluster_engine")?;
+                if engine != "dense" && engine != "collapsed" {
+                    return Err(bad(format!("bad cluster_engine: {engine:?}")));
+                }
+                engine.to_string()
+            },
+            eigenvalues: {
+                let raw = meta_kv("eigenvalues")?;
+                if raw.is_empty() {
+                    Vec::new()
+                } else {
+                    raw.split(',')
+                        .map(|v| v.parse().map_err(|e| bad(format!("bad eigenvalue: {e}"))))
+                        .collect::<Result<Vec<f64>, _>>()?
+                }
+            },
         };
 
         let rows = csv::read_tasks(read("jobs.csv")?.as_bytes()).map_err(|e| bad(e.to_string()))?;
@@ -703,6 +742,45 @@ mod tests {
     }
 
     #[test]
+    fn meta_records_engine_and_spectrum() {
+        let r = report();
+        let snap = IndexSnapshot::from_report(&r).unwrap();
+        assert_eq!(snap.meta.cluster_engine, "dense");
+        let eig = &snap.meta.eigenvalues;
+        assert!(!eig.is_empty() && eig.len() <= SPECTRUM_KEEP);
+        assert!(eig[0].abs() < 1e-8, "Laplacian spectrum starts at 0");
+        assert!(eig.windows(2).all(|w| w[0] <= w[1]), "ascending");
+        // A collapsed run records its engine too.
+        let rc = Pipeline::new(PipelineConfig {
+            jobs: 300,
+            sample: 25,
+            seed: 11,
+            cluster_engine: crate::ClusterEngine::Collapsed,
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+        let snap_c = IndexSnapshot::from_report(&rc).unwrap();
+        assert_eq!(snap_c.meta.cluster_engine, "collapsed");
+        // Exact f64 round-trip through the text form is covered by the
+        // meta equality assertion in `round_trip_preserves_everything`;
+        // an unknown engine value is rejected by the loader.
+        let dir = tmp_dir("engine");
+        snap.save(&dir).unwrap();
+        let meta = std::fs::read_to_string(dir.join("meta.txt")).unwrap();
+        tamper_with_valid_crc(
+            &dir,
+            "meta.txt",
+            &meta.replace("cluster_engine=dense", "cluster_engine=bogus"),
+        );
+        assert!(matches!(
+            IndexSnapshot::load(&dir).unwrap_err(),
+            SnapshotError::Format(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn sp_kernel_run_is_rejected() {
         let r = Pipeline::new(PipelineConfig {
             jobs: 300,
@@ -752,7 +830,7 @@ mod tests {
         assert!(IndexSnapshot::load(&dir).is_ok());
 
         // Wrong version (checksum refreshed so the parser sees it).
-        tamper_with_valid_crc(&dir, "meta.txt", &meta.replace("version=3", "version=9"));
+        tamper_with_valid_crc(&dir, "meta.txt", &meta.replace("version=4", "version=9"));
         assert!(matches!(
             IndexSnapshot::load(&dir).unwrap_err(),
             SnapshotError::Format(_)

@@ -1,5 +1,6 @@
 //! Public eigendecomposition API.
 
+use crate::error::LinalgError;
 use crate::tridiag::{tqli, tred2};
 use crate::{Matrix, SymMatrix};
 
@@ -21,10 +22,20 @@ pub struct EigenDecomposition {
 
 impl EigenDecomposition {
     /// Sort `(values, vectors)` ascending by eigenvalue, permuting columns.
-    pub(crate) fn sorted(values: Vec<f64>, vectors: Matrix) -> Self {
+    ///
+    /// Returns [`LinalgError::NaN`] if any eigenvalue is NaN (a matrix
+    /// containing NaN entries decomposes to NaN eigenvalues): a degenerate
+    /// affinity must surface as an error, not a sort-comparator panic.
+    pub(crate) fn sorted(values: Vec<f64>, vectors: Matrix) -> Result<Self, LinalgError> {
+        if values.iter().any(|v| v.is_nan()) {
+            return Err(LinalgError::NaN {
+                context: "eigendecomposition: eigenvalue".to_string(),
+            });
+        }
         let n = values.len();
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN eigenvalue"));
+        // NaN was ruled out above, so partial_cmp cannot fail.
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
         let mut ev = Vec::with_capacity(n);
         let mut vm = Matrix::zeros(vectors.rows(), n);
         for (new_col, &old_col) in order.iter().enumerate() {
@@ -33,10 +44,10 @@ impl EigenDecomposition {
                 vm[(r, new_col)] = vectors[(r, old_col)];
             }
         }
-        EigenDecomposition {
+        Ok(EigenDecomposition {
             eigenvalues: ev,
             eigenvectors: vm,
-        }
+        })
     }
 
     /// The `k` eigenvectors with the smallest eigenvalues, as the columns of
@@ -118,14 +129,14 @@ impl EigenDecomposition {
 /// assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-12);
 /// assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-12);
 /// ```
-pub fn eigh(s: &SymMatrix) -> Result<EigenDecomposition, String> {
+pub fn eigh(s: &SymMatrix) -> Result<EigenDecomposition, LinalgError> {
     let n = s.n();
     let mut q = s.to_dense();
     let mut d = vec![0.0; n];
     let mut e = vec![0.0; n];
     tred2(&mut q, &mut d, &mut e);
     tqli(&mut d, &mut e, &mut q)?;
-    Ok(EigenDecomposition::sorted(d, q))
+    EigenDecomposition::sorted(d, q)
 }
 
 #[cfg(test)]
@@ -227,6 +238,16 @@ mod tests {
         }
         let eig = eigh(&lap).unwrap();
         assert_eq!(eig.eigengap_k(4), 2);
+    }
+
+    #[test]
+    fn nan_input_is_an_error_not_a_panic() {
+        let mut s = SymMatrix::zeros(3);
+        s.set(0, 0, f64::NAN);
+        s.set(1, 1, 1.0);
+        s.set(2, 2, 2.0);
+        let err = eigh(&s);
+        assert!(err.is_err(), "NaN affinity must fail gracefully");
     }
 
     #[test]

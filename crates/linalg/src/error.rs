@@ -1,0 +1,76 @@
+//! Error type shared by the eigensolvers.
+
+use std::fmt;
+
+/// Failure of a linear-algebra routine.
+///
+/// Prior to this type the solvers either panicked (`sorted` hit a NaN
+/// eigenvalue via `.expect`) or returned bare `String`s; a degenerate
+/// affinity matrix fed in by the pipeline or the serve loader could
+/// therefore crash the process. Every failure now propagates as a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// A computation produced a NaN where a real number was required
+    /// (for example an eigenvalue of a matrix containing NaN entries).
+    NaN {
+        /// Routine and quantity that went non-numeric.
+        context: String,
+    },
+    /// An iterative method exhausted its iteration budget.
+    NoConvergence {
+        /// Routine that failed to converge.
+        context: String,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Inconsistent or out-of-range dimensions.
+    Dimension {
+        /// What was mismatched.
+        context: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NaN { context } => write!(f, "{context}: NaN encountered"),
+            LinalgError::NoConvergence {
+                context,
+                iterations,
+            } => write!(f, "{context}: no convergence after {iterations} iterations"),
+            LinalgError::Dimension { context } => write!(f, "dimension error: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+impl From<LinalgError> for String {
+    fn from(e: LinalgError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_string_conversion() {
+        let e = LinalgError::NaN {
+            context: "eigh: eigenvalue".to_string(),
+        };
+        assert_eq!(e.to_string(), "eigh: eigenvalue: NaN encountered");
+        let s: String = e.into();
+        assert!(s.contains("NaN"));
+        let c = LinalgError::NoConvergence {
+            context: "lanczos".to_string(),
+            iterations: 7,
+        };
+        assert!(c.to_string().contains("after 7 iterations"));
+        let d = LinalgError::Dimension {
+            context: "k=9 > n=3".to_string(),
+        };
+        assert!(d.to_string().contains("k=9"));
+    }
+}

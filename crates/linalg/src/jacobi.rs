@@ -2,6 +2,7 @@
 //! Householder+QL path.
 
 use crate::eigen::EigenDecomposition;
+use crate::error::LinalgError;
 use crate::{Matrix, SymMatrix};
 
 /// Maximum number of full sweeps before giving up.
@@ -23,7 +24,7 @@ const MAX_SWEEPS: usize = 64;
 /// assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-10);
 /// assert!((eig.eigenvalues[1] - 3.0).abs() < 1e-10);
 /// ```
-pub fn eigh_jacobi(s: &SymMatrix) -> Result<EigenDecomposition, String> {
+pub fn eigh_jacobi(s: &SymMatrix) -> Result<EigenDecomposition, LinalgError> {
     let n = s.n();
     let mut a = s.to_dense();
     let mut v = Matrix::identity(n);
@@ -38,7 +39,7 @@ pub fn eigh_jacobi(s: &SymMatrix) -> Result<EigenDecomposition, String> {
         }
         let scale = a.frobenius_norm().max(1.0);
         if off.sqrt() <= 1e-14 * scale {
-            return Ok(EigenDecomposition::sorted(collect_diag(&a), v));
+            return EigenDecomposition::sorted(collect_diag(&a), v);
         }
 
         for p in 0..n {
@@ -80,7 +81,10 @@ pub fn eigh_jacobi(s: &SymMatrix) -> Result<EigenDecomposition, String> {
             }
         }
     }
-    Err("jacobi: did not converge within 64 sweeps".to_string())
+    Err(LinalgError::NoConvergence {
+        context: "jacobi".to_string(),
+        iterations: MAX_SWEEPS,
+    })
 }
 
 fn collect_diag(a: &Matrix) -> Vec<f64> {

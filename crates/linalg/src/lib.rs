@@ -7,26 +7,42 @@
 //! * [`Matrix`] — a row-major dense `f64` matrix with the handful of
 //!   operations the pipeline needs (products, transpose, norms),
 //! * [`SymMatrix`] — a packed symmetric matrix (upper triangle only),
+//! * [`CsrSym`] — a symmetric sparse matrix (CSR, both triangles stored)
+//!   whose SpMV is row-sharded over `dagscope-par`,
 //! * [`eigh`] — Householder tridiagonalization + implicit-shift QL
-//!   eigendecomposition (the workhorse, `O(n³)` with a small constant),
+//!   eigendecomposition (the dense workhorse, `O(n³)` with a small
+//!   constant),
 //! * [`eigh_jacobi`] — a cyclic Jacobi eigensolver kept as an independent
 //!   cross-check (tests validate the two against each other),
+//! * [`LinOp`] + [`lanczos_smallest`] — a matrix-free operator trait and
+//!   a fully reorthogonalized Lanczos iteration for the smallest-k
+//!   eigenpairs, the scale path that clusters the full trace without a
+//!   dense matrix,
 //! * [`vector`] — small dense-vector helpers shared by k-means.
 //!
 //! No external BLAS/LAPACK: the matrices in this problem are small enough
-//! that clarity and auditability beat peak FLOPs.
+//! that clarity and auditability beat peak FLOPs; the trace-scale path is
+//! sparse and iterative rather than tuned-dense.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod eigen;
+mod error;
 mod jacobi;
+mod lanczos;
+mod linop;
 mod matrix;
 mod sym;
 mod tridiag;
 pub mod vector;
 
+pub use csr::CsrSym;
 pub use eigen::{eigh, EigenDecomposition};
+pub use error::LinalgError;
 pub use jacobi::eigh_jacobi;
+pub use lanczos::{lanczos_smallest, LanczosOptions, LanczosResult};
+pub use linop::LinOp;
 pub use matrix::Matrix;
 pub use sym::SymMatrix;

@@ -1,0 +1,63 @@
+//! Matrix-free linear-operator abstraction.
+//!
+//! The Lanczos eigensolver only needs `y = A·x`; it never inspects
+//! entries. [`LinOp`] captures exactly that, so a caller can hand it a
+//! dense [`SymMatrix`], a sparse [`CsrSym`](crate::CsrSym), or a
+//! composite operator (e.g. a normalized Laplacian applied as
+//! `x − s∘(W(s∘x))`) without ever materializing the matrix.
+
+use crate::SymMatrix;
+
+/// A symmetric linear operator on `R^n`, applied matrix-free.
+///
+/// Implementations must be deterministic: `apply` on equal inputs must
+/// produce bitwise-equal outputs (the spectral pipeline's reproducibility
+/// guarantees depend on it).
+pub trait LinOp {
+    /// Dimension `n` of the operator's domain (and codomain).
+    fn dim(&self) -> usize;
+
+    /// Compute `y = A·x`. Both slices have length [`dim`](Self::dim);
+    /// `y` is overwritten entirely.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinOp for SymMatrix {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.n();
+        debug_assert_eq!(x.len(), n);
+        debug_assert_eq!(y.len(), n);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, xj) in x.iter().enumerate() {
+                acc += self.get(i, j) * xj;
+            }
+            *yi = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_matrix_applies_like_dense_matvec() {
+        let mut s = SymMatrix::zeros(3);
+        s.set(0, 0, 2.0);
+        s.set(0, 1, 1.0);
+        s.set(1, 2, -3.0);
+        s.set(2, 2, 4.0);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        s.apply(&x, &mut y);
+        let dense = s.to_dense();
+        let oracle = dense.matvec(&x);
+        assert_eq!(y.to_vec(), oracle);
+        assert_eq!(s.dim(), 3);
+    }
+}

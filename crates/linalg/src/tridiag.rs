@@ -7,6 +7,7 @@
 //! accumulated basis. Overall `O(n³)` with a much smaller constant than
 //! Jacobi sweeps.
 
+use crate::error::LinalgError;
 use crate::Matrix;
 
 /// `sqrt(a² + b²)` without destructive underflow or overflow.
@@ -125,7 +126,7 @@ pub(crate) fn tred2(a: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
 /// On return `d` holds the eigenvalues (unsorted) and column `k` of `z` the
 /// eigenvector for `d[k]`. Returns `Err` if any eigenvalue fails to converge
 /// within 50 iterations (never observed for PSD kernel matrices).
-pub(crate) fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), String> {
+pub(crate) fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), LinalgError> {
     let n = d.len();
     if n == 0 {
         return Ok(());
@@ -152,7 +153,10 @@ pub(crate) fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), S
             }
             iter += 1;
             if iter > 50 {
-                return Err(format!("tqli: eigenvalue {l} failed to converge"));
+                return Err(LinalgError::NoConvergence {
+                    context: format!("tqli: eigenvalue {l}"),
+                    iterations: 50,
+                });
             }
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
             let mut r = pythag(g, 1.0);

@@ -1,0 +1,91 @@
+//! Property tests pinning the Lanczos solver to the dense `eigh` oracle
+//! on random symmetric matrices: eigenvalue agreement within tolerance,
+//! and subspace agreement (projection leak) whenever the spectral gap at
+//! the cut makes the smallest-k subspace well conditioned.
+
+use proptest::prelude::*;
+
+use dagscope_linalg::vector::{axpy, dot, norm2};
+use dagscope_linalg::{eigh, lanczos_smallest, CsrSym, LanczosOptions, SymMatrix};
+
+fn random_sym(n: usize, entries: &[f64]) -> SymMatrix {
+    let mut s = SymMatrix::zeros(n);
+    let mut it = entries.iter().cycle();
+    for i in 0..n {
+        for j in i..n {
+            s.set(i, j, *it.next().unwrap());
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lanczos_matches_eigh_values(n in 2usize..24, k in 1usize..6,
+                                   entries in prop::collection::vec(-10.0f64..10.0, 1..40)) {
+        let k = k.min(n);
+        let s = random_sym(n, &entries);
+        let dense = eigh(&s).unwrap();
+        let lz = lanczos_smallest(&s, k, &LanczosOptions::default()).unwrap();
+        prop_assert_eq!(lz.eigenvalues.len(), k);
+        for (i, (a, b)) in lz.eigenvalues.iter().zip(&dense.eigenvalues).enumerate() {
+            prop_assert!((a - b).abs() < 1e-6, "pair {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lanczos_subspace_matches_eigh(n in 3usize..20, k in 1usize..4,
+                                     entries in prop::collection::vec(-5.0f64..5.0, 1..40)) {
+        let k = k.min(n - 1);
+        let s = random_sym(n, &entries);
+        let dense = eigh(&s).unwrap();
+        // The smallest-k subspace is only well defined when a gap
+        // separates it from the rest of the spectrum.
+        let gap = dense.eigenvalues[k] - dense.eigenvalues[k - 1];
+        prop_assume!(gap > 1e-3);
+        let lz = lanczos_smallest(&s, k, &LanczosOptions::default()).unwrap();
+        let v = dense.smallest_vectors(k);
+        for col in 0..k {
+            let y: Vec<f64> = (0..n).map(|r| lz.eigenvectors[(r, col)]).collect();
+            let mut proj = vec![0.0; n];
+            for j in 0..k {
+                let vj: Vec<f64> = (0..n).map(|r| v[(r, j)]).collect();
+                axpy(dot(&vj, &y), &vj, &mut proj);
+            }
+            let leak: Vec<f64> = y.iter().zip(&proj).map(|(a, b)| a - b).collect();
+            let angle = norm2(&leak);
+            prop_assert!(angle < 1e-5, "col {col}: subspace leak {angle} (gap {gap})");
+        }
+    }
+
+    #[test]
+    fn lanczos_on_csr_matches_dense_operator(n in 2usize..16, k in 1usize..4,
+                                             entries in prop::collection::vec(-4.0f64..4.0, 1..30)) {
+        let k = k.min(n);
+        let s = random_sym(n, &entries);
+        let sparse = CsrSym::from_sym(&s);
+        let a = lanczos_smallest(&s, k, &LanczosOptions::default()).unwrap();
+        let b = lanczos_smallest(&sparse, k, &LanczosOptions::default()).unwrap();
+        for (x, y) in a.eigenvalues.iter().zip(&b.eigenvalues) {
+            prop_assert!((x - y).abs() < 1e-7, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn csr_spmv_matches_dense(n in 1usize..20,
+                              entries in prop::collection::vec(-9.0f64..9.0, 1..50)) {
+        use dagscope_linalg::LinOp;
+        let s = random_sym(n, &entries);
+        let sparse = CsrSym::from_sym(&s);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut yd = vec![0.0; n];
+        let mut ys = vec![0.0; n];
+        s.apply(&x, &mut yd);
+        sparse.apply(&x, &mut ys);
+        for (a, b) in yd.iter().zip(&ys) {
+            prop_assert!((a - b).abs() < 1e-10 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+}

@@ -684,6 +684,7 @@ fn census(index: &ServeIndex) -> Response {
             ])
         })
         .collect();
+    let spectrum: Vec<Json> = meta.eigenvalues.iter().map(|&v| Json::from(v)).collect();
     Response::ok(
         obj(vec![
             ("jobs", Json::from(index.len())),
@@ -691,6 +692,8 @@ fn census(index: &ServeIndex) -> Response {
             ("silhouette", Json::from(meta.silhouette)),
             ("wl_iterations", Json::from(meta.wl_iterations)),
             ("conflate", Json::Bool(meta.conflate)),
+            ("cluster_engine", Json::from(meta.cluster_engine.clone())),
+            ("laplacian_eigenvalues", Json::Arr(spectrum)),
             ("groups", Json::Arr(groups)),
             ("patterns", Json::Arr(patterns)),
         ])
@@ -754,6 +757,14 @@ mod tests {
         let (status, body) = get(&index, &metrics, "/v1/census");
         assert_eq!(status, 200);
         assert_eq!(body.get("groups").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(
+            body.get("cluster_engine").unwrap().as_str(),
+            Some("dense"),
+            "engine provenance flows from snapshot meta to the census"
+        );
+        let spectrum = body.get("laplacian_eigenvalues").unwrap().as_arr().unwrap();
+        assert!(!spectrum.is_empty() && spectrum.len() <= 16);
+        assert!(spectrum[0].as_num().unwrap().abs() < 1e-8);
 
         let name = index.features(0).name.clone();
         let (status, body) = get(&index, &metrics, &format!("/v1/jobs/{name}"));

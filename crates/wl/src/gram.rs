@@ -29,7 +29,7 @@
 
 use std::hash::Hasher;
 
-use dagscope_linalg::SymMatrix;
+use dagscope_linalg::{CsrSym, SymMatrix};
 use dagscope_par::par_map;
 
 use crate::fx::{FxHashMap, FxHasher};
@@ -221,6 +221,101 @@ pub fn unique_gram(shapes: &[&SparseVec]) -> (SymMatrix, GramStats) {
     (SymMatrix::from_packed(m, packed), stats)
 }
 
+/// Gram matrix of `shapes` assembled **directly into symmetric CSR**
+/// from the feature→shape inverted index — the trace-scale sibling of
+/// [`unique_gram`] that never materializes the packed `m × m` triangle.
+///
+/// Peak affinity memory is `O(nnz)`: only shape pairs sharing a feature
+/// occupy storage; every other entry is structurally absent (exactly the
+/// `0.0` the dense path stores). Each stored value is produced by the
+/// same per-row accumulation sequence as [`unique_gram`], so it is
+/// **bitwise identical** to the corresponding dense entry (see the
+/// module invariant).
+pub fn unique_gram_sparse(shapes: &[&SparseVec]) -> (CsrSym, GramStats) {
+    let m = shapes.len();
+    let mut postings: FxHashMap<u32, Vec<(u32, f64)>> = FxHashMap::default();
+    for (s, f) in shapes.iter().enumerate() {
+        for (idx, v) in f.iter() {
+            postings.entry(idx).or_default().push((s as u32, v));
+        }
+    }
+    let rows: Vec<usize> = (0..m).collect();
+    let per_row = par_map(&rows, |&a| {
+        // Same dense row-segment scratch and accumulation order as
+        // `unique_gram`, compacted to (column, value) pairs afterwards.
+        let width = m - a;
+        let mut row = vec![0.0f64; width];
+        let mut touched = vec![false; width];
+        let mut pairs = 0u64;
+        for (idx, va) in shapes[a].iter() {
+            let Some(list) = postings.get(&idx) else {
+                continue;
+            };
+            let start = list.partition_point(|&(s, _)| (s as usize) < a);
+            for &(b, vb) in &list[start..] {
+                let off = b as usize - a;
+                if !touched[off] {
+                    touched[off] = true;
+                    pairs += 1;
+                }
+                row[off] += va * vb;
+            }
+        }
+        let entries: Vec<(u32, f64)> = touched
+            .iter()
+            .zip(&row)
+            .enumerate()
+            .filter_map(|(off, (&t, &v))| t.then_some(((a + off) as u32, v)))
+            .collect();
+        (entries, pairs)
+    });
+    let mut upper_rows = Vec::with_capacity(m);
+    let mut dots = 0u64;
+    for (entries, pairs) in per_row {
+        upper_rows.push(entries);
+        dots += pairs;
+    }
+    let stats = GramStats {
+        jobs: m,
+        unique_shapes: m,
+        dot_products: dots,
+        candidate_pairs: dots,
+    };
+    (CsrSym::from_upper_rows(&upper_rows), stats)
+}
+
+/// Cosine-normalize a sparse unique-shape Gram, replicating the exact
+/// per-entry arithmetic of [`normalize_kernel`](crate::normalize_kernel):
+/// `K̂[a][b] = K[a][b] / √(K[a][a]·K[b][b])`, diagonals forced to exactly
+/// `1.0` when the raw self-similarity is positive (so normalized
+/// diagonals are exactly `1.0` or `0.0` — the collapsed silhouette's
+/// analytic defaults depend on that). Structurally absent entries stay
+/// absent: a zero dot normalizes to zero either way.
+pub fn normalize_unique_sparse(k: &CsrSym) -> CsrSym {
+    let m = k.n();
+    let diag = k.diagonal();
+    let rows: Vec<Vec<(u32, f64)>> = (0..m)
+        .map(|i| {
+            let (cols, vals) = k.row(i);
+            cols.iter()
+                .zip(vals)
+                .filter(|&(&j, _)| j as usize >= i)
+                .map(|(&j, &v)| {
+                    let d = (diag[i] * diag[j as usize]).sqrt();
+                    let nv = if d > 0.0 { v / d } else { 0.0 };
+                    let out = if i == j as usize && diag[i] > 0.0 {
+                        1.0
+                    } else {
+                        nv
+                    };
+                    (j, out)
+                })
+                .collect()
+        })
+        .collect();
+    CsrSym::from_upper_rows(&rows)
+}
+
 /// Broadcast a unique-shape Gram back to the full job population:
 /// `K[i][j] = U[shape(i)][shape(j)]`.
 pub fn expand_gram(dedup: &ShapeDedup, unique: &SymMatrix) -> SymMatrix {
@@ -334,6 +429,50 @@ mod tests {
         assert_eq!(stats.unique_shapes, 4);
         // 4 unique shapes → at most 10 pair dots instead of 28.
         assert!(stats.dot_products <= 10);
+    }
+
+    #[test]
+    fn sparse_gram_is_bitwise_equal_to_dense_engine() {
+        let feats = population();
+        let refs: Vec<&SparseVec> = feats.iter().collect();
+        let (dense, dense_stats) = unique_gram(&refs);
+        let (sparse, sparse_stats) = unique_gram_sparse(&refs);
+        assert_eq!(sparse.n(), dense.n());
+        assert_eq!(dense_stats, sparse_stats);
+        for i in 0..feats.len() {
+            for j in 0..feats.len() {
+                assert_eq!(
+                    sparse.get(i, j).to_bits(),
+                    dense.get(i, j).to_bits(),
+                    "entry ({i},{j})"
+                );
+            }
+        }
+        // Sparsity: only co-occurring pairs are stored.
+        assert!(sparse.nnz() < feats.len() * feats.len());
+    }
+
+    #[test]
+    fn sparse_normalization_matches_dense_bitwise() {
+        let feats = population();
+        let refs: Vec<&SparseVec> = feats.iter().collect();
+        let (dense, _) = unique_gram(&refs);
+        let (sparse, _) = unique_gram_sparse(&refs);
+        let dn = crate::normalize_kernel(&dense);
+        let sn = normalize_unique_sparse(&sparse);
+        for i in 0..feats.len() {
+            for j in 0..feats.len() {
+                assert_eq!(
+                    sn.get(i, j).to_bits(),
+                    dn.get(i, j).to_bits(),
+                    "normalized entry ({i},{j})"
+                );
+            }
+        }
+        // Normalized diagonals are exactly 1.0 (non-empty) or 0.0 (empty).
+        for (i, d) in sn.diagonal().iter().enumerate() {
+            assert!(*d == 1.0 || *d == 0.0, "diag {i} = {d}");
+        }
     }
 
     #[test]

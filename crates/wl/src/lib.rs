@@ -37,8 +37,8 @@ mod vectorizer;
 pub use cache::KernelCache;
 pub use fx::FxHashMap;
 pub use gram::{
-    expand_gram, fingerprint, kernel_matrix_dedup, kernel_matrix_via_dedup, unique_gram, GramStats,
-    ShapeDedup,
+    expand_gram, fingerprint, kernel_matrix_dedup, kernel_matrix_via_dedup,
+    normalize_unique_sparse, unique_gram, unique_gram_sparse, GramStats, ShapeDedup,
 };
 pub use kernel::{kernel_matrix, normalize_kernel, wl_kernel};
 pub use sp::{sp_kernel, SpVectorizer};
