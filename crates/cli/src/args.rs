@@ -46,7 +46,7 @@ pub struct Flags {
 }
 
 /// Flags that never take a value.
-const SWITCHES: &[&str] = &["instances", "machines", "help", "all", "timings"];
+const SWITCHES: &[&str] = &["instances", "machines", "help", "all", "timings", "stream"];
 
 impl Flags {
     /// Parse a token stream (without the program / subcommand names).

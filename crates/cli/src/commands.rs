@@ -35,7 +35,8 @@ COMMANDS
   figure      regenerate one paper figure 2..9, or all
               (--n N | --all) [--csv DIR] [--dot DIR] [pipeline flags]
   census      Section V-B shape-pattern census over a full trace
-              (--jobs N --seed S)
+              (--jobs N --seed S | --trace DIR, streamed one job at a
+               time with a unique-WL-shape count)
   baselines   WL+spectral vs statistical k-means vs hierarchical (ARI)
               (--jobs N --sample N --seed S)
   placement   job-task-node placement statistics from instance rows
@@ -62,6 +63,11 @@ GLOBAL FLAGS
   --max-bad-rows N   with --trace: quarantine up to N malformed rows
                      instead of aborting on the first; implicated jobs
                      are dropped and a report goes to stderr
+  --stream           with --trace: single-pass bounded-memory ingestion —
+                     statistics fold during the scan, only the sampled
+                     jobs are ever materialized (byte-range replay), and
+                     peak memory stays far below the raw trace size.
+                     Output is bit-identical to the batch loader
   --dedup-shapes on|off
                      collapse bitwise-identical WL vectors before the
                      Gram assembly (sparse engine; default on). Results
@@ -158,9 +164,48 @@ fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, CliError> {
     })
 }
 
+/// The row-decode policy selected by `--max-bad-rows` (absent = strict).
+fn trace_policy(flags: &Flags) -> Result<ReadPolicy, CliError> {
+    Ok(match flags.str_opt("max-bad-rows") {
+        None => ReadPolicy::Strict,
+        Some(_) => ReadPolicy::Quarantine {
+            max_bad: flags.get_or("max-bad-rows", 0usize, "a row count")?,
+        },
+    })
+}
+
+/// Stream-scan a trace's `batch_task.csv`, reporting quarantine verdicts
+/// the way the batch loader does.
+fn open_streamed_trace(
+    dir: &str,
+    flags: &Flags,
+) -> Result<dagscope_trace::stream::StreamedTrace<fs::File>, CliError> {
+    let path = Path::new(dir).join("batch_task.csv");
+    let file = fs::File::open(&path)
+        .map_err(|e| CliError::Run(format!("open {}: {e}", path.display())))?;
+    let policy = trace_policy(flags)?;
+    let streamed =
+        dagscope_trace::stream::StreamedTrace::scan(file, &policy, &SampleCriteria::default())
+            .map_err(io_err)?;
+    if !streamed.quarantine().is_clean() {
+        eprintln!("dagscope: {}", streamed.quarantine().render());
+        eprintln!(
+            "dagscope: dropped {} suspect jobs (quarantine-incomplete)",
+            streamed.suspects().len()
+        );
+    }
+    Ok(streamed)
+}
+
 fn run_pipeline(flags: &Flags) -> Result<Report, CliError> {
     let pipeline = Pipeline::new(pipeline_config(flags)?);
     match flags.str_opt("trace") {
+        // `--stream`: single-pass bounded-memory ingestion; only the
+        // sampled jobs are ever materialized. Bit-identical output.
+        Some(dir) if flags.switch("stream") => {
+            let mut streamed = open_streamed_trace(dir, flags)?;
+            pipeline.run_streamed(&mut streamed).map_err(CliError::Run)
+        }
         // Ingest a real (or pre-generated) batch_task.csv instead of
         // synthesizing a trace; chunks decode in parallel.
         Some(dir) => {
@@ -222,6 +267,11 @@ fn with_timings(flags: &Flags, report: &Report, body: String) -> String {
             .unwrap();
         }
         writeln!(out, "cluster engine: {}", report.engine).unwrap();
+        // Process peak RSS (VmHWM) — the number the streaming engine's
+        // memory-budget claim is pinned on; CI greps this line.
+        if let Some(rss) = dagscope_par::peak_rss_bytes() {
+            writeln!(out, "peak rss: {:.1} MB", rss as f64 / 1e6).unwrap();
+        }
         // Eigengap diagnostic: the leading Laplacian spectrum justifies
         // (or questions) the chosen group count.
         let eig = &report.laplacian_eigenvalues;
@@ -424,20 +474,58 @@ fn cmd_figure(flags: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_census(flags: &Flags) -> Result<String, CliError> {
-    let jobs = flags.get_or("jobs", 20_000usize, "a job count")?;
-    let seed = flags.get_or("seed", 42u64, "a seed")?;
-    let trace = TraceGenerator::new(GeneratorConfig {
-        jobs,
-        seed,
-        ..Default::default()
-    })
-    .generate();
-    let set = trace.job_set();
-    let dags: Vec<JobDag> = dagscope_par::par_map(&SampleCriteria::default().filter(&set), |j| {
-        JobDag::from_job(j).expect("filtered job builds")
-    });
-    let census = figures::pattern_census_of(&dags);
+    // `--trace <dir>` censuses a real CSV with the streaming engine: one
+    // job in memory at a time, so the full 4M-job trace fits a laptop
+    // budget. Unique shapes are tracked by WL fingerprint (fresh
+    // vectorizer per job, so equal shapes hash equal) — the O(sqrt n)
+    // population the collapsed cluster engine exploits.
+    let (census, unique_shapes) = if let Some(dir) = flags.str_opt("trace") {
+        let mut streamed = open_streamed_trace(dir, flags)?;
+        let iterations = flags.get_or("wl-iterations", 3usize, "an iteration count")?;
+        let mut merged: Option<dagscope_graph::pattern::PatternCensus> = None;
+        let mut shapes = std::collections::HashSet::new();
+        for pos in 0..streamed.eligible_count() {
+            let job = streamed.materialize_eligible(pos).map_err(io_err)?;
+            let dag = [JobDag::from_job(&job)
+                .map_err(|e| CliError::Run(format!("job {}: {e}", job.name)))?];
+            let mut wl = dagscope_wl::WlVectorizer::new(iterations);
+            shapes.insert(dagscope_wl::fingerprint(&wl.transform(&dag[0])));
+            let one = figures::pattern_census_of(&dag);
+            merged = Some(match merged {
+                None => one,
+                Some(mut acc) => {
+                    acc.total += one.total;
+                    for (row, (_, c)) in acc.counts.iter_mut().zip(&one.counts) {
+                        row.1 += c;
+                    }
+                    acc
+                }
+            });
+        }
+        let census = merged.ok_or_else(|| {
+            CliError::Run("no job passed the integrity/availability filters".to_string())
+        })?;
+        (census, Some(shapes.len()))
+    } else {
+        let jobs = flags.get_or("jobs", 20_000usize, "a job count")?;
+        let seed = flags.get_or("seed", 42u64, "a seed")?;
+        let trace = TraceGenerator::new(GeneratorConfig {
+            jobs,
+            seed,
+            ..Default::default()
+        })
+        .generate();
+        let set = trace.job_set();
+        let dags: Vec<JobDag> =
+            dagscope_par::par_map(&SampleCriteria::default().filter(&set), |j| {
+                JobDag::from_job(j).expect("filtered job builds")
+            });
+        (figures::pattern_census_of(&dags), None)
+    };
     let mut out = figures::render_pattern_census(&census);
+    if let Some(n) = unique_shapes {
+        writeln!(out, "unique WL shapes: {n}").unwrap();
+    }
     if let Some(dir) = flags.str_opt("csv") {
         fs::create_dir_all(dir)?;
         let path = Path::new(dir).join("pattern_census.csv");
@@ -597,10 +685,13 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         )?),
         ..defaults
     };
+    let load_start = std::time::Instant::now();
     let snapshot = IndexSnapshot::load(Path::new(dir)).map_err(|e| CliError::Run(e.to_string()))?;
     let index = dagscope_serve::ServeIndex::build(snapshot).map_err(CliError::Run)?;
+    let load_us = load_start.elapsed().as_micros() as u64;
     let jobs = index.len();
     let server = dagscope_serve::Server::bind_with(index, &addr, config)?;
+    server.metrics().set_snapshot_load_us(load_us);
     let local = server.local_addr()?;
     // Bridge the process signal handler to a graceful drain: the binary's
     // SIGTERM/SIGINT handler sets `SHUTDOWN`; this watcher turns it into

@@ -8,11 +8,14 @@ use dagscope_graph::{conflate, JobDag};
 use dagscope_trace::filter::{stratified_sample, SampleCriteria};
 use dagscope_trace::gen::TraceGenerator;
 use dagscope_trace::stats::TraceStats;
+use dagscope_trace::stream::StreamedTrace;
 use dagscope_trace::{Job, JobSet};
+
 use dagscope_wl::{
     kernel_matrix, kernel_matrix_via_dedup, normalize_kernel, normalize_unique_sparse,
     unique_gram_sparse, ShapeDedup, SpVectorizer, SparseVec, WlVectorizer,
 };
+use std::io::{Read, Seek};
 
 use std::time::Instant;
 
@@ -62,9 +65,63 @@ impl Pipeline {
         if eligible.is_empty() {
             return Err("no job passed the integrity/availability filters".to_string());
         }
-        let sample = stratified_sample(&eligible, self.cfg.sample, self.cfg.seed);
+        let sample: Vec<Job> = stratified_sample(&eligible, self.cfg.sample, self.cfg.seed)
+            .into_iter()
+            .cloned()
+            .collect();
         timings.sample = clock.elapsed();
 
+        self.finish(run_start, timings, stats, sample)
+    }
+
+    /// Run on a streamed trace: statistics come from the scan's running
+    /// accumulator, the stratified sample is picked from the bare size
+    /// column ([`StreamedTrace::sample_eligible`] consumes the identical
+    /// random stream as the batch sampler), and only the sampled jobs are
+    /// materialized — the full population never exists in memory at once.
+    ///
+    /// Produces a [`Report`] bit-identical to [`Pipeline::run_on`] over the
+    /// batch-ingested (suspect-stripped) population of the same trace.
+    pub fn run_streamed<R: Read + Seek>(
+        &self,
+        streamed: &mut StreamedTrace<R>,
+    ) -> Result<Report, String> {
+        let run_start = Instant::now();
+        let mut timings = StageTimings::default();
+
+        let clock = Instant::now();
+        let stats = streamed.stats();
+        timings.stats = clock.elapsed();
+
+        let clock = Instant::now();
+        if streamed.eligible_count() == 0 {
+            return Err("no job passed the integrity/availability filters".to_string());
+        }
+        let picked = streamed.sample_eligible(self.cfg.sample, self.cfg.seed);
+        let mut sample = Vec::with_capacity(picked.len());
+        for pos in picked {
+            sample.push(
+                streamed
+                    .materialize_eligible(pos)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        timings.sample = clock.elapsed();
+
+        self.finish(run_start, timings, stats, sample)
+    }
+
+    /// The shared back half of every entry point: everything after
+    /// sampling (DAGs, conflation, features, WL embedding, Gram assembly,
+    /// spectral grouping) depends only on the sampled jobs, so batch and
+    /// streaming ingestion converge here.
+    fn finish(
+        &self,
+        run_start: Instant,
+        mut timings: StageTimings,
+        stats: TraceStats,
+        sample: Vec<Job>,
+    ) -> Result<Report, String> {
         // DAG construction (parallel); filters guarantee buildability.
         let clock = Instant::now();
         let raw_dags: Vec<JobDag> = dagscope_par::par_map(&sample, |job| {
@@ -365,6 +422,55 @@ mod tests {
         assert!(
             stats.dot_products < (stats.jobs * (stats.jobs + 1) / 2) as u64,
             "inverted index must beat the all-pairs scan"
+        );
+    }
+
+    #[test]
+    fn streamed_run_is_bit_identical_to_batch_run() {
+        // The tentpole acceptance bar: over the same CSV bytes, the
+        // streaming engine must reproduce the batch pipeline's report —
+        // same sample, same exact statistics, same group tables.
+        use dagscope_trace::stream::StreamedTrace;
+        use dagscope_trace::{csv, ReadPolicy};
+
+        let cfg = PipelineConfig {
+            jobs: 1_500,
+            sample: 60,
+            seed: 11,
+            ..PipelineConfig::default()
+        };
+        let trace = TraceGenerator::new(cfg.generator()).generate();
+        let mut doc = Vec::new();
+        csv::write_tasks(&mut doc, &trace.tasks).unwrap();
+
+        let batch_set = JobSet::from_tasks(csv::read_tasks(&doc[..]).unwrap());
+        let batch = Pipeline::new(cfg.clone()).run_on(&batch_set).unwrap();
+
+        let mut streamed = StreamedTrace::scan(
+            std::io::Cursor::new(doc),
+            &ReadPolicy::Strict,
+            &SampleCriteria::default(),
+        )
+        .unwrap();
+        let report = Pipeline::new(cfg).run_streamed(&mut streamed).unwrap();
+
+        assert_eq!(report.sample_names, batch.sample_names);
+        assert_eq!(report.stats, batch.stats);
+        assert_eq!(report.groups.assignments, batch.groups.assignments);
+        assert_eq!(
+            report.laplacian_eigenvalues, batch.laplacian_eigenvalues,
+            "identical sample must produce identical spectra"
+        );
+        assert_eq!(report.summary(), batch.summary());
+        assert_eq!(
+            crate::figures::render_group_properties(&crate::figures::fig9_group_properties(
+                &report
+            )),
+            crate::figures::render_group_properties(&crate::figures::fig9_group_properties(&batch))
+        );
+        assert_eq!(
+            crate::figures::render_group_shapes(&crate::figures::group_shape_composition(&report)),
+            crate::figures::render_group_shapes(&crate::figures::group_shape_composition(&batch))
         );
     }
 

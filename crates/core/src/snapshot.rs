@@ -619,13 +619,14 @@ impl IndexSnapshot {
 /// timestamps, type code) get fixed placeholder values — none of them
 /// participate in serving.
 fn dag_to_job(dag: &dagscope_graph::JobDag) -> Job {
+    let job_name: dagscope_trace::IStr = dag.name.as_str().into();
     let tasks = (0..dag.len())
         .map(|i| {
             let a = dag.attr(i);
             TaskRecord {
                 task_name: dag.task_name(i).to_string(),
                 instance_num: a.instance_num,
-                job_name: dag.name.clone(),
+                job_name: job_name.clone(),
                 task_type: "1".into(),
                 status: Status::Terminated,
                 start_time: 1,
@@ -647,14 +648,15 @@ fn dag_to_job(dag: &dagscope_graph::JobDag) -> Job {
 /// with that order, so it must survive the round trip.
 fn group_rows_in_order(rows: Vec<TaskRecord>) -> Vec<Job> {
     let mut jobs: Vec<Job> = Vec::new();
-    let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut index: std::collections::HashMap<dagscope_trace::IStr, usize> =
+        std::collections::HashMap::new();
     for row in rows {
         match index.get(&row.job_name) {
             Some(&i) => jobs[i].tasks.push(row),
             None => {
                 index.insert(row.job_name.clone(), jobs.len());
                 jobs.push(Job {
-                    name: row.job_name.clone(),
+                    name: row.job_name.to_string(),
                     tasks: vec![row],
                 });
             }

@@ -36,10 +36,12 @@ mod config;
 mod map;
 pub mod pairs;
 mod pool;
+mod proc;
 mod reduce;
 
 pub use chunks::{chunk_bounds, par_chunk_map};
 pub use config::{parallelism, ParScope};
 pub use map::{par_map, par_map_with};
 pub use pool::WorkerPool;
+pub use proc::peak_rss_bytes;
 pub use reduce::{par_reduce, par_sum_f64};

@@ -1,0 +1,59 @@
+//! Process-level resource introspection.
+//!
+//! The streaming trace engine's headline claim is a memory *budget*, so both
+//! the full-trace benchmark and the serving daemon's `/metrics` endpoint
+//! report the process peak RSS. Linux exposes it as the `VmHWM` ("high water
+//! mark") line of `/proc/self/status`; on other platforms the probe simply
+//! returns `None` and callers omit the figure.
+
+/// Peak resident-set size of the current process in bytes, if the platform
+/// exposes it.
+///
+/// Reads `VmHWM` from `/proc/self/status` (reported by the kernel in kB).
+/// The value is a process-lifetime high-water mark: it never decreases, so
+/// measuring a single stage requires running that stage in a child process.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Extract the `VmHWM` line from a `/proc/<pid>/status` document.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_vm_hwm_line() {
+        let doc =
+            "Name:\tdagscope\nVmPeak:\t  200000 kB\nVmHWM:\t   12345 kB\nVmRSS:\t   10000 kB\n";
+        assert_eq!(parse_vm_hwm(doc), Some(12_345 * 1024));
+    }
+
+    #[test]
+    fn missing_line_is_none() {
+        assert_eq!(parse_vm_hwm("Name:\tdagscope\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn live_probe_reports_a_plausible_value() {
+        // Any Linux process has touched at least a few pages by the time a
+        // test runs; elsewhere the probe must return None, not panic.
+        if std::path::Path::new("/proc/self/status").exists() {
+            let peak = peak_rss_bytes().expect("VmHWM present on Linux");
+            assert!(peak > 4096, "peak RSS {peak} implausibly small");
+        }
+    }
+}

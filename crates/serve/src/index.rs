@@ -274,7 +274,7 @@ mod tests {
                         dagscope_trace::TaskRecord {
                             task_name: job_dag.task_name(n).to_string(),
                             instance_num: a.instance_num,
-                            job_name: name.clone(),
+                            job_name: name.as_str().into(),
                             task_type: "1".into(),
                             status: dagscope_trace::Status::Terminated,
                             start_time: 1,
@@ -357,7 +357,7 @@ mod tests {
         let mut dup = first;
         dup.name = renamed_name.clone();
         for t in &mut dup.tasks {
-            t.job_name = renamed_name.clone();
+            t.job_name = renamed_name.as_str().into();
         }
         snap.jobs[0] = dup;
         assert!(ServeIndex::build(snap).is_err());

@@ -185,12 +185,21 @@ pub struct Metrics {
     stats: [EndpointStats; 7],
     transport: Transport,
     search: Search,
+    /// Wall clock spent loading the snapshot and building the in-memory
+    /// index at startup, in microseconds. Zero until set.
+    snapshot_load_us: AtomicU64,
 }
 
 impl Metrics {
     /// Fresh all-zero metrics.
     pub fn new() -> Metrics {
         Metrics::default()
+    }
+
+    /// Record the startup cost of loading the snapshot and building the
+    /// serving index. Called once by the launcher; later calls overwrite.
+    pub fn set_snapshot_load_us(&self, micros: u64) {
+        self.snapshot_load_us.store(micros, Ordering::Relaxed);
     }
 
     /// Record one finished request.
@@ -258,6 +267,17 @@ impl Metrics {
         obj(vec![
             ("index_jobs", Json::from(index_jobs)),
             ("total_requests", Json::from(self.total_requests())),
+            (
+                "snapshot_load_us",
+                Json::from(self.snapshot_load_us.load(Ordering::Relaxed)),
+            ),
+            (
+                "process_peak_rss_bytes",
+                match dagscope_par::peak_rss_bytes() {
+                    Some(bytes) => Json::from(bytes),
+                    None => Json::Null,
+                },
+            ),
             ("transport", self.transport.render()),
             ("search", self.search.render()),
             ("endpoints", Json::Obj(endpoints)),
@@ -346,6 +366,26 @@ mod tests {
             s.get("similar_pruned_candidates_total").unwrap().as_num(),
             Some(9.0)
         );
+    }
+
+    #[test]
+    fn startup_and_process_gauges_render() {
+        let m = Metrics::new();
+        let doc = m.render(0);
+        assert_eq!(doc.get("snapshot_load_us").unwrap().as_num(), Some(0.0));
+        m.set_snapshot_load_us(123_456);
+        let doc = m.render(0);
+        assert_eq!(
+            doc.get("snapshot_load_us").unwrap().as_num(),
+            Some(123_456.0)
+        );
+        // On Linux the peak-RSS gauge is a positive number; elsewhere null.
+        let rss = doc.get("process_peak_rss_bytes").unwrap();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(rss.as_num().unwrap() > 0.0);
+        } else {
+            assert_eq!(rss, &Json::Null);
+        }
     }
 
     #[test]

@@ -33,8 +33,9 @@ const INSTANCE_FIELDS: usize = 14;
 const DEFAULT_CHUNK_BYTES: usize = 4 << 20;
 
 /// The message `BufRead::lines` produces for invalid UTF-8; the parallel
-/// path emits the same text so errors compare equal across paths.
-const UTF8_ERR: &str = "stream did not contain valid UTF-8";
+/// and streaming paths emit the same text so errors compare equal across
+/// paths.
+pub(crate) const UTF8_ERR: &str = "stream did not contain valid UTF-8";
 
 fn parse_num<T: std::str::FromStr + Default>(
     s: &str,
@@ -77,24 +78,74 @@ fn split_fields<const N: usize>(line_no: usize, line: &str) -> Result<[&str; N],
     Ok(fields)
 }
 
-/// Decode one `batch_task.csv` row, interning `task_type` through `interner`.
-pub fn parse_task_line_interned(
-    line_no: usize,
-    line: &str,
-    interner: &mut Interner,
-) -> Result<TaskRecord, TraceError> {
+/// One `batch_task.csv` row decoded against borrowed field slices — the
+/// allocation-free form the columnar streaming reader consumes. Field and
+/// error-precedence semantics are exactly those of
+/// [`parse_task_line_interned`], which is built on top of this.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskParts<'a> {
+    /// Dependency-encoding task name.
+    pub task_name: &'a str,
+    /// Instance count.
+    pub instance_num: u32,
+    /// Owning job identifier.
+    pub job_name: &'a str,
+    /// Task type code (not yet interned).
+    pub task_type: &'a str,
+    /// Final status.
+    pub status: Status,
+    /// Start timestamp.
+    pub start_time: i64,
+    /// End timestamp.
+    pub end_time: i64,
+    /// Requested CPU.
+    pub plan_cpu: f64,
+    /// Requested memory.
+    pub plan_mem: f64,
+}
+
+impl TaskParts<'_> {
+    /// Materialize into an owned record, interning the low-cardinality
+    /// columns through `interner`.
+    pub fn to_record(&self, interner: &mut Interner) -> TaskRecord {
+        TaskRecord {
+            task_name: self.task_name.to_string(),
+            instance_num: self.instance_num,
+            job_name: interner.intern(self.job_name),
+            task_type: interner.intern(self.task_type),
+            status: self.status,
+            start_time: self.start_time,
+            end_time: self.end_time,
+            plan_cpu: self.plan_cpu,
+            plan_mem: self.plan_mem,
+        }
+    }
+}
+
+/// Decode one `batch_task.csv` row into borrowed parts.
+pub fn parse_task_parts(line_no: usize, line: &str) -> Result<TaskParts<'_>, TraceError> {
     let f: [&str; TASK_FIELDS] = split_fields(line_no, line)?;
-    Ok(TaskRecord {
-        task_name: f[0].to_string(),
+    Ok(TaskParts {
+        task_name: f[0],
         instance_num: parse_num(f[1], line_no, "instance_num")?,
-        job_name: f[2].to_string(),
-        task_type: interner.intern(f[3]),
+        job_name: f[2],
+        task_type: f[3],
         status: Status::parse(f[4]),
         start_time: parse_num(f[5], line_no, "start_time")?,
         end_time: parse_num(f[6], line_no, "end_time")?,
         plan_cpu: parse_num(f[7], line_no, "plan_cpu")?,
         plan_mem: parse_num(f[8], line_no, "plan_mem")?,
     })
+}
+
+/// Decode one `batch_task.csv` row, interning `job_name` and `task_type`
+/// through `interner`.
+pub fn parse_task_line_interned(
+    line_no: usize,
+    line: &str,
+    interner: &mut Interner,
+) -> Result<TaskRecord, TraceError> {
+    parse_task_parts(line_no, line).map(|p| p.to_record(interner))
 }
 
 /// Decode one `batch_task.csv` row.
@@ -137,18 +188,36 @@ pub fn parse_instance_line(line_no: usize, line: &str) -> Result<InstanceRecord,
 /// replicating `BufRead::lines` line-splitting exactly: a final `\n` does
 /// not open an empty trailing line, `\r\n` endings are trimmed, and a bare
 /// trailing `\r` on an unterminated last line is kept.
-struct RawLines<R> {
+pub(crate) struct RawLines<R> {
     reader: R,
     offset: u64,
 }
 
 impl<R: BufRead> RawLines<R> {
+    /// Start reading lines at byte offset 0 of `reader`.
+    pub(crate) fn new(reader: R) -> RawLines<R> {
+        RawLines { reader, offset: 0 }
+    }
+
     /// Next raw line as `(byte offset of its first byte, bytes)`, newline
     /// terminator stripped. `None` at end of stream.
     fn next_line(&mut self) -> Result<Option<(u64, Vec<u8>)>, std::io::Error> {
         let mut buf = Vec::new();
+        Ok(self
+            .next_line_into(&mut buf)?
+            .map(|(start, _)| (start, buf)))
+    }
+
+    /// Allocation-reusing form of [`RawLines::next_line`]: the stripped line
+    /// lands in `buf`, the return value is `(byte offset of its first byte,
+    /// bytes consumed from the stream including the terminator)`.
+    pub(crate) fn next_line_into(
+        &mut self,
+        buf: &mut Vec<u8>,
+    ) -> Result<Option<(u64, u64)>, std::io::Error> {
+        buf.clear();
         let start = self.offset;
-        let n = self.reader.read_until(b'\n', &mut buf)?;
+        let n = self.reader.read_until(b'\n', buf)?;
         if n == 0 {
             return Ok(None);
         }
@@ -159,14 +228,14 @@ impl<R: BufRead> RawLines<R> {
                 buf.pop();
             }
         }
-        Ok(Some((start, buf)))
+        Ok(Some((start, n as u64)))
     }
 }
 
 /// Decide a decoded row's fate: the quarantine policy additionally rejects
 /// rows whose timestamps are impossible (end before start, both present),
 /// which a strict read accepts exactly as it always has.
-fn classify_row<T>(
+pub(crate) fn classify_row<T>(
     policy: &ReadPolicy,
     line_no: usize,
     row: T,
@@ -194,7 +263,7 @@ fn read_rows_with_policy<R: BufRead, T>(
     times: impl Fn(&T) -> (i64, i64) + Copy,
 ) -> Result<(Vec<T>, Quarantine), TraceError> {
     let mut interner = Interner::new();
-    let mut lines = RawLines { reader, offset: 0 };
+    let mut lines = RawLines::new(reader);
     let mut out = Vec::new();
     let mut q = Quarantine::default();
     while let Some((offset, raw)) = lines.next_line()? {
@@ -460,6 +529,12 @@ pub fn read_tasks_parallel_with_policy(
     data: &[u8],
     policy: &ReadPolicy,
 ) -> Result<(Vec<TaskRecord>, Quarantine), TraceError> {
+    // With one effective worker the chunked path is pure overhead
+    // (chunk bookkeeping plus the merge pass) — go straight to the
+    // sequential reader, which produces identical output by contract.
+    if dagscope_par::parallelism() == 1 {
+        return read_tasks_with_policy(data, policy);
+    }
     read_tasks_chunked_with_policy(data, DEFAULT_CHUNK_BYTES, policy)
 }
 
@@ -473,6 +548,9 @@ pub fn read_tasks_chunked(data: &[u8], chunk_bytes: usize) -> Result<Vec<TaskRec
 /// parallel. Produces exactly what [`read_tasks`] produces on the same
 /// bytes — same records, same first error, same line numbers.
 pub fn read_tasks_parallel(data: &[u8]) -> Result<Vec<TaskRecord>, TraceError> {
+    if dagscope_par::parallelism() == 1 {
+        return read_tasks(data);
+    }
     read_tasks_chunked(data, DEFAULT_CHUNK_BYTES)
 }
 
@@ -502,6 +580,9 @@ pub fn read_instances_parallel_with_policy(
     data: &[u8],
     policy: &ReadPolicy,
 ) -> Result<(Vec<InstanceRecord>, Quarantine), TraceError> {
+    if dagscope_par::parallelism() == 1 {
+        return read_instances_with_policy(data, policy);
+    }
     read_instances_chunked_with_policy(data, DEFAULT_CHUNK_BYTES, policy)
 }
 
@@ -517,6 +598,9 @@ pub fn read_instances_chunked(
 /// Read `batch_instance.csv` bytes, decoding newline-aligned chunks in
 /// parallel. Equivalent to [`read_instances`] on the same bytes.
 pub fn read_instances_parallel(data: &[u8]) -> Result<Vec<InstanceRecord>, TraceError> {
+    if dagscope_par::parallelism() == 1 {
+        return read_instances(data);
+    }
     read_instances_chunked(data, DEFAULT_CHUNK_BYTES)
 }
 

@@ -180,36 +180,98 @@ impl SampleCriteria {
 /// (group A holds ~75 % of jobs and is dominated by 2–3 task jobs).
 /// Deterministic in `seed`.
 pub fn stratified_sample<'a>(jobs: &[&'a Job], n: usize, seed: u64) -> Vec<&'a Job> {
+    let sizes: Vec<usize> = jobs.iter().map(|j| j.size()).collect();
+    stratified_sample_indices(&sizes, n, seed)
+        .into_iter()
+        .map(|i| jobs[i])
+        .collect()
+}
+
+/// Index-based core of [`stratified_sample`]: `sizes[i]` is the size of the
+/// i-th population job, the result is the picked indices in sample order.
+///
+/// Every RNG draw (the per-group Fisher–Yates shuffles and the pool
+/// shuffle) depends only on group *lengths*, never on element values, so
+/// sampling over a bare size column consumes the identical random stream as
+/// sampling over materialized `&Job`s — which is what lets the streaming
+/// engine pick its sample before a single job is materialized and still
+/// reproduce the batch path's sample bit-for-bit.
+pub fn stratified_sample_indices(sizes: &[usize], n: usize, seed: u64) -> Vec<usize> {
+    stratified_sample_indices_from(sizes.iter().copied(), n, seed)
+}
+
+/// Iterator form of [`stratified_sample_indices`]: two passes over the
+/// size column, one `u32` scratch vector of population length, nothing
+/// else. At full-trace scale the population is millions of jobs, so the
+/// obvious map-of-index-vectors grouping (plus a separate leftover pool)
+/// would triple the sampler's footprint right at the scan's peak-RSS
+/// moment; this layout keeps the groups as contiguous runs of a single
+/// vector and compacts the pool in place. The shuffle sequence consumes
+/// the exact RNG stream of the reference sampler (draws depend only on
+/// group lengths), so the picks stay bit-identical.
+pub fn stratified_sample_indices_from<I>(sizes: I, n: usize, seed: u64) -> Vec<usize>
+where
+    I: Iterator<Item = usize> + Clone,
+{
     use std::collections::BTreeMap;
-    let mut by_size: BTreeMap<usize, Vec<&Job>> = BTreeMap::new();
-    for &j in jobs {
-        by_size.entry(j.size()).or_default().push(j);
+    // Pass 1: group cardinalities, ascending by size.
+    let mut counts: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut total = 0usize;
+    for s in sizes.clone() {
+        *counts.entry(s).or_default() += 1;
+        total += 1;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    for group in by_size.values_mut() {
-        group.shuffle(&mut rng);
+    // Pass 2: scatter indices into contiguous per-group runs, members in
+    // ascending index order — the same layout the per-group vectors had.
+    let mut cursors: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut start = 0u32;
+    for (&s, &c) in &counts {
+        cursors.insert(s, start);
+        start += c;
+    }
+    let mut buckets = vec![0u32; total];
+    for (i, s) in sizes.enumerate() {
+        let cursor = cursors.get_mut(&s).expect("size seen in pass 1");
+        buckets[*cursor as usize] = i as u32;
+        *cursor += 1;
     }
 
-    let mut picked = Vec::with_capacity(n.min(jobs.len()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut offset = 0usize;
+    for &c in counts.values() {
+        buckets[offset..offset + c as usize].shuffle(&mut rng);
+        offset += c as usize;
+    }
+
+    let mut picked = Vec::with_capacity(n.min(total));
     // Coverage pass: one representative per size group.
-    for group in by_size.values() {
+    let mut offset = 0usize;
+    for &c in counts.values() {
         if picked.len() == n {
             break;
         }
-        picked.push(group[0]);
+        picked.push(buckets[offset] as usize);
+        offset += c as usize;
     }
     // Proportional fill: the leftovers of every group, pooled and shuffled,
-    // reproduce the population's size distribution.
-    let mut pool: Vec<&Job> = by_size
-        .values()
-        .flat_map(|g| g.iter().skip(1).copied())
-        .collect();
-    pool.shuffle(&mut rng);
-    for job in pool {
+    // reproduce the population's size distribution. The pool is the bucket
+    // vector minus each group's head, compacted in place.
+    let mut write = 0usize;
+    let mut offset = 0usize;
+    for &c in counts.values() {
+        for j in 1..c as usize {
+            buckets[write] = buckets[offset + j];
+            write += 1;
+        }
+        offset += c as usize;
+    }
+    buckets.truncate(write);
+    buckets.shuffle(&mut rng);
+    for &i in &buckets {
         if picked.len() == n {
             break;
         }
-        picked.push(job);
+        picked.push(i as usize);
     }
     picked
 }

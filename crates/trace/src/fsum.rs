@@ -1,0 +1,170 @@
+//! Exactly rounded floating-point accumulation (Shewchuk partials).
+//!
+//! The streaming trace engine folds per-job resource volumes into running
+//! totals as jobs close, and must later *subtract* contributions when an
+//! out-of-order straggler or a quarantine verdict revises a job. Naive
+//! `f64` addition is order-sensitive, so a streamed total would drift from
+//! the batch path's fold and break bit-identical reports. [`ExactSum`]
+//! keeps a list of non-overlapping partials whose sum is the *exact* real
+//! sum of everything added (minus everything subtracted); [`ExactSum::value`]
+//! rounds that exact sum once, so the result depends only on the multiset
+//! of inputs — never on arrival order.
+//!
+//! The algorithm is Shewchuk's grow-expansion as used by Python's
+//! `math.fsum`. Inputs are assumed finite (trace resource requests are);
+//! overflow of partial sums is not handled.
+
+/// Order-independent exactly rounded `f64` accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct ExactSum {
+    /// Non-overlapping partials in increasing magnitude order.
+    partials: Vec<f64>,
+}
+
+impl ExactSum {
+    /// Empty sum (value 0.0).
+    pub fn new() -> ExactSum {
+        ExactSum::default()
+    }
+
+    /// Add `value` to the running sum, exactly.
+    pub fn add(&mut self, value: f64) {
+        let mut x = value;
+        let mut kept = 0;
+        for k in 0..self.partials.len() {
+            let mut y = self.partials[k];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            let hi = x + y;
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.partials[kept] = lo;
+                kept += 1;
+            }
+            x = hi;
+        }
+        self.partials.truncate(kept);
+        self.partials.push(x);
+    }
+
+    /// Subtract `value` from the running sum, exactly. Subtracting every
+    /// previously added value returns the sum to exactly 0.0.
+    pub fn sub(&mut self, value: f64) {
+        self.add(-value);
+    }
+
+    /// The correctly rounded value of the exact sum.
+    ///
+    /// Depends only on the exact real sum, not on the internal partials
+    /// representation, so two accumulators fed the same multiset in any
+    /// order agree bit-for-bit.
+    pub fn value(&self) -> f64 {
+        // Round-half-even correction over the partials, largest first
+        // (the `lsum` tail of Python's math.fsum).
+        let p = &self.partials;
+        let mut n = p.len();
+        if n == 0 {
+            return 0.0;
+        }
+        n -= 1;
+        let mut hi = p[n];
+        let mut lo = 0.0;
+        while n > 0 {
+            let x = hi;
+            n -= 1;
+            let y = p[n];
+            hi = x + y;
+            let yr = hi - x;
+            lo = y - yr;
+            if lo != 0.0 {
+                break;
+            }
+        }
+        // `hi + lo` landed exactly halfway between floats: break the tie
+        // toward the remaining partials' sign.
+        if n > 0 && ((lo < 0.0 && p[n - 1] < 0.0) || (lo > 0.0 && p[n - 1] > 0.0)) {
+            let y = lo * 2.0;
+            let x = hi + y;
+            if y == x - hi {
+                hi = x;
+            }
+        }
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(ExactSum::new().value(), 0.0);
+    }
+
+    #[test]
+    fn classic_cancellation() {
+        // 1 + 1e100 + 1 - 1e100 == 2 exactly, where naive summation gives 0.
+        let mut s = ExactSum::new();
+        for v in [1.0, 1e100, 1.0, -1e100] {
+            s.add(v);
+        }
+        assert_eq!(s.value(), 2.0);
+    }
+
+    #[test]
+    fn tenths_sum_exactly() {
+        let mut s = ExactSum::new();
+        for _ in 0..10 {
+            s.add(0.1);
+        }
+        assert_eq!(s.value(), 1.0);
+    }
+
+    #[test]
+    fn order_independent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let values: Vec<f64> = (0..200)
+            .map(|_| rng.random_range(-1e7..1e7) * rng.random_range(0.0..1.0))
+            .collect();
+        let mut forward = ExactSum::new();
+        for &v in &values {
+            forward.add(v);
+        }
+        for _ in 0..20 {
+            let mut shuffled = values.clone();
+            shuffled.shuffle(&mut rng);
+            let mut s = ExactSum::new();
+            for &v in &shuffled {
+                s.add(v);
+            }
+            assert_eq!(s.value().to_bits(), forward.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn subtraction_is_exact_inverse() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let values: Vec<f64> = (0..100).map(|_| rng.random_range(-1e6..1e6)).collect();
+        let mut s = ExactSum::new();
+        for &v in &values {
+            s.add(v);
+        }
+        let full = s.value();
+        // Remove and re-add a value: identical bits.
+        s.sub(values[13]);
+        s.add(values[13]);
+        assert_eq!(s.value().to_bits(), full.to_bits());
+        // Remove everything (in a different order): exactly zero.
+        let mut order = values.clone();
+        order.shuffle(&mut rng);
+        for &v in &order {
+            s.sub(v);
+        }
+        assert_eq!(s.value(), 0.0);
+    }
+}

@@ -26,6 +26,7 @@ pub use shape::{build as build_shape, DagPlan, ShapeKind};
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 
+use crate::intern::IStr;
 use crate::schema::{InstanceRecord, Status, TaskRecord};
 use crate::taskname::TaskKind;
 use crate::JobSet;
@@ -275,6 +276,7 @@ impl TraceGenerator {
                 &template
             };
         let names = plan.task_names();
+        let job_name: IStr = job_name.into();
         let job_status = self.sample_status(rng);
 
         // Topological scheduling: a task starts once all parents finished.
@@ -312,7 +314,7 @@ impl TraceGenerator {
             tasks.push(TaskRecord {
                 task_name: names[i].clone(),
                 instance_num,
-                job_name: job_name.to_string(),
+                job_name: job_name.clone(),
                 task_type: format!("{}", rng.random_range(1..=12)).into(),
                 status,
                 start_time,
@@ -335,6 +337,7 @@ impl TraceGenerator {
         arrival: i64,
     ) -> (Vec<TaskRecord>, Vec<InstanceRecord>) {
         let n = 1 + (rng.random::<f64>() * rng.random::<f64>() * 4.0) as usize;
+        let job_name: IStr = job_name.into();
         let status = self.sample_status(rng);
         let mut tasks = Vec::with_capacity(n);
         let mut instances = Vec::new();
@@ -350,7 +353,7 @@ impl TraceGenerator {
                     let u = rng.random::<f64>();
                     1 + (79.0 * u * u) as u32
                 },
-                job_name: job_name.to_string(),
+                job_name: job_name.clone(),
                 task_type: format!("{}", rng.random_range(1..=12)).into(),
                 status,
                 start_time: start,
@@ -414,7 +417,7 @@ impl TraceGenerator {
             out.push(InstanceRecord {
                 instance_name: format!("{}_{}_{}", task.job_name, task.task_name, k + 1),
                 task_name: task.task_name.clone(),
-                job_name: task.job_name.clone(),
+                job_name: task.job_name.to_string(),
                 task_type: task.task_type.clone(),
                 status: Status::Terminated,
                 start_time: start,
@@ -585,7 +588,7 @@ mod tests {
         let task_keys: std::collections::HashSet<(String, String)> = trace
             .tasks
             .iter()
-            .map(|t| (t.job_name.clone(), t.task_name.clone()))
+            .map(|t| (t.job_name.to_string(), t.task_name.clone()))
             .collect();
         for inst in &trace.instances {
             assert!(task_keys.contains(&(inst.job_name.clone(), inst.task_name.clone())));

@@ -94,14 +94,17 @@ impl JobSet {
     /// each job; jobs are sorted by name so downstream sampling is
     /// reproducible regardless of input row order.
     pub fn from_tasks(tasks: impl IntoIterator<Item = TaskRecord>) -> JobSet {
-        let mut by_job: BTreeMap<String, Vec<TaskRecord>> = BTreeMap::new();
+        let mut by_job: BTreeMap<crate::IStr, Vec<TaskRecord>> = BTreeMap::new();
         for t in tasks {
             by_job.entry(t.job_name.clone()).or_default().push(t);
         }
         JobSet {
             jobs: by_job
                 .into_iter()
-                .map(|(name, tasks)| Job { name, tasks })
+                .map(|(name, tasks)| Job {
+                    name: name.to_string(),
+                    tasks,
+                })
                 .collect(),
         }
     }

@@ -33,6 +33,7 @@ pub mod container;
 pub mod csv;
 mod error;
 pub mod filter;
+pub mod fsum;
 pub mod gen;
 pub mod intern;
 mod job;
@@ -41,6 +42,8 @@ pub mod placement;
 pub mod quarantine;
 mod schema;
 pub mod stats;
+pub mod store;
+pub mod stream;
 pub mod taskname;
 
 pub use error::TraceError;

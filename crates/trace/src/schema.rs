@@ -25,6 +25,31 @@ pub enum Status {
 }
 
 impl Status {
+    /// Every status, in declaration order — [`Status::index`] indexes into
+    /// arrays laid out this way.
+    pub const ALL: [Status; 7] = [
+        Status::Ready,
+        Status::Waiting,
+        Status::Running,
+        Status::Terminated,
+        Status::Failed,
+        Status::Cancelled,
+        Status::Interrupted,
+    ];
+
+    /// Position of this status inside [`Status::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Status::Ready => 0,
+            Status::Waiting => 1,
+            Status::Running => 2,
+            Status::Terminated => 3,
+            Status::Failed => 4,
+            Status::Cancelled => 5,
+            Status::Interrupted => 6,
+        }
+    }
+
     /// Parse the v2018 textual status; unknown strings map to `Interrupted`
     /// (the conservative choice — such jobs are filtered out anyway).
     pub fn parse(s: &str) -> Status {
@@ -66,8 +91,9 @@ pub struct TaskRecord {
     pub task_name: String,
     /// Number of instances launched for this task.
     pub instance_num: u32,
-    /// Owning job identifier (`j_1001388`…).
-    pub job_name: String,
+    /// Owning job identifier (`j_1001388`…); interned — every task row of
+    /// a job repeats the same name, so rows share one allocation.
+    pub job_name: IStr,
     /// Free-form task type code from the trace (opaque in v2018); interned
     /// because the whole trace uses only a handful of distinct codes.
     pub task_type: IStr,

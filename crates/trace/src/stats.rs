@@ -9,8 +9,9 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::fsum::ExactSum;
 use crate::schema::Status;
-use crate::JobSet;
+use crate::{Job, JobSet};
 
 /// Aggregate statistics over a job population.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,66 +40,11 @@ pub struct TraceStats {
 impl TraceStats {
     /// Compute the statistics for `set`.
     pub fn compute(set: &JobSet) -> TraceStats {
-        let mut stats = TraceStats {
-            total_jobs: set.len(),
-            dag_jobs: 0,
-            dag_fraction: 0.0,
-            dag_cpu_share: 0.0,
-            dag_mem_share: 0.0,
-            size_histogram: BTreeMap::new(),
-            status_histogram: BTreeMap::new(),
-            terminated_jobs: 0,
-            completion_percentiles: (0, 0, 0),
-        };
-        let mut completions: Vec<i64> = Vec::new();
-        let (mut cpu_all, mut cpu_dag) = (0.0f64, 0.0f64);
-        let (mut mem_all, mut mem_dag) = (0.0f64, 0.0f64);
-
+        let mut acc = StatsAccumulator::new();
         for job in set.jobs() {
-            let cpu = job.planned_cpu_volume();
-            let mem = job.planned_mem_volume();
-            cpu_all += cpu;
-            mem_all += mem;
-            if job.is_dag_job() {
-                stats.dag_jobs += 1;
-                cpu_dag += cpu;
-                mem_dag += mem;
-                *stats.size_histogram.entry(job.size()).or_insert(0) += 1;
-            }
-            if job.fully_terminated() {
-                stats.terminated_jobs += 1;
-                if job.is_dag_job() {
-                    if let Some(ct) = job.completion_time() {
-                        completions.push(ct);
-                    }
-                }
-            }
-            for t in &job.tasks {
-                *stats
-                    .status_histogram
-                    .entry(t.status.as_str().to_string())
-                    .or_insert(0) += 1;
-            }
+            acc.add_job(job);
         }
-
-        if stats.total_jobs > 0 {
-            stats.dag_fraction = stats.dag_jobs as f64 / stats.total_jobs as f64;
-        }
-        if cpu_all > 0.0 {
-            stats.dag_cpu_share = cpu_dag / cpu_all;
-        }
-        if mem_all > 0.0 {
-            stats.dag_mem_share = mem_dag / mem_all;
-        }
-        if !completions.is_empty() {
-            completions.sort_unstable();
-            let pick = |p: f64| -> i64 {
-                let n = completions.len();
-                completions[((p * n as f64).ceil() as usize).clamp(1, n) - 1]
-            };
-            stats.completion_percentiles = (pick(0.50), pick(0.90), pick(0.99));
-        }
-        stats
+        acc.finish()
     }
 
     /// Number of distinct DAG-job sizes (the paper's "size types": 17 in
@@ -139,6 +85,200 @@ impl TraceStats {
         let (p50, p90, p99) = self.completion_percentiles;
         writeln!(s, "DAG job JCT:      p50 {p50}s, p90 {p90}s, p99 {p99}s").unwrap();
         s
+    }
+}
+
+/// The per-job quantities [`StatsAccumulator`] folds — everything
+/// [`TraceStats`] needs from one job, decoupled from how the job is stored
+/// (heap [`Job`] or a columnar store view).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobFacts {
+    /// [`Job::planned_cpu_volume`].
+    pub cpu_volume: f64,
+    /// [`Job::planned_mem_volume`].
+    pub mem_volume: f64,
+    /// [`Job::is_dag_job`].
+    pub is_dag: bool,
+    /// [`Job::size`].
+    pub size: usize,
+    /// [`Job::fully_terminated`].
+    pub fully_terminated: bool,
+    /// [`Job::completion_time`].
+    pub completion: Option<i64>,
+    /// Task count per status, indexed per [`Status::index`].
+    pub status_counts: [usize; Status::ALL.len()],
+}
+
+impl JobFacts {
+    /// Derive the facts from a materialized [`Job`].
+    pub fn of_job(job: &Job) -> JobFacts {
+        let mut status_counts = [0usize; Status::ALL.len()];
+        for t in &job.tasks {
+            status_counts[t.status.index()] += 1;
+        }
+        JobFacts {
+            cpu_volume: job.planned_cpu_volume(),
+            mem_volume: job.planned_mem_volume(),
+            is_dag: job.is_dag_job(),
+            size: job.size(),
+            fully_terminated: job.fully_terminated(),
+            completion: job.completion_time(),
+            status_counts,
+        }
+    }
+}
+
+/// Incremental, revisable builder for [`TraceStats`].
+///
+/// Jobs are folded in one at a time ([`StatsAccumulator::add_job`] /
+/// [`StatsAccumulator::add_facts`]) and can later be *retracted*
+/// ([`StatsAccumulator::remove_facts`]) when a streamed job is revised —
+/// out-of-order straggler rows merged in, or a quarantine verdict dropping
+/// the job. Resource volumes accumulate through [`ExactSum`], so the final
+/// [`TraceStats`] depends only on the multiset of surviving jobs, never on
+/// fold order: `compute` over a batch [`JobSet`] and a streamed fold over
+/// the same jobs agree bit-for-bit.
+#[derive(Debug, Clone, Default)]
+pub struct StatsAccumulator {
+    jobs: usize,
+    dag_jobs: usize,
+    terminated_jobs: usize,
+    size_histogram: BTreeMap<usize, usize>,
+    status_counts: [usize; Status::ALL.len()],
+    /// Completion-time multiset (`seconds → count`) over terminated DAG jobs.
+    completions: BTreeMap<i64, usize>,
+    cpu_all: ExactSum,
+    cpu_dag: ExactSum,
+    mem_all: ExactSum,
+    mem_dag: ExactSum,
+}
+
+impl StatsAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> StatsAccumulator {
+        StatsAccumulator::default()
+    }
+
+    /// Number of jobs currently folded in.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Fold one job in.
+    pub fn add_job(&mut self, job: &Job) {
+        self.add_facts(&JobFacts::of_job(job));
+    }
+
+    /// Retract one previously added job.
+    pub fn remove_job(&mut self, job: &Job) {
+        self.remove_facts(&JobFacts::of_job(job));
+    }
+
+    /// Fold one job's facts in.
+    pub fn add_facts(&mut self, f: &JobFacts) {
+        self.jobs += 1;
+        self.cpu_all.add(f.cpu_volume);
+        self.mem_all.add(f.mem_volume);
+        if f.is_dag {
+            self.dag_jobs += 1;
+            self.cpu_dag.add(f.cpu_volume);
+            self.mem_dag.add(f.mem_volume);
+            *self.size_histogram.entry(f.size).or_insert(0) += 1;
+        }
+        if f.fully_terminated {
+            self.terminated_jobs += 1;
+            if f.is_dag {
+                if let Some(ct) = f.completion {
+                    *self.completions.entry(ct).or_insert(0) += 1;
+                }
+            }
+        }
+        for (slot, &c) in self.status_counts.iter_mut().zip(&f.status_counts) {
+            *slot += c;
+        }
+    }
+
+    /// Exact inverse of [`StatsAccumulator::add_facts`] for the same facts.
+    pub fn remove_facts(&mut self, f: &JobFacts) {
+        self.jobs -= 1;
+        self.cpu_all.sub(f.cpu_volume);
+        self.mem_all.sub(f.mem_volume);
+        if f.is_dag {
+            self.dag_jobs -= 1;
+            self.cpu_dag.sub(f.cpu_volume);
+            self.mem_dag.sub(f.mem_volume);
+            Self::decrement(&mut self.size_histogram, f.size);
+        }
+        if f.fully_terminated {
+            self.terminated_jobs -= 1;
+            if f.is_dag {
+                if let Some(ct) = f.completion {
+                    Self::decrement(&mut self.completions, ct);
+                }
+            }
+        }
+        for (slot, &c) in self.status_counts.iter_mut().zip(&f.status_counts) {
+            *slot -= c;
+        }
+    }
+
+    fn decrement<K: Ord>(map: &mut BTreeMap<K, usize>, key: K) {
+        match map.get_mut(&key) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                map.remove(&key);
+            }
+            None => panic!("retracting a job that was never added"),
+        }
+    }
+
+    /// Finalize into [`TraceStats`].
+    pub fn finish(&self) -> TraceStats {
+        let mut stats = TraceStats {
+            total_jobs: self.jobs,
+            dag_jobs: self.dag_jobs,
+            dag_fraction: 0.0,
+            dag_cpu_share: 0.0,
+            dag_mem_share: 0.0,
+            size_histogram: self.size_histogram.clone(),
+            status_histogram: BTreeMap::new(),
+            terminated_jobs: self.terminated_jobs,
+            completion_percentiles: (0, 0, 0),
+        };
+        for s in Status::ALL {
+            let c = self.status_counts[s.index()];
+            if c > 0 {
+                stats.status_histogram.insert(s.as_str().to_string(), c);
+            }
+        }
+        if stats.total_jobs > 0 {
+            stats.dag_fraction = stats.dag_jobs as f64 / stats.total_jobs as f64;
+        }
+        let (cpu_all, mem_all) = (self.cpu_all.value(), self.mem_all.value());
+        if cpu_all > 0.0 {
+            stats.dag_cpu_share = self.cpu_dag.value() / cpu_all;
+        }
+        if mem_all > 0.0 {
+            stats.dag_mem_share = self.mem_dag.value() / mem_all;
+        }
+        let n: usize = self.completions.values().sum();
+        if n > 0 {
+            // Rank-select from the multiset — identical to indexing the
+            // sorted completion vector the batch path used to build.
+            let pick = |p: f64| -> i64 {
+                let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+                let mut seen = 0usize;
+                for (&ct, &k) in &self.completions {
+                    seen += k;
+                    if seen >= rank {
+                        return ct;
+                    }
+                }
+                unreachable!("rank {rank} beyond multiset of {n}")
+            };
+            stats.completion_percentiles = (pick(0.50), pick(0.90), pick(0.99));
+        }
+        stats
     }
 }
 
@@ -225,6 +365,38 @@ mod tests {
         assert!(p50 > 0, "p50 {p50}");
         assert!(p50 <= p90 && p90 <= p99);
         assert!(s.render().contains("DAG job JCT"));
+    }
+
+    #[test]
+    fn accumulator_retraction_matches_fresh_compute() {
+        let trace = TraceGenerator::new(GeneratorConfig {
+            jobs: 300,
+            seed: 9,
+            ..Default::default()
+        })
+        .generate();
+        let set = trace.job_set();
+        // Fold everything, then retract every third job; the result must be
+        // bit-identical to computing over the survivors from scratch.
+        let mut acc = StatsAccumulator::new();
+        for job in set.jobs() {
+            acc.add_job(job);
+        }
+        let mut survivors = Vec::new();
+        for (i, job) in set.jobs().iter().enumerate() {
+            if i % 3 == 0 {
+                acc.remove_job(job);
+            } else {
+                survivors.push(job.clone());
+            }
+        }
+        let direct = TraceStats::compute(&JobSet::from_jobs(survivors));
+        let folded = acc.finish();
+        assert_eq!(folded, direct);
+        assert_eq!(
+            folded.dag_cpu_share.to_bits(),
+            direct.dag_cpu_share.to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,508 @@
+//! Columnar (struct-of-arrays) storage for task rows grouped into jobs.
+//!
+//! [`crate::TaskRecord`] is convenient but heap-heavy: every row carries an
+//! owned task-name `String` plus reference-counted job-name/type handles —
+//! fine for a 100-job sample, ruinous for the full 4M-job trace. [`JobStore`]
+//! lays the same data out as flat per-task columns (timestamps, status,
+//! instance counts, resource asks), task names in one shared byte arena
+//! addressed by `(offset, len)` spans, and jobs as contiguous
+//! `Range<u32>` row slices. A row costs ~45 bytes plus its name bytes, with
+//! zero per-row allocations.
+//!
+//! [`JobView`] exposes the same derived quantities as [`Job`]
+//! (`is_dag_job`, `completion_time`, planned volumes…), computed with the
+//! identical fold order, so anything decided from a view — filter
+//! eligibility, [`JobFacts`] for statistics — agrees bit-for-bit with the
+//! materialized path. The streaming reader keeps exactly one open job in a
+//! store, folds it, and clears the rows; the batch path can hold many.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use crate::csv::TaskParts;
+use crate::filter::SampleCriteria;
+use crate::intern::{IStr, Interner};
+use crate::schema::{Status, TaskRecord};
+use crate::stats::JobFacts;
+use crate::taskname;
+use crate::Job;
+
+/// Struct-of-arrays task storage with jobs as contiguous row ranges.
+#[derive(Debug, Default)]
+pub struct JobStore {
+    /// Task-name bytes, all rows concatenated.
+    arena: Vec<u8>,
+    /// Per-task `(offset, len)` span into `arena`.
+    name_span: Vec<(u32, u32)>,
+    instance_num: Vec<u32>,
+    /// Per-task index into `types`.
+    task_type: Vec<u32>,
+    status: Vec<Status>,
+    start_time: Vec<i64>,
+    end_time: Vec<i64>,
+    plan_cpu: Vec<f64>,
+    plan_mem: Vec<f64>,
+    /// Closed jobs: name and row range.
+    jobs: Vec<(String, Range<u32>)>,
+    /// Row index where the currently open job began.
+    open_start: Option<u32>,
+    open_name: String,
+    /// Distinct task-type codes, indexed by the `task_type` column.
+    types: Vec<IStr>,
+    type_ids: HashMap<IStr, u32>,
+}
+
+impl JobStore {
+    /// Empty store.
+    pub fn new() -> JobStore {
+        JobStore::default()
+    }
+
+    /// Total task rows stored.
+    pub fn rows(&self) -> usize {
+        self.status.len()
+    }
+
+    /// Closed jobs stored.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.status.is_empty()
+    }
+
+    /// Intern a task-type code into the store's type table.
+    fn type_id(&mut self, ty: &str) -> u32 {
+        if let Some(&id) = self.type_ids.get(ty) {
+            return id;
+        }
+        let id = self.types.len() as u32;
+        let istr: IStr = ty.into();
+        self.types.push(istr.clone());
+        self.type_ids.insert(istr, id);
+        id
+    }
+
+    /// Open a new job; subsequent row pushes belong to it until
+    /// [`JobStore::end_job`].
+    pub fn begin_job(&mut self, name: &str) {
+        assert!(self.open_start.is_none(), "previous job still open");
+        self.open_start = Some(self.rows() as u32);
+        self.open_name.clear();
+        self.open_name.push_str(name);
+    }
+
+    /// Append one row (borrowed CSV parts) to the open job.
+    pub fn push_parts(&mut self, p: &TaskParts<'_>) {
+        assert!(self.open_start.is_some(), "no open job");
+        let off = self.arena.len() as u32;
+        self.arena.extend_from_slice(p.task_name.as_bytes());
+        self.name_span.push((off, p.task_name.len() as u32));
+        self.instance_num.push(p.instance_num);
+        let ty = self.type_id(p.task_type);
+        self.task_type.push(ty);
+        self.status.push(p.status);
+        self.start_time.push(p.start_time);
+        self.end_time.push(p.end_time);
+        self.plan_cpu.push(p.plan_cpu);
+        self.plan_mem.push(p.plan_mem);
+    }
+
+    /// Append one materialized record to the open job.
+    pub fn push_record(&mut self, t: &TaskRecord) {
+        self.push_parts(&TaskParts {
+            task_name: &t.task_name,
+            instance_num: t.instance_num,
+            job_name: &t.job_name,
+            task_type: &t.task_type,
+            status: t.status,
+            start_time: t.start_time,
+            end_time: t.end_time,
+            plan_cpu: t.plan_cpu,
+            plan_mem: t.plan_mem,
+        });
+    }
+
+    /// Number of rows in the currently open job.
+    pub fn open_rows(&self) -> usize {
+        match self.open_start {
+            Some(s) => self.rows() - s as usize,
+            None => 0,
+        }
+    }
+
+    /// Name of the currently open job, if any.
+    pub fn open_name(&self) -> Option<&str> {
+        self.open_start.map(|_| self.open_name.as_str())
+    }
+
+    /// A view of the currently open job's rows so far.
+    pub fn open_view(&self) -> Option<JobView<'_>> {
+        let start = self.open_start?;
+        Some(JobView {
+            store: self,
+            name: &self.open_name,
+            range: start as usize..self.rows(),
+        })
+    }
+
+    /// Close the open job, returning its index.
+    pub fn end_job(&mut self) -> usize {
+        let start = self.open_start.take().expect("no open job");
+        let name = std::mem::take(&mut self.open_name);
+        self.jobs.push((name, start..self.rows() as u32));
+        self.jobs.len() - 1
+    }
+
+    /// Discard the open job's rows without closing it (the streaming
+    /// reader's reaction to a quarantine verdict landing mid-job).
+    pub fn abandon_open(&mut self) {
+        if let Some(start) = self.open_start.take() {
+            self.truncate_rows(start as usize);
+            self.open_name.clear();
+        }
+    }
+
+    /// Drop all rows and jobs, keeping the type table and column
+    /// capacities — the streaming reader calls this after folding each job.
+    pub fn clear(&mut self) {
+        assert!(self.open_start.is_none(), "clearing with a job open");
+        self.jobs.clear();
+        self.truncate_rows(0);
+    }
+
+    fn truncate_rows(&mut self, rows: usize) {
+        if let Some(&(off, _)) = self.name_span.get(rows) {
+            self.arena.truncate(off as usize);
+        }
+        self.name_span.truncate(rows);
+        self.instance_num.truncate(rows);
+        self.task_type.truncate(rows);
+        self.status.truncate(rows);
+        self.start_time.truncate(rows);
+        self.end_time.truncate(rows);
+        self.plan_cpu.truncate(rows);
+        self.plan_mem.truncate(rows);
+    }
+
+    /// Append a materialized job wholesale.
+    pub fn push_job(&mut self, job: &Job) -> usize {
+        self.begin_job(&job.name);
+        for t in &job.tasks {
+            self.push_record(t);
+        }
+        self.end_job()
+    }
+
+    /// View a closed job.
+    pub fn view(&self, i: usize) -> JobView<'_> {
+        let (name, range) = &self.jobs[i];
+        JobView {
+            store: self,
+            name,
+            range: range.start as usize..range.end as usize,
+        }
+    }
+
+    /// Materialize a closed job back into heap records, interning the
+    /// shared columns through `interner`.
+    pub fn materialize(&self, i: usize, interner: &mut Interner) -> Job {
+        let v = self.view(i);
+        let job_name = interner.intern(v.name);
+        let tasks = v
+            .range
+            .clone()
+            .map(|r| TaskRecord {
+                task_name: self.task_name(r).to_string(),
+                instance_num: self.instance_num[r],
+                job_name: job_name.clone(),
+                task_type: self.types[self.task_type[r] as usize].clone(),
+                status: self.status[r],
+                start_time: self.start_time[r],
+                end_time: self.end_time[r],
+                plan_cpu: self.plan_cpu[r],
+                plan_mem: self.plan_mem[r],
+            })
+            .collect();
+        Job {
+            name: v.name.to_string(),
+            tasks,
+        }
+    }
+
+    /// Task name of row `r`.
+    fn task_name(&self, r: usize) -> &str {
+        let (off, len) = self.name_span[r];
+        // Spans are recorded from `&str` pushes, so the slice is valid UTF-8.
+        std::str::from_utf8(&self.arena[off as usize..(off + len) as usize])
+            .expect("arena spans are pushed from valid UTF-8")
+    }
+
+    /// Approximate heap footprint of the columns, for diagnostics.
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.capacity()
+            + self.name_span.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.instance_num.capacity() * 4
+            + self.task_type.capacity() * 4
+            + self.status.capacity() * std::mem::size_of::<Status>()
+            + self.start_time.capacity() * 8
+            + self.end_time.capacity() * 8
+            + self.plan_cpu.capacity() * 8
+            + self.plan_mem.capacity() * 8
+    }
+}
+
+/// Borrowed view of one job inside a [`JobStore`], mirroring [`Job`]'s
+/// derived quantities with identical iteration and fold order.
+#[derive(Debug, Clone)]
+pub struct JobView<'a> {
+    store: &'a JobStore,
+    /// The job's name.
+    pub name: &'a str,
+    /// Row range inside the store.
+    pub range: Range<usize>,
+}
+
+impl JobView<'_> {
+    /// Number of tasks — [`Job::size`].
+    pub fn size(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Task name of the `k`-th row of this job.
+    pub fn task_name(&self, k: usize) -> &str {
+        self.store.task_name(self.range.start + k)
+    }
+
+    /// [`Job::is_dag_job`].
+    pub fn is_dag_job(&self) -> bool {
+        !self.range.is_empty()
+            && self
+                .range
+                .clone()
+                .all(|r| taskname::parse(self.store.task_name(r)).is_dag())
+    }
+
+    /// [`Job::fully_terminated`].
+    pub fn fully_terminated(&self) -> bool {
+        !self.range.is_empty()
+            && self.store.status[self.range.clone()]
+                .iter()
+                .all(|&s| s == Status::Terminated)
+    }
+
+    /// [`Job::start_time`].
+    pub fn start_time(&self) -> Option<i64> {
+        self.store.start_time[self.range.clone()]
+            .iter()
+            .copied()
+            .filter(|&s| s > 0)
+            .min()
+    }
+
+    /// [`Job::end_time`].
+    pub fn end_time(&self) -> Option<i64> {
+        self.store.end_time[self.range.clone()]
+            .iter()
+            .copied()
+            .filter(|&e| e > 0)
+            .max()
+    }
+
+    /// [`Job::completion_time`].
+    pub fn completion_time(&self) -> Option<i64> {
+        match (self.start_time(), self.end_time()) {
+            (Some(s), Some(e)) if e >= s => Some(e - s),
+            _ => None,
+        }
+    }
+
+    /// [`Job::planned_cpu_volume`] — same row order, same naive `f64` fold.
+    pub fn planned_cpu_volume(&self) -> f64 {
+        self.range
+            .clone()
+            .map(|r| self.store.instance_num[r] as f64 * self.store.plan_cpu[r])
+            .sum()
+    }
+
+    /// [`Job::planned_mem_volume`].
+    pub fn planned_mem_volume(&self) -> f64 {
+        self.range
+            .clone()
+            .map(|r| self.store.instance_num[r] as f64 * self.store.plan_mem[r])
+            .sum()
+    }
+
+    /// [`crate::TaskRecord::duration`] of the `k`-th row.
+    fn duration(&self, k: usize) -> Option<i64> {
+        let r = self.range.start + k;
+        let (s, e) = (self.store.start_time[r], self.store.end_time[r]);
+        if s > 0 && e >= s {
+            Some(e - s)
+        } else {
+            None
+        }
+    }
+
+    /// [`SampleCriteria::integrity`] over this view.
+    pub fn integrity(&self) -> bool {
+        self.is_dag_job() && self.fully_terminated()
+    }
+
+    /// [`SampleCriteria::availability`] over this view.
+    pub fn availability(&self, criteria: &SampleCriteria) -> bool {
+        let Some(start) = self.start_time() else {
+            return false;
+        };
+        let Some(end) = self.end_time() else {
+            return false;
+        };
+        if start < criteria.min_start || end > criteria.window_secs + 86_400 {
+            return false;
+        }
+        (0..self.size()).all(|k| {
+            let r = self.range.start + k;
+            self.duration(k).is_some()
+                && self.store.plan_cpu[r] > 0.0
+                && self.store.plan_mem[r] > 0.0
+                && self.store.instance_num[r] > 0
+        })
+    }
+
+    /// [`SampleCriteria::accepts`] over this view.
+    pub fn eligible(&self, criteria: &SampleCriteria) -> bool {
+        self.integrity() && self.availability(criteria)
+    }
+
+    /// The job's [`JobFacts`], identical to `JobFacts::of_job` on the
+    /// materialized form.
+    pub fn facts(&self) -> JobFacts {
+        let mut status_counts = [0usize; Status::ALL.len()];
+        for &s in &self.store.status[self.range.clone()] {
+            status_counts[s.index()] += 1;
+        }
+        JobFacts {
+            cpu_volume: self.planned_cpu_volume(),
+            mem_volume: self.planned_mem_volume(),
+            is_dag: self.is_dag_job(),
+            size: self.size(),
+            fully_terminated: self.fully_terminated(),
+            completion: self.completion_time(),
+            status_counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GeneratorConfig, TraceGenerator};
+
+    fn sample_set() -> crate::JobSet {
+        TraceGenerator::new(GeneratorConfig {
+            jobs: 120,
+            seed: 21,
+            ..Default::default()
+        })
+        .generate()
+        .job_set()
+    }
+
+    #[test]
+    fn views_mirror_job_methods_exactly() {
+        let set = sample_set();
+        let mut store = JobStore::new();
+        for job in set.jobs() {
+            store.push_job(job);
+        }
+        assert_eq!(store.job_count(), set.len());
+        let criteria = SampleCriteria::default();
+        for (i, job) in set.jobs().iter().enumerate() {
+            let v = store.view(i);
+            assert_eq!(v.name, job.name);
+            assert_eq!(v.size(), job.size());
+            assert_eq!(v.is_dag_job(), job.is_dag_job());
+            assert_eq!(v.fully_terminated(), job.fully_terminated());
+            assert_eq!(v.start_time(), job.start_time());
+            assert_eq!(v.end_time(), job.end_time());
+            assert_eq!(v.completion_time(), job.completion_time());
+            assert_eq!(
+                v.planned_cpu_volume().to_bits(),
+                job.planned_cpu_volume().to_bits()
+            );
+            assert_eq!(
+                v.planned_mem_volume().to_bits(),
+                job.planned_mem_volume().to_bits()
+            );
+            assert_eq!(v.eligible(&criteria), criteria.accepts(job));
+            assert_eq!(v.facts(), crate::stats::JobFacts::of_job(job));
+        }
+    }
+
+    #[test]
+    fn materialize_round_trips() {
+        let set = sample_set();
+        let mut store = JobStore::new();
+        for job in set.jobs() {
+            store.push_job(job);
+        }
+        let mut interner = Interner::new();
+        for (i, job) in set.jobs().iter().enumerate() {
+            assert_eq!(&store.materialize(i, &mut interner), job);
+        }
+    }
+
+    #[test]
+    fn clear_retains_type_table_and_reuses_capacity() {
+        let set = sample_set();
+        let mut store = JobStore::new();
+        store.push_job(&set.jobs()[0]);
+        let cap_before = store.heap_bytes();
+        store.clear();
+        assert_eq!(store.rows(), 0);
+        assert_eq!(store.job_count(), 0);
+        assert!(store.heap_bytes() >= cap_before);
+        store.push_job(&set.jobs()[1]);
+        let mut interner = Interner::new();
+        assert_eq!(store.materialize(0, &mut interner), set.jobs()[1]);
+    }
+
+    #[test]
+    fn abandon_open_discards_rows() {
+        let set = sample_set();
+        let job = &set.jobs()[0];
+        let mut store = JobStore::new();
+        store.begin_job("doomed");
+        for t in &job.tasks {
+            store.push_record(t);
+        }
+        store.abandon_open();
+        assert_eq!(store.rows(), 0);
+        assert!(store.open_name().is_none());
+        // Store stays usable.
+        store.push_job(job);
+        assert_eq!(store.view(0).size(), job.size());
+    }
+
+    #[test]
+    fn open_view_tracks_partial_job() {
+        let set = sample_set();
+        let job = &set.jobs()[0];
+        let mut store = JobStore::new();
+        store.begin_job(&job.name);
+        store.push_record(&job.tasks[0]);
+        let v = store.open_view().unwrap();
+        assert_eq!(v.size(), 1);
+        assert_eq!(v.task_name(0), job.tasks[0].task_name);
+        assert_eq!(store.open_rows(), 1);
+        assert_eq!(store.open_name(), Some(job.name.as_str()));
+        for t in &job.tasks[1..] {
+            store.push_record(t);
+        }
+        let i = store.end_job();
+        assert_eq!(store.view(i).size(), job.size());
+        assert!(store.open_view().is_none());
+    }
+}

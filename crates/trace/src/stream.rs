@@ -1,0 +1,995 @@
+//! Streaming single-pass trace ingestion under a bounded memory budget.
+//!
+//! The batch path ([`crate::csv::read_tasks_parallel_with_policy`] +
+//! [`JobSet::from_tasks`]) materializes every task row of the trace before
+//! grouping — fine at 100k jobs, hopeless at the full 4M. [`StreamedTrace`]
+//! instead consumes the CSV once, front to back, exploiting the trace's
+//! job-contiguity: rows of one job arrive together, so each job can be
+//! assembled in a small rolling [`JobStore`], folded into a
+//! [`StatsAccumulator`] and an eligibility flag, and *dropped* — what
+//! survives per job is ~26 bytes of metadata (a numeric name key, the job's
+//! byte range in the source, its size, and flags).
+//!
+//! Jobs are later *re-materialized on demand* by replaying their recorded
+//! byte ranges through the same parser (the source must be `Read + Seek`),
+//! which is how the stratified sample — picked from the size column alone,
+//! see [`crate::filter::stratified_sample_indices`] — becomes concrete
+//! [`Job`]s for the downstream pipeline.
+//!
+//! Two disruptions are handled without breaking bit-identity with the
+//! batch path:
+//!
+//! * **Out-of-order stragglers** — a row for an already-closed job opens a
+//!   correction: the extra byte range is recorded and, at finalize, the
+//!   job's old contribution is retracted and the merged job (rows in
+//!   document order, exactly as [`JobSet::from_tasks`] would have grouped
+//!   them) is folded back in.
+//! * **Quarantine verdicts** — a bad row implicates its job (see
+//!   [`Quarantine::suspect_jobs`]); the implicated job is dropped entirely,
+//!   matching the batch ingestion which deletes all rows of suspect jobs
+//!   before grouping. A suspicion arriving after the job closed retracts
+//!   its folded contribution at finalize.
+//!
+//! Retractions are exact because the accumulator's resource totals use
+//! [`crate::fsum::ExactSum`]; everything else is integer counting.
+
+use std::collections::{BTreeSet, HashMap};
+use std::io::{BufReader, Read, Seek, SeekFrom};
+
+use crate::csv::{self, RawLines};
+use crate::filter::{DropReason, FilterStats, SampleCriteria};
+use crate::quarantine::{self, Quarantine, QuarantinedRow, ReadPolicy};
+use crate::stats::{StatsAccumulator, TraceStats};
+use crate::store::JobStore;
+use crate::{Job, JobSet, TraceError};
+
+/// [`NameColumn::small`] sentinel for names that are not canonical
+/// `j_<digits>` (the string lives in the odd-name side table).
+const ODD_NAME: u32 = u32::MAX;
+/// [`NameColumn::small`] sentinel for numeric names too large for 32 bits
+/// (the value lives in the big-name side table).
+const BIG_NAME: u32 = u32::MAX - 1;
+
+/// Per-job flag bits.
+const FOLDED: u8 = 1 << 0;
+const DEAD: u8 = 1 << 1;
+const ELIGIBLE: u8 = 1 << 2;
+const DIRTY: u8 = 1 << 3;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Encode a canonical `j_<digits>` name (no leading zeros) as its numeric
+/// value; anything else — including a value colliding with the sentinel —
+/// stays a string in the odd-name side table.
+fn encode_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("j_")?;
+    if digits.is_empty() || digits.len() > 19 || (digits.len() > 1 && digits.starts_with('0')) {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for b in digits.bytes() {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
+    }
+    if v == u64::MAX {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+/// Per-job name column. Alibaba-style `j_<digits>` names are stored as
+/// their numeric value — 4 bytes per job, since real trace job ids fit in
+/// 32 bits — with two side tables for the exceptions: numerics past the
+/// sentinel range, and non-canonical strings. At 4M jobs the column is
+/// ~17 MB where a `Vec<String>` would cost hundreds.
+#[derive(Debug)]
+struct NameColumn {
+    small: Vec<u32>,
+    big: HashMap<u32, u64>,
+    odd: HashMap<u32, String>,
+}
+
+impl NameColumn {
+    fn new() -> NameColumn {
+        NameColumn {
+            small: Vec::new(),
+            big: HashMap::new(),
+            odd: HashMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.small.len()
+    }
+
+    /// Append the next job's name, returning its index hash.
+    fn push(&mut self, name: &str) -> u64 {
+        let idx = self.small.len() as u32;
+        match encode_name(name) {
+            Some(v) => {
+                match u32::try_from(v) {
+                    Ok(small) if small < BIG_NAME => self.small.push(small),
+                    _ => {
+                        self.small.push(BIG_NAME);
+                        self.big.insert(idx, v);
+                    }
+                }
+                splitmix64(v)
+            }
+            None => {
+                self.small.push(ODD_NAME);
+                self.odd.insert(idx, name.to_string());
+                fnv1a(name.as_bytes())
+            }
+        }
+    }
+
+    /// The name's numeric value, or `None` for odd names.
+    fn numeric(&self, idx: u32) -> Option<u64> {
+        match self.small[idx as usize] {
+            ODD_NAME => None,
+            BIG_NAME => Some(self.big[&idx]),
+            v => Some(u64::from(v)),
+        }
+    }
+
+    fn hash(&self, idx: u32) -> u64 {
+        match self.numeric(idx) {
+            Some(v) => splitmix64(v),
+            None => fnv1a(self.odd[&idx].as_bytes()),
+        }
+    }
+
+    fn is(&self, idx: u32, name: &str) -> bool {
+        match encode_name(name) {
+            Some(v) => self.numeric(idx) == Some(v),
+            None => {
+                self.small[idx as usize] == ODD_NAME
+                    && self.odd.get(&idx).is_some_and(|n| n == name)
+            }
+        }
+    }
+
+    fn string(&self, idx: u32) -> String {
+        match self.numeric(idx) {
+            Some(v) => format!("j_{v}"),
+            None => self.odd[&idx].clone(),
+        }
+    }
+
+    /// Write job `idx`'s name into `buf` (numeric names) or borrow it from
+    /// the odd-name table, returning the bytes to compare.
+    fn bytes<'a>(&'a self, idx: u32, buf: &'a mut [u8; 22]) -> &'a [u8] {
+        match self.numeric(idx) {
+            None => self.odd[&idx].as_bytes(),
+            Some(mut v) => {
+                buf[0] = b'j';
+                buf[1] = b'_';
+                let mut tmp = [0u8; 20];
+                let mut i = tmp.len();
+                loop {
+                    i -= 1;
+                    tmp[i] = b'0' + (v % 10) as u8;
+                    v /= 10;
+                    if v == 0 {
+                        break;
+                    }
+                }
+                let digits = tmp.len() - i;
+                buf[2..2 + digits].copy_from_slice(&tmp[i..]);
+                &buf[..2 + digits]
+            }
+        }
+    }
+
+    /// Heap footprint of the per-job column (side tables excluded — they
+    /// hold only the rare exceptions).
+    fn heap_bytes(&self) -> usize {
+        self.small.capacity() * 4
+    }
+}
+
+/// Open-addressing hash set of job indices keyed by job name, 4 bytes per
+/// slot — at 4M jobs this is ~32 MB where a `HashMap<String, u32>` would
+/// cost hundreds. The engine supplies name equality and re-hashing, so the
+/// table itself stores nothing but `index + 1` (0 = empty).
+#[derive(Debug)]
+struct NameIndex {
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl NameIndex {
+    fn new() -> NameIndex {
+        NameIndex {
+            slots: vec![0; 1 << 16],
+            len: 0,
+        }
+    }
+
+    fn lookup(&self, hash: u64, eq: impl Fn(u32) -> bool) -> Option<u32> {
+        let mask = self.slots.len() - 1;
+        let mut pos = hash as usize & mask;
+        loop {
+            match self.slots[pos] {
+                0 => return None,
+                stored => {
+                    let idx = stored - 1;
+                    if eq(idx) {
+                        return Some(idx);
+                    }
+                }
+            }
+            pos = (pos + 1) & mask;
+        }
+    }
+
+    /// True when one more insert would push the load factor past 0.7.
+    fn needs_grow(&self) -> bool {
+        (self.len + 1) * 10 >= self.slots.len() * 7
+    }
+
+    /// Double capacity, re-placing every stored index by `hash_of(idx)`.
+    ///
+    /// Every index in `0..len` is stored exactly once, so the table can be
+    /// rebuilt from the indices alone — the old table is freed *before* the
+    /// new one is allocated. At millions of jobs the grow moment is the
+    /// scan's peak-RSS point, and two tables coexisting would double the
+    /// index's contribution to it.
+    fn grow(&mut self, hash_of: impl Fn(u32) -> u64) {
+        let new_cap = self.slots.len() * 2;
+        self.slots = Vec::new();
+        let mut slots = vec![0u32; new_cap];
+        let mask = new_cap - 1;
+        for idx in 0..self.len as u32 {
+            let mut pos = hash_of(idx) as usize & mask;
+            while slots[pos] != 0 {
+                pos = (pos + 1) & mask;
+            }
+            slots[pos] = idx + 1;
+        }
+        self.slots = slots;
+    }
+
+    /// Insert a new index under `hash`. The caller has verified absence and
+    /// capacity ([`NameIndex::needs_grow`]).
+    fn insert(&mut self, hash: u64, idx: u32) {
+        let mask = self.slots.len() - 1;
+        let mut pos = hash as usize & mask;
+        while self.slots[pos] != 0 {
+            pos = (pos + 1) & mask;
+        }
+        self.slots[pos] = idx + 1;
+        self.len += 1;
+    }
+}
+
+/// What the scan is currently accumulating.
+enum Open {
+    /// A job not seen before: rows collect in the rolling [`JobStore`].
+    New { start: u64, end: u64 },
+    /// An out-of-order straggler batch for a closed job: only the byte
+    /// range is tracked; rows are recovered by replay at finalize.
+    Straggler { idx: u32, start: u64, end: u64 },
+}
+
+/// Everything the scan accumulates — split from the source so the borrow
+/// of the source (held by the line reader during the scan, or by the
+/// replay reader during materialization) never aliases the metadata.
+struct ScanState {
+    policy: ReadPolicy,
+    criteria: SampleCriteria,
+    interner: crate::Interner,
+    /// Canonical name per job.
+    names: NameColumn,
+    /// Primary byte range of each job in the source.
+    byte_start: Vec<u64>,
+    byte_len: Vec<u32>,
+    /// Task count per job (post-merge for corrected jobs).
+    size: Vec<u32>,
+    flags: Vec<u8>,
+    /// Straggler byte ranges, in document order, for dirty jobs.
+    extras: HashMap<u32, Vec<(u64, u32)>>,
+    index: NameIndex,
+    suspects: BTreeSet<String>,
+    acc: StatsAccumulator,
+    quarantine: Quarantine,
+    /// Alive eligible job indices in name order (the population the
+    /// stratified sampler sees).
+    eligible: Vec<u32>,
+    dead: usize,
+    raw_bytes: u64,
+}
+
+impl ScanState {
+    fn new(policy: &ReadPolicy, criteria: &SampleCriteria) -> ScanState {
+        ScanState {
+            policy: policy.clone(),
+            criteria: criteria.clone(),
+            interner: crate::Interner::new(),
+            names: NameColumn::new(),
+            byte_start: Vec::new(),
+            byte_len: Vec::new(),
+            size: Vec::new(),
+            flags: Vec::new(),
+            extras: HashMap::new(),
+            index: NameIndex::new(),
+            suspects: BTreeSet::new(),
+            acc: StatsAccumulator::new(),
+            quarantine: Quarantine::default(),
+            eligible: Vec::new(),
+            dead: 0,
+            raw_bytes: 0,
+        }
+    }
+
+    fn name_is(&self, idx: u32, name: &str) -> bool {
+        self.names.is(idx, name)
+    }
+
+    fn lookup(&self, name: &str) -> Option<u32> {
+        let hash = match encode_name(name) {
+            Some(v) => splitmix64(v),
+            None => fnv1a(name.as_bytes()),
+        };
+        self.index.lookup(hash, |idx| self.name_is(idx, name))
+    }
+
+    /// The job's name, decoded.
+    fn name_string(&self, idx: u32) -> String {
+        self.names.string(idx)
+    }
+
+    fn kill(&mut self, idx: u32) {
+        if self.flags[idx as usize] & DEAD == 0 {
+            self.flags[idx as usize] |= DEAD;
+            self.dead += 1;
+        }
+    }
+
+    /// React to a name becoming suspect mid-scan. Open state referencing
+    /// the name is discarded; a closed job is marked dead for
+    /// finalize-time retraction. Returns the (possibly cleared) open state.
+    fn on_new_suspect(
+        &mut self,
+        name: &str,
+        open: Option<Open>,
+        store: &mut JobStore,
+    ) -> Option<Open> {
+        match open {
+            Some(Open::New { .. }) if store.open_name() == Some(name) => {
+                store.abandon_open();
+                None
+            }
+            Some(Open::Straggler { idx, .. }) if self.name_is(idx, name) => {
+                self.kill(idx);
+                None
+            }
+            other => {
+                if let Some(idx) = self.lookup(name) {
+                    self.kill(idx);
+                }
+                other
+            }
+        }
+    }
+
+    /// Seal whatever was accumulating. A new job gets its index, metadata
+    /// row, eligibility verdict, and statistics fold — then its rows are
+    /// dropped from the store. A straggler batch just records its range.
+    fn close_open(&mut self, open: Open, store: &mut JobStore) -> Result<(), TraceError> {
+        match open {
+            Open::New { start, end } => {
+                let view = store.open_view().expect("Open::New implies an open job");
+                let len = u32::try_from(end - start).map_err(|_| {
+                    TraceError::Io(format!(
+                        "job '{}' spans more than 4 GiB of trace",
+                        view.name
+                    ))
+                })?;
+                let facts = view.facts();
+                let eligible = view.eligible(&self.criteria);
+                let size = view.size() as u32;
+                let idx = self.names.len() as u32;
+                let hash = self.names.push(view.name);
+                self.byte_start.push(start);
+                self.byte_len.push(len);
+                self.size.push(size);
+                self.flags
+                    .push(FOLDED | if eligible { ELIGIBLE } else { 0 });
+                self.acc.add_facts(&facts);
+                if self.index.needs_grow() {
+                    let names = &self.names;
+                    self.index.grow(|i| names.hash(i));
+                }
+                self.index.insert(hash, idx);
+                store.abandon_open();
+            }
+            Open::Straggler { idx, start, end } => {
+                let len = u32::try_from(end - start).map_err(|_| {
+                    TraceError::Io("straggler batch spans more than 4 GiB of trace".to_string())
+                })?;
+                self.extras.entry(idx).or_default().push((start, len));
+                self.flags[idx as usize] |= DIRTY;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-read one recorded byte range, appending the rows that belong to
+    /// `name` (skipping blanks, rows of other jobs, and rows the scan
+    /// quarantined) to `tasks`.
+    fn replay_range<R: Read + Seek>(
+        &mut self,
+        source: &mut R,
+        start: u64,
+        len: u32,
+        name: &str,
+        tasks: &mut Vec<crate::TaskRecord>,
+    ) -> Result<(), TraceError> {
+        source.seek(SeekFrom::Start(start))?;
+        let take = source.take(u64::from(len));
+        let mut lines = RawLines::new(BufReader::new(take));
+        let mut buf = Vec::new();
+        while lines.next_line_into(&mut buf)?.is_some() {
+            if buf.is_empty() {
+                continue;
+            }
+            let Ok(text) = std::str::from_utf8(&buf) else {
+                continue;
+            };
+            let Ok(parts) = csv::parse_task_parts(0, text) else {
+                continue;
+            };
+            let Ok(parts) =
+                csv::classify_row(&self.policy, 0, parts, |p| (p.start_time, p.end_time))
+            else {
+                continue;
+            };
+            if parts.job_name == name {
+                tasks.push(parts.to_record(&mut self.interner));
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize one job by replaying its byte range(s) — primary only,
+    /// or with straggler extras merged in document order.
+    fn replay_job<R: Read + Seek>(
+        &mut self,
+        source: &mut R,
+        idx: u32,
+        with_extras: bool,
+    ) -> Result<Job, TraceError> {
+        let name = self.name_string(idx);
+        let mut tasks = Vec::new();
+        let (start, len) = (self.byte_start[idx as usize], self.byte_len[idx as usize]);
+        self.replay_range(source, start, len, &name, &mut tasks)?;
+        if with_extras {
+            if let Some(ranges) = self.extras.get(&idx).cloned() {
+                for (s, l) in ranges {
+                    self.replay_range(source, s, l, &name, &mut tasks)?;
+                }
+            }
+        }
+        Ok(Job { name, tasks })
+    }
+
+    /// Apply deferred corrections, then freeze the eligible population in
+    /// name order.
+    fn finalize<R: Read + Seek>(&mut self, source: &mut R) -> Result<(), TraceError> {
+        for idx in 0..self.flags.len() as u32 {
+            let f = self.flags[idx as usize];
+            if f & DEAD != 0 {
+                // Retract the folded contribution (primary range only —
+                // straggler extras are never folded during the scan); the
+                // job vanishes, like the batch path dropping every row of
+                // a suspect job.
+                if f & FOLDED != 0 {
+                    let old = self.replay_job(source, idx, false)?;
+                    self.acc.remove_job(&old);
+                    self.flags[idx as usize] &= !FOLDED;
+                }
+            } else if f & DIRTY != 0 {
+                let old = self.replay_job(source, idx, false)?;
+                let merged = self.replay_job(source, idx, true)?;
+                self.acc.remove_job(&old);
+                self.acc.add_job(&merged);
+                self.size[idx as usize] = merged.size() as u32;
+                if self.criteria.accepts(&merged) {
+                    self.flags[idx as usize] |= ELIGIBLE;
+                } else {
+                    self.flags[idx as usize] &= !ELIGIBLE;
+                }
+            }
+        }
+        let mut eligible: Vec<u32> = (0..self.flags.len() as u32)
+            .filter(|&i| {
+                let f = self.flags[i as usize];
+                f & DEAD == 0 && f & ELIGIBLE != 0
+            })
+            .collect();
+        let names = &self.names;
+        eligible.sort_unstable_by(|&a, &b| {
+            let (mut ba, mut bb) = ([0u8; 22], [0u8; 22]);
+            let sa = names.bytes(a, &mut ba).to_vec();
+            let sb = names.bytes(b, &mut bb);
+            sa.as_slice().cmp(sb)
+        });
+        self.eligible = eligible;
+        Ok(())
+    }
+}
+
+/// The forward scan: group rows into jobs as they complete, fold each into
+/// the running statistics, record byte ranges, and drop the rows.
+fn run_scan<R: Read + Seek>(
+    source: &mut R,
+    state: &mut ScanState,
+    buffer: usize,
+) -> Result<(), TraceError> {
+    source.seek(SeekFrom::Start(0))?;
+    let mut lines = RawLines::new(BufReader::with_capacity(buffer.max(16), source));
+    let mut store = JobStore::new();
+    let mut open: Option<Open> = None;
+    let mut buf: Vec<u8> = Vec::new();
+
+    while let Some((offset, consumed)) = lines.next_line_into(&mut buf)? {
+        state.raw_bytes = offset + consumed;
+        state.quarantine.lines_total += 1;
+        let line_no = state.quarantine.lines_total;
+        if buf.is_empty() {
+            continue;
+        }
+        state.quarantine.rows_total += 1;
+        let verdict = match std::str::from_utf8(&buf) {
+            Err(_) => Err(TraceError::Io(csv::UTF8_ERR.to_string())),
+            Ok(text) => csv::parse_task_parts(line_no, text).and_then(|p| {
+                csv::classify_row(&state.policy, line_no, p, |p| (p.start_time, p.end_time))
+            }),
+        };
+        let parts = match verdict {
+            Ok(parts) => parts,
+            Err(error) => {
+                if !state.policy.is_quarantine()
+                    || state.quarantine.rows.len() >= state.policy.max_bad()
+                {
+                    return Err(error);
+                }
+                let job_name = quarantine::job_name_of(&buf);
+                state.quarantine.rows.push(QuarantinedRow {
+                    line: line_no,
+                    byte_offset: offset,
+                    error,
+                    excerpt: quarantine::excerpt_of(&buf),
+                    job_name: job_name.clone(),
+                });
+                if let Some(name) = job_name {
+                    if state.suspects.insert(name.clone()) {
+                        open = state.on_new_suspect(&name, open, &mut store);
+                    }
+                }
+                continue;
+            }
+        };
+        state.quarantine.rows_good += 1;
+        if !state.suspects.is_empty() && state.suspects.contains(parts.job_name) {
+            continue;
+        }
+        // Fast path: the row continues whatever is open.
+        match &mut open {
+            Some(Open::New { end, .. }) if store.open_name() == Some(parts.job_name) => {
+                store.push_parts(&parts);
+                *end = offset + consumed;
+                continue;
+            }
+            Some(Open::Straggler { idx, end, .. }) if state.name_is(*idx, parts.job_name) => {
+                *end = offset + consumed;
+                continue;
+            }
+            _ => {}
+        }
+        // The row opens something else: close what was open first.
+        if let Some(prev) = open.take() {
+            state.close_open(prev, &mut store)?;
+        }
+        open = Some(match state.lookup(parts.job_name) {
+            // A closed job's name re-appearing: an out-of-order straggler
+            // batch (the job cannot be dead here — dead jobs are suspects,
+            // and suspect rows were dropped above).
+            Some(idx) => Open::Straggler {
+                idx,
+                start: offset,
+                end: offset + consumed,
+            },
+            None => {
+                store.begin_job(parts.job_name);
+                store.push_parts(&parts);
+                Open::New {
+                    start: offset,
+                    end: offset + consumed,
+                }
+            }
+        });
+    }
+    if let Some(prev) = open.take() {
+        state.close_open(prev, &mut store)?;
+    }
+    Ok(())
+}
+
+/// A fully scanned trace: per-job metadata columns, exact running
+/// statistics, quarantine accounting, and the (seekable) source for
+/// on-demand job materialization.
+pub struct StreamedTrace<R> {
+    source: R,
+    state: ScanState,
+}
+
+impl<R: Read + Seek> StreamedTrace<R> {
+    /// Scan `source` end to end with the default buffer size.
+    pub fn scan(
+        source: R,
+        policy: &ReadPolicy,
+        criteria: &SampleCriteria,
+    ) -> Result<StreamedTrace<R>, TraceError> {
+        Self::scan_with_buffer(source, policy, criteria, 1 << 20)
+    }
+
+    /// Scan with an explicit buffer capacity — exposed so the property
+    /// tests can force every possible chunk split.
+    pub fn scan_with_buffer(
+        mut source: R,
+        policy: &ReadPolicy,
+        criteria: &SampleCriteria,
+        buffer: usize,
+    ) -> Result<StreamedTrace<R>, TraceError> {
+        let mut state = ScanState::new(policy, criteria);
+        run_scan(&mut source, &mut state, buffer)?;
+        state.finalize(&mut source)?;
+        Ok(StreamedTrace { source, state })
+    }
+
+    /// Trace-level statistics over surviving jobs — bit-identical to
+    /// [`TraceStats::compute`] on the batch-ingested [`JobSet`].
+    pub fn stats(&self) -> TraceStats {
+        self.state.acc.finish()
+    }
+
+    /// Quarantine accounting for the scan.
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.state.quarantine
+    }
+
+    /// Jobs implicated by quarantined rows (dropped from every result).
+    pub fn suspects(&self) -> &BTreeSet<String> {
+        &self.state.suspects
+    }
+
+    /// Surviving (non-suspect) jobs.
+    pub fn job_count(&self) -> usize {
+        self.state.names.len() - self.state.dead
+    }
+
+    /// Eligible jobs (alive + integrity + availability).
+    pub fn eligible_count(&self) -> usize {
+        self.state.eligible.len()
+    }
+
+    /// Size column of the eligible population in name order — the input to
+    /// [`crate::filter::stratified_sample_indices`], positionally aligned
+    /// with what [`SampleCriteria::filter`] returns on the batch path.
+    pub fn eligible_sizes(&self) -> Vec<usize> {
+        self.state
+            .eligible
+            .iter()
+            .map(|&i| self.state.size[i as usize] as usize)
+            .collect()
+    }
+
+    /// Stratified sample positions over the eligible population, drawn
+    /// straight from the size column — no job is materialized and no
+    /// usize copy of the column is built. Bit-identical to
+    /// [`crate::filter::stratified_sample`] over the batch path's
+    /// materialized jobs.
+    pub fn sample_eligible(&self, n: usize, seed: u64) -> Vec<usize> {
+        crate::filter::stratified_sample_indices_from(
+            self.state
+                .eligible
+                .iter()
+                .map(|&i| self.state.size[i as usize] as usize),
+            n,
+            seed,
+        )
+    }
+
+    /// Materialize the `pos`-th eligible job (positions as in
+    /// [`StreamedTrace::eligible_sizes`]) by replaying its byte ranges.
+    pub fn materialize_eligible(&mut self, pos: usize) -> Result<Job, TraceError> {
+        let idx = self.state.eligible[pos];
+        self.state.replay_job(&mut self.source, idx, true)
+    }
+
+    /// Total source bytes consumed by the scan.
+    pub fn raw_bytes(&self) -> u64 {
+        self.state.raw_bytes
+    }
+
+    /// Approximate heap footprint of the per-job metadata columns — the
+    /// part of the engine that scales with job count.
+    pub fn metadata_bytes(&self) -> usize {
+        self.state.names.heap_bytes()
+            + self.state.byte_start.capacity() * 8
+            + self.state.byte_len.capacity() * 4
+            + self.state.size.capacity() * 4
+            + self.state.flags.capacity()
+            + self.state.index.slots.capacity() * 4
+            + self.state.eligible.capacity() * 4
+    }
+
+    /// Visit every surviving job in arrival order, materialized one at a
+    /// time — the full-trace census path: per-job peak memory, O(1)
+    /// retained.
+    pub fn for_each_job(&mut self, mut f: impl FnMut(Job)) -> Result<(), TraceError> {
+        for idx in 0..self.state.flags.len() as u32 {
+            if self.state.flags[idx as usize] & DEAD == 0 {
+                f(self.state.replay_job(&mut self.source, idx, true)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize every surviving job — test/equivalence support, not a
+    /// memory-bounded path. Equals [`JobSet::from_tasks`] over the batch
+    /// rows with suspect jobs dropped.
+    pub fn materialize_all(&mut self) -> Result<JobSet, TraceError> {
+        let mut jobs = Vec::with_capacity(self.job_count());
+        for idx in 0..self.state.flags.len() as u32 {
+            if self.state.flags[idx as usize] & DEAD == 0 {
+                jobs.push(self.state.replay_job(&mut self.source, idx, true)?);
+            }
+        }
+        Ok(JobSet::from_jobs(jobs))
+    }
+
+    /// Drop accounting identical to
+    /// [`SampleCriteria::filter_with_stats`] run on the batch path's
+    /// suspect-stripped [`JobSet`]. Replays every alive job, so this is a
+    /// reporting/test path, not a hot one.
+    pub fn filter_stats(&mut self) -> Result<FilterStats, TraceError> {
+        let mut stats = FilterStats::default();
+        for name in &self.state.suspects {
+            stats
+                .dropped
+                .insert(name.clone(), DropReason::QuarantineIncomplete);
+        }
+        let criteria = self.state.criteria.clone();
+        let mut kept = 0usize;
+        for idx in 0..self.state.flags.len() as u32 {
+            if self.state.flags[idx as usize] & DEAD != 0 {
+                continue;
+            }
+            let job = self.state.replay_job(&mut self.source, idx, true)?;
+            if !criteria.integrity(&job) {
+                stats.dropped.insert(job.name, DropReason::Integrity);
+            } else if !criteria.availability(&job) {
+                stats.dropped.insert(job.name, DropReason::Availability);
+            } else {
+                kept += 1;
+            }
+        }
+        stats.kept = kept;
+        stats.considered = self.job_count() + self.state.suspects.len();
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const L1: &str = "M1,2,j_1000001,1,Terminated,100,200,100,0.5";
+    const L2: &str = "R2_1,2,j_1000001,1,Terminated,200,300,100,0.5";
+    const L3: &str = "M1,1,j_1000002,1,Terminated,150,250,50,0.25";
+
+    fn scan_str(doc: &str) -> StreamedTrace<Cursor<Vec<u8>>> {
+        StreamedTrace::scan(
+            Cursor::new(doc.as_bytes().to_vec()),
+            &ReadPolicy::Strict,
+            &SampleCriteria::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn name_encoding_round_trips() {
+        assert_eq!(encode_name("j_0"), Some(0));
+        assert_eq!(encode_name("j_1000001"), Some(1_000_001));
+        assert_eq!(encode_name("j_01"), None, "leading zero must stay textual");
+        assert_eq!(encode_name("j_"), None);
+        assert_eq!(encode_name("job_7"), None);
+        assert_eq!(encode_name("j_12x"), None);
+        assert_eq!(encode_name("j_99999999999999999999999"), None);
+    }
+
+    #[test]
+    fn wide_numeric_names_route_through_the_big_table() {
+        // u32::MAX - 1 collides with the BIG_NAME sentinel and u32::MAX
+        // with ODD_NAME; both must survive the u32 column via the side
+        // table, as must a genuinely 64-bit id. The straggler row for the
+        // first job exercises index lookup through the same path.
+        let names = [
+            format!("j_{}", u32::MAX - 1),
+            format!("j_{}", u32::MAX),
+            format!("j_{}", u64::MAX - 1),
+            "j_7".to_string(),
+        ];
+        let mut doc = String::new();
+        for n in &names {
+            doc.push_str(&format!("M1,2,{n},1,Terminated,100,200,100,0.5\n"));
+        }
+        doc.push_str(&format!(
+            "R2_1,2,{},1,Terminated,200,300,100,0.5\n",
+            names[0]
+        ));
+        let mut t = scan_str(&doc);
+        assert_eq!(t.job_count(), 4);
+        let set = t.materialize_all().unwrap();
+        for n in &names {
+            assert!(set.get(n).is_some(), "job {n} lost");
+        }
+        assert_eq!(set.get(&names[0]).unwrap().tasks.len(), 2);
+    }
+
+    #[test]
+    fn contiguous_jobs_group_and_fold() {
+        let mut t = scan_str(&format!("{L1}\n{L2}\n{L3}\n"));
+        assert_eq!(t.job_count(), 2);
+        assert_eq!(t.eligible_count(), 2);
+        assert_eq!(t.eligible_sizes(), vec![2, 1]);
+        let set = t.materialize_all().unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.jobs()[0].name, "j_1000001");
+        assert_eq!(set.jobs()[0].size(), 2);
+        let stats = t.stats();
+        assert_eq!(stats.total_jobs, 2);
+        assert_eq!(stats.dag_jobs, 2);
+    }
+
+    #[test]
+    fn straggler_rows_merge_into_their_job() {
+        // j_1000001 closes, j_1000002 interrupts, then a straggler row for
+        // j_1000001 arrives out of order.
+        let straggler = "R3_1,1,j_1000001,1,Terminated,300,400,100,0.5";
+        let mut t = scan_str(&format!("{L1}\n{L2}\n{L3}\n{straggler}\n"));
+        assert_eq!(t.job_count(), 2);
+        let set = t.materialize_all().unwrap();
+        let j = set.get("j_1000001").unwrap();
+        assert_eq!(j.size(), 3);
+        assert_eq!(j.tasks[2].task_name, "R3_1");
+        assert_eq!(t.stats().size_histogram.get(&3), Some(&1));
+    }
+
+    #[test]
+    fn scan_matches_batch_grouping_on_generated_trace() {
+        let trace = crate::gen::TraceGenerator::new(crate::gen::GeneratorConfig {
+            jobs: 200,
+            seed: 5,
+            ..Default::default()
+        })
+        .generate();
+        let mut doc = Vec::new();
+        csv::write_tasks(&mut doc, &trace.tasks).unwrap();
+        let batch_set = JobSet::from_tasks(csv::read_tasks(&doc[..]).unwrap());
+        let batch_stats = TraceStats::compute(&batch_set);
+        let mut t = StreamedTrace::scan(
+            Cursor::new(doc),
+            &ReadPolicy::Strict,
+            &SampleCriteria::default(),
+        )
+        .unwrap();
+        assert_eq!(t.stats(), batch_stats);
+        assert_eq!(t.materialize_all().unwrap(), batch_set);
+        // The eligible population matches the batch filter in name order.
+        let criteria = SampleCriteria::default();
+        let batch_eligible: Vec<usize> = criteria
+            .filter(&batch_set)
+            .iter()
+            .map(|j| j.size())
+            .collect();
+        assert_eq!(t.eligible_sizes(), batch_eligible);
+    }
+
+    #[test]
+    fn strict_mode_aborts_like_the_batch_reader() {
+        let doc = format!("{L1}\nnot,a,row\n");
+        let err = StreamedTrace::scan(
+            Cursor::new(doc.clone().into_bytes()),
+            &ReadPolicy::Strict,
+            &SampleCriteria::default(),
+        )
+        .err()
+        .expect("strict scan must abort");
+        let batch_err = csv::read_tasks(doc.as_bytes()).unwrap_err();
+        assert_eq!(err, batch_err);
+    }
+
+    #[test]
+    fn quarantined_row_kills_its_job() {
+        // The bad row names j_1000001 → the job is a suspect and must
+        // vanish, exactly like the batch CLI stripping suspect rows before
+        // grouping.
+        let bad = "M9,x,j_1000001,1,Terminated,1,2,3,4";
+        let policy = ReadPolicy::Quarantine { max_bad: 8 };
+        let mut t = StreamedTrace::scan(
+            Cursor::new(format!("{L1}\n{L2}\n{bad}\n{L3}\n").into_bytes()),
+            &policy,
+            &SampleCriteria::default(),
+        )
+        .unwrap();
+        assert_eq!(t.quarantine().rows_quarantined(), 1);
+        assert_eq!(t.job_count(), 1);
+        assert_eq!(t.suspects().iter().collect::<Vec<_>>(), vec!["j_1000001"]);
+        let set = t.materialize_all().unwrap();
+        assert!(set.get("j_1000001").is_none());
+        assert_eq!(t.stats().total_jobs, 1);
+        let q = t.quarantine();
+        assert_eq!(q.rows_good + q.rows_quarantined(), q.rows_total);
+    }
+
+    #[test]
+    fn filter_stats_accounts_suspects_and_reasons() {
+        let bad = "M9,x,j_1000001,1,Terminated,1,2,3,4";
+        // j_1000003 fails availability (start before the window margin).
+        let early = "M1,1,j_1000003,1,Terminated,0,0,50,0.25";
+        let policy = ReadPolicy::Quarantine { max_bad: 8 };
+        let mut t = StreamedTrace::scan(
+            Cursor::new(format!("{L1}\n{L2}\n{bad}\n{L3}\n{early}\n").into_bytes()),
+            &policy,
+            &SampleCriteria::default(),
+        )
+        .unwrap();
+        let stats = t.filter_stats().unwrap();
+        assert_eq!(stats.considered, 3);
+        assert_eq!(stats.kept, 1);
+        assert_eq!(stats.dropped["j_1000001"], DropReason::QuarantineIncomplete);
+        assert_eq!(stats.dropped["j_1000003"], DropReason::Availability);
+    }
+
+    #[test]
+    fn name_index_survives_growth_with_odd_names() {
+        let mut doc = String::new();
+        for i in 0..500 {
+            let name = if i % 7 == 0 {
+                format!("weird-{i}")
+            } else {
+                format!("j_{}", 2_000_000 + i)
+            };
+            doc.push_str(&format!("M1,1,{name},1,Terminated,100,200,50,0.25\n"));
+        }
+        let mut t = scan_str(&doc);
+        assert_eq!(t.job_count(), 500);
+        let set = t.materialize_all().unwrap();
+        assert_eq!(set.len(), 500);
+        assert!(set.get("weird-0").is_some());
+        assert!(set.get("j_2000001").is_some());
+    }
+}
