@@ -45,7 +45,9 @@ pub struct Flags {
     values: BTreeMap<String, String>,
 }
 
-/// Flags that never take a value.
+/// Flags that work without a value. They still accept one when the next
+/// token is not another flag (`--machines 64`), so the same name can be
+/// a boolean switch for one command and a count for another.
 const SWITCHES: &[&str] = &["instances", "machines", "help", "all", "timings", "stream"];
 
 impl Flags {
@@ -59,8 +61,16 @@ impl Flags {
                 return Err(ArgError::Unknown(tok.clone()));
             };
             if SWITCHES.contains(&name) {
-                values.insert(name.to_string(), String::new());
-                i += 1;
+                match tokens.get(i + 1) {
+                    Some(value) if !value.starts_with("--") => {
+                        values.insert(name.to_string(), value.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        values.insert(name.to_string(), String::new());
+                        i += 1;
+                    }
+                }
                 continue;
             }
             let Some(value) = tokens.get(i + 1) else {
@@ -102,6 +112,9 @@ impl Flags {
     ) -> Result<T, ArgError> {
         match self.values.get(name) {
             None => Ok(default),
+            // A bare switch (`--machines`) stores an empty value; typed
+            // reads treat that the same as the flag being absent.
+            Some(raw) if raw.is_empty() => Ok(default),
             Some(raw) => raw.parse::<T>().map_err(|_| ArgError::BadValue {
                 flag: name.to_string(),
                 value: raw.clone(),
@@ -127,6 +140,25 @@ mod tests {
         assert!(f.switch("instances"));
         assert!(!f.switch("machines"));
         assert_eq!(f.get_or("sample", 100usize, "usize").unwrap(), 100);
+    }
+
+    #[test]
+    fn switches_accept_an_optional_value() {
+        // `--machines 64` carries the value; a bare `--machines` (or one
+        // followed by another flag) stays a boolean and typed reads fall
+        // back to the default.
+        let f = Flags::parse(&toks("--machines 64 --jobs 10")).unwrap();
+        assert!(f.switch("machines"));
+        assert_eq!(
+            f.get_or("machines", 48usize, "a machine count").unwrap(),
+            64
+        );
+        let f = Flags::parse(&toks("--machines --jobs 10")).unwrap();
+        assert!(f.switch("machines"));
+        assert_eq!(
+            f.get_or("machines", 48usize, "a machine count").unwrap(),
+            48
+        );
     }
 
     #[test]

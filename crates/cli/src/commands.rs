@@ -1,17 +1,21 @@
 //! Subcommand implementations.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
 
 use dagscope_core::{
     compare_baselines, export, figures, BaseKernel, ClusterEngine, IndexSnapshot, Pipeline,
     PipelineConfig, Report,
 };
 use dagscope_graph::JobDag;
-use dagscope_sched::{ClusterConfig, OnlineLoad, Policy, SimConfig, SimJob, Simulator};
+use dagscope_sched::{
+    replay, workload_from_jobs, workload_from_stream, ClusterConfig, GroupPredictor, JobHint,
+    OnlineLoad, Policy, Predictions, ProfileBuilder, ReplayWorkload, SimConfig, SimJob, Simulator,
+    DEFAULT_MIN_CONFIDENCE,
+};
 use dagscope_trace::filter::SampleCriteria;
 use dagscope_trace::gen::{GeneratorConfig, TraceGenerator};
 use dagscope_trace::placement::PlacementStats;
@@ -44,6 +48,16 @@ COMMANDS
   schedule    policy comparison in the cluster simulator
               (--jobs N --seed S --cluster-machines M --compression C
                [--online trough,peak])
+  sched-replay
+              scheduler-in-the-loop: fit the group model offline, then
+              replay every eligible job at its trace arrival time under
+              group-informed policies vs FIFO and the oracles, with
+              regret columns (--jobs N --seed S | --trace DIR
+               [--stream]) [--replay N] [--machines M]
+               [--compression C] [--online trough,peak]
+               [--policy fifo,group-sjf,group-critical-path,
+                group-hybrid,sjf-oracle,critical-path-oracle | all]
+               [--min-confidence F]
   report      auto-generated paper-vs-measured markdown record
               (--jobs N --sample N --seed S)
   snapshot    run the pipeline and write a loadable serve index
@@ -606,9 +620,9 @@ fn cmd_schedule(flags: &Flags) -> Result<String, CliError> {
     // Perfect-knowledge predictions for the predicted-SJF row: the CLI
     // variant demonstrates the policy plumbing; the full topology-learned
     // prediction lives in examples/schedule_policies.rs.
-    let predictions: HashMap<String, f64> = sim_jobs
+    let predictions: Predictions = sim_jobs
         .iter()
-        .map(|j| (j.name.clone(), j.total_work()))
+        .map(|j| (j.name.as_str(), j.total_work()))
         .collect();
 
     let mut out = format!(
@@ -633,6 +647,177 @@ fn cmd_schedule(flags: &Flags) -> Result<String, CliError> {
             .map_err(CliError::Run)?;
         writeln!(out, "  {}", m.render_row()).unwrap();
     }
+    Ok(out)
+}
+
+/// Parse the comma-separated `--policy` list into replayable policies.
+/// `all` (the default) expands to every policy the replay supports.
+fn parse_policies(
+    raw: &str,
+    predictor: &Arc<GroupPredictor>,
+    min_confidence: f64,
+) -> Result<Vec<Policy>, CliError> {
+    let names: Vec<&str> = if raw == "all" {
+        vec![
+            "fifo",
+            "group-sjf",
+            "group-critical-path",
+            "group-hybrid",
+            "sjf-oracle",
+            "critical-path-oracle",
+        ]
+    } else {
+        raw.split(',').map(str::trim).collect()
+    };
+    names
+        .iter()
+        .map(|name| match *name {
+            "fifo" => Ok(Policy::Fifo),
+            "sjf-oracle" => Ok(Policy::SjfOracle),
+            "critical-path-oracle" => Ok(Policy::CriticalPathOracle),
+            "group-sjf" => Ok(Policy::GroupSjf {
+                predictor: Arc::clone(predictor),
+            }),
+            "group-critical-path" => Ok(Policy::GroupCriticalPath {
+                predictor: Arc::clone(predictor),
+            }),
+            "group-hybrid" => Ok(Policy::GroupHybrid {
+                predictor: Arc::clone(predictor),
+                min_confidence,
+            }),
+            other => Err(CliError::Run(format!(
+                "--policy: unknown policy {other:?}; available: fifo, sjf-oracle, \
+                 critical-path-oracle, group-sjf, group-critical-path, group-hybrid, all"
+            ))),
+        })
+        .collect()
+}
+
+/// Build the replay workload: every filter-eligible job (capped by
+/// `--replay`), from the streamed store, the batch CSV, or the synthetic
+/// generator — whichever the flags selected for the pipeline run.
+fn replay_workload(flags: &Flags, cap: usize) -> Result<ReplayWorkload, CliError> {
+    match flags.str_opt("trace") {
+        Some(dir) if flags.switch("stream") => {
+            let mut streamed = open_streamed_trace(dir, flags)?;
+            workload_from_stream(&mut streamed, cap).map_err(CliError::Run)
+        }
+        Some(dir) => {
+            let path = Path::new(dir).join("batch_task.csv");
+            let bytes = fs::read(&path)
+                .map_err(|e| CliError::Run(format!("read {}: {e}", path.display())))?;
+            let tasks = csv::read_tasks_parallel(&bytes).map_err(io_err)?;
+            let set = dagscope_trace::JobSet::from_tasks(tasks);
+            let eligible = SampleCriteria::default().filter(&set);
+            Ok(workload_from_jobs(eligible.iter().copied(), cap))
+        }
+        None => {
+            // Regenerate the exact trace the pipeline synthesized: the
+            // generator is a pure function of (jobs, seed).
+            let cfg = pipeline_config(flags)?;
+            let trace = TraceGenerator::new(cfg.generator()).generate();
+            let set = trace.job_set();
+            let eligible = SampleCriteria::default().filter(&set);
+            Ok(workload_from_jobs(eligible.iter().copied(), cap))
+        }
+    }
+}
+
+fn cmd_sched_replay(flags: &Flags) -> Result<String, CliError> {
+    let machines = flags.get_or("machines", 48usize, "a machine count")?;
+    let compression = flags.get_or("compression", 2_000.0f64, "a compression factor")?;
+    let cap = flags.get_or("replay", usize::MAX, "a job count")?;
+    let min_confidence = flags.get_or(
+        "min-confidence",
+        DEFAULT_MIN_CONFIDENCE,
+        "a confidence in 0..=1",
+    )?;
+    let online = flags.str_opt("online").map(parse_online).transpose()?;
+
+    // Offline model: the regular pipeline fits the group model on the
+    // stratified sample; its per-group shape/work profiles become the
+    // scheduler's priors.
+    let report = run_pipeline(flags)?;
+    let k = report.groups.group_count();
+    let model =
+        dagscope_cluster::GroupModel::fit(&report.groups.assignments, k, &report.wl_features);
+    let cache =
+        dagscope_wl::KernelCache::from_dags(report.config.wl_iterations, report.kernel_dags());
+    let mut labels = vec!['?'; k];
+    for g in &report.groups.groups {
+        labels[g.cluster] = g.label;
+    }
+    let mut builder = ProfileBuilder::new(k);
+    for (i, dag) in report.raw_dags.iter().enumerate() {
+        let sim = SimJob::from_dag(dag.name.clone(), 0, dag.clone());
+        builder.observe(report.groups.assignments[i], &sim);
+    }
+    let profiles = builder.finish(&labels);
+
+    // Replay workload: all eligible jobs at their trace arrival times.
+    let workload = replay_workload(flags, cap)?;
+    if workload.jobs.is_empty() {
+        return Err(CliError::Run(
+            "no job passed the integrity/availability filters".to_string(),
+        ));
+    }
+
+    // Classify every replayed job through the frozen model — the same
+    // embed-then-classify chain `/v1/classify` runs online.
+    let hints: Vec<JobHint> = dagscope_par::par_map(&workload.jobs, |job| {
+        let probe = if report.config.conflate {
+            cache.embed(&dagscope_graph::conflate::conflate(&job.dag))
+        } else {
+            cache.embed(&job.dag)
+        };
+        let c = model.classify(&probe);
+        JobHint {
+            cluster: c.cluster,
+            confidence: c.confidence,
+        }
+    });
+    let mut predictor = GroupPredictor::new(profiles);
+    for (job, hint) in workload.jobs.iter().zip(hints) {
+        predictor.insert_hint(job.name.as_str(), hint);
+    }
+    let predictor = Arc::new(predictor);
+
+    let policies = parse_policies(&flags.str_or("policy", "all"), &predictor, min_confidence)?;
+    let cfg = SimConfig {
+        cluster: ClusterConfig {
+            machines,
+            cpu_per_machine: 9_600.0,
+            mem_per_machine: 48.0,
+        },
+        arrival_compression: compression,
+        online_load: online,
+        evict_for_online: online.is_some(),
+    };
+    let result = replay(&cfg, &workload.jobs, &policies).map_err(CliError::Run)?;
+
+    let mut out = format!(
+        "replaying {} jobs on {} machines (compression {}x{})\n",
+        workload.jobs.len(),
+        machines,
+        compression,
+        online.map_or(String::new(), |l| format!(
+            ", online load {:.0}–{:.0} %",
+            100.0 * l.trough,
+            100.0 * l.peak
+        ))
+    );
+    if workload.skipped > 0 {
+        writeln!(
+            out,
+            "(skipped {} jobs with malformed DAGs)",
+            workload.skipped
+        )
+        .unwrap();
+    }
+    out.push('\n');
+    out.push_str(&predictor.profiles().render());
+    out.push('\n');
+    out.push_str(&result.render_table());
     Ok(out)
 }
 
@@ -734,6 +919,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "baselines" => cmd_baselines(&flags),
         "placement" => cmd_placement(&flags),
         "schedule" => cmd_schedule(&flags),
+        "sched-replay" => cmd_sched_replay(&flags),
         "snapshot" => cmd_snapshot(&flags),
         "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
@@ -826,6 +1012,68 @@ mod tests {
         assert!(out.contains("fifo"));
         assert!(out.contains("sjf-oracle"));
         assert!(out.contains("online load 20–50 %"));
+    }
+
+    #[test]
+    fn sched_replay_runs_and_is_deterministic() {
+        let cmd = "sched-replay --jobs 120 --sample 20 --seed 3 --machines 8 --compression 4000";
+        let out = run(&argv(cmd)).unwrap();
+        // All six policies, the profile table, and the regret columns.
+        for label in [
+            "fifo",
+            "group-sjf",
+            "group-critical-path",
+            "group-hybrid",
+            "sjf-oracle",
+            "critical-path-oracle",
+        ] {
+            assert!(out.contains(label), "missing {label} in:\n{out}");
+        }
+        assert!(out.contains("vs sjf"));
+        assert!(out.contains("replaying"));
+        // Bit-identical across runs: the whole chain is a pure function
+        // of the flags.
+        assert_eq!(out, run(&argv(cmd)).unwrap());
+    }
+
+    #[test]
+    fn sched_replay_policy_flag_selects_and_rejects() {
+        let out = run(&argv(
+            "sched-replay --jobs 120 --sample 20 --seed 3 --machines 8 --policy fifo,group-sjf",
+        ))
+        .unwrap();
+        assert!(out.contains("fifo"));
+        assert!(out.contains("group-sjf"));
+        assert!(!out.contains("critical-path-oracle"));
+        let err = run(&argv(
+            "sched-replay --jobs 120 --sample 20 --seed 3 --policy turbo",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("turbo"), "{err}");
+    }
+
+    #[test]
+    fn sched_replay_ingests_a_streamed_trace() {
+        let dir = std::env::temp_dir().join(format!("dagscope_cli_replay_{}", std::process::id()));
+        run(&argv(&format!(
+            "generate --jobs 150 --seed 5 --out {}",
+            dir.display()
+        )))
+        .unwrap();
+        let batch = run(&argv(&format!(
+            "sched-replay --trace {} --sample 20 --seed 5 --machines 8 --policy fifo,sjf-oracle",
+            dir.display()
+        )))
+        .unwrap();
+        let streamed = run(&argv(&format!(
+            "sched-replay --trace {} --stream --sample 20 --seed 5 --machines 8 --policy fifo,sjf-oracle",
+            dir.display()
+        )))
+        .unwrap();
+        // The streamed and batch ingestion paths replay identical
+        // workloads, so the whole report matches to the character.
+        assert_eq!(batch, streamed);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -15,9 +15,15 @@
 //!   demands and durations, built from trace rows,
 //! * [`cluster::Cluster`] — machines with CPU/memory capacity,
 //! * [`policy`] — FIFO, shortest-job-first (oracle), critical-path-first
-//!   (oracle), and *predicted*-SJF, where the prediction comes from the
-//!   WL/spectral group a job lands in (the paper's proposed use),
+//!   (oracle), predicted-SJF, and the group-informed family
+//!   (`GroupSjf`, `GroupCriticalPath`, `GroupHybrid`) where predictions
+//!   come from the WL/spectral group a job lands in (the paper's
+//!   proposed use),
+//! * [`profile`] — per-group historical shape/width/work/critical-path
+//!   distributions plus per-job classification hints,
 //! * [`sim::Simulator`] — the event loop,
+//! * [`replay`] — many policies over one trace workload, with regret
+//!   against the oracles,
 //! * [`metrics::SimMetrics`] — JCT percentiles, makespan, utilization.
 
 #![forbid(unsafe_code)]
@@ -26,11 +32,17 @@
 pub mod cluster;
 pub mod metrics;
 pub mod policy;
+pub mod profile;
+pub mod replay;
 pub mod sim;
 pub mod workload;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use metrics::SimMetrics;
-pub use policy::Policy;
+pub use metrics::{quantile_sorted, quantile_sorted_f64, quantile_weighted, SimMetrics};
+pub use policy::{FrozenKeys, Policy, Predictions, DEFAULT_MIN_CONFIDENCE};
+pub use profile::{Dist, GroupPredictor, GroupProfile, JobHint, ProfileBuilder, ProfileTable};
+pub use replay::{
+    replay, workload_from_jobs, workload_from_stream, PolicyOutcome, ReplayReport, ReplayWorkload,
+};
 pub use sim::{OnlineLoad, SimConfig, Simulator};
 pub use workload::{SimJob, SimTask};

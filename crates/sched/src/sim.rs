@@ -157,9 +157,20 @@ impl Simulator {
             ((j.arrival - min_arrival) as f64 / self.cfg.arrival_compression.max(1e-9)) as i64
         };
 
-        // Job-level policy keys, frozen at admission.
-        let keys: Vec<f64> = jobs.iter().map(|j| self.policy.job_key(j)).collect();
+        // Job-level policy keys, frozen at admission; the policy reports
+        // how many jobs it had no usable prediction for.
+        let crate::policy::FrozenKeys { keys, unknown_jobs } = self.policy.freeze(jobs);
         let downstream: Vec<Vec<i64>> = jobs.iter().map(|j| j.downstream_critical_path()).collect();
+        // Dispatch order: (job key, job index, deeper downstream critical
+        // path first). Total and strict over distinct (job, node) pairs.
+        let dispatch_order = |a: &ReadyTask, b: &ReadyTask| {
+            keys[a.job]
+                .partial_cmp(&keys[b.job])
+                .unwrap()
+                .then(a.job.cmp(&b.job))
+                .then(downstream[b.job][b.node].cmp(&downstream[a.job][a.node]))
+                .then(a.node.cmp(&b.node))
+        };
 
         let mut job_state: Vec<JobState> = jobs
             .iter()
@@ -200,7 +211,14 @@ impl Simulator {
         let mut tombstones: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut evictions = 0u64;
 
+        // `ready` holds tasks in frozen dispatch order at all times; tasks
+        // becoming ready land in `fresh` and are merged in (sort the few
+        // newcomers, one linear merge) instead of re-sorting the whole
+        // queue every event — the difference between O(R log R) and
+        // O(R + F log F) per event once 100k jobs are in flight.
         let mut ready: Vec<ReadyTask> = Vec::new();
+        let mut fresh: Vec<ReadyTask> = Vec::new();
+        let mut still_ready: Vec<ReadyTask> = Vec::new();
         let mut busy_cpu = 0.0f64;
         let mut util_area = 0.0f64;
         let mut last_time = 0i64;
@@ -214,8 +232,10 @@ impl Simulator {
             // reservation reconfiguration.
             let t_arr = arrivals.get(next_arrival).map(|&i| job_state[i].arrival);
             let t_fin = finishes.peek().map(|Reverse((t, ..))| *t);
-            let work_remains =
-                next_arrival < arrivals.len() || !finishes.is_empty() || !ready.is_empty();
+            let work_remains = next_arrival < arrivals.len()
+                || !finishes.is_empty()
+                || !ready.is_empty()
+                || !fresh.is_empty();
             let t_cfg = if work_remains { next_reconfig } else { None };
             now = match [t_arr, t_fin, t_cfg].into_iter().flatten().min() {
                 Some(t) => t,
@@ -231,7 +251,7 @@ impl Simulator {
                 next_arrival += 1;
                 for (node, st) in task_state[j].iter().enumerate() {
                     if st.pending_parents == 0 {
-                        ready.push(ReadyTask { job: j, node });
+                        fresh.push(ReadyTask { job: j, node });
                     }
                 }
             }
@@ -282,7 +302,7 @@ impl Simulator {
                         let cs = &mut task_state[j][c as usize];
                         cs.pending_parents -= 1;
                         if cs.pending_parents == 0 {
-                            ready.push(ReadyTask {
+                            fresh.push(ReadyTask {
                                 job: j,
                                 node: c as usize,
                             });
@@ -320,8 +340,8 @@ impl Simulator {
                                     job: vj,
                                     node: vnode,
                                 };
-                                if !ready.contains(&rt) {
-                                    ready.push(rt);
+                                if !ready.contains(&rt) && !fresh.contains(&rt) {
+                                    fresh.push(rt);
                                 }
                                 *r += cluster.reserve_cpu(m, target - *r);
                             }
@@ -334,19 +354,37 @@ impl Simulator {
                 }
             }
 
-            // Dispatch: policy order = (job key, job index, deeper
-            // downstream critical path first).
-            ready.sort_by(|a, b| {
-                keys[a.job]
-                    .partial_cmp(&keys[b.job])
-                    .unwrap()
-                    .then(a.job.cmp(&b.job))
-                    .then(downstream[b.job][b.node].cmp(&downstream[a.job][a.node]))
-                    .then(a.node.cmp(&b.node))
-            });
-            let mut still_ready = Vec::with_capacity(ready.len());
+            // Dispatch in frozen policy order. Merge newcomers into the
+            // sorted queue; within one pass, capacity only shrinks, so any
+            // demand dominating an already-failed (cpu, mem) pair is
+            // skipped without scanning the machines again.
+            if !fresh.is_empty() {
+                fresh.sort_by(&dispatch_order);
+                let mut merged = Vec::with_capacity(ready.len() + fresh.len());
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < ready.len() && j < fresh.len() {
+                    if dispatch_order(&ready[i], &fresh[j]) != std::cmp::Ordering::Greater {
+                        merged.push(ready[i]);
+                        i += 1;
+                    } else {
+                        merged.push(fresh[j]);
+                        j += 1;
+                    }
+                }
+                merged.extend_from_slice(&ready[i..]);
+                merged.extend_from_slice(&fresh[j..]);
+                ready = merged;
+                fresh.clear();
+            }
+            still_ready.clear();
+            // Pareto-minimal demands that failed to place this pass.
+            let mut failed: Vec<(f64, f64)> = Vec::new();
             for rt in ready.drain(..) {
                 let task = &jobs[rt.job].tasks[rt.node];
+                if failed.iter().any(|&(c, m)| task.cpu >= c && task.mem >= m) {
+                    still_ready.push(rt);
+                    continue;
+                }
                 let st = &mut task_state[rt.job][rt.node];
                 while st.waiting_instances > 0 {
                     match cluster.place(task.cpu, task.mem) {
@@ -370,10 +408,12 @@ impl Simulator {
                     }
                 }
                 if st.waiting_instances > 0 {
+                    failed.retain(|&(c, m)| !(c >= task.cpu && m >= task.mem));
+                    failed.push((task.cpu, task.mem));
                     still_ready.push(rt);
                 }
             }
-            ready = still_ready;
+            std::mem::swap(&mut ready, &mut still_ready);
         }
 
         if let Some(stuck) = job_state.iter().position(|s| s.finish_time.is_none()) {
@@ -399,6 +439,7 @@ impl Simulator {
         };
         let mut metrics = SimMetrics::from_jcts(self.policy.label(), jcts, makespan, mean_util);
         metrics.evictions = evictions;
+        metrics.unknown_jobs = unknown_jobs;
         Ok((metrics, trace_rows))
     }
 }
@@ -531,7 +572,7 @@ mod tests {
 
     #[test]
     fn predicted_sjf_between_fifo_and_oracle() {
-        use std::collections::HashMap;
+        use crate::policy::Predictions;
         let mut jobs = vec![sim_job("j_long", 0, &[("M1", 4, 800)])];
         for i in 0..5 {
             jobs.push(sim_job(
@@ -551,9 +592,9 @@ mod tests {
             evict_for_online: false,
         };
         // Perfect predictions → same as oracle SJF on these jobs.
-        let mut predictions = HashMap::new();
+        let mut predictions = Predictions::new();
         for j in &jobs {
-            predictions.insert(j.name.clone(), j.total_work());
+            predictions.insert(j.name.as_str(), j.total_work());
         }
         let fifo = Simulator::new(cfg.clone(), Policy::Fifo)
             .run(&jobs)

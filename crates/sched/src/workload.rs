@@ -40,6 +40,14 @@ impl SimJob {
     pub fn from_trace_job(job: &Job) -> Result<SimJob, dagscope_graph::BuildError> {
         let dag = JobDag::from_job(job)?;
         let arrival = job.start_time().unwrap_or(0);
+        Ok(SimJob::from_dag(job.name.clone(), arrival, dag))
+    }
+
+    /// Build from an already-constructed DAG (e.g. one replayed from a
+    /// pipeline `Report` or a snapshot), with the same per-task demand
+    /// defaults as [`from_trace_job`](Self::from_trace_job) so profile
+    /// statistics live in the exact units the simulator schedules in.
+    pub fn from_dag(name: String, arrival: i64, dag: JobDag) -> SimJob {
         let tasks = (0..dag.len())
             .map(|node| {
                 let a = dag.attr(node);
@@ -52,12 +60,12 @@ impl SimJob {
                 }
             })
             .collect();
-        Ok(SimJob {
-            name: job.name.clone(),
+        SimJob {
+            name,
             arrival,
             dag,
             tasks,
-        })
+        }
     }
 
     /// Total work in CPU-seconds (`Σ instances × duration`, CPU-weighted).
@@ -133,6 +141,18 @@ mod tests {
         assert_eq!(sim.tasks[1].duration, 60);
         assert_eq!(sim.total_work(), 4.0 * 100.0 * 30.0 + 2.0 * 100.0 * 60.0);
         assert_eq!(sim.ideal_makespan(), 90);
+    }
+
+    #[test]
+    fn from_dag_matches_from_trace_job() {
+        let j = job(&[("M1", 4, 30), ("R2_1", 2, 60)]);
+        let via_trace = SimJob::from_trace_job(&j).unwrap();
+        let via_dag = SimJob::from_dag(
+            "j_sim".to_string(),
+            via_trace.arrival,
+            JobDag::from_job(&j).unwrap(),
+        );
+        assert_eq!(via_trace, via_dag);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use dagscope_core::{IndexSnapshot, SnapshotGroup, SnapshotMeta};
 use dagscope_graph::conflate::conflate;
 use dagscope_graph::metrics::JobFeatures;
 use dagscope_graph::{pattern, JobDag};
+use dagscope_sched::{ProfileBuilder, ProfileTable, SimJob, DEFAULT_MIN_CONFIDENCE};
 use dagscope_trace::Job;
 use dagscope_wl::{KernelCache, QueryStats, ShapeDedup, SparseVec};
 
@@ -30,6 +31,27 @@ pub struct ClassifyOutcome {
     pub group: char,
     /// The raw model verdict (cluster id, confidence, per-cluster scores).
     pub classification: Classification,
+}
+
+/// Scheduling hints for one probe job: the classify verdict plus what the
+/// winning group's history predicts about the job.
+#[derive(Debug, Clone)]
+pub struct AdviseOutcome {
+    /// The underlying classification (same verdict `/v1/classify` gives).
+    pub classify: ClassifyOutcome,
+    /// Group-median total work in CPU-seconds (population median when the
+    /// classification fell back).
+    pub predicted_work: f64,
+    /// Group-median critical path in seconds (population median on
+    /// fallback).
+    pub predicted_critical_path: f64,
+    /// The key a `GroupHybrid` dispatcher would use — lower means
+    /// schedule sooner.
+    pub suggested_priority: f64,
+    /// True when the classifier's confidence was under the hybrid floor
+    /// (or the winning cluster has no history) and the neutral prior was
+    /// used instead.
+    pub fallback: bool,
 }
 
 /// One entry of a similarity query result.
@@ -60,6 +82,9 @@ pub struct ServeIndex {
     assignments: Vec<usize>,
     model: dagscope_cluster::GroupModel,
     by_name: HashMap<String, usize>,
+    /// Per-group historical work/critical-path distributions, built from
+    /// the snapshot's jobs under their offline assignments.
+    profiles: ProfileTable,
 }
 
 impl ServeIndex {
@@ -126,6 +151,17 @@ impl ServeIndex {
             }
         }
         let assignments = model.assignments().to_vec();
+
+        // Group profiles in simulator units: the same snapshot jobs the
+        // model was fitted on, summarized per cluster, so /v1/advise
+        // hints agree with an offline `sched-replay` over this sample.
+        let mut builder = ProfileBuilder::new(meta.k);
+        for (i, job) in jobs.iter().enumerate() {
+            let sim = SimJob::from_dag(job.name.clone(), 0, raw_dags[i].clone());
+            builder.observe(assignments[i], &sim);
+        }
+        let profiles = builder.finish(&labels);
+
         Ok(ServeIndex {
             meta,
             groups,
@@ -136,6 +172,7 @@ impl ServeIndex {
             assignments,
             model,
             by_name,
+            profiles,
         })
     }
 
@@ -200,6 +237,39 @@ impl ServeIndex {
             pattern: pattern::classify(&raw).label(),
             group: self.labels[classification.cluster],
             classification,
+        })
+    }
+
+    /// The per-group profile table the advise endpoint answers from.
+    pub fn profiles(&self) -> &ProfileTable {
+        &self.profiles
+    }
+
+    /// Scheduling hints for an out-of-sample job: classify it (identical
+    /// verdict to [`classify`](Self::classify)), then read the winning
+    /// group's historical work/critical-path medians. Classifications
+    /// under the hybrid confidence floor — or into a cluster with no
+    /// history — fall back to the population medians, mirroring
+    /// `Policy::GroupHybrid` exactly.
+    pub fn advise(&self, job: &Job) -> Result<AdviseOutcome, String> {
+        let classify = self.classify(job)?;
+        let c = &classify.classification;
+        let profile = self.profiles.get(c.cluster).filter(|p| p.population > 0);
+        let confident = c.confidence >= DEFAULT_MIN_CONFIDENCE;
+        let (predicted_work, predicted_critical_path, fallback) = match profile {
+            Some(p) if confident => (p.work.p50, p.critical_path.p50, false),
+            _ => (
+                self.profiles.neutral_work(),
+                self.profiles.neutral_critical_path(),
+                true,
+            ),
+        };
+        Ok(AdviseOutcome {
+            classify,
+            predicted_work,
+            predicted_critical_path,
+            suggested_priority: predicted_work,
+            fallback,
         })
     }
 
@@ -306,6 +376,55 @@ mod tests {
         assert!(nn[0].score >= nn[4].score);
         assert!(nn.iter().all(|n| n.name != *name), "self excluded");
         assert!(idx.find("no_such_job").is_none());
+    }
+
+    #[test]
+    fn advise_agrees_with_classify_and_profiles() {
+        let (idx, report) = index();
+        // Profiles cover every cluster; populations sum to the sample.
+        let pop: usize = idx.profiles().profiles().iter().map(|p| p.population).sum();
+        assert_eq!(pop, idx.len());
+        // Probe with a sample member's own rows: advise must classify it
+        // exactly as classify does, and the hints must come from the
+        // winning group's profile (or the neutral prior on fallback).
+        let name = &report.sample_names[0];
+        let dag = &report.raw_dags[0];
+        let job = dagscope_trace::Job {
+            name: name.clone(),
+            tasks: (0..dag.len())
+                .map(|n| {
+                    let a = dag.attr(n);
+                    dagscope_trace::TaskRecord {
+                        task_name: dag.task_name(n).to_string(),
+                        instance_num: a.instance_num,
+                        job_name: name.as_str().into(),
+                        task_type: "1".into(),
+                        status: dagscope_trace::Status::Terminated,
+                        start_time: 1,
+                        end_time: 1 + a.duration,
+                        plan_cpu: a.plan_cpu,
+                        plan_mem: a.plan_mem,
+                    }
+                })
+                .collect(),
+        };
+        let advice = idx.advise(&job).unwrap();
+        let classify = idx.classify(&job).unwrap();
+        assert_eq!(
+            advice.classify.classification.cluster,
+            classify.classification.cluster
+        );
+        assert_eq!(advice.classify.group, classify.group);
+        let cluster = advice.classify.classification.cluster;
+        if advice.fallback {
+            assert_eq!(advice.predicted_work, idx.profiles().neutral_work());
+        } else {
+            let p = idx.profiles().get(cluster).unwrap();
+            assert_eq!(advice.predicted_work, p.work.p50);
+            assert_eq!(advice.predicted_critical_path, p.critical_path.p50);
+        }
+        assert_eq!(advice.suggested_priority, advice.predicted_work);
+        assert!(advice.predicted_work > 0.0);
     }
 
     #[test]

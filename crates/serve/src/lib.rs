@@ -10,6 +10,7 @@
 //! | Endpoint | Answers |
 //! |---|---|
 //! | `POST /v1/classify` | reconstruct a DAG from `batch_task` rows, place it in a group |
+//! | `POST /v1/advise` | scheduling hints (predicted work / critical path, priority, confidence) from the group model |
 //! | `GET /v1/jobs/{name}` | structural features + group of an indexed job |
 //! | `GET /v1/similar/{name}?k=` | top-k WL-nearest indexed jobs |
 //! | `GET /v1/census` | group populations and shape-pattern counts |
@@ -34,7 +35,7 @@ pub mod metrics;
 pub mod server;
 
 pub use http::MAX_BODY;
-pub use index::{ClassifyOutcome, Neighbour, ServeIndex};
+pub use index::{AdviseOutcome, ClassifyOutcome, Neighbour, ServeIndex};
 pub use json::Json;
 pub use metrics::{Endpoint, Metrics};
 pub use server::{Server, ServerConfig, ServerHandle};

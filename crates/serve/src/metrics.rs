@@ -23,6 +23,8 @@ const BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
 pub enum Endpoint {
     /// `POST /v1/classify`
     Classify,
+    /// `POST /v1/advise`
+    Advise,
     /// `GET /v1/jobs/{name}`
     Jobs,
     /// `GET /v1/similar/{name}`
@@ -38,8 +40,9 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 7] = [
+    const ALL: [Endpoint; 8] = [
         Endpoint::Classify,
+        Endpoint::Advise,
         Endpoint::Jobs,
         Endpoint::Similar,
         Endpoint::Census,
@@ -51,6 +54,7 @@ impl Endpoint {
     fn name(self) -> &'static str {
         match self {
             Endpoint::Classify => "classify",
+            Endpoint::Advise => "advise",
             Endpoint::Jobs => "jobs",
             Endpoint::Similar => "similar",
             Endpoint::Census => "census",
@@ -65,12 +69,13 @@ impl Endpoint {
         // `all_indices_align` test pins the correspondence.
         match self {
             Endpoint::Classify => 0,
-            Endpoint::Jobs => 1,
-            Endpoint::Similar => 2,
-            Endpoint::Census => 3,
-            Endpoint::Healthz => 4,
-            Endpoint::Metrics => 5,
-            Endpoint::Other => 6,
+            Endpoint::Advise => 1,
+            Endpoint::Jobs => 2,
+            Endpoint::Similar => 3,
+            Endpoint::Census => 4,
+            Endpoint::Healthz => 5,
+            Endpoint::Metrics => 6,
+            Endpoint::Other => 7,
         }
     }
 }
@@ -182,7 +187,7 @@ impl Search {
 /// Shared, lock-free service metrics.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    stats: [EndpointStats; 7],
+    stats: [EndpointStats; 8],
     transport: Transport,
     search: Search,
     /// Wall clock spent loading the snapshot and building the in-memory
@@ -234,6 +239,21 @@ impl Metrics {
                 let s = &self.stats[e.index()];
                 let requests = s.requests.load(Ordering::Relaxed);
                 let total_us = s.total_us.load(Ordering::Relaxed);
+                // Percentile estimates from the bucketed counts: each
+                // bucket is represented by its upper bound (the overflow
+                // bucket by the observed max), so estimates are
+                // conservative but never under-report.
+                let max_us = s.max_us.load(Ordering::Relaxed);
+                let weighted: Vec<(f64, u64)> = (0..BUCKETS)
+                    .map(|i| {
+                        let upper = BUCKET_BOUNDS_US.get(i).map_or(max_us as f64, |&b| b as f64);
+                        (upper, s.buckets[i].load(Ordering::Relaxed))
+                    })
+                    .collect();
+                let pct = |p: f64| match dagscope_sched::quantile_weighted(&weighted, p) {
+                    Some(v) => Json::from(v),
+                    None => Json::Null,
+                };
                 let histogram: Vec<Json> = (0..BUCKETS)
                     .map(|i| {
                         let le = BUCKET_BOUNDS_US
@@ -258,7 +278,10 @@ impl Metrics {
                                 Json::from(total_us as f64 / requests as f64)
                             },
                         ),
-                        ("max_us", Json::from(s.max_us.load(Ordering::Relaxed))),
+                        ("max_us", Json::from(max_us)),
+                        ("p50_us", pct(0.50)),
+                        ("p95_us", pct(0.95)),
+                        ("p99_us", pct(0.99)),
                         ("latency_histogram", Json::Arr(histogram)),
                     ]),
                 )
@@ -395,6 +418,26 @@ mod tests {
         let j = doc.get("endpoints").unwrap().get("jobs").unwrap();
         assert_eq!(j.get("mean_us"), Some(&Json::Null));
         assert_eq!(j.get("requests").unwrap().as_num(), Some(0.0));
+        assert_eq!(j.get("p50_us"), Some(&Json::Null));
+        assert_eq!(j.get("p99_us"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn histogram_percentiles_estimate_from_buckets() {
+        let m = Metrics::new();
+        for _ in 0..99 {
+            m.record(Endpoint::Advise, 200, 40); // <= 50 bucket
+        }
+        m.record(Endpoint::Advise, 200, 777_777); // overflow bucket
+        let doc = m.render(0);
+        let a = doc.get("endpoints").unwrap().get("advise").unwrap();
+        // 99/100 requests sit in the first bucket, so every percentile up
+        // to p99 resolves to that bucket's 50us upper bound.
+        assert_eq!(a.get("p50_us").unwrap().as_num(), Some(50.0));
+        assert_eq!(a.get("p95_us").unwrap().as_num(), Some(50.0));
+        assert_eq!(a.get("p99_us").unwrap().as_num(), Some(50.0));
+        // The overflow bucket reports the observed max, not infinity.
+        assert_eq!(a.get("max_us").unwrap().as_num(), Some(777_777.0));
     }
 
     #[test]

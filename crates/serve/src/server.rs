@@ -501,6 +501,7 @@ fn route(request: &Request, ctx: &RouteCtx<'_>) -> (Endpoint, Response) {
         }
         ("GET", "/v1/census") => (Endpoint::Census, census(index)),
         ("POST", "/v1/classify") => (Endpoint::Classify, classify(request, index)),
+        ("POST", "/v1/advise") => (Endpoint::Advise, advise(request, index)),
         _ if path.starts_with("/v1/jobs/") => {
             let name = &path["/v1/jobs/".len()..];
             if method != "GET" {
@@ -524,6 +525,7 @@ fn route(request: &Request, ctx: &RouteCtx<'_>) -> (Endpoint, Response) {
             (endpoint, Response::error(405, "use GET"))
         }
         ("GET", "/v1/classify") => (Endpoint::Classify, Response::error(405, "use POST")),
+        ("GET", "/v1/advise") => (Endpoint::Advise, Response::error(405, "use POST")),
         _ => (Endpoint::Other, Response::error(404, "no such endpoint")),
     }
 }
@@ -539,31 +541,35 @@ fn scores_by_label(index: &ServeIndex, scores: &[f64]) -> Json {
     )
 }
 
-/// `POST /v1/classify` — body:
-/// `{"job_name": "...", "tasks": ["<batch_task CSV row>", ...]}`.
-fn classify(request: &Request, index: &ServeIndex) -> Response {
+/// Parse the shared `{"job_name": "...", "tasks": [...]}` probe body used
+/// by `/v1/classify` and `/v1/advise`. Returns the ready 400 response on
+/// any malformation.
+fn parse_probe_job(request: &Request) -> Result<Job, Response> {
     let body = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
-        Err(_) => return Response::error(400, "body is not UTF-8"),
+        Err(_) => return Err(Response::error(400, "body is not UTF-8")),
     };
     let doc = match Json::parse(body) {
         Ok(d) => d,
-        Err(e) => return Response::error(400, &format!("malformed JSON: {e}")),
+        Err(e) => return Err(Response::error(400, &format!("malformed JSON: {e}"))),
     };
     let Some(task_rows) = doc.get("tasks").and_then(Json::as_arr) else {
-        return Response::error(400, "missing \"tasks\" array");
+        return Err(Response::error(400, "missing \"tasks\" array"));
     };
     if task_rows.is_empty() {
-        return Response::error(400, "\"tasks\" is empty");
+        return Err(Response::error(400, "\"tasks\" is empty"));
     }
     let mut tasks = Vec::with_capacity(task_rows.len());
     for (i, row) in task_rows.iter().enumerate() {
         let Some(line) = row.as_str() else {
-            return Response::error(400, "\"tasks\" entries must be CSV row strings");
+            return Err(Response::error(
+                400,
+                "\"tasks\" entries must be CSV row strings",
+            ));
         };
         match csv::parse_task_line(i + 1, line) {
             Ok(t) => tasks.push(t),
-            Err(e) => return Response::error(400, &format!("task row {}: {e}", i + 1)),
+            Err(e) => return Err(Response::error(400, &format!("task row {}: {e}", i + 1))),
         }
     }
     let name = doc
@@ -571,7 +577,16 @@ fn classify(request: &Request, index: &ServeIndex) -> Response {
         .and_then(Json::as_str)
         .unwrap_or(tasks[0].job_name.as_str())
         .to_string();
-    let job = Job { name, tasks };
+    Ok(Job { name, tasks })
+}
+
+/// `POST /v1/classify` — body:
+/// `{"job_name": "...", "tasks": ["<batch_task CSV row>", ...]}`.
+fn classify(request: &Request, index: &ServeIndex) -> Response {
+    let job = match parse_probe_job(request) {
+        Ok(job) => job,
+        Err(resp) => return resp,
+    };
     match index.classify(&job) {
         Ok(outcome) => {
             let f = &outcome.features;
@@ -590,6 +605,38 @@ fn classify(request: &Request, index: &ServeIndex) -> Response {
                         "scores",
                         scores_by_label(index, &outcome.classification.scores),
                     ),
+                ])
+                .encode(),
+            )
+        }
+        Err(e) => Response::error(400, &e),
+    }
+}
+
+/// `POST /v1/advise` — same probe body as `/v1/classify`; replies with
+/// scheduling hints derived from the snapshot's group model.
+fn advise(request: &Request, index: &ServeIndex) -> Response {
+    let job = match parse_probe_job(request) {
+        Ok(job) => job,
+        Err(resp) => return resp,
+    };
+    match index.advise(&job) {
+        Ok(outcome) => {
+            let c = &outcome.classify;
+            Response::ok(
+                obj(vec![
+                    ("job_name", Json::from(job.name.clone())),
+                    ("pattern", Json::from(c.pattern)),
+                    ("group", Json::from(c.group.to_string())),
+                    ("cluster", Json::from(c.classification.cluster)),
+                    ("confidence", Json::from(c.classification.confidence)),
+                    ("predicted_work", Json::from(outcome.predicted_work)),
+                    (
+                        "predicted_critical_path",
+                        Json::from(outcome.predicted_critical_path),
+                    ),
+                    ("suggested_priority", Json::from(outcome.suggested_priority)),
+                    ("fallback", Json::Bool(outcome.fallback)),
                 ])
                 .encode(),
             )

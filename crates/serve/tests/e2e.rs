@@ -203,6 +203,44 @@ fn every_endpoint_over_one_keep_alive_connection() {
         Some(group.as_str()),
         "an indexed member must classify into its own group"
     );
+    let classify_cluster = body.get("cluster").unwrap().as_num().unwrap();
+    let classify_confidence = body.get("confidence").unwrap().as_num().unwrap();
+
+    // The advise endpoint answers from the same snapshot: identical
+    // classification verdict plus scheduling hints from the group's
+    // historical profile.
+    let (status, raw) = c.send("POST", "/v1/advise", Some(&fx.classify_body(0)));
+    assert_eq!(status, 200, "{raw}");
+    let body = Json::parse(&raw).unwrap();
+    assert_eq!(body.get("group").unwrap().as_str(), Some(group.as_str()));
+    assert_eq!(
+        body.get("cluster").unwrap().as_num(),
+        Some(classify_cluster),
+        "advise must agree with classify on the cluster"
+    );
+    assert_eq!(
+        body.get("confidence").unwrap().as_num(),
+        Some(classify_confidence),
+        "advise must agree with classify on the confidence"
+    );
+    let predicted_work = body.get("predicted_work").unwrap().as_num().unwrap();
+    assert!(predicted_work > 0.0, "group history gives a positive work");
+    assert!(
+        body.get("predicted_critical_path")
+            .unwrap()
+            .as_num()
+            .unwrap()
+            > 0.0
+    );
+    assert_eq!(
+        body.get("suggested_priority").unwrap().as_num(),
+        Some(predicted_work),
+        "priority key is the predicted work"
+    );
+    assert!(
+        matches!(body.get("fallback"), Some(Json::Bool(_))),
+        "fallback is a boolean"
+    );
 
     // Error paths, all on the same connection.
     let (status, _) = c.get("/v1/jobs/definitely_not_indexed");
@@ -220,6 +258,13 @@ fn every_endpoint_over_one_keep_alive_connection() {
     assert_eq!(status, 400);
     let (status, _) = c.send("GET", "/v1/classify", None);
     assert_eq!(status, 405);
+    let (status, raw) = c.send("POST", "/v1/advise", Some("{not json"));
+    assert_eq!(status, 400);
+    assert!(Json::parse(&raw).unwrap().get("error").is_some());
+    let (status, _) = c.send("POST", "/v1/advise", Some(r#"{"tasks":[]}"#));
+    assert_eq!(status, 400);
+    let (status, _) = c.send("GET", "/v1/advise", None);
+    assert_eq!(status, 405);
     let (status, _) = c.send("POST", "/v1/census", None);
     assert_eq!(status, 405);
 
@@ -232,6 +277,7 @@ fn every_endpoint_over_one_keep_alive_connection() {
     let endpoints = body.get("endpoints").unwrap();
     for (name, min_requests) in [
         ("classify", 3.0),
+        ("advise", 3.0),
         ("jobs", 2.0),
         ("similar", 3.0),
         ("census", 2.0),

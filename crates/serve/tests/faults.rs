@@ -291,6 +291,61 @@ fn drain_finishes_the_inflight_request_and_reports_draining() {
 }
 
 #[test]
+fn advise_deadline_and_drain_mirror_the_transport_semantics() {
+    let fx = start(
+        38,
+        ServerConfig {
+            threads: 2,
+            request_deadline: Duration::from_millis(300),
+            drain_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    );
+
+    // Malformed body → 400 with an error document.
+    let (mut w, mut r) = connect(fx.addr);
+    w.write_all(b"POST /v1/advise HTTP/1.1\r\ncontent-length: 9\r\n\r\n{not json")
+        .expect("send");
+    let (status, _, body) = read_response(&mut r);
+    assert_eq!(status, 400, "{body}");
+    assert!(Json::parse(&body).unwrap().get("error").is_some());
+    drop(w);
+    drop(r);
+
+    // Slowloris on the body: headers promise 50 bytes that never finish
+    // arriving → 408 past the request deadline, connection closed.
+    let (mut w, mut r) = connect(fx.addr);
+    w.write_all(b"POST /v1/advise HTTP/1.1\r\ncontent-length: 50\r\n\r\n{\"tasks\"")
+        .expect("send partial body");
+    let (status, _, body) = read_response(&mut r);
+    assert_eq!(status, 408, "{body}");
+    let mut rest = Vec::new();
+    r.read_to_end(&mut rest).expect("closed");
+    assert!(rest.is_empty(), "server must close after 408");
+    drop(w);
+
+    // Drain with an advise request in flight: the request completes
+    // (here with the handler's 400 for the missing tasks array) and the
+    // connection closes — no keep-alive during a drain.
+    let (mut w, mut r) = connect(fx.addr);
+    w.write_all(b"POST /v1/advi").expect("partial");
+    std::thread::sleep(Duration::from_millis(100));
+    fx.handle.drain();
+    w.write_all(b"se HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}")
+        .expect("finish");
+    let (status, headers, body) = read_response(&mut r);
+    assert_eq!(status, 400, "{body}");
+    assert!(
+        headers.iter().any(|h| h == "connection: close"),
+        "draining responses must close, got {headers:?}"
+    );
+    let mut rest = Vec::new();
+    r.read_to_end(&mut rest).expect("closed");
+    assert!(rest.is_empty());
+    fx.join.join().expect("server thread").expect("run");
+}
+
+#[test]
 fn torn_snapshot_refuses_to_load_and_names_the_section() {
     let report = Pipeline::new(PipelineConfig {
         jobs: 200,

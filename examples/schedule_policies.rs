@@ -12,11 +12,9 @@
 //! cargo run --release --example schedule_policies -- [jobs] [seed]
 //! ```
 
-use std::collections::HashMap;
-
 use dagscope::core::{Pipeline, PipelineConfig};
 use dagscope::graph::conflate;
-use dagscope::sched::{ClusterConfig, Policy, SimConfig, SimJob, Simulator};
+use dagscope::sched::{ClusterConfig, Policy, Predictions, SimConfig, SimJob, Simulator};
 use dagscope::trace::filter::SampleCriteria;
 use dagscope::trace::gen::{GeneratorConfig, TraceGenerator};
 use dagscope::wl::WlVectorizer;
@@ -78,7 +76,7 @@ fn main() {
     eprintln!("replaying {} jobs through the simulator…", sim_jobs.len());
 
     // Predict each incoming job's cost from its nearest group.
-    let mut predictions: HashMap<String, f64> = HashMap::new();
+    let mut predictions = Predictions::new();
     for job in &sim_jobs {
         let feat = wl.transform(&conflate::conflate(&job.dag));
         let mut best = (0usize, f64::NEG_INFINITY);
@@ -95,7 +93,7 @@ fn main() {
                 best = (c, total / count as f64);
             }
         }
-        predictions.insert(job.name.clone(), group_median[best.0]);
+        predictions.insert(job.name.as_str(), group_median[best.0]);
     }
 
     // ── 3. Race the policies on an intentionally tight cluster. ─────────

@@ -1,9 +1,7 @@
 //! Integration: trace → DAGs → scheduling simulator, including the
 //! clustering-informed policy path.
 
-use std::collections::HashMap;
-
-use dagscope::sched::{ClusterConfig, Policy, SimConfig, SimJob, Simulator};
+use dagscope::sched::{ClusterConfig, Policy, Predictions, SimConfig, SimJob, Simulator};
 use dagscope::trace::filter::SampleCriteria;
 use dagscope::trace::gen::{GeneratorConfig, TraceGenerator};
 
@@ -75,9 +73,9 @@ fn oracle_sjf_improves_mean_jct_under_contention() {
 #[test]
 fn perfect_predictions_match_oracle() {
     let jobs = workload(120, 7);
-    let mut predictions = HashMap::new();
+    let mut predictions = Predictions::new();
     for j in &jobs {
-        predictions.insert(j.name.clone(), j.total_work());
+        predictions.insert(j.name.as_str(), j.total_work());
     }
     let pred = Simulator::new(tight(), Policy::PredictedSjf { predictions })
         .run(&jobs)
