@@ -67,6 +67,11 @@ COMMANDS
                [--queue-depth N] [--max-body BYTES]
                [--request-deadline SECS] [--drain-timeout SECS]);
               SIGTERM/SIGINT drain gracefully (finish in-flight, exit 0)
+  chaos-replay
+              run a seeded fault schedule through the whole
+              pipeline→snapshot→serve→sched-replay cycle and print a
+              deterministic invariant report (--seed S; needs a binary
+              built with --features failpoints)
   help        this text
 
 GLOBAL FLAGS
@@ -922,6 +927,14 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "sched-replay" => cmd_sched_replay(&flags),
         "snapshot" => cmd_snapshot(&flags),
         "serve" => cmd_serve(&flags),
+        #[cfg(feature = "failpoints")]
+        "chaos-replay" => crate::chaos::cmd_chaos_replay(&flags),
+        #[cfg(not(feature = "failpoints"))]
+        "chaos-replay" => Err(CliError::Run(
+            "chaos-replay drives the failpoint sites, which are compiled out of this \
+             binary; rebuild with `cargo build --features failpoints`"
+                .to_string(),
+        )),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

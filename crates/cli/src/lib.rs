@@ -21,6 +21,8 @@
 #![warn(missing_docs)]
 
 mod args;
+#[cfg(feature = "failpoints")]
+mod chaos;
 mod commands;
 
 pub use args::{ArgError, Flags};

@@ -38,6 +38,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use dagscope_cluster::GroupModel;
+use dagscope_faults::failpoint;
 use dagscope_trace::{csv, Job, Status, TaskRecord};
 use dagscope_wl::ShapeDedup;
 
@@ -62,6 +63,36 @@ fn sibling(dir: &Path, tag: &str) -> PathBuf {
         .and_then(|n| n.to_str())
         .unwrap_or("snapshot");
     dir.with_file_name(format!("{name}.{tag}"))
+}
+
+/// Directory rename with an injectable failure (`snapshot.save.rename`;
+/// hit 1 is the swap-out to `.old`, hit 2 the commit of staging — pick
+/// one with a skip modifier).
+fn rename_dir(from: &Path, to: &Path) -> std::io::Result<()> {
+    failpoint!("snapshot.save.rename", |_arg: Option<String>| Err(
+        std::io::Error::other("injected rename failure")
+    ));
+    fs::rename(from, to)
+}
+
+/// Render `checksums.txt` for the given sections. The
+/// `snapshot.save.crc_flip` site simulates bit rot at write time: the
+/// recorded checksum of the *last* section gains a flipped low bit, so a
+/// later load must reject that section as [`SnapshotError::Corrupt`]
+/// rather than serve a silently wrong model.
+fn checksum_lines(sections: &[(&'static str, String)]) -> String {
+    let mut sums = String::new();
+    for (name, data) in sections {
+        writeln!(sums, "{name} {:016x}", crc64::checksum(data.as_bytes())).unwrap();
+    }
+    failpoint!("snapshot.save.crc_flip", |_arg: Option<String>| {
+        let mut flipped = sums.clone();
+        let idx = flipped.trim_end().len() - 1;
+        let digit = flipped.as_bytes()[idx];
+        flipped.replace_range(idx..=idx, if digit == b'0' { "1" } else { "0" });
+        flipped
+    });
+    sums
 }
 
 /// Errors from snapshot persistence.
@@ -354,7 +385,10 @@ impl IndexSnapshot {
     /// directory, then renamed into place; a crash mid-save leaves the
     /// previous snapshot (or nothing) at `dir`, never a torn one. The
     /// rename sequence swaps any existing snapshot out via a `.old`
-    /// sibling, so re-saving over a live directory is safe too.
+    /// sibling, so re-saving over a live directory is safe too. A crash
+    /// in the window between swap-out and swap-in leaves only the `.old`
+    /// sibling; [`load`](Self::load) heals that case by renaming the
+    /// backup into place before reading.
     pub fn save(&self, dir: &Path) -> Result<(), SnapshotError> {
         let io = |path: &Path, e: std::io::Error| SnapshotError::Io {
             path: path.display().to_string(),
@@ -367,29 +401,50 @@ impl IndexSnapshot {
         fs::remove_dir_all(&staging).ok();
         fs::remove_dir_all(&backup).ok();
         fs::create_dir_all(&staging).map_err(|e| io(&staging, e))?;
+        // `snapshot.save.abort` marks every crash window between the
+        // first byte written and the end of the commit sequence; armed
+        // with a `panic` action it simulates the process dying right
+        // there (no cleanup code below the site runs). The torture test
+        // sweeps the skip count over every window.
+        failpoint!("snapshot.save.abort");
 
         let result = (|| {
-            let mut sums = String::new();
-            for (name, data) in self.render_sections() {
+            let sections = self.render_sections();
+            for (name, data) in &sections {
                 let path = staging.join(name);
-                fs::write(&path, &data).map_err(|e| io(&path, e))?;
-                writeln!(sums, "{name} {:016x}", crc64::checksum(data.as_bytes())).unwrap();
+                // A torn section write: half the bytes land, then the
+                // writer dies. Only staging is damaged, so recovery must
+                // still find the previous snapshot intact at `dir`.
+                failpoint!("snapshot.save.torn_section", |_arg: Option<String>| {
+                    fs::write(&path, &data.as_bytes()[..data.len() / 2]).ok();
+                    Err(io(
+                        &path,
+                        std::io::Error::other("injected torn section write"),
+                    ))
+                });
+                fs::write(&path, data).map_err(|e| io(&path, e))?;
+                failpoint!("snapshot.save.abort");
             }
+            let sums = checksum_lines(&sections);
             let sums_path = staging.join("checksums.txt");
             fs::write(&sums_path, &sums).map_err(|e| io(&sums_path, e))?;
+            failpoint!("snapshot.save.abort");
 
             let had_previous = dir.exists();
             if had_previous {
-                fs::rename(dir, &backup).map_err(|e| io(dir, e))?;
+                rename_dir(dir, &backup).map_err(|e| io(dir, e))?;
+                failpoint!("snapshot.save.abort");
             }
-            if let Err(e) = fs::rename(&staging, dir) {
+            if let Err(e) = rename_dir(&staging, dir) {
                 if had_previous {
                     // Roll the previous snapshot back into place.
                     fs::rename(&backup, dir).ok();
                 }
                 return Err(io(&staging, e));
             }
+            failpoint!("snapshot.save.abort");
             fs::remove_dir_all(&backup).ok();
+            failpoint!("snapshot.save.abort");
             Ok(())
         })();
         if result.is_err() {
@@ -402,10 +457,27 @@ impl IndexSnapshot {
     ///
     /// Every section's CRC64 is verified against `checksums.txt` before
     /// its bytes are parsed; damage surfaces as
-    /// [`SnapshotError::Corrupt`] naming the section.
+    /// [`SnapshotError::Corrupt`] naming the section. If a previous save
+    /// died between swapping the old snapshot out and the new one in
+    /// (`dir` missing, `<dir>.old` present), the backup is first renamed
+    /// back into place — the crash-recovery half of save's atomicity
+    /// contract.
     pub fn load(dir: &Path) -> Result<IndexSnapshot, SnapshotError> {
+        let backup = sibling(dir, "old");
+        if !dir.exists() && backup.exists() {
+            fs::rename(&backup, dir).map_err(|e| SnapshotError::Io {
+                path: backup.display().to_string(),
+                detail: e.to_string(),
+            })?;
+        }
         let read_raw = |name: &str| -> Result<String, SnapshotError> {
             let path = dir.join(name);
+            failpoint!("snapshot.load.read_io", |_arg: Option<String>| Err(
+                SnapshotError::Io {
+                    path: path.display().to_string(),
+                    detail: "injected section read failure".to_string(),
+                }
+            ));
             fs::read_to_string(&path).map_err(|e| SnapshotError::Io {
                 path: path.display().to_string(),
                 detail: e.to_string(),

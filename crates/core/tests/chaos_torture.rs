@@ -1,0 +1,205 @@
+//! Crash-consistency torture for the snapshot save path.
+//!
+//! `IndexSnapshot::save` claims atomicity: a crash anywhere between the
+//! first byte written and the final rename must leave a directory from
+//! which `load` yields either the intact previous snapshot or the
+//! complete new one — never a torn accept. This suite *proves* it by
+//! sweeping a `panic`-armed failpoint (`snapshot.save.abort`) across
+//! every crash window of an overwriting save and loading after each
+//! simulated death.
+//!
+//! Build with `--features failpoints`; the whole file vanishes without
+//! the feature.
+#![cfg(feature = "failpoints")]
+
+use dagscope_core::{IndexSnapshot, Pipeline, PipelineConfig, SnapshotError};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The failpoint registry is process-global and `reset()` clears every
+/// site, so tests sharing this binary must not overlap.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn snapshot(jobs: usize, sample: usize, seed: u64) -> IndexSnapshot {
+    let report = Pipeline::new(PipelineConfig {
+        jobs,
+        sample,
+        seed,
+        ..Default::default()
+    })
+    .run()
+    .unwrap();
+    IndexSnapshot::from_report(&report).unwrap()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dagscope_chaos_{tag}_{}", std::process::id()))
+}
+
+/// Silence the default panic hook for the duration of `f` so the abort
+/// sweep does not spray backtraces into the test output.
+fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// Kill the save at every abort window of an overwriting save; after
+/// each crash the directory must load as exactly the old snapshot or
+/// exactly the new one, and a follow-up clean save must still commit.
+#[test]
+fn crash_at_every_abort_point_preserves_a_complete_snapshot() {
+    let _g = exclusive();
+    let old = snapshot(300, 25, 11);
+    let new = snapshot(400, 30, 17);
+    assert_ne!(old, new, "torture needs two distinguishable snapshots");
+    let dir = tmp_dir("sweep");
+    std::fs::remove_dir_all(&dir).ok();
+    for p in ["staging", "old"] {
+        std::fs::remove_dir_all(dir.with_extension(p)).ok();
+    }
+
+    // Count the abort windows of one overwriting save: arm the site with
+    // `off` (counts hits, never fires) and save new-over-old once.
+    old.save(&dir).unwrap();
+    dagscope_faults::configure("snapshot.save.abort", "off").unwrap();
+    new.save(&dir).unwrap();
+    let windows = dagscope_faults::hits("snapshot.save.abort");
+    dagscope_faults::reset();
+    assert!(
+        windows >= 9,
+        "expected a window per section write plus the commit sequence, got {windows}"
+    );
+
+    let mut survived_old = 0u64;
+    let mut survived_new = 0u64;
+    quiet_panics(|| {
+        for k in 0..windows {
+            // Fresh previous snapshot, then a save of `new` that dies at
+            // abort window k (skip k hits, then panic once).
+            std::fs::remove_dir_all(&dir).ok();
+            old.save(&dir).unwrap();
+            dagscope_faults::configure("snapshot.save.abort", &format!("{k}>1*panic(crash)"))
+                .unwrap();
+            let death = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| new.save(&dir)));
+            dagscope_faults::reset();
+            assert!(
+                death.is_err(),
+                "abort window {k} of {windows} never fired — sweep out of range"
+            );
+
+            // Recovery: a restarted process loads the directory.
+            let loaded = IndexSnapshot::load(&dir)
+                .unwrap_or_else(|e| panic!("crash at window {k}: recovery load failed: {e}"));
+            if loaded == old {
+                survived_old += 1;
+            } else if loaded == new {
+                survived_new += 1;
+            } else {
+                panic!("crash at window {k}: loaded snapshot is neither old nor new");
+            }
+
+            // And the next clean save must commit regardless of debris.
+            new.save(&dir).unwrap();
+            assert_eq!(IndexSnapshot::load(&dir).unwrap(), new);
+        }
+    });
+    // Early windows keep the old snapshot, the post-commit windows the
+    // new one; both outcomes must actually occur across the sweep.
+    assert!(survived_old > 0, "no window preserved the old snapshot");
+    assert!(survived_new > 0, "no window preserved the new snapshot");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The two rename steps are injectable failures (not crashes): save must
+/// report the error and leave the previous snapshot in place.
+#[test]
+fn rename_failures_report_error_and_keep_previous() {
+    let _g = exclusive();
+    let old = snapshot(300, 25, 11);
+    let new = snapshot(400, 30, 17);
+    let dir = tmp_dir("rename");
+    std::fs::remove_dir_all(&dir).ok();
+    old.save(&dir).unwrap();
+
+    // Hit 1: the swap-out of the previous snapshot to `.old`.
+    dagscope_faults::configure("snapshot.save.rename", "1*return").unwrap();
+    assert!(matches!(new.save(&dir), Err(SnapshotError::Io { .. })));
+    dagscope_faults::reset();
+    assert_eq!(IndexSnapshot::load(&dir).unwrap(), old);
+
+    // Hit 2: the commit rename; the rollback path must restore `.old`.
+    dagscope_faults::configure("snapshot.save.rename", "1>1*return").unwrap();
+    assert!(matches!(new.save(&dir), Err(SnapshotError::Io { .. })));
+    dagscope_faults::reset();
+    assert_eq!(IndexSnapshot::load(&dir).unwrap(), old);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A torn section write fails the save; the staged debris never reaches
+/// the live directory.
+#[test]
+fn torn_section_write_keeps_previous_snapshot() {
+    let _g = exclusive();
+    let old = snapshot(300, 25, 11);
+    let new = snapshot(400, 30, 17);
+    let dir = tmp_dir("torn");
+    std::fs::remove_dir_all(&dir).ok();
+    old.save(&dir).unwrap();
+
+    dagscope_faults::configure("snapshot.save.torn_section", "2>1*return").unwrap();
+    assert!(matches!(new.save(&dir), Err(SnapshotError::Io { .. })));
+    dagscope_faults::reset();
+    assert_eq!(IndexSnapshot::load(&dir).unwrap(), old);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Bit rot injected into the recorded checksums commits "successfully"
+/// but must be rejected at load with `Corrupt` naming the section —
+/// never a silently wrong model.
+#[test]
+fn crc_flip_is_rejected_at_load_naming_the_section() {
+    let _g = exclusive();
+    let snap = snapshot(300, 25, 11);
+    let dir = tmp_dir("crc");
+    std::fs::remove_dir_all(&dir).ok();
+
+    dagscope_faults::configure("snapshot.save.crc_flip", "1*return").unwrap();
+    snap.save(&dir).unwrap();
+    dagscope_faults::reset();
+    match IndexSnapshot::load(&dir) {
+        Err(SnapshotError::Corrupt { section, .. }) => {
+            assert_eq!(section, "shapes.csv", "the flip lands on the last section")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An injected read failure at load surfaces as `Io`, not a bogus parse.
+#[test]
+fn injected_load_read_error_is_io() {
+    let _g = exclusive();
+    let snap = snapshot(300, 25, 11);
+    let dir = tmp_dir("loadio");
+    std::fs::remove_dir_all(&dir).ok();
+    snap.save(&dir).unwrap();
+
+    dagscope_faults::configure("snapshot.load.read_io", "1*return").unwrap();
+    assert!(matches!(
+        IndexSnapshot::load(&dir),
+        Err(SnapshotError::Io { .. })
+    ));
+    dagscope_faults::reset();
+    assert_eq!(IndexSnapshot::load(&dir).unwrap(), snap);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,480 @@
+//! Deterministic failpoints for chaos testing, in the spirit of
+//! tikv/fail-rs but hand-rolled like the rest of the stack.
+//!
+//! A *failpoint* is a named site in production code, marked with the
+//! [`failpoint!`] macro. With the default feature set the macro expands to
+//! nothing — no branch, no string literal, no registry — so release
+//! builds are bit-for-bit free of the subsystem. With `--features
+//! failpoints` each site consults a process-global registry on every hit
+//! and may fire an *action*:
+//!
+//! * `return` / `return(arg)` — evaluate the site's recovery closure with
+//!   `arg` and early-return its value from the enclosing function (the
+//!   injected-error path);
+//! * `panic` / `panic(note)` — panic with an [`InjectedPanic`] payload so
+//!   `catch_unwind` consumers can tell injected panics from organic ones;
+//! * `delay(ms)` — sleep the calling thread (stalls, slow wakeups);
+//! * `off` — keep counting hits but never fire.
+//!
+//! An action spec may carry two modifiers: `K>` skips the first `K` hits
+//! and `N*` fires at most `N` times. `2>1*return(io)` reads "skip two
+//! hits, then fire `return(io)` exactly once". Hit/fire counters are kept
+//! per site, which is how the snapshot crash-consistency torture
+//! enumerates abort points: configure `K>1*return`, sweep `K`.
+//!
+//! Schedules are deterministic: [`plan_from_seed`] derives a per-site
+//! action from a seed via splitmix64 with no global state, so the same
+//! seed always yields the same schedule — the property that makes chaos
+//! runs comparable run-to-run.
+
+use std::any::Any;
+
+/// Panic payload carried by injected `panic` actions. Defined
+/// unconditionally so `catch_unwind` consumers can classify payloads even
+/// in builds where no failpoint can ever fire.
+#[derive(Debug)]
+pub struct InjectedPanic {
+    /// Name of the site that fired.
+    pub site: String,
+    /// Optional operator note from the action spec.
+    pub note: String,
+}
+
+/// Whether a caught panic payload came from an injected `panic` action.
+pub fn is_injected_panic(payload: &(dyn Any + Send)) -> bool {
+    payload.is::<InjectedPanic>()
+}
+
+/// The site name inside an injected panic payload, if it is one.
+pub fn injected_panic_site(payload: &(dyn Any + Send)) -> Option<&str> {
+    payload
+        .downcast_ref::<InjectedPanic>()
+        .map(|p| p.site.as_str())
+}
+
+/// The split-mix finalizer used for all seed derivation in this crate
+/// (same constants as the trace generator, so schedules and workloads
+/// share one PRNG idiom).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One site of a seeded schedule: the site name and the action spec
+/// chosen for it (in the canonical grammar, parseable by `configure`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEntry {
+    pub site: String,
+    pub spec: String,
+}
+
+/// Derive a deterministic fault schedule from `seed` over a menu of
+/// `(site, candidate action specs)` rows. Each site independently draws
+/// from `splitmix64(seed ^ fnv1a(site))`: roughly half the sites stay
+/// quiet, the rest pick one candidate spec and a small skip prefix so the
+/// fault lands mid-run rather than always on the first hit. Pure
+/// function of its inputs — no registry access, no ambient state — so
+/// equal seeds yield equal plans on every host.
+pub fn plan_from_seed(seed: u64, menu: &[(&str, &[&str])]) -> Vec<PlanEntry> {
+    let mut plan = Vec::new();
+    for (site, candidates) in menu {
+        if candidates.is_empty() {
+            continue;
+        }
+        let r = splitmix64(seed ^ fnv1a(site.as_bytes()));
+        // Low bit: does this site fire at all this run?
+        if r & 1 == 0 {
+            continue;
+        }
+        let pick = ((r >> 8) as usize) % candidates.len();
+        let skip = (r >> 24) % 3;
+        let spec = if skip == 0 {
+            candidates[pick].to_string()
+        } else {
+            format!("{skip}>{}", candidates[pick])
+        };
+        plan.push(PlanEntry {
+            site: site.to_string(),
+            spec,
+        });
+    }
+    plan
+}
+
+#[cfg(feature = "failpoints")]
+mod registry {
+    use super::InjectedPanic;
+    use std::collections::BTreeMap;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Duration;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Kind {
+        Off,
+        Return(Option<String>),
+        Panic(Option<String>),
+        Delay(u64),
+    }
+
+    #[derive(Debug)]
+    struct Site {
+        /// Canonical spec string, echoed back by [`active`].
+        spec: String,
+        /// Hits to let pass before the action may fire (`K>`).
+        skip: u64,
+        /// Cap on fires (`N*`); `None` means unlimited.
+        limit: Option<u64>,
+        kind: Kind,
+        hits: u64,
+        fired: u64,
+    }
+
+    /// BTreeMap so every listing is name-sorted — deterministic reports
+    /// for free.
+    fn table() -> &'static Mutex<BTreeMap<String, Site>> {
+        static TABLE: OnceLock<Mutex<BTreeMap<String, Site>>> = OnceLock::new();
+        TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+    }
+
+    /// Parse `[K>][N*]kind[(arg)]` into (skip, limit, kind).
+    fn parse_spec(spec: &str) -> Result<(u64, Option<u64>, Kind), String> {
+        let mut rest = spec.trim();
+        let mut skip = 0u64;
+        let mut limit = None;
+        if let Some((head, tail)) = rest.split_once('>') {
+            skip = head
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad skip count in {spec:?}"))?;
+            rest = tail;
+        }
+        if let Some((head, tail)) = rest.split_once('*') {
+            let n: u64 = head
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad fire limit in {spec:?}"))?;
+            limit = Some(n);
+            rest = tail;
+        }
+        let rest = rest.trim();
+        let (name, arg) = match rest.split_once('(') {
+            Some((name, tail)) => {
+                let arg = tail
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("unclosed argument in {spec:?}"))?;
+                (name.trim(), Some(arg.to_string()))
+            }
+            None => (rest, None),
+        };
+        let kind = match name {
+            "off" => Kind::Off,
+            "return" => Kind::Return(arg),
+            "panic" => Kind::Panic(arg),
+            "delay" => {
+                let ms = arg
+                    .as_deref()
+                    .ok_or_else(|| format!("delay needs milliseconds in {spec:?}"))?
+                    .parse()
+                    .map_err(|_| format!("bad delay milliseconds in {spec:?}"))?;
+                Kind::Delay(ms)
+            }
+            other => return Err(format!("unknown action {other:?} in {spec:?}")),
+        };
+        Ok((skip, limit, kind))
+    }
+
+    /// Arm `site` with an action spec. Replaces any previous action but
+    /// keeps nothing else: hit and fire counters restart at zero.
+    pub fn configure(site: &str, spec: &str) -> Result<(), String> {
+        let (skip, limit, kind) = parse_spec(spec)?;
+        table().lock().unwrap().insert(
+            site.to_string(),
+            Site {
+                spec: spec.trim().to_string(),
+                skip,
+                limit,
+                kind,
+                hits: 0,
+                fired: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Disarm one site (forgets its counters).
+    pub fn deactivate(site: &str) {
+        table().lock().unwrap().remove(site);
+    }
+
+    /// Disarm every site. Call between tests / chaos stages.
+    pub fn reset() {
+        table().lock().unwrap().clear();
+    }
+
+    /// Times `site` was evaluated (whether or not it fired). Zero for
+    /// sites never configured — unconfigured hits are not recorded.
+    pub fn hits(site: &str) -> u64 {
+        table().lock().unwrap().get(site).map_or(0, |s| s.hits)
+    }
+
+    /// Times `site`'s action actually fired.
+    pub fn fired(site: &str) -> u64 {
+        table().lock().unwrap().get(site).map_or(0, |s| s.fired)
+    }
+
+    /// Name-sorted `(site, spec, hits, fired)` rows for every armed site.
+    pub fn active() -> Vec<(String, String, u64, u64)> {
+        table()
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, s)| (name.clone(), s.spec.clone(), s.hits, s.fired))
+            .collect()
+    }
+
+    /// Arm every entry of a schedule (replacing prior state wholesale).
+    pub fn apply_plan(plan: &[super::PlanEntry]) -> Result<(), String> {
+        reset();
+        for entry in plan {
+            configure(&entry.site, &entry.spec)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluate one hit of `site`. `Some(arg)` means a `return` action
+    /// fired and the caller's recovery closure should run; `None` means
+    /// proceed normally (possibly after an injected delay). `panic`
+    /// actions do not return.
+    pub fn eval(site: &str) -> Option<Option<String>> {
+        // Decide under the lock, act (sleep/panic) outside it so a
+        // delayed site cannot stall unrelated sites.
+        let action = {
+            let mut table = table().lock().unwrap();
+            let s = table.get_mut(site)?;
+            s.hits += 1;
+            if s.hits <= s.skip || matches!(s.kind, Kind::Off) {
+                return None;
+            }
+            if let Some(limit) = s.limit {
+                if s.fired >= limit {
+                    return None;
+                }
+            }
+            s.fired += 1;
+            s.kind.clone()
+        };
+        match action {
+            Kind::Off => None,
+            Kind::Return(arg) => Some(arg),
+            Kind::Delay(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                None
+            }
+            Kind::Panic(note) => std::panic::panic_any(InjectedPanic {
+                site: site.to_string(),
+                note: note.unwrap_or_default(),
+            }),
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use registry::{active, apply_plan, configure, deactivate, eval, fired, hits, reset};
+
+/// Mark a failpoint site.
+///
+/// `failpoint!("name")` can panic or delay in place; `failpoint!("name",
+/// |arg: Option<String>| expr)` can additionally early-return `expr` from
+/// the enclosing function when a `return` action fires. With the
+/// `failpoints` feature off, both forms expand to nothing — the site
+/// name string does not survive into the binary.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {{
+        let _ = $crate::eval($name);
+    }};
+    ($name:expr, $recover:expr) => {{
+        if let ::std::option::Option::Some(arg) = $crate::eval($name) {
+            #[allow(clippy::redundant_closure_call)]
+            return ($recover)(arg);
+        }
+    }};
+}
+
+/// Mark a failpoint site (no-op: the `failpoints` feature is off).
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {{}};
+    ($name:expr, $recover:expr) => {{}};
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Registry state is process-global; serialize tests that touch it.
+    fn exclusive() -> MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn probe(site: &'static str) -> Result<&'static str, String> {
+        failpoint!(site, |arg: Option<String>| Err(
+            arg.unwrap_or_else(|| "injected".to_string())
+        ));
+        Ok("ok")
+    }
+
+    #[test]
+    fn unconfigured_site_is_silent() {
+        let _g = exclusive();
+        reset();
+        assert_eq!(probe("faults.test.silent"), Ok("ok"));
+        assert_eq!(hits("faults.test.silent"), 0);
+    }
+
+    #[test]
+    fn return_action_takes_recovery_path() {
+        let _g = exclusive();
+        reset();
+        configure("faults.test.ret", "return(boom)").unwrap();
+        assert_eq!(probe("faults.test.ret"), Err("boom".to_string()));
+        assert_eq!((hits("faults.test.ret"), fired("faults.test.ret")), (1, 1));
+        reset();
+    }
+
+    #[test]
+    fn skip_and_limit_modifiers() {
+        let _g = exclusive();
+        reset();
+        configure("faults.test.mod", "2>1*return").unwrap();
+        assert_eq!(probe("faults.test.mod"), Ok("ok"));
+        assert_eq!(probe("faults.test.mod"), Ok("ok"));
+        assert_eq!(probe("faults.test.mod"), Err("injected".to_string()));
+        // The `1*` cap: exactly one fire, then the site goes quiet again.
+        assert_eq!(probe("faults.test.mod"), Ok("ok"));
+        assert_eq!((hits("faults.test.mod"), fired("faults.test.mod")), (4, 1));
+        reset();
+    }
+
+    #[test]
+    fn off_counts_hits_without_firing() {
+        let _g = exclusive();
+        reset();
+        configure("faults.test.off", "off").unwrap();
+        assert_eq!(probe("faults.test.off"), Ok("ok"));
+        assert_eq!((hits("faults.test.off"), fired("faults.test.off")), (1, 0));
+        reset();
+    }
+
+    #[test]
+    fn panic_action_carries_marker_payload() {
+        let _g = exclusive();
+        reset();
+        configure("faults.test.panic", "panic(chaos)").unwrap();
+        let caught = std::panic::catch_unwind(|| {
+            failpoint!("faults.test.panic");
+        })
+        .unwrap_err();
+        assert!(is_injected_panic(caught.as_ref()));
+        assert_eq!(
+            injected_panic_site(caught.as_ref()),
+            Some("faults.test.panic")
+        );
+        // An organic panic payload is not mistaken for an injected one.
+        let organic = std::panic::catch_unwind(|| panic!("organic")).unwrap_err();
+        assert!(!is_injected_panic(organic.as_ref()));
+        reset();
+    }
+
+    #[test]
+    fn delay_action_sleeps() {
+        let _g = exclusive();
+        reset();
+        configure("faults.test.delay", "delay(30)").unwrap();
+        let start = std::time::Instant::now();
+        failpoint!("faults.test.delay");
+        assert!(start.elapsed() >= std::time::Duration::from_millis(25));
+        reset();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let _g = exclusive();
+        for spec in ["bogus", "delay", "delay(x)", "x>return", "return(unclosed"] {
+            assert!(
+                configure("faults.test.bad", spec).is_err(),
+                "accepted {spec:?}"
+            );
+        }
+        deactivate("faults.test.bad");
+    }
+
+    #[test]
+    fn configure_restarts_counters() {
+        let _g = exclusive();
+        reset();
+        configure("faults.test.re", "off").unwrap();
+        let _ = probe("faults.test.re");
+        configure("faults.test.re", "return").unwrap();
+        assert_eq!(hits("faults.test.re"), 0, "re-arming restarts counters");
+        reset();
+    }
+
+    #[test]
+    fn plan_from_seed_is_deterministic_and_seed_sensitive() {
+        const MENU: &[(&str, &[&str])] = &[
+            ("a.one", &["return", "panic"]),
+            ("a.two", &["delay(5)"]),
+            ("a.three", &["return(io)", "panic(x)", "delay(1)"]),
+            ("a.four", &["return"]),
+            ("a.five", &["panic"]),
+            ("a.six", &["return(torn)"]),
+        ];
+        let p1 = plan_from_seed(7, MENU);
+        let p2 = plan_from_seed(7, MENU);
+        assert_eq!(p1, p2, "same seed, same schedule");
+        assert!(!p1.is_empty(), "seed 7 arms at least one of six sites");
+        assert!(p1.len() < MENU.len(), "roughly half the sites stay quiet");
+        let other = plan_from_seed(8, MENU);
+        assert_ne!(p1, other, "different seed, different schedule");
+        // Every spec in a plan parses.
+        let _g = exclusive();
+        apply_plan(&p1).unwrap();
+        assert_eq!(active().len(), p1.len());
+        reset();
+    }
+}
+
+#[cfg(all(test, not(feature = "failpoints")))]
+mod noop_tests {
+    /// With the feature off the macro must expand to nothing: both forms
+    /// compile in expression position and neither evaluates its inputs.
+    #[test]
+    fn macro_expands_to_nothing() {
+        fn guarded() -> Result<u32, String> {
+            failpoint!("noop.site");
+            failpoint!("noop.site.ret", |_arg: Option<String>| Err(
+                "never".to_string()
+            ));
+            Ok(1)
+        }
+        assert_eq!(guarded(), Ok(1));
+    }
+}

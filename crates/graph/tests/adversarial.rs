@@ -1,0 +1,90 @@
+//! Pins for the DAG builder and conflation against adversarial jobs:
+//! near-parser-limit structures must be accepted exactly, and every
+//! malformed encoding must be rejected with the precise `BuildError`
+//! variant — never a panic, a hang, or a silently wrong graph.
+
+use dagscope_graph::{algo, conflate::conflate, BuildError, JobDag};
+use dagscope_trace::gen::adversarial;
+
+#[test]
+fn deep_chain_accepted_with_exact_critical_path() {
+    let job = adversarial::deep_chain("j_deep", 500);
+    let dag = JobDag::from_job(&job).expect("deep chain is well-formed");
+    assert_eq!(dag.len(), 500);
+    assert_eq!(dag.sources().len(), 1);
+    assert_eq!(dag.sinks().len(), 1);
+    assert_eq!(algo::critical_path(&dag), 500);
+    // A chain has no interchangeable siblings: conflation is a no-op on
+    // structure and always preserves total weight.
+    let c = conflate(&dag);
+    assert_eq!(c.len(), 500);
+    assert_eq!(c.total_weight(), dag.total_weight());
+}
+
+#[test]
+fn wide_fanout_accepted_and_conflates_to_two_nodes() {
+    let n = 2_000;
+    let job = adversarial::wide_fanout("j_wide", n);
+    let dag = JobDag::from_job(&job).expect("fan-out is well-formed");
+    assert_eq!(dag.len(), n);
+    assert_eq!(dag.sources().len(), n - 1);
+    assert_eq!(dag.sinks().len(), 1);
+    assert_eq!(algo::critical_path(&dag), 2);
+    // All n-1 sources share (kind, parents, children): one merged map
+    // node of weight n-1 feeding the sink.
+    let c = conflate(&dag);
+    assert_eq!(c.len(), 2);
+    assert_eq!(c.total_weight(), n as u32);
+}
+
+#[test]
+fn cycles_rejected_as_cycle_not_panic() {
+    for job in [
+        adversarial::cycle_pair("j"),
+        adversarial::self_loop("j"),
+        adversarial::cycle_ring("j", 2),
+        adversarial::cycle_ring("j", 64),
+    ] {
+        assert_eq!(
+            JobDag::from_job(&job),
+            Err(BuildError::Cycle),
+            "job {} must be rejected as a cycle",
+            job.name
+        );
+    }
+}
+
+#[test]
+fn ring_with_the_back_edge_removed_is_a_valid_chain() {
+    // The ring is one edge away from legal: dropping task 1's back
+    // reference must turn rejection into acceptance. Guards against a
+    // builder that rejects on shape rather than on the actual cycle.
+    let mut job = adversarial::cycle_ring("j_ring", 16);
+    job.tasks[0].task_name = "M1".to_string();
+    let dag = JobDag::from_job(&job).expect("broken ring is a chain");
+    assert_eq!(algo::critical_path(&dag), 16);
+}
+
+#[test]
+fn missing_parent_names_the_reference() {
+    assert_eq!(
+        JobDag::from_job(&adversarial::missing_parent("j")),
+        Err(BuildError::MissingParent { id: 2, parent: 7 })
+    );
+}
+
+#[test]
+fn duplicate_id_names_the_id() {
+    assert_eq!(
+        JobDag::from_job(&adversarial::duplicate_id("j")),
+        Err(BuildError::DuplicateId { id: 2 })
+    );
+}
+
+#[test]
+fn huge_ids_remap_to_dense_indices() {
+    // Trace ids near u32::MAX must remap to 0..n, not allocate by id.
+    let dag = JobDag::from_job(&adversarial::huge_ids("j_huge")).expect("huge ids are legal");
+    assert_eq!(dag.len(), 2);
+    assert_eq!(algo::critical_path(&dag), 2);
+}

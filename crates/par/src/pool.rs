@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use dagscope_faults::failpoint;
+
 /// A job the pool can run.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -81,11 +83,18 @@ impl WorkerPool {
                                 guard = shared.available.wait(guard).expect("pool mutex poisoned");
                             }
                         };
+                        // Chaos sites: a worker that wakes late (the job
+                        // sat queued while load shedding read `pending()`)
+                        // and a task that dies on its own thread.
+                        failpoint!("par.pool.wakeup_delay");
                         // A panicking job must neither kill the worker
                         // nor leak the queued count (long-lived services
                         // read `pending()` for load shedding, and a dead
                         // worker would silently shrink the pool).
-                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            failpoint!("par.pool.task_panic");
+                            job();
+                        }));
                         queued.fetch_sub(1, Ordering::Release);
                     })
                     .expect("failed to spawn pool worker")

@@ -13,6 +13,7 @@ use crate::metrics::SimMetrics;
 use crate::policy::Policy;
 use crate::sim::{SimConfig, Simulator};
 use crate::workload::SimJob;
+use dagscope_faults::failpoint;
 use dagscope_trace::stream::StreamedTrace;
 
 /// A replayable workload: simulation jobs in deterministic
@@ -139,6 +140,13 @@ pub fn replay(
 ) -> Result<ReplayReport, String> {
     let mut all: Vec<SimMetrics> = Vec::with_capacity(policies.len());
     for policy in policies {
+        // Chaos sites, one hit per policy: a stalled replay (`delay`)
+        // must not change the report; an injected abort (`return`)
+        // surfaces as the same error a failed simulation would.
+        failpoint!("sched.replay.stall");
+        failpoint!("sched.replay.abort", |_arg: Option<String>| Err(
+            "injected replay abort".to_string()
+        ));
         let metrics = Simulator::new(cfg.clone(), policy.clone()).run(jobs)?;
         all.push(metrics);
     }

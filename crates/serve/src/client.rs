@@ -1,0 +1,336 @@
+//! A small retrying HTTP client for the serve API.
+//!
+//! The server sheds load with `503` + `Retry-After` and chaos runs tear
+//! connections down mid-response, so callers that just issue one request
+//! and give up see spurious failures. [`request_with_retry`] (and the
+//! [`get`]/[`post`] wrappers) implement the polite client the overload
+//! contract assumes: retry transport errors and `503`s with jittered
+//! exponential backoff, honoring the server's `Retry-After` hint when
+//! one is present.
+//!
+//! Jitter is seeded and deterministic (splitmix64 over `seed` and the
+//! attempt number) so chaos harnesses that embed a client stay
+//! reproducible run-to-run.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Retry/backoff configuration.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts before giving up (at least 1).
+    pub max_attempts: u32,
+    /// Backoff before attempt `n+1` starts at `base_delay * 2^n`, scaled
+    /// by jitter in `[0.5, 1.0]`.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff, `Retry-After` included — keeps
+    /// a hostile or misconfigured hint from parking the client.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+/// A decoded response from a successful exchange (any status except the
+/// retried `503`).
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body text.
+    pub body: String,
+    /// Attempts consumed, 1 for a first-try success.
+    pub attempts: u32,
+}
+
+/// Terminal client failure: every attempt was eaten by a transport error
+/// or a `503`.
+#[derive(Debug)]
+pub struct RetriesExhausted {
+    /// Attempts made (== the policy's `max_attempts`).
+    pub attempts: u32,
+    /// Description of the last failure.
+    pub last_error: String,
+}
+
+impl std::fmt::Display for RetriesExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "request failed after {} attempts: {}",
+            self.attempts, self.last_error
+        )
+    }
+}
+
+impl std::error::Error for RetriesExhausted {}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Backoff before the attempt after `attempt` (0-based): exponential in
+/// the attempt number, jittered into `[0.5, 1.0]` of the raw value, and
+/// floored by the server's `Retry-After` hint when one was given. Both
+/// the jittered backoff and the hint respect `max_delay`.
+fn backoff(policy: &RetryPolicy, attempt: u32, retry_after: Option<u32>) -> Duration {
+    let raw = policy
+        .base_delay
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(policy.max_delay);
+    let jitter = splitmix64(policy.seed ^ u64::from(attempt).wrapping_mul(0x9E37)) % 512;
+    let scaled = raw.mul_f64(0.5 + (jitter as f64) / 1024.0);
+    let hinted = Duration::from_secs(u64::from(retry_after.unwrap_or(0))).min(policy.max_delay);
+    scaled.max(hinted)
+}
+
+/// One HTTP exchange: connect, send, decode status/headers/body.
+/// Timeouts bound every read and write so a stalled or torn connection
+/// surfaces as an error instead of a hang.
+fn exchange(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, Option<u32>, String)> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    match body {
+        Some(body) => write!(
+            writer,
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        )?,
+        None => write!(
+            writer,
+            "{method} {path} HTTP/1.1\r\nconnection: close\r\n\r\n"
+        )?,
+    }
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line {status_line:?}")))?;
+
+    let mut retry_after = None;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside headers",
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            match name.trim().to_ascii_lowercase().as_str() {
+                "retry-after" => retry_after = value.trim().parse().ok(),
+                "content-length" => content_length = value.trim().parse().ok(),
+                _ => {}
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    let body =
+        String::from_utf8(body).map_err(|_| std::io::Error::other("non-UTF-8 response body"))?;
+    Ok((status, retry_after, body))
+}
+
+/// Issue `method path` with an optional body, retrying transport errors
+/// and `503 Service Unavailable` under `policy`. Any other status — 4xx
+/// and 5xx included — is a completed exchange and is returned as-is; the
+/// client only retries failures the overload contract marks retryable.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+) -> Result<ClientResponse, RetriesExhausted> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut last_error = String::new();
+    for attempt in 0..max_attempts {
+        let retry_after = match exchange(addr, method, path, body) {
+            Ok((503, retry_after, _)) => {
+                last_error = "503 server overloaded".to_string();
+                retry_after
+            }
+            Ok((status, _, body)) => {
+                return Ok(ClientResponse {
+                    status,
+                    body,
+                    attempts: attempt + 1,
+                })
+            }
+            Err(e) => {
+                last_error = e.to_string();
+                None
+            }
+        };
+        if attempt + 1 < max_attempts {
+            std::thread::sleep(backoff(policy, attempt, retry_after));
+        }
+    }
+    Err(RetriesExhausted {
+        attempts: max_attempts,
+        last_error,
+    })
+}
+
+/// `GET path` with retry/backoff.
+pub fn get(
+    addr: SocketAddr,
+    path: &str,
+    policy: &RetryPolicy,
+) -> Result<ClientResponse, RetriesExhausted> {
+    request_with_retry(addr, "GET", path, None, policy)
+}
+
+/// `POST path` with a body, with retry/backoff.
+pub fn post(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    policy: &RetryPolicy,
+) -> Result<ClientResponse, RetriesExhausted> {
+    request_with_retry(addr, "POST", path, Some(body), policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A scripted one-thread server: each accepted connection consumes
+    /// the next canned response (ignoring the request).
+    fn scripted(responses: Vec<String>) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for canned in responses {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                // Read the request head so the peer is not reset early.
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                while reader.read_line(&mut line).unwrap_or(0) > 2 {
+                    line.clear();
+                }
+                stream.write_all(canned.as_bytes()).ok();
+            }
+        });
+        addr
+    }
+
+    fn canned(status_line: &str, extra_header: &str, body: &str) -> String {
+        format!(
+            "HTTP/1.1 {status_line}\r\ncontent-length: {}\r\n{extra_header}connection: close\r\n\r\n{body}",
+            body.len()
+        )
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn first_try_success_uses_one_attempt() {
+        let addr = scripted(vec![canned("200 OK", "", "{\"ok\":true}")]);
+        let r = get(addr, "/healthz", &fast_policy()).unwrap();
+        assert_eq!((r.status, r.attempts), (200, 1));
+        assert_eq!(r.body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn retries_past_503_honoring_retry_after() {
+        let addr = scripted(vec![
+            canned("503 Service Unavailable", "retry-after: 0\r\n", "{}"),
+            canned("503 Service Unavailable", "retry-after: 0\r\n", "{}"),
+            canned("200 OK", "", "{\"done\":1}"),
+        ]);
+        let r = get(addr, "/v1/census", &fast_policy()).unwrap();
+        assert_eq!((r.status, r.attempts), (200, 3));
+    }
+
+    #[test]
+    fn non_retryable_status_returns_immediately() {
+        let addr = scripted(vec![canned("404 Not Found", "", "{\"error\":\"x\"}")]);
+        let r = get(addr, "/nope", &fast_policy()).unwrap();
+        assert_eq!((r.status, r.attempts), (404, 1));
+    }
+
+    #[test]
+    fn exhaustion_reports_last_error() {
+        let addr = scripted(vec![
+            canned("503 Service Unavailable", "", "{}"),
+            canned("503 Service Unavailable", "", "{}"),
+            canned("503 Service Unavailable", "", "{}"),
+            canned("503 Service Unavailable", "", "{}"),
+        ]);
+        let err = get(addr, "/v1/census", &fast_policy()).unwrap_err();
+        assert_eq!(err.attempts, 4);
+        assert!(err.last_error.contains("503"), "{}", err.last_error);
+    }
+
+    #[test]
+    fn retry_after_floor_is_capped_by_max_delay() {
+        let policy = fast_policy();
+        let d = backoff(&policy, 0, Some(3600));
+        assert!(d <= policy.max_delay, "hint must not exceed max_delay");
+        // And the exponential part stays within [0.5, 1.0] of raw.
+        let d0 = backoff(&policy, 0, None);
+        assert!(d0 >= policy.base_delay / 2 && d0 <= policy.base_delay);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let policy = fast_policy();
+        assert_eq!(backoff(&policy, 2, None), backoff(&policy, 2, None));
+        let other = RetryPolicy {
+            seed: 43,
+            ..fast_policy()
+        };
+        // Not a hard guarantee for every seed pair, but these two differ.
+        assert_ne!(backoff(&policy, 2, None), backoff(&other, 2, None));
+    }
+}

@@ -28,12 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod http;
 pub mod index;
 pub mod json;
 pub mod metrics;
 pub mod server;
 
+pub use client::{ClientResponse, RetriesExhausted, RetryPolicy};
 pub use http::MAX_BODY;
 pub use index::{AdviseOutcome, ClassifyOutcome, Neighbour, ServeIndex};
 pub use json::Json;

@@ -123,8 +123,13 @@ pub struct Transport {
     pub resets: AtomicU64,
     /// Genuine transport I/O errors that were none of the above.
     pub io_errors: AtomicU64,
-    /// Handler panics caught and answered with 500.
-    pub panics: AtomicU64,
+    /// Handler panics injected through an armed failpoint (identified by
+    /// the [`dagscope_faults::InjectedPanic`] payload); always zero in
+    /// builds without the `failpoints` feature.
+    pub panics_injected: AtomicU64,
+    /// Handler panics from real bugs — every caught panic that was not
+    /// injected.
+    pub panics_organic: AtomicU64,
 }
 
 impl Transport {
@@ -133,15 +138,36 @@ impl Transport {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one caught handler panic, classifying its payload as
+    /// injected (failpoint-driven) or organic. The two cause counters
+    /// partition every caught panic, so `panics_total` rendered below is
+    /// exactly their sum — the cause label is exhaustive.
+    pub fn record_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        if dagscope_faults::is_injected_panic(payload) {
+            Transport::bump(&self.panics_injected);
+        } else {
+            Transport::bump(&self.panics_organic);
+        }
+    }
+
     fn render(&self) -> Json {
         let n = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+        let injected = self.panics_injected.load(Ordering::Relaxed);
+        let organic = self.panics_organic.load(Ordering::Relaxed);
         obj(vec![
             ("shed_total", n(&self.shed)),
             ("timeouts_total", n(&self.idle_timeouts)),
             ("request_timeouts_total", n(&self.request_timeouts)),
             ("resets_total", n(&self.resets)),
             ("io_errors_total", n(&self.io_errors)),
-            ("panics_total", n(&self.panics)),
+            ("panics_total", Json::from(injected + organic)),
+            (
+                "panics_by_cause",
+                obj(vec![
+                    ("injected", Json::from(injected)),
+                    ("organic", Json::from(organic)),
+                ]),
+            ),
         ])
     }
 }
@@ -354,12 +380,20 @@ mod tests {
         Transport::bump(&m.transport().shed);
         Transport::bump(&m.transport().shed);
         Transport::bump(&m.transport().request_timeouts);
-        Transport::bump(&m.transport().panics);
+        let organic = std::panic::catch_unwind(|| panic!("bug")).unwrap_err();
+        m.transport().record_panic(organic.as_ref());
         let t = m.render(0);
         let t = t.get("transport").unwrap();
         assert_eq!(t.get("shed_total").unwrap().as_num(), Some(2.0));
         assert_eq!(t.get("request_timeouts_total").unwrap().as_num(), Some(1.0));
         assert_eq!(t.get("panics_total").unwrap().as_num(), Some(1.0));
+        let cause = t.get("panics_by_cause").unwrap();
+        assert_eq!(cause.get("injected").unwrap().as_num(), Some(0.0));
+        assert_eq!(
+            cause.get("organic").unwrap().as_num(),
+            Some(1.0),
+            "a plain panic payload counts as organic"
+        );
         assert_eq!(t.get("timeouts_total").unwrap().as_num(), Some(0.0));
         assert_eq!(t.get("resets_total").unwrap().as_num(), Some(0.0));
         assert_eq!(t.get("io_errors_total").unwrap().as_num(), Some(0.0));

@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use dagscope_faults::failpoint;
 use dagscope_par::WorkerPool;
 use dagscope_trace::{csv, Job};
 
@@ -322,6 +323,9 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue, // transient accept failure
             };
+            // Chaos site: a stalled acceptor (armed with `delay(ms)`)
+            // holds every pending connection behind this one.
+            failpoint!("serve.accept.stall");
             if pool.pending() >= shed_threshold {
                 shed(stream, &self.metrics);
                 continue;
@@ -391,6 +395,10 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
     let mut writer = stream;
     let transport = ctx.metrics.transport();
     loop {
+        // Chaos site: a worker that stalls before reading (armed with
+        // `delay(ms)`) lets the request deadline and idle-expiry logic
+        // be exercised from the server side.
+        failpoint!("serve.read.stall");
         let request = match read_request_limited(&mut reader, ctx.config.max_body) {
             Ok(r) => r,
             Err(ReadError::Closed) => return,
@@ -445,8 +453,8 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
         let (endpoint, response) =
             match catch_unwind(AssertUnwindSafe(|| route(&request, &route_ctx))) {
                 Ok(routed) => routed,
-                Err(_) => {
-                    Transport::bump(&transport.panics);
+                Err(payload) => {
+                    transport.record_panic(payload.as_ref());
                     (Endpoint::Other, Response::error(500, "internal error"))
                 }
             };
@@ -454,6 +462,15 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
         ctx.metrics.record(endpoint, response.status, micros);
         // Draining: finish this response, then close so the session ends.
         let keep_alive = request.keep_alive && !route_ctx.draining;
+        // Chaos site: a mid-response reset — half the encoded response
+        // goes out, then the connection is torn down, leaving the client
+        // a short read it must treat as a transport failure.
+        failpoint!("serve.write.reset", |_arg: Option<String>| {
+            let mut encoded = Vec::new();
+            let _ = write_response(&mut encoded, &response, false);
+            let _ = std::io::Write::write_all(&mut writer, &encoded[..encoded.len() / 2]);
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+        });
         if write_response(&mut writer, &response, keep_alive).is_err() {
             return;
         }
@@ -500,8 +517,17 @@ fn route(request: &Request, ctx: &RouteCtx<'_>) -> (Endpoint, Response) {
             panic!("injected panic (/v1/_panic fault route)")
         }
         ("GET", "/v1/census") => (Endpoint::Census, census(index)),
-        ("POST", "/v1/classify") => (Endpoint::Classify, classify(request, index)),
-        ("POST", "/v1/advise") => (Endpoint::Advise, advise(request, index)),
+        ("POST", "/v1/classify") => {
+            // Chaos site: an injected handler panic, distinguishable
+            // from an organic one by its payload (see
+            // `Transport::record_panic`).
+            failpoint!("serve.handler.classify_panic");
+            (Endpoint::Classify, classify(request, index))
+        }
+        ("POST", "/v1/advise") => {
+            failpoint!("serve.handler.advise_panic");
+            (Endpoint::Advise, advise(request, index))
+        }
         _ if path.starts_with("/v1/jobs/") => {
             let name = &path["/v1/jobs/".len()..];
             if method != "GET" {

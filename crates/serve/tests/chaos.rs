@@ -1,0 +1,296 @@
+//! Chaos harness: seeded failpoint schedules driven against a live
+//! server over real sockets.
+//!
+//! Where `tests/faults.rs` attacks the server from the outside (hostile
+//! peers, torn snapshots on disk), this suite injects faults *inside*
+//! the stack through `dagscope-faults` sites — handler panics, worker
+//! panics and stalls, mid-response resets — and re-asserts the PR 3
+//! contracts under them: panic isolation answers 500 and keeps the
+//! worker alive, `/metrics` accounts every caught panic under an
+//! exhaustive cause label, the retry client rides out torn responses,
+//! and a graceful drain stays bounded.
+//!
+//! Build with `--features failpoints`; the whole file vanishes without
+//! the feature.
+#![cfg(feature = "failpoints")]
+
+use std::net::SocketAddr;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use dagscope_core::{IndexSnapshot, Pipeline, PipelineConfig};
+use dagscope_serve::{client, Json, RetryPolicy, ServeIndex, Server, ServerConfig, ServerHandle};
+
+/// The failpoint registry is process-global and `reset()` clears every
+/// site, so tests sharing this binary must not overlap.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Build a small index once per fixture.
+fn build_index(seed: u64) -> ServeIndex {
+    let report = Pipeline::new(PipelineConfig {
+        jobs: 200,
+        sample: 16,
+        seed,
+        ..Default::default()
+    })
+    .run()
+    .expect("pipeline");
+    ServeIndex::build(IndexSnapshot::from_report(&report).expect("snapshot")).expect("index")
+}
+
+struct Fixture {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(seed: u64, config: ServerConfig) -> Fixture {
+    let server = Server::bind_with(build_index(seed), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle().expect("handle");
+    let join = std::thread::spawn(move || server.run());
+    Fixture { addr, handle, join }
+}
+
+impl Fixture {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.join.join().expect("server thread").expect("run");
+    }
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(200),
+        seed: 7,
+    }
+}
+
+const CLASSIFY_BODY: &str = concat!(
+    "{\"job_name\":\"probe\",\"tasks\":[",
+    "\"M1,2,probe,1,Terminated,1,10,100,0.5\",",
+    "\"R2_1,1,probe,1,Terminated,10,20,50,0.25\"]}"
+);
+
+fn metrics(addr: SocketAddr) -> Json {
+    let r = client::get(addr, "/metrics", &policy()).expect("metrics");
+    assert_eq!(r.status, 200);
+    Json::parse(&r.body).expect("metrics JSON")
+}
+
+fn panic_counts(addr: SocketAddr) -> (f64, f64, f64) {
+    let m = metrics(addr);
+    let t = m.get("transport").unwrap();
+    let total = t.get("panics_total").unwrap().as_num().unwrap();
+    let cause = t.get("panics_by_cause").unwrap();
+    (
+        total,
+        cause.get("injected").unwrap().as_num().unwrap(),
+        cause.get("organic").unwrap().as_num().unwrap(),
+    )
+}
+
+/// An injected classify-handler panic answers 500, the next request on a
+/// fresh connection succeeds, and `/metrics` attributes the panic to the
+/// `injected` cause — while an organic panic (the `/v1/_panic` fault
+/// route) lands under `organic`. The two causes always sum to the total.
+#[test]
+fn injected_and_organic_panics_are_distinguished_in_metrics() {
+    let _g = exclusive();
+    dagscope_faults::reset();
+    let fx = start(
+        31,
+        ServerConfig {
+            threads: 2,
+            panic_route: true,
+            ..ServerConfig::default()
+        },
+    );
+
+    dagscope_faults::configure("serve.handler.classify_panic", "1*panic(chaos)").unwrap();
+    let r = client::post(fx.addr, "/v1/classify", CLASSIFY_BODY, &policy()).expect("classify");
+    assert_eq!(r.status, 500, "injected handler panic answers 500");
+
+    // The site's `1*` cap is spent: the same request now succeeds, on a
+    // worker that survived the panic.
+    let r = client::post(fx.addr, "/v1/classify", CLASSIFY_BODY, &policy()).expect("classify");
+    assert_eq!(r.status, 200);
+
+    assert_eq!(panic_counts(fx.addr), (1.0, 1.0, 0.0));
+
+    // An organic panic through the fault route is the other label.
+    let r = client::get(fx.addr, "/v1/_panic", &policy()).expect("_panic");
+    assert_eq!(r.status, 500);
+    assert_eq!(panic_counts(fx.addr), (2.0, 1.0, 1.0));
+
+    dagscope_faults::reset();
+    fx.stop();
+}
+
+/// The advise handler has its own site; an injected panic there must not
+/// poison the classify path or the shared index.
+#[test]
+fn advise_panic_leaves_classify_unharmed() {
+    let _g = exclusive();
+    dagscope_faults::reset();
+    let fx = start(33, ServerConfig::default());
+
+    dagscope_faults::configure("serve.handler.advise_panic", "1*panic").unwrap();
+    let r = client::post(fx.addr, "/v1/advise", CLASSIFY_BODY, &policy()).expect("advise");
+    assert_eq!(r.status, 500);
+    let r = client::post(fx.addr, "/v1/classify", CLASSIFY_BODY, &policy()).expect("classify");
+    assert_eq!(r.status, 200);
+    let r = client::post(fx.addr, "/v1/advise", CLASSIFY_BODY, &policy()).expect("advise");
+    assert_eq!(r.status, 200);
+    assert_eq!(panic_counts(fx.addr), (1.0, 1.0, 0.0));
+
+    dagscope_faults::reset();
+    fx.stop();
+}
+
+/// A mid-response reset (half the bytes, then a slammed connection) is a
+/// transport failure the retry client recovers from on the next attempt.
+#[test]
+fn retry_client_rides_out_a_mid_response_reset() {
+    let _g = exclusive();
+    dagscope_faults::reset();
+    let fx = start(35, ServerConfig::default());
+
+    dagscope_faults::configure("serve.write.reset", "1*return").unwrap();
+    let r = client::get(fx.addr, "/v1/census", &policy()).expect("census with retry");
+    assert_eq!(r.status, 200);
+    assert_eq!(
+        r.attempts, 2,
+        "first attempt died on the torn response, second succeeded"
+    );
+
+    dagscope_faults::reset();
+    fx.stop();
+}
+
+/// A worker-pool task panic kills one connection silently; the pool
+/// worker, the pending() accounting, and the server all survive, and the
+/// retry client completes on a fresh connection.
+#[test]
+fn pool_task_panic_is_contained_to_one_connection() {
+    let _g = exclusive();
+    dagscope_faults::reset();
+    let fx = start(37, ServerConfig::default());
+
+    dagscope_faults::configure("par.pool.task_panic", "1*panic(chaos)").unwrap();
+    let r = client::get(fx.addr, "/healthz", &policy()).expect("healthz with retry");
+    assert_eq!(r.status, 200);
+    assert!(r.attempts >= 2, "the first connection died in the pool");
+
+    // No handler ran for the killed connection, so nothing may be
+    // counted as a handler panic.
+    assert_eq!(panic_counts(fx.addr), (0.0, 0.0, 0.0));
+
+    dagscope_faults::reset();
+    fx.stop();
+}
+
+/// Accept-loop and read-path stalls slow requests down without dropping
+/// them, and a graceful drain still completes within its bound.
+#[test]
+fn stalls_delay_but_never_drop_and_drain_stays_bounded() {
+    let _g = exclusive();
+    dagscope_faults::reset();
+    let fx = start(
+        39,
+        ServerConfig {
+            threads: 2,
+            drain_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    );
+
+    dagscope_faults::configure("serve.accept.stall", "delay(40)").unwrap();
+    dagscope_faults::configure("serve.read.stall", "delay(40)").unwrap();
+    dagscope_faults::configure("par.pool.wakeup_delay", "delay(20)").unwrap();
+    let started = Instant::now();
+    let r = client::get(fx.addr, "/healthz", &policy()).expect("healthz");
+    assert_eq!(r.status, 200);
+    assert!(
+        started.elapsed() >= Duration::from_millis(90),
+        "the injected stalls must actually have been on the path"
+    );
+
+    // Drain with the stalls still armed: shutdown must stay bounded.
+    let started = Instant::now();
+    fx.handle.shutdown();
+    fx.join.join().expect("server thread").expect("run");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "drain exceeded its bound under injected stalls"
+    );
+    dagscope_faults::reset();
+}
+
+/// A seeded schedule over every serve-layer site: the same seed arms the
+/// same sites, and under that storm a request barrage finishes with the
+/// server healthy, metrics parseable, and every caught panic accounted
+/// under exactly one cause.
+#[test]
+fn seeded_storm_keeps_server_healthy_and_accounting_exact() {
+    let _g = exclusive();
+    dagscope_faults::reset();
+
+    const MENU: &[(&str, &[&str])] = &[
+        ("serve.handler.classify_panic", &["2*panic(storm)"]),
+        ("serve.handler.advise_panic", &["1*panic(storm)"]),
+        ("serve.write.reset", &["2*return"]),
+        ("serve.accept.stall", &["delay(10)"]),
+        ("serve.read.stall", &["delay(10)"]),
+        ("par.pool.wakeup_delay", &["delay(5)"]),
+        ("par.pool.task_panic", &["1*panic(storm)"]),
+    ];
+    let plan = dagscope_faults::plan_from_seed(7, MENU);
+    assert_eq!(
+        plan,
+        dagscope_faults::plan_from_seed(7, MENU),
+        "schedule derivation is deterministic"
+    );
+
+    let fx = start(41, ServerConfig::default());
+    dagscope_faults::apply_plan(&plan).unwrap();
+
+    let mut completed = 0u32;
+    for i in 0..12 {
+        let path_is_classify = i % 2 == 0;
+        let outcome = if path_is_classify {
+            client::post(fx.addr, "/v1/classify", CLASSIFY_BODY, &policy())
+        } else {
+            client::post(fx.addr, "/v1/advise", CLASSIFY_BODY, &policy())
+        };
+        // Injected panics answer 500; those are completed exchanges too.
+        if let Ok(r) = outcome {
+            assert!(r.status == 200 || r.status == 500, "status {}", r.status);
+            completed += 1;
+        }
+    }
+    assert!(
+        completed >= 10,
+        "the retry client must ride out the storm (completed {completed}/12)"
+    );
+
+    // Quiet the storm, then check the books.
+    dagscope_faults::reset();
+    let (total, injected, organic) = panic_counts(fx.addr);
+    assert_eq!(
+        total,
+        injected + organic,
+        "panic cause label must be exhaustive"
+    );
+    assert_eq!(organic, 0.0, "the storm injects every panic");
+    let r = client::get(fx.addr, "/healthz", &policy()).expect("healthz");
+    assert_eq!(r.status, 200);
+    fx.stop();
+}

@@ -20,6 +20,8 @@
 
 use std::io::{BufRead, BufWriter, Write};
 
+use dagscope_faults::failpoint;
+
 use crate::intern::Interner;
 use crate::quarantine::{Quarantine, QuarantinedRow, ReadPolicy};
 use crate::schema::{InstanceRecord, Status, TaskRecord};
@@ -215,6 +217,11 @@ impl<R: BufRead> RawLines<R> {
         &mut self,
         buf: &mut Vec<u8>,
     ) -> Result<Option<(u64, u64)>, std::io::Error> {
+        // One hit per line, in document order, for every sequential and
+        // streamed reader; `K>1*return` makes line K+1 fail its read.
+        failpoint!("trace.read.line_io", |_arg: Option<String>| Err(
+            std::io::Error::other("injected read failure")
+        ));
         buf.clear();
         let start = self.offset;
         let n = self.reader.read_until(b'\n', buf)?;
@@ -252,6 +259,37 @@ pub(crate) fn classify_row<T>(
     Ok(row)
 }
 
+/// Chaos helper for `trace.read.torn_line`: when the armed `return`
+/// action fires, the current raw line is truncated to this many bytes
+/// (half a row — enough to break parsing, not enough to vanish).
+#[inline]
+fn injected_torn_len(_len: usize) -> Option<usize> {
+    failpoint!("trace.read.torn_line", |_arg: Option<String>| Some(
+        _len / 2
+    ));
+    None
+}
+
+/// Chaos helper for `trace.read.chunk_io`: an injected mid-chunk IO
+/// error for the parallel readers. Chunks decode across threads in
+/// nondeterministic order, so the fault targets a chunk by its *byte
+/// offset* (the action arg) rather than by hit count; an argless action
+/// fails every chunk. Offsets are stable for fixed `(data, chunk_bytes)`
+/// — see [`dagscope_par::chunk_bounds`] — keeping injected runs
+/// deterministic.
+#[inline]
+fn injected_chunk_io(_chunk_start: usize) -> Option<TraceError> {
+    failpoint!("trace.read.chunk_io", |arg: Option<String>| {
+        match arg.and_then(|a| a.parse::<usize>().ok()) {
+            Some(target) if target != _chunk_start => None,
+            _ => Some(TraceError::Io(format!(
+                "injected mid-chunk IO error at byte {_chunk_start}"
+            ))),
+        }
+    });
+    None
+}
+
 /// Sequential policy-aware row reader shared by the task and instance
 /// entry points. Under [`ReadPolicy::Strict`] this is observationally
 /// identical to the historical `BufRead::lines`-based readers — same
@@ -266,7 +304,15 @@ fn read_rows_with_policy<R: BufRead, T>(
     let mut lines = RawLines::new(reader);
     let mut out = Vec::new();
     let mut q = Quarantine::default();
-    while let Some((offset, raw)) = lines.next_line()? {
+    while let Some((offset, mut raw)) = lines.next_line()? {
+        // Chaos sites, one hit per line in document order: a short read
+        // ends the stream early (downstream sees a truncated but
+        // well-formed trace); a torn read delivers half a row, which
+        // must fail parsing and take the policy's bad-row path.
+        failpoint!("trace.read.short_read", |_arg: Option<String>| Ok((out, q)));
+        if let Some(keep) = injected_torn_len(raw.len()) {
+            raw.truncate(keep);
+        }
         q.lines_total += 1;
         let line_no = q.lines_total;
         if raw.is_empty() {
@@ -512,10 +558,16 @@ pub fn read_tasks_chunked_with_policy(
     policy: &ReadPolicy,
 ) -> Result<(Vec<TaskRecord>, Quarantine), TraceError> {
     merge_chunks(
-        dagscope_par::par_chunk_map(data, chunk_bytes, b'\n', |_, chunk| {
-            parse_chunk(chunk, policy, parse_task_line_interned, |t: &TaskRecord| {
+        dagscope_par::par_chunk_map(data, chunk_bytes, b'\n', |start, chunk| {
+            let mut out = parse_chunk(chunk, policy, parse_task_line_interned, |t: &TaskRecord| {
                 (t.start_time, t.end_time)
-            })
+            });
+            if out.err.is_none() {
+                if let Some(e) = injected_chunk_io(start) {
+                    out.err = Some(e);
+                }
+            }
+            out
         }),
         policy,
     )
@@ -562,13 +614,19 @@ pub fn read_instances_chunked_with_policy(
     policy: &ReadPolicy,
 ) -> Result<(Vec<InstanceRecord>, Quarantine), TraceError> {
     merge_chunks(
-        dagscope_par::par_chunk_map(data, chunk_bytes, b'\n', |_, chunk| {
-            parse_chunk(
+        dagscope_par::par_chunk_map(data, chunk_bytes, b'\n', |start, chunk| {
+            let mut out = parse_chunk(
                 chunk,
                 policy,
                 parse_instance_line_interned,
                 |i: &InstanceRecord| (i.start_time, i.end_time),
-            )
+            );
+            if out.err.is_none() {
+                if let Some(e) = injected_chunk_io(start) {
+                    out.err = Some(e);
+                }
+            }
+            out
         }),
         policy,
     )

@@ -1,0 +1,204 @@
+//! Adversarial job construction for robustness testing.
+//!
+//! The regular generator ([`super::TraceGenerator`]) stays inside the
+//! paper's published envelope — sizes 2–31, depth ≤ 8, acyclic by
+//! construction. Chaos and fuzz tests need the opposite: jobs that sit
+//! right at the parser's representational limits (chains hundreds deep,
+//! a sink naming thousands of parents, ids at the top of `u32`) and
+//! jobs that are *wrong* in every way the v2018 encoding can express —
+//! dependency cycles, self-loops, forward references to missing tasks,
+//! duplicate ids. Downstream layers must classify each of these
+//! deterministically: the parser never panics, and
+//! `JobDag::from_job` rejects the malformed ones with the precise
+//! `BuildError` the contract names.
+//!
+//! Every constructor is pure and deterministic — no RNG — so tests can
+//! pin exact behavior.
+
+use crate::job::Job;
+use crate::schema::{Status, TaskRecord};
+
+/// A minimal well-formed task row carrying the given DAG name.
+fn row(job_name: &str, task_name: String) -> TaskRecord {
+    TaskRecord {
+        task_name,
+        instance_num: 1,
+        job_name: job_name.into(),
+        task_type: "1".into(),
+        status: Status::Terminated,
+        start_time: 1,
+        end_time: 2,
+        plan_cpu: 100.0,
+        plan_mem: 0.5,
+    }
+}
+
+fn job_of(job_name: &str, names: Vec<String>) -> Job {
+    Job {
+        name: job_name.to_string(),
+        tasks: names.into_iter().map(|n| row(job_name, n)).collect(),
+    }
+}
+
+/// A sequential chain of `n` tasks (`M1`, `R2_1`, …, `Rn_{n-1}`) — far
+/// past the paper's depth-8 envelope but perfectly well-formed. The DAG
+/// builder must accept it with critical path exactly `n`.
+pub fn deep_chain(job_name: &str, n: usize) -> Job {
+    assert!(n >= 1);
+    let names = (1..=n)
+        .map(|i| {
+            if i == 1 {
+                "M1".to_string()
+            } else {
+                format!("R{i}_{}", i - 1)
+            }
+        })
+        .collect();
+    job_of(job_name, names)
+}
+
+/// `n - 1` parallel sources feeding one sink whose name lists *every*
+/// parent (`Rn_{n-1}_…_1`) — the longest task name the encoding can
+/// produce for a job of this size. Parsing must recover all `n - 1`
+/// parents, and conflation must collapse the interchangeable sources.
+pub fn wide_fanout(job_name: &str, n: usize) -> Job {
+    assert!(n >= 2);
+    let mut names: Vec<String> = (1..n).map(|i| format!("M{i}")).collect();
+    let mut sink = format!("R{n}");
+    for p in (1..n).rev() {
+        sink.push('_');
+        sink.push_str(&p.to_string());
+    }
+    names.push(sink);
+    job_of(job_name, names)
+}
+
+/// A two-task dependency cycle: `M1_2` and `R2_1`. Both names parse —
+/// the encoding happily writes a cycle — so rejection is the DAG
+/// builder's job (`BuildError::Cycle`).
+pub fn cycle_pair(job_name: &str) -> Job {
+    job_of(job_name, vec!["M1_2".to_string(), "R2_1".to_string()])
+}
+
+/// A task that lists itself as its parent (`M1_1`): the tightest cycle.
+pub fn self_loop(job_name: &str) -> Job {
+    job_of(job_name, vec!["M1_1".to_string()])
+}
+
+/// An `n`-task ring: task `i` depends on `i - 1`, and task 1 depends on
+/// `n`, closing the loop. Every prefix is a valid chain; only the whole
+/// job reveals the cycle.
+pub fn cycle_ring(job_name: &str, n: usize) -> Job {
+    assert!(n >= 2);
+    let names = (1..=n)
+        .map(|i| {
+            if i == 1 {
+                format!("M1_{n}")
+            } else {
+                format!("R{i}_{}", i - 1)
+            }
+        })
+        .collect();
+    job_of(job_name, names)
+}
+
+/// A dangling reference: `R2_7` names a parent that does not exist in
+/// the job (`BuildError::MissingParent`).
+pub fn missing_parent(job_name: &str) -> Job {
+    job_of(job_name, vec!["M1".to_string(), "R2_7".to_string()])
+}
+
+/// Two rows claiming the same task id (`BuildError::DuplicateId`).
+pub fn duplicate_id(job_name: &str) -> Job {
+    job_of(
+        job_name,
+        vec!["M1".to_string(), "M2".to_string(), "R2_1".to_string()],
+    )
+}
+
+/// A two-task chain whose ids sit at the very top of `u32` — the
+/// largest values the name grammar can carry. One digit more and the
+/// name stops being a DAG name (ids must fit `u32`).
+pub fn huge_ids(job_name: &str) -> Job {
+    job_of(
+        job_name,
+        vec![
+            format!("M{}", u32::MAX - 1),
+            format!("R{}_{}", u32::MAX, u32::MAX - 1),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taskname::{parse, ParsedTaskName};
+
+    #[test]
+    fn deep_chain_names_parse_at_any_depth() {
+        let job = deep_chain("j_deep", 500);
+        assert_eq!(job.size(), 500);
+        assert!(job.is_dag_job());
+        match parse(&job.tasks[499].task_name) {
+            ParsedTaskName::Dag { id, parents, .. } => {
+                assert_eq!(id, 500);
+                assert_eq!(parents, vec![499]);
+            }
+            other => panic!("tail of deep chain parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_fanout_sink_recovers_every_parent() {
+        let n = 2_000;
+        let job = wide_fanout("j_wide", n);
+        let sink = &job.tasks[n - 1].task_name;
+        // The sink's name alone is ~9 KB; the parser must not choke.
+        assert!(sink.len() > 8_000);
+        match parse(sink) {
+            ParsedTaskName::Dag { id, parents, .. } => {
+                assert_eq!(id as usize, n);
+                assert_eq!(parents.len(), n - 1);
+                assert_eq!(parents[0] as usize, n - 1);
+                assert_eq!(*parents.last().unwrap(), 1);
+            }
+            other => panic!("fan-out sink parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cyclic_names_still_parse_as_dag_names() {
+        // The *parser* accepts cycles — rejection belongs to the DAG
+        // builder, which sees the whole job.
+        for job in [cycle_pair("j"), self_loop("j"), cycle_ring("j", 5)] {
+            for t in &job.tasks {
+                assert!(parse(&t.task_name).is_dag(), "{}", t.task_name);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_ids_parse_and_one_more_digit_does_not() {
+        let job = huge_ids("j_huge");
+        match parse(&job.tasks[1].task_name) {
+            ParsedTaskName::Dag { id, parents, .. } => {
+                assert_eq!(id, u32::MAX);
+                assert_eq!(parents, vec![u32::MAX - 1]);
+            }
+            other => panic!("huge id parsed as {other:?}"),
+        }
+        // 2^32 overflows the id field: the whole name degrades to
+        // Independent rather than wrapping or panicking.
+        let overflow = format!("M{}", u64::from(u32::MAX) + 1);
+        assert!(!parse(&overflow).is_dag());
+        let overflow_parent = format!("R2_{}", u64::from(u32::MAX) + 1);
+        assert!(!parse(&overflow_parent).is_dag());
+    }
+
+    #[test]
+    fn constructors_are_deterministic() {
+        assert_eq!(deep_chain("j", 64), deep_chain("j", 64));
+        assert_eq!(wide_fanout("j", 64), wide_fanout("j", 64));
+        assert_eq!(cycle_ring("j", 9), cycle_ring("j", 9));
+    }
+}

@@ -19,6 +19,7 @@
 //! `(seed, job_index)` via SplitMix64, so traces are reproducible and
 //! independent of how many worker threads produced them.
 
+pub mod adversarial;
 mod shape;
 
 pub use shape::{build as build_shape, DagPlan, ShapeKind};
