@@ -1,24 +1,32 @@
 //! Serving throughput and latency: a live `dagscope-serve` instance on an
 //! ephemeral port, driven over real TCP connections.
 //!
-//! The Criterion group times a single classify round-trip; afterwards the
-//! bench sustains bursts of classify traffic at 1/2/4 concurrent
-//! keep-alive connections and writes `BENCH_serve.json` at the repository
-//! root with requests/sec and client-observed latency percentiles per
-//! concurrency level.
+//! The Criterion group times a single classify round-trip; afterwards a
+//! nonblocking client harness (built on the same `serve::reactor` epoll
+//! wrapper the server uses) sweeps 64/512/4096 concurrent one-shot
+//! classify connections and writes `BENCH_serve.json` (v2) at the
+//! repository root: served/shed/408 counts, client-observed p50/p99, and
+//! throughput per level. The sweep doubles as a regression gate: at 512
+//! connections the server must shed-or-serve every attempt — no hangs —
+//! with a bounded p99.
 
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Instant;
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dagscope_core::{IndexSnapshot, Pipeline, PipelineConfig};
+use dagscope_serve::reactor::Poller;
 use dagscope_serve::{ServeIndex, Server, ServerHandle};
 use dagscope_trace::csv;
 
-/// Requests per concurrency level in the sustained-throughput sweep.
-const BURST: usize = 400;
+/// Concurrency levels of the connection sweep.
+const SWEEP: [usize; 3] = [64, 512, 4096];
+/// Wall-clock bound per sweep level; a connection still outstanding at
+/// the bound counts as hung.
+const SWEEP_DEADLINE: Duration = Duration::from_secs(60);
 
 struct Client {
     reader: BufReader<TcpStream>,
@@ -113,41 +121,197 @@ fn start() -> Fixture {
     }
 }
 
-/// Drive `total` classify requests over `conns` keep-alive connections;
-/// returns (wall seconds, sorted per-request latencies in seconds).
-fn sustain(fx: &Fixture, conns: usize, total: usize) -> (f64, Vec<f64>) {
-    let per_conn = total / conns;
-    let started = Instant::now();
-    let mut latencies: Vec<f64> = Vec::with_capacity(per_conn * conns);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..conns)
-            .map(|w| {
-                let bodies = &fx.bodies;
-                let addr = fx.addr;
-                scope.spawn(move || {
-                    let mut client = Client::connect(addr);
-                    let mut lat = Vec::with_capacity(per_conn);
-                    for i in 0..per_conn {
-                        let body = &bodies[(w * per_conn + i) % bodies.len()];
-                        let t = Instant::now();
-                        let status = client.post("/v1/classify", body);
-                        lat.push(t.elapsed().as_secs_f64());
-                        assert_eq!(status, 200);
+/// How one sweep connection ended.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Complete 200.
+    Served,
+    /// Complete 503 (load shedding).
+    Shed,
+    /// Complete 408 (request deadline).
+    Timeout408,
+    /// Torn connection, short response, or any other status.
+    Error,
+}
+
+/// One connection of the nonblocking sweep harness.
+struct SweepConn {
+    stream: TcpStream,
+    out: Vec<u8>,
+    out_pos: usize,
+    inbuf: Vec<u8>,
+    started: Instant,
+    done: Option<Outcome>,
+    latency: f64,
+}
+
+/// Classify a (possibly still partial) response buffer. `eof` decides
+/// whether a short buffer is still pending or already torn.
+fn judge(buf: &[u8], eof: bool) -> Option<Outcome> {
+    let text = String::from_utf8_lossy(buf);
+    let Some(head_end) = text.find("\r\n\r\n") else {
+        return eof.then_some(Outcome::Error);
+    };
+    let declared: usize = text[..head_end]
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    if buf.len() < head_end + 4 + declared {
+        return eof.then_some(Outcome::Error);
+    }
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    Some(match status {
+        200 => Outcome::Served,
+        503 => Outcome::Shed,
+        408 => Outcome::Timeout408,
+        _ => Outcome::Error,
+    })
+}
+
+/// Aggregated result of one sweep level.
+struct LevelResult {
+    connections: usize,
+    served: usize,
+    shed: usize,
+    timeouts_408: usize,
+    errors: usize,
+    hung: usize,
+    wall: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Drive `conns` concurrent one-shot classify requests through a single
+/// client thread multiplexed over epoll — the only way to hold 4096
+/// connections without 4096 threads.
+fn sweep_level(fx: &Fixture, conns: usize) -> LevelResult {
+    let mut poller = Poller::new(conns.max(64)).expect("poller");
+    let mut slots: Vec<SweepConn> = Vec::with_capacity(conns);
+    let sweep_started = Instant::now();
+    for i in 0..conns {
+        let stream = TcpStream::connect(fx.addr).expect("connect");
+        stream.set_nonblocking(true).expect("nonblocking");
+        stream.set_nodelay(true).ok();
+        let body = &fx.bodies[i % fx.bodies.len()];
+        let out = format!(
+            "POST /v1/classify HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes();
+        poller
+            .add(stream.as_raw_fd(), i as u64, true, true)
+            .expect("poller add");
+        slots.push(SweepConn {
+            stream,
+            out,
+            out_pos: 0,
+            inbuf: Vec::new(),
+            started: Instant::now(),
+            done: None,
+            latency: 0.0,
+        });
+    }
+    let mut events = Vec::new();
+    let mut outstanding = conns;
+    let mut chunk = [0u8; 16 * 1024];
+    while outstanding > 0 && sweep_started.elapsed() < SWEEP_DEADLINE {
+        events.clear();
+        poller
+            .wait(Some(Duration::from_millis(50)), &mut events)
+            .expect("poller wait");
+        for ev in &events {
+            let i = ev.token as usize;
+            let slot = &mut slots[i];
+            if slot.done.is_some() {
+                continue;
+            }
+            // Write phase: flush the request, then drop write interest so
+            // level-triggered writability stops firing.
+            if slot.out_pos < slot.out.len() && (ev.writable || ev.hangup) {
+                loop {
+                    match slot.stream.write(&slot.out[slot.out_pos..]) {
+                        Ok(n) => {
+                            slot.out_pos += n;
+                            if slot.out_pos == slot.out.len() {
+                                let _ =
+                                    poller.modify(slot.stream.as_raw_fd(), i as u64, true, false);
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            // The server may have shed-and-closed before
+                            // reading the request; any response is still
+                            // readable, so let the read path judge.
+                            slot.out_pos = slot.out.len();
+                            let _ = poller.modify(slot.stream.as_raw_fd(), i as u64, true, false);
+                            break;
+                        }
                     }
-                    lat
-                })
-            })
-            .collect();
-        for h in handles {
-            latencies.extend(h.join().expect("client thread"));
+                }
+            }
+            if !(ev.readable || ev.hangup) {
+                continue;
+            }
+            let outcome = loop {
+                match slot.stream.read(&mut chunk) {
+                    Ok(0) => break judge(&slot.inbuf, true),
+                    Ok(n) => {
+                        slot.inbuf.extend_from_slice(&chunk[..n]);
+                        if let Some(done) = judge(&slot.inbuf, false) {
+                            break Some(done);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        break judge(&slot.inbuf, false)
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break Some(Outcome::Error),
+                }
+            };
+            if let Some(outcome) = outcome {
+                slot.done = Some(outcome);
+                slot.latency = slot.started.elapsed().as_secs_f64();
+                let _ = poller.delete(slot.stream.as_raw_fd());
+                outstanding -= 1;
+            }
         }
-    });
-    let wall = started.elapsed().as_secs_f64();
+    }
+    let wall = sweep_started.elapsed().as_secs_f64();
+    let count = |o: Outcome| slots.iter().filter(|s| s.done == Some(o)).count();
+    let mut latencies: Vec<f64> = slots
+        .iter()
+        .filter(|s| s.done.is_some())
+        .map(|s| s.latency)
+        .collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    (wall, latencies)
+    LevelResult {
+        connections: conns,
+        served: count(Outcome::Served),
+        shed: count(Outcome::Shed),
+        timeouts_408: count(Outcome::Timeout408),
+        errors: count(Outcome::Error),
+        hung: outstanding,
+        wall,
+        p50_us: percentile(&latencies, 0.50) * 1e6,
+        p99_us: percentile(&latencies, 0.99) * 1e6,
+    }
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
     let i = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[i]
 }
@@ -155,27 +319,64 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 fn write_bench_json(fx: &Fixture) {
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut results = String::new();
-    for (i, conns) in [1usize, 2, 4].into_iter().enumerate() {
-        let (wall, lat) = sustain(fx, conns, BURST);
+    for (i, conns) in SWEEP.into_iter().enumerate() {
+        let level = sweep_level(fx, conns);
+        println!(
+            "sweep {} conns: served {} shed {} 408s {} errors {} hung {} in {:.2}s \
+             (p50 {:.0}us p99 {:.0}us)",
+            level.connections,
+            level.served,
+            level.shed,
+            level.timeouts_408,
+            level.errors,
+            level.hung,
+            level.wall,
+            level.p50_us,
+            level.p99_us,
+        );
+        // The regression gate: at 512 connections the server must
+        // shed-or-serve every attempt within the deadline — no hung
+        // connections — and the tail must stay bounded.
+        if conns == 512 {
+            assert_eq!(level.hung, 0, "512-conn sweep left hung connections");
+            assert!(level.served >= 1, "512-conn sweep served nothing");
+            assert!(
+                level.served + level.shed + level.timeouts_408 + level.errors == 512,
+                "every attempt must resolve"
+            );
+            assert!(
+                level.p99_us < 30_000_000.0,
+                "512-conn p99 {}us breaches the 30s bound",
+                level.p99_us
+            );
+        }
         if i > 0 {
             results.push_str(",\n");
         }
         write!(
             results,
-            "    {{\"connections\": {conns}, \"requests\": {}, \"requests_per_sec\": {:.0}, \
+            "    {{\"connections\": {}, \"served\": {}, \"shed\": {}, \"timeouts_408\": {}, \
+             \"errors\": {}, \"hung\": {}, \"requests_per_sec\": {:.0}, \
              \"latency_p50_us\": {:.0}, \"latency_p99_us\": {:.0}}}",
-            (BURST / conns) * conns,
-            (BURST / conns * conns) as f64 / wall,
-            percentile(&lat, 0.50) * 1e6,
-            percentile(&lat, 0.99) * 1e6,
+            level.connections,
+            level.served,
+            level.shed,
+            level.timeouts_408,
+            level.errors,
+            level.hung,
+            (level.served + level.shed + level.timeouts_408) as f64 / level.wall.max(1e-9),
+            level.p50_us,
+            level.p99_us,
         )
         .unwrap();
     }
     let json = format!(
-        "{{\n  \"bench\": \"serve_classify\",\n  \"index_jobs\": 100,\n  \
+        "{{\n  \"bench\": \"serve_classify\",\n  \"version\": 2,\n  \"index_jobs\": 100,\n  \
          \"server_threads\": 4,\n  \"host_parallelism\": {host},\n  \"results\": [\n{results}\n  ],\n  \
-         \"note\": \"classify round-trips over real TCP on localhost; throughput scaling is \
-         bounded by host_parallelism and the 4 server workers\"\n}}\n"
+         \"note\": \"one-shot classify connections multiplexed by a nonblocking epoll client on \
+         localhost; each attempt resolves as served (200), shed (503), request-timeout (408), or a \
+         torn transport, and 'hung' counts attempts unresolved at the {}s sweep deadline\"\n}}\n",
+        SWEEP_DEADLINE.as_secs()
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     if let Err(e) = std::fs::write(path, json) {

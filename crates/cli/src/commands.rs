@@ -65,7 +65,11 @@ COMMANDS
   serve       answer classify/similar/census queries over HTTP from a
               snapshot (--snapshot DIR [--addr HOST:PORT] [--threads N]
                [--queue-depth N] [--max-body BYTES]
-               [--request-deadline SECS] [--drain-timeout SECS]);
+               [--request-deadline SECS] [--drain-timeout SECS]
+               [--max-conns N] [--batch-window-us MICROS]);
+              one epoll reactor multiplexes up to --max-conns
+              connections and coalesces classify bodies arriving
+              within --batch-window-us into one worker-pool pass;
               SIGTERM/SIGINT drain gracefully (finish in-flight, exit 0)
   chaos-replay
               run a seeded fault schedule through the whole
@@ -872,6 +876,12 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
             "drain-timeout",
             defaults.drain_timeout.as_secs(),
             "a whole number of seconds",
+        )?),
+        max_conns: flags.get_or("max-conns", defaults.max_conns, "a connection count")?,
+        batch_window: Duration::from_micros(flags.get_or(
+            "batch-window-us",
+            defaults.batch_window.as_micros() as u64,
+            "a whole number of microseconds",
         )?),
         ..defaults
     };

@@ -126,6 +126,50 @@ impl WorkerPool {
         }
         self.shared.available.notify_one();
     }
+
+    /// Queue a job with a completion hand-off guarantee: exactly one of
+    /// `job` (to completion) or `cancel` runs. If the job body never
+    /// finishes — the closure is dropped unrun during pool shutdown, an
+    /// injected `par.pool.task_panic` fires before it, or the body itself
+    /// panics — the queued closure's drop runs `cancel` instead.
+    ///
+    /// Completion-based callers (the serve reactor) need this: a
+    /// dispatched request whose job evaporates would otherwise leave its
+    /// connection parked forever, waiting for a completion that is never
+    /// posted. `cancel` must not panic.
+    pub fn execute_or_cancel(
+        &self,
+        job: impl FnOnce() + Send + 'static,
+        cancel: impl FnOnce() + Send + 'static,
+    ) {
+        let mut guard = CancelGuard {
+            cancel: Some(cancel),
+        };
+        self.execute(move || {
+            job();
+            guard.defuse();
+        });
+    }
+}
+
+/// Runs its cancel closure on drop unless defused — the exactly-once
+/// mechanism behind [`WorkerPool::execute_or_cancel`].
+struct CancelGuard<C: FnOnce()> {
+    cancel: Option<C>,
+}
+
+impl<C: FnOnce()> CancelGuard<C> {
+    fn defuse(&mut self) {
+        self.cancel = None;
+    }
+}
+
+impl<C: FnOnce()> Drop for CancelGuard<C> {
+    fn drop(&mut self) {
+        if let Some(cancel) = self.cancel.take() {
+            cancel();
+        }
+    }
 }
 
 impl Drop for WorkerPool {
@@ -211,6 +255,62 @@ mod tests {
             pool.execute(|| {});
         }
         drop(pool); // drains
+    }
+
+    #[test]
+    fn execute_or_cancel_runs_exactly_one_side() {
+        let pool = WorkerPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        let cancelled = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let d = Arc::clone(&done);
+            let c = Arc::clone(&cancelled);
+            pool.execute_or_cancel(
+                move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                },
+                move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 100);
+        assert_eq!(cancelled.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn execute_or_cancel_fires_cancel_when_the_job_panics() {
+        let pool = WorkerPool::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let cancelled = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&cancelled);
+        pool.execute_or_cancel(
+            || panic!("injected"),
+            move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        // The worker survives and later jobs still complete normally.
+        let d = Arc::clone(&done);
+        let c = Arc::clone(&cancelled);
+        pool.execute_or_cancel(
+            move || {
+                d.fetch_add(1, Ordering::Relaxed);
+            },
+            move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        drop(pool);
+        assert_eq!(
+            (
+                done.load(Ordering::Relaxed),
+                cancelled.load(Ordering::Relaxed)
+            ),
+            (1, 1),
+            "panicked job cancels; clean job completes"
+        );
     }
 
     #[test]

@@ -11,6 +11,14 @@
 //! Jitter is seeded and deterministic (splitmix64 over `seed` and the
 //! attempt number) so chaos harnesses that embed a client stay
 //! reproducible run-to-run.
+//!
+//! Requests are sent keep-alive and the connection is held across
+//! retries: a `503` answered on a kept-alive socket replays on the same
+//! socket instead of paying a reconnect while the server is already
+//! overloaded. The client closes on a `connection: close` response or a
+//! close-delimited body, and a stale kept-alive socket (closed by the
+//! server between attempts) is replayed once on a fresh connection
+//! without consuming a retry attempt.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -98,33 +106,38 @@ fn backoff(policy: &RetryPolicy, attempt: u32, retry_after: Option<u32>) -> Dura
     scaled.max(hinted)
 }
 
-/// One HTTP exchange: connect, send, decode status/headers/body.
-/// Timeouts bound every read and write so a stalled or torn connection
-/// surfaces as an error instead of a hang.
+/// One HTTP exchange: send on the kept-alive connection (connecting
+/// fresh when there is none), decode status/headers/body. Timeouts bound
+/// every read and write so a stalled or torn connection surfaces as an
+/// error instead of a hang. On success the socket goes back into `conn`
+/// for the next exchange unless the response closed it; on any error
+/// `conn` is left empty so the next exchange reconnects.
 fn exchange(
     addr: SocketAddr,
+    conn: &mut Option<BufReader<TcpStream>>,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, Option<u32>, String)> {
-    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let mut writer = stream.try_clone()?;
+    let mut reader = match conn.take() {
+        Some(reader) => reader,
+        None => {
+            let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+            stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+            stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+            BufReader::new(stream)
+        }
+    };
     match body {
         Some(body) => write!(
-            writer,
-            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            reader.get_mut(),
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
         )?,
-        None => write!(
-            writer,
-            "{method} {path} HTTP/1.1\r\nconnection: close\r\n\r\n"
-        )?,
+        None => write!(reader.get_mut(), "{method} {path} HTTP/1.1\r\n\r\n")?,
     }
-    writer.flush()?;
+    reader.get_mut().flush()?;
 
-    let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status: u16 = status_line
@@ -135,6 +148,7 @@ fn exchange(
 
     let mut retry_after = None;
     let mut content_length: Option<usize> = None;
+    let mut server_closes = false;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -151,6 +165,7 @@ fn exchange(
             match name.trim().to_ascii_lowercase().as_str() {
                 "retry-after" => retry_after = value.trim().parse().ok(),
                 "content-length" => content_length = value.trim().parse().ok(),
+                "connection" => server_closes = value.trim().eq_ignore_ascii_case("close"),
                 _ => {}
             }
         }
@@ -162,11 +177,16 @@ fn exchange(
             reader.read_exact(&mut body)?;
         }
         None => {
+            // Close-delimited body: this socket cannot be reused.
             reader.read_to_end(&mut body)?;
+            server_closes = true;
         }
     }
     let body =
         String::from_utf8(body).map_err(|_| std::io::Error::other("non-UTF-8 response body"))?;
+    if !server_closes {
+        *conn = Some(reader);
+    }
     Ok((status, retry_after, body))
 }
 
@@ -183,8 +203,17 @@ pub fn request_with_retry(
 ) -> Result<ClientResponse, RetriesExhausted> {
     let max_attempts = policy.max_attempts.max(1);
     let mut last_error = String::new();
+    let mut conn: Option<BufReader<TcpStream>> = None;
     for attempt in 0..max_attempts {
-        let retry_after = match exchange(addr, method, path, body) {
+        let reused = conn.is_some();
+        let mut result = exchange(addr, &mut conn, method, path, body);
+        if result.is_err() && reused {
+            // A kept-alive socket can go stale between attempts (idle
+            // expiry, a drain, a reset behind the previous response);
+            // replaying once on a fresh connection is not a retry.
+            result = exchange(addr, &mut conn, method, path, body);
+        }
+        let retry_after = match result {
             Ok((503, retry_after, _)) => {
                 last_error = "503 server overloaded".to_string();
                 retry_after
@@ -257,6 +286,47 @@ mod tests {
         addr
     }
 
+    /// A scripted keep-alive server: serves canned responses over one
+    /// connection for as long as the client holds it, accepting a new
+    /// connection when the client disconnects. Returns the accept count
+    /// so tests can pin socket reuse.
+    fn scripted_keep_alive(
+        responses: Vec<String>,
+    ) -> (SocketAddr, std::sync::Arc<std::sync::atomic::AtomicUsize>) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepts = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&accepts);
+        std::thread::spawn(move || {
+            let mut remaining = responses.into_iter().peekable();
+            while remaining.peek().is_some() {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                counter.fetch_add(1, Ordering::SeqCst);
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                'conn: while remaining.peek().is_some() {
+                    // Read one request head; EOF means the client moved on.
+                    loop {
+                        let mut line = String::new();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => break 'conn,
+                            Ok(n) if n <= 2 => break,
+                            Ok(_) => {}
+                        }
+                    }
+                    let canned = remaining.next().unwrap();
+                    if stream.write_all(canned.as_bytes()).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        (addr, accepts)
+    }
+
     fn canned(status_line: &str, extra_header: &str, body: &str) -> String {
         format!(
             "HTTP/1.1 {status_line}\r\ncontent-length: {}\r\n{extra_header}connection: close\r\n\r\n{body}",
@@ -290,6 +360,44 @@ mod tests {
         ]);
         let r = get(addr, "/v1/census", &fast_policy()).unwrap();
         assert_eq!((r.status, r.attempts), (200, 3));
+    }
+
+    #[test]
+    fn retried_503_reuses_the_kept_alive_socket() {
+        // No `connection: close` in these responses: the server keeps
+        // the socket open across the 503, so the retry must ride the
+        // same connection instead of reconnecting.
+        let keep = |status_line: &str, extra: &str, body: &str| {
+            format!(
+                "HTTP/1.1 {status_line}\r\ncontent-length: {}\r\n{extra}\r\n{body}",
+                body.len()
+            )
+        };
+        let (addr, accepts) = scripted_keep_alive(vec![
+            keep("503 Service Unavailable", "retry-after: 0\r\n", "{}"),
+            keep("200 OK", "", "{\"done\":1}"),
+        ]);
+        let r = get(addr, "/v1/census", &fast_policy()).unwrap();
+        assert_eq!((r.status, r.attempts), (200, 2));
+        assert_eq!(
+            accepts.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "the retry must reuse the kept-alive socket, not reconnect"
+        );
+    }
+
+    #[test]
+    fn stale_kept_alive_socket_replays_without_burning_an_attempt() {
+        // The server closes behind every response (connection: close),
+        // so each attempt reconnects — and the attempt count must match
+        // the canned script exactly, proving the stale-socket replay
+        // never double-counts.
+        let addr = scripted(vec![
+            canned("503 Service Unavailable", "retry-after: 0\r\n", "{}"),
+            canned("200 OK", "", "{\"done\":1}"),
+        ]);
+        let r = get(addr, "/v1/census", &fast_policy()).unwrap();
+        assert_eq!((r.status, r.attempts), (200, 2));
     }
 
     #[test]

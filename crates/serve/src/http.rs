@@ -174,6 +174,89 @@ fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// Byte length of a complete request head (request line, headers and the
+/// terminating blank line) at the front of `buf`, or `None` when more
+/// bytes are needed. Line endings mirror the parser: LF terminates a
+/// line, with an optional CR stripped before it. An empty *first* line
+/// also ends the head — the parser answers it with its own 400, so the
+/// caller must not keep waiting for bytes that cannot help.
+pub(crate) fn head_len(buf: &[u8]) -> Option<usize> {
+    let mut start = 0;
+    for (i, &b) in buf.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        let line = &buf[start..i];
+        let line = match line.last() {
+            Some(&b'\r') => &line[..line.len() - 1],
+            _ => line,
+        };
+        if line.is_empty() && start > 0 {
+            return Some(i + 1);
+        }
+        if start == 0 && line.is_empty() {
+            // Empty request line: head is just this line.
+            return Some(i + 1);
+        }
+        start = i + 1;
+    }
+    None
+}
+
+/// Whether a still-incomplete head can no longer become a legal request:
+/// some line has outgrown [`MAX_LINE`] or the line count has outgrown
+/// [`MAX_HEADERS`]. When this returns true, feeding the buffer to
+/// [`read_request_limited`] yields the exact 400 the blocking reader
+/// would have produced, without waiting for more bytes.
+pub(crate) fn head_overflowed(buf: &[u8]) -> bool {
+    let mut lines = 0usize;
+    let mut start = 0usize;
+    for (i, &b) in buf.iter().enumerate() {
+        if b == b'\n' {
+            lines += 1;
+            start = i + 1;
+        } else if i - start > MAX_LINE {
+            return true;
+        }
+    }
+    lines > MAX_HEADERS + 2
+}
+
+/// The last `content-length` value in a complete head slice: `Ok(0)` when
+/// the header is absent, `Err(())` when one is present but does not parse
+/// (the full parser owns the resulting 400). The *last* occurrence wins,
+/// matching [`read_request_limited`], where later headers overwrite.
+pub(crate) fn declared_body_len(head: &[u8]) -> Result<usize, ()> {
+    let mut start = 0usize;
+    let mut first = true;
+    let mut declared: Result<usize, ()> = Ok(0);
+    for (i, &b) in head.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        let line = &head[start..i];
+        start = i + 1;
+        if first {
+            first = false;
+            continue;
+        }
+        let line = match line.last() {
+            Some(&b'\r') => &line[..line.len() - 1],
+            _ => line,
+        };
+        let Ok(text) = std::str::from_utf8(line) else {
+            continue; // the parser rejects non-UTF-8 lines itself
+        };
+        let Some((name, value)) = text.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            declared = value.trim().parse::<usize>().map_err(|_| ());
+        }
+    }
+    declared
+}
+
 /// Read and parse one request from the stream with the default
 /// [`MAX_BODY`] limit. Returns [`ReadError::Closed`] on a clean
 /// end-of-stream between requests.

@@ -4,8 +4,9 @@
 //! this crate keeps the answer queryable. It loads an
 //! [`IndexSnapshot`](dagscope_core::IndexSnapshot) written by the pipeline
 //! into an immutable in-memory [`ServeIndex`] and serves JSON over a
-//! hand-rolled HTTP/1.1 stack (`std::net` + the
-//! [`dagscope_par::WorkerPool`] — no external dependencies):
+//! hand-rolled HTTP/1.1 stack — a non-blocking epoll event loop
+//! ([`reactor`]) multiplexing every connection, with CPU work on the
+//! [`dagscope_par::WorkerPool`]; no external dependencies:
 //!
 //! | Endpoint | Answers |
 //! |---|---|
@@ -17,15 +18,24 @@
 //! | `GET /healthz` | liveness + index size |
 //! | `GET /metrics` | request counts and latency histograms |
 //!
-//! **Concurrency model.** The index is built once and never mutated:
-//! probes embed against the frozen WL vocabulary
-//! ([`dagscope_wl::KernelCache::probe`]) with novel labels resolved in a
-//! call-local overlay, so every request thread reads shared state
-//! lock-free. Classification online is **bit-identical** to the offline
-//! pipeline because the index replays the same deterministic derivation
-//! chain over the snapshot's rows.
+//! **Concurrency model.** One reactor thread owns every socket:
+//! level-triggered epoll readiness drives per-connection state machines
+//! (read → dispatch → write → keep-alive), a timer wheel carries
+//! request deadlines and idle expiries, and workers return results
+//! through a completion queue plus a self-pipe waker — sockets never
+//! block and never cross threads. Classify dispatches arriving within
+//! the batch window coalesce into one `classify_batch` pool task. The
+//! index itself is built once and never mutated: probes embed against
+//! the frozen WL vocabulary ([`dagscope_wl::KernelCache::probe`]) with
+//! novel labels resolved in a call-local overlay, so every worker reads
+//! shared state lock-free. Classification online is **bit-identical**
+//! to the offline pipeline — batched or not — because the index replays
+//! the same deterministic derivation chain over the snapshot's rows.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the reactor's `sys` module carries the
+// crate's one scoped `#[allow(unsafe_code)]` for the raw epoll/pipe FFI;
+// everything else stays unsafe-free and the lint catches regressions.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
@@ -33,6 +43,7 @@ pub mod http;
 pub mod index;
 pub mod json;
 pub mod metrics;
+pub mod reactor;
 pub mod server;
 
 pub use client::{ClientResponse, RetriesExhausted, RetryPolicy};

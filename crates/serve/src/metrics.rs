@@ -210,12 +210,124 @@ impl Search {
     }
 }
 
+/// Upper bounds (inclusive) of the classify batch-size buckets. The last
+/// rendered bucket is unbounded.
+pub const BATCH_BUCKET_BOUNDS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+const BATCH_BUCKETS: usize = BATCH_BUCKET_BOUNDS.len() + 1;
+
+/// Event-loop counters the reactor thread maintains: connection gauge,
+/// wakeup count, classify batch sizes and per-iteration loop lag. Like
+/// everything else here these are plain atomics — the reactor writes
+/// them between events without taking a lock, and `/metrics` (rendered on
+/// a pool worker) reads them concurrently.
+#[derive(Debug, Default)]
+pub struct Reactor {
+    /// Currently open connections (gauge; the reactor stores the slab
+    /// population after every accept/close).
+    pub open_connections: AtomicU64,
+    /// `epoll_wait` returns — one per reactor iteration.
+    pub wakeups: AtomicU64,
+    batches: AtomicU64,
+    batched_items: AtomicU64,
+    batch_max: AtomicU64,
+    batch_buckets: [AtomicU64; BATCH_BUCKETS],
+    lag_buckets: [AtomicU64; BUCKETS],
+    lag_max: AtomicU64,
+    lag_total_us: AtomicU64,
+}
+
+impl Reactor {
+    /// Store the current open-connection count.
+    pub fn set_open_connections(&self, n: u64) {
+        self.open_connections.store(n, Ordering::Relaxed);
+    }
+
+    /// Count one flushed classify batch of `size` requests.
+    pub fn observe_batch(&self, size: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_items.fetch_add(size, Ordering::Relaxed);
+        self.batch_max.fetch_max(size, Ordering::Relaxed);
+        let bucket = BATCH_BUCKET_BOUNDS
+            .iter()
+            .position(|&b| size <= b)
+            .unwrap_or(BATCH_BUCKETS - 1);
+        self.batch_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record how long one reactor iteration spent off `epoll_wait` —
+    /// the time events, completions and timers kept the loop busy, which
+    /// is exactly the readiness latency every other connection ate.
+    pub fn observe_loop_lag_us(&self, micros: u64) {
+        self.lag_total_us.fetch_add(micros, Ordering::Relaxed);
+        self.lag_max.fetch_max(micros, Ordering::Relaxed);
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(BUCKETS - 1);
+        self.lag_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn render(&self) -> Json {
+        let n = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+        let batch_hist: Vec<Json> = (0..BATCH_BUCKETS)
+            .map(|i| {
+                let le = BATCH_BUCKET_BOUNDS
+                    .get(i)
+                    .map_or_else(|| "inf".to_string(), |b| b.to_string());
+                obj(vec![
+                    ("le", Json::Str(le)),
+                    (
+                        "count",
+                        Json::from(self.batch_buckets[i].load(Ordering::Relaxed)),
+                    ),
+                ])
+            })
+            .collect();
+        let lag_max = self.lag_max.load(Ordering::Relaxed);
+        let weighted: Vec<(f64, u64)> = (0..BUCKETS)
+            .map(|i| {
+                let upper = BUCKET_BOUNDS_US
+                    .get(i)
+                    .map_or(lag_max as f64, |&b| b as f64);
+                (upper, self.lag_buckets[i].load(Ordering::Relaxed))
+            })
+            .collect();
+        let pct = |p: f64| match dagscope_sched::quantile_weighted(&weighted, p) {
+            Some(v) => Json::from(v),
+            None => Json::Null,
+        };
+        obj(vec![
+            ("open_connections", n(&self.open_connections)),
+            ("reactor_wakeups_total", n(&self.wakeups)),
+            (
+                "batch_size",
+                obj(vec![
+                    ("batches", n(&self.batches)),
+                    ("items", n(&self.batched_items)),
+                    ("max", n(&self.batch_max)),
+                    ("histogram", Json::Arr(batch_hist)),
+                ]),
+            ),
+            (
+                "epoll_loop_lag_us",
+                obj(vec![
+                    ("p50_us", pct(0.50)),
+                    ("p99_us", pct(0.99)),
+                    ("max_us", Json::from(lag_max)),
+                ]),
+            ),
+        ])
+    }
+}
+
 /// Shared, lock-free service metrics.
 #[derive(Debug, Default)]
 pub struct Metrics {
     stats: [EndpointStats; 8],
     transport: Transport,
     search: Search,
+    reactor: Reactor,
     /// Wall clock spent loading the snapshot and building the in-memory
     /// index at startup, in microseconds. Zero until set.
     snapshot_load_us: AtomicU64,
@@ -246,6 +358,11 @@ impl Metrics {
     /// Similarity-search cost counters.
     pub fn search(&self) -> &Search {
         &self.search
+    }
+
+    /// Event-loop counters maintained by the reactor thread.
+    pub fn reactor(&self) -> &Reactor {
+        &self.reactor
     }
 
     /// Total requests seen across endpoints.
@@ -329,6 +446,7 @@ impl Metrics {
             ),
             ("transport", self.transport.render()),
             ("search", self.search.render()),
+            ("reactor", self.reactor.render()),
             ("endpoints", Json::Obj(endpoints)),
         ])
     }
@@ -397,6 +515,54 @@ mod tests {
         assert_eq!(t.get("timeouts_total").unwrap().as_num(), Some(0.0));
         assert_eq!(t.get("resets_total").unwrap().as_num(), Some(0.0));
         assert_eq!(t.get("io_errors_total").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn reactor_counters_render() {
+        let m = Metrics::new();
+        m.reactor().set_open_connections(42);
+        Transport::bump(&m.reactor().wakeups);
+        Transport::bump(&m.reactor().wakeups);
+        m.reactor().observe_batch(1);
+        m.reactor().observe_batch(4);
+        m.reactor().observe_batch(100); // overflow bucket
+        m.reactor().observe_loop_lag_us(40);
+        m.reactor().observe_loop_lag_us(40);
+        m.reactor().observe_loop_lag_us(40);
+        m.reactor().observe_loop_lag_us(999_999); // overflow; also the max
+        let doc = m.render(0);
+        let r = doc.get("reactor").unwrap();
+        assert_eq!(r.get("open_connections").unwrap().as_num(), Some(42.0));
+        assert_eq!(r.get("reactor_wakeups_total").unwrap().as_num(), Some(2.0));
+        let b = r.get("batch_size").unwrap();
+        assert_eq!(b.get("batches").unwrap().as_num(), Some(3.0));
+        assert_eq!(b.get("items").unwrap().as_num(), Some(105.0));
+        assert_eq!(b.get("max").unwrap().as_num(), Some(100.0));
+        let hist = b.get("histogram").unwrap().as_arr().unwrap();
+        assert_eq!(hist.len(), BATCH_BUCKET_BOUNDS.len() + 1);
+        assert_eq!(hist[0].get("count").unwrap().as_num(), Some(1.0)); // le 1
+        assert_eq!(hist[2].get("count").unwrap().as_num(), Some(1.0)); // le 4
+        assert_eq!(
+            hist.last().unwrap().get("count").unwrap().as_num(),
+            Some(1.0),
+            "oversized batch lands in the inf bucket"
+        );
+        let lag = r.get("epoll_loop_lag_us").unwrap();
+        assert_eq!(lag.get("p50_us").unwrap().as_num(), Some(50.0));
+        assert_eq!(lag.get("max_us").unwrap().as_num(), Some(999_999.0));
+        // The overflow bucket is represented by the observed max.
+        assert_eq!(lag.get("p99_us").unwrap().as_num(), Some(999_999.0));
+    }
+
+    #[test]
+    fn untouched_reactor_renders_null_lag() {
+        let m = Metrics::new();
+        let doc = m.render(0);
+        let r = doc.get("reactor").unwrap();
+        assert_eq!(r.get("open_connections").unwrap().as_num(), Some(0.0));
+        let lag = r.get("epoll_loop_lag_us").unwrap();
+        assert_eq!(lag.get("p50_us"), Some(&Json::Null));
+        assert_eq!(lag.get("p99_us"), Some(&Json::Null));
     }
 
     #[test]

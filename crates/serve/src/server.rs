@@ -1,34 +1,49 @@
-//! Accept loop, routing and request handlers.
+//! The epoll event loop, routing and request handlers.
 //!
-//! One listener thread accepts connections and hands each to the shared
-//! [`WorkerPool`]; a worker owns the connection for its whole keep-alive
-//! session (bounded by a read timeout so an idle peer cannot pin a worker
-//! forever). The index is immutable and the metrics are atomic, so
-//! handlers run without any lock.
+//! One reactor thread ([`Server::run`]) owns every connection through a
+//! non-blocking epoll loop (see [`crate::reactor`]): level-triggered
+//! readiness drives per-connection state machines (reading → dispatched →
+//! writing → keep-alive idle), so thousands of open connections cost one
+//! slab slot each instead of a pinned worker thread. CPU-bound work
+//! (classify/advise/similar) still runs on the shared
+//! [`WorkerPool`]; finished responses flow back to the reactor as
+//! completions over a self-pipe wakeup. The index is immutable and the
+//! metrics are atomic, so handlers run without any lock.
+//!
+//! `POST /v1/classify` bodies parsed within one batching window
+//! ([`ServerConfig::batch_window`], up to [`ServerConfig::max_batch`]
+//! rows) coalesce into a single pool task that classifies them in one
+//! pass over the frozen kernel cache — bit-identical per-row results to
+//! unbatched requests, since every row runs the same derivation chain.
 //!
 //! **Overload and failure behavior** (see DESIGN.md, "Failure modes and
-//! degradation"):
+//! degradation" and "Event-driven serving"):
 //!
-//! * connections beyond `threads + queue_depth` in-flight sessions are
-//!   shed immediately with `503` + `Retry-After` instead of queueing
-//!   without bound;
-//! * a request must complete within [`ServerConfig::request_deadline`]
-//!   of its first byte or the worker answers `408` and closes — a
-//!   slowloris client costs one deadline, not a pinned worker;
+//! * connections beyond `threads + queue_depth` in-flight requests — or
+//!   beyond [`ServerConfig::max_conns`] open sockets — are shed at accept
+//!   with `503` + `Retry-After` instead of queueing without bound;
+//! * a request must arrive completely within
+//!   [`ServerConfig::request_deadline`] of its first byte or the reactor
+//!   answers `408` and closes — a slowloris client costs one timer-wheel
+//!   entry, not a pinned worker;
+//! * keep-alive connections idle past [`ServerConfig::idle_timeout`] are
+//!   closed by the same timer wheel;
 //! * declared bodies over [`ServerConfig::max_body`] are refused with
-//!   `413` before any allocation;
+//!   `413` before any body byte is read or allocated;
 //! * a panicking handler is caught ([`catch_unwind`]), answered with
-//!   `500`, and the worker survives;
+//!   `500`, and the worker survives; a pool task that evaporates without
+//!   running (injected pool faults) cancels back to the reactor, which
+//!   closes the connection so the client's retry logic takes over;
 //! * [`ServerHandle::drain`] (also wired to SIGTERM by the CLI) stops
-//!   accepting, lets in-flight requests finish up to
-//!   [`ServerConfig::drain_timeout`], reports `draining` from
+//!   accepting, closes idle sessions, lets in-flight requests finish up
+//!   to [`ServerConfig::drain_timeout`], reports `draining` from
 //!   `/healthz`, then force-closes stragglers.
 
-use std::collections::HashMap;
-use std::io::{BufReader, Read};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -36,26 +51,30 @@ use dagscope_faults::failpoint;
 use dagscope_par::WorkerPool;
 use dagscope_trace::{csv, Job};
 
-use crate::http::{read_request_limited, write_response, ReadError, Request, Response, MAX_BODY};
-use crate::index::ServeIndex;
+use crate::http::{
+    declared_body_len, head_len, head_overflowed, read_request_limited, write_response, ReadError,
+    Request, Response, MAX_BODY,
+};
+use crate::index::{ClassifyOutcome, ServeIndex};
 use crate::json::{obj, Json};
 use crate::metrics::{Endpoint, Metrics, Transport};
+use crate::reactor::{Event, Poller, TimerWheel, Waker};
 
 /// Tunable limits for one server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Request worker threads.
     pub threads: usize,
-    /// Connections allowed to wait beyond the busy workers before the
-    /// acceptor starts shedding with 503.
+    /// Requests allowed in flight beyond the busy workers before the
+    /// reactor starts shedding new connections with 503.
     pub queue_depth: usize,
     /// Largest accepted request body, in bytes.
     pub max_body: usize,
     /// How long a keep-alive connection may sit idle between requests
-    /// before the worker closes it.
+    /// before the reactor closes it.
     pub idle_timeout: Duration,
     /// How long a request may take from its first byte to the end of its
-    /// body before the worker answers 408 and closes.
+    /// body before the reactor answers 408 and closes.
     pub request_deadline: Duration,
     /// How long [`Server::run`] waits for in-flight sessions after a
     /// drain begins before force-closing them.
@@ -63,6 +82,15 @@ pub struct ServerConfig {
     /// Expose `GET /v1/_panic`, which panics inside the handler — fault
     /// injection for tests; never enabled in production configs.
     pub panic_route: bool,
+    /// Open connections the reactor will hold at once; accepts beyond
+    /// this are shed with 503.
+    pub max_conns: usize,
+    /// How long the reactor waits for more `POST /v1/classify` bodies to
+    /// coalesce into one batched pool task. Zero batches only what is
+    /// already parsed when the flush runs.
+    pub batch_window: Duration,
+    /// Most classify requests coalesced into one batch.
+    pub max_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -75,134 +103,10 @@ impl Default for ServerConfig {
             request_deadline: Duration::from_secs(10),
             drain_timeout: Duration::from_secs(10),
             panic_route: false,
+            max_conns: 4096,
+            batch_window: Duration::from_micros(100),
+            max_batch: 32,
         }
-    }
-}
-
-/// Registry of live connections, so a drain can close idle sessions
-/// immediately and force-close stragglers at the deadline. Entries hold a
-/// `TcpStream` clone only for `shutdown` — workers keep owning the I/O.
-#[derive(Default)]
-struct Registry {
-    conns: Mutex<HashMap<u64, RegisteredConn>>,
-    next_id: AtomicU64,
-}
-
-struct RegisteredConn {
-    stream: TcpStream,
-    /// True while a request is in flight on this connection (from first
-    /// byte to response written); a drain leaves busy connections alone
-    /// until the drain deadline.
-    busy: Arc<AtomicBool>,
-}
-
-impl Registry {
-    /// Track a connection; returns a guard that deregisters on drop.
-    fn register(
-        self: &Arc<Registry>,
-        stream: &TcpStream,
-        busy: Arc<AtomicBool>,
-    ) -> Option<ConnGuard> {
-        let stream = stream.try_clone().ok()?;
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.conns
-            .lock()
-            .expect("registry mutex poisoned")
-            .insert(id, RegisteredConn { stream, busy });
-        Some(ConnGuard {
-            registry: Arc::clone(self),
-            id,
-        })
-    }
-
-    /// Shut down connections with no request in flight (drain start).
-    fn shutdown_idle(&self) {
-        for conn in self.conns.lock().expect("registry mutex poisoned").values() {
-            if !conn.busy.load(Ordering::SeqCst) {
-                let _ = conn.stream.shutdown(Shutdown::Both);
-            }
-        }
-    }
-
-    /// Shut down every tracked connection (drain deadline).
-    fn shutdown_all(&self) {
-        for conn in self.conns.lock().expect("registry mutex poisoned").values() {
-            let _ = conn.stream.shutdown(Shutdown::Both);
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.conns.lock().expect("registry mutex poisoned").len()
-    }
-}
-
-/// Deregisters a connection when its session ends, however it ends.
-struct ConnGuard {
-    registry: Arc<Registry>,
-    id: u64,
-}
-
-impl Drop for ConnGuard {
-    fn drop(&mut self) {
-        self.registry
-            .conns
-            .lock()
-            .expect("registry mutex poisoned")
-            .remove(&self.id);
-    }
-}
-
-/// A [`Read`] wrapper enforcing the two request timeouts over one
-/// `TcpStream`: the *idle* timeout while waiting for a request's first
-/// byte, and the *deadline* from that first byte to the end of the
-/// request. Implemented with `SO_RCVTIMEO` per read, so a stalled peer
-/// surfaces as `WouldBlock`/`TimedOut` rather than blocking a worker.
-struct TimedStream {
-    inner: TcpStream,
-    idle_timeout: Duration,
-    request_deadline: Duration,
-    /// Absolute deadline of the in-flight request; `None` between
-    /// requests.
-    deadline: Option<Instant>,
-    busy: Arc<AtomicBool>,
-}
-
-impl TimedStream {
-    /// Reset for the next request on the session.
-    fn finish_request(&mut self) {
-        self.deadline = None;
-        self.busy.store(false, Ordering::SeqCst);
-    }
-
-    /// Whether a request was underway when the last error surfaced —
-    /// distinguishes a dead keep-alive (close silently) from a stalled
-    /// request (answer 408).
-    fn mid_request(&self) -> bool {
-        self.deadline.is_some()
-    }
-}
-
-impl Read for TimedStream {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let timeout = match self.deadline {
-            None => self.idle_timeout,
-            Some(deadline) => {
-                let remaining = deadline.saturating_duration_since(Instant::now());
-                if remaining.is_zero() {
-                    return Err(std::io::ErrorKind::TimedOut.into());
-                }
-                remaining
-            }
-        };
-        self.inner.set_read_timeout(Some(timeout))?;
-        let n = self.inner.read(buf)?;
-        if self.deadline.is_none() && n > 0 {
-            // First byte of a request: arm the deadline and mark the
-            // connection busy so a drain lets it finish.
-            self.deadline = Some(Instant::now() + self.request_deadline);
-            self.busy.store(true, Ordering::SeqCst);
-        }
-        Ok(n)
     }
 }
 
@@ -214,17 +118,15 @@ pub struct Server {
     config: Arc<ServerConfig>,
     stop: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
-    registry: Arc<Registry>,
 }
 
 /// Remote control for a running [`Server`] — lets another thread (or a
-/// signal handler's watcher) drain and stop the accept loop.
+/// signal handler's watcher) drain and stop the event loop.
 #[derive(Clone)]
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
-    registry: Arc<Registry>,
 }
 
 impl ServerHandle {
@@ -240,9 +142,11 @@ impl ServerHandle {
     pub fn drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
-        // The accept call is blocking; poke it awake.
+        // The reactor may be parked in epoll_wait with nothing armed; a
+        // connect makes the listener readable and wakes it. The poke is
+        // never accepted — the loop observes `stop` first and drops the
+        // listener, resetting whatever sits in the backlog.
         let _ = TcpStream::connect(self.addr);
-        self.registry.shutdown_idle();
     }
 
     /// Ask the server to stop. Alias of [`ServerHandle::drain`] — every
@@ -285,7 +189,6 @@ impl Server {
             config: Arc::new(config),
             stop: Arc::new(AtomicBool::new(false)),
             draining: Arc::new(AtomicBool::new(false)),
-            registry: Arc::new(Registry::default()),
         })
     }
 
@@ -305,51 +208,52 @@ impl Server {
             addr: self.listener.local_addr()?,
             stop: Arc::clone(&self.stop),
             draining: Arc::clone(&self.draining),
-            registry: Arc::clone(&self.registry),
         })
     }
 
-    /// Run the accept loop until [`ServerHandle::drain`] (or
+    /// Run the event loop until [`ServerHandle::drain`] (or
     /// [`ServerHandle::shutdown`]) is called, then drain in-flight
     /// sessions up to the drain timeout and return.
     pub fn run(self) -> std::io::Result<()> {
-        let pool = WorkerPool::new(self.config.threads);
-        let shed_threshold = self.config.threads + self.config.queue_depth;
-        for conn in self.listener.incoming() {
-            if self.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match conn {
-                Ok(s) => s,
-                Err(_) => continue, // transient accept failure
-            };
-            // Chaos site: a stalled acceptor (armed with `delay(ms)`)
-            // holds every pending connection behind this one.
-            failpoint!("serve.accept.stall");
-            if pool.pending() >= shed_threshold {
-                shed(stream, &self.metrics);
-                continue;
-            }
-            let ctx = ConnCtx {
-                index: Arc::clone(&self.index),
-                metrics: Arc::clone(&self.metrics),
-                config: Arc::clone(&self.config),
-                draining: Arc::clone(&self.draining),
-                registry: Arc::clone(&self.registry),
-            };
-            pool.execute(move || handle_connection(stream, &ctx));
-        }
-        // Graceful drain: sessions were told to wrap up (idle ones are
-        // already shut down, busy ones close after their response).
-        let deadline = Instant::now() + self.config.drain_timeout;
-        while (pool.pending() > 0 || self.registry.len() > 0) && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        // Past the deadline: force-close stragglers so the pool join
-        // below cannot hang on a slow or hostile peer.
-        self.registry.shutdown_all();
-        drop(pool); // joins workers
-        Ok(())
+        let Server {
+            listener,
+            index,
+            metrics,
+            config,
+            stop,
+            draining,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new(EVENTS_PER_WAIT)?;
+        poller.add(listener.as_raw_fd(), LISTENER_TOKEN, true, false)?;
+        let completions = Arc::new(Completions::new()?);
+        poller.add(completions.waker.fd(), WAKER_TOKEN, true, false)?;
+        let pool = WorkerPool::new(config.threads);
+        let mut event_loop = EventLoop {
+            poller,
+            wheel: TimerWheel::new(TIMER_TICK, TIMER_SLOTS),
+            listener: Some(listener),
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_conn_id: 0,
+            open: 0,
+            in_flight: 0,
+            pending_batch: Vec::new(),
+            batch_deadline: None,
+            pool,
+            completions,
+            index,
+            metrics,
+            config,
+            stop,
+            draining,
+            stop_seen: false,
+            drain_deadline: None,
+        };
+        event_loop.run_loop()
+        // Dropping the loop drops the pool (joining workers; any stray
+        // completions land in a queue nobody reads) and every remaining
+        // descriptor.
     }
 }
 
@@ -357,127 +261,963 @@ impl Server {
 fn shed(mut stream: TcpStream, metrics: &Metrics) {
     Transport::bump(&metrics.transport().shed);
     let _ = stream.set_nodelay(true);
-    // Bound the write so a peer that never reads cannot pin the acceptor.
+    // Bound the write so a peer that never reads cannot pin the reactor.
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let _ = write_response(&mut stream, &Response::unavailable(1), false);
 }
 
-/// Everything a connection worker needs.
-struct ConnCtx {
+/// Registration token of the listener.
+const LISTENER_TOKEN: u64 = 0;
+/// Registration token of the completion-queue waker pipe.
+const WAKER_TOKEN: u64 = 1;
+/// Connection slab slot `s` registers under token `TOKEN_BASE + s`.
+const TOKEN_BASE: u64 = 2;
+/// Events decoded per `epoll_wait`.
+const EVENTS_PER_WAIT: usize = 1024;
+/// Timer wheel granularity; idle/deadline budgets are multi-millisecond,
+/// so a coarse tick keeps the wheel small.
+const TIMER_TICK: Duration = Duration::from_millis(5);
+/// Timer wheel slots (one rotation = slots x tick).
+const TIMER_SLOTS: usize = 1024;
+/// Socket read chunk size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Where a connection's state machine currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Accumulating request bytes (or idle between requests).
+    Reading,
+    /// A parsed request is on the worker pool; no epoll interest.
+    Dispatched,
+    /// Flushing an encoded response.
+    Writing,
+}
+
+/// One connection's slab entry.
+struct Conn {
+    stream: TcpStream,
+    /// Generation guard: completions carry the id so a response for a
+    /// closed connection cannot land on the slot's next tenant.
+    id: u64,
+    state: ConnState,
+    /// Unparsed inbound bytes (head fragments, bodies, pipelined
+    /// requests).
+    buf: Vec<u8>,
+    /// Encoded response being written.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Keep the session after the current response flushes.
+    keep_alive_after: bool,
+    /// A request is underway: first byte read, response not yet
+    /// delivered. Counts toward the shed threshold and switches the
+    /// conn's timer from idle-expiry to request-deadline semantics.
+    mid_request: bool,
+    /// The armed idle or deadline timer, if any.
+    timer: Option<u64>,
+    /// Current epoll interest (readable, writable).
+    interest: (bool, bool),
+    /// The fd was deregistered after a hangup while dispatched; no
+    /// further events will arrive for it.
+    epoll_dead: bool,
+}
+
+/// A finished (or evaporated) pool task, flowing back to the reactor.
+enum Completion {
+    /// A routed response to deliver on `token` if generation `conn_id`
+    /// still holds the slot.
+    Respond {
+        token: u64,
+        conn_id: u64,
+        response: Response,
+        keep_alive: bool,
+    },
+    /// The pool task never ran to completion (injected pool fault or a
+    /// panic before the handler); close the connection so the client's
+    /// retry logic takes over.
+    Abort { token: u64, conn_id: u64 },
+}
+
+/// The worker→reactor completion channel: a mutex-guarded vector plus a
+/// self-pipe waker. Pushes happen on pool threads — including from drop
+/// handlers during a panic unwind, so the lock recovers from poisoning
+/// instead of propagating it.
+struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl Completions {
+    fn new() -> io::Result<Completions> {
+        Ok(Completions {
+            queue: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+        })
+    }
+
+    fn push(&self, completion: Completion) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(completion);
+        self.waker.wake();
+    }
+
+    fn drain_into(&self, out: &mut Vec<Completion>) {
+        self.waker.drain();
+        out.append(&mut self.queue.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+}
+
+/// A parsed classify request waiting in the batching window.
+struct BatchItem {
+    token: u64,
+    conn_id: u64,
+    request: Request,
+}
+
+/// The reactor: every field the event loop owns.
+struct EventLoop {
+    poller: Poller,
+    wheel: TimerWheel,
+    /// `None` once a drain begins.
+    listener: Option<TcpListener>,
+    /// Connection slab; tokens index it at `TOKEN_BASE + slot`.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_conn_id: u64,
+    /// Live connections (slab population).
+    open: usize,
+    /// Requests between first byte and delivered response — the shed
+    /// threshold counts these, so a slowloris holding a request open
+    /// occupies queue capacity exactly like a dispatched job.
+    in_flight: usize,
+    pending_batch: Vec<BatchItem>,
+    /// End of the classify batching window; `Some` while items wait.
+    batch_deadline: Option<Instant>,
+    pool: WorkerPool,
+    completions: Arc<Completions>,
     index: Arc<ServeIndex>,
     metrics: Arc<Metrics>,
     config: Arc<ServerConfig>,
+    stop: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
-    registry: Arc<Registry>,
+    stop_seen: bool,
+    drain_deadline: Option<Instant>,
 }
 
-/// Serve one connection's whole keep-alive session.
-fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
-    // Responses are small; without NODELAY, Nagle holds each one behind
-    // the peer's delayed ACK and a keep-alive session crawls at ~40 ms
-    // per round-trip.
-    let _ = stream.set_nodelay(true);
-    let busy = Arc::new(AtomicBool::new(false));
-    let Some(_guard) = ctx.registry.register(&stream, Arc::clone(&busy)) else {
-        return; // try_clone failed; nothing to serve
-    };
-    let read_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(TimedStream {
-        inner: read_half,
-        idle_timeout: ctx.config.idle_timeout,
-        request_deadline: ctx.config.request_deadline,
-        deadline: None,
-        busy: Arc::clone(&busy),
-    });
-    let mut writer = stream;
-    let transport = ctx.metrics.transport();
-    loop {
-        // Chaos site: a worker that stalls before reading (armed with
-        // `delay(ms)`) lets the request deadline and idle-expiry logic
-        // be exercised from the server side.
-        failpoint!("serve.read.stall");
-        let request = match read_request_limited(&mut reader, ctx.config.max_body) {
-            Ok(r) => r,
-            Err(ReadError::Closed) => return,
-            Err(ReadError::Bad(status, message)) => {
-                ctx.metrics.record(Endpoint::Other, status, 0);
-                let _ = write_response(&mut writer, &Response::error(status, &message), false);
-                return;
+impl EventLoop {
+    fn run_loop(&mut self) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        let mut fired: Vec<(u64, u64)> = Vec::new();
+        let mut ready: Vec<Completion> = Vec::new();
+        let mut busy_since: Option<Instant> = None;
+        loop {
+            let timeout = self.wait_timeout(Instant::now());
+            if let Some(since) = busy_since.take() {
+                // Time this iteration spent off epoll_wait — the
+                // readiness latency every other connection just ate.
+                self.metrics
+                    .reactor()
+                    .observe_loop_lag_us(since.elapsed().as_micros() as u64);
             }
-            Err(ReadError::Io(e)) => {
-                // Distinguish the three transport outcomes instead of
-                // collapsing them: a stalled request gets 408 and counts
-                // as a request timeout, an idle keep-alive expiry is
-                // normal, a peer reset and a real I/O error each get
-                // their own counter.
-                use std::io::ErrorKind;
-                match e.kind() {
-                    ErrorKind::WouldBlock | ErrorKind::TimedOut => {
-                        if reader.get_ref().mid_request() {
-                            Transport::bump(&transport.request_timeouts);
-                            ctx.metrics.record(Endpoint::Other, 408, 0);
-                            let _ = write_response(
-                                &mut writer,
-                                &Response::error(408, "request timed out"),
-                                false,
-                            );
-                        } else {
-                            Transport::bump(&transport.idle_timeouts);
-                        }
-                    }
-                    ErrorKind::ConnectionReset
-                    | ErrorKind::ConnectionAborted
-                    | ErrorKind::BrokenPipe => {
-                        Transport::bump(&transport.resets);
-                    }
-                    _ => {
-                        Transport::bump(&transport.io_errors);
-                    }
-                }
-                return;
+            events.clear();
+            self.poller.wait(timeout, &mut events)?;
+            busy_since = Some(Instant::now());
+            Transport::bump(&self.metrics.reactor().wakeups);
+            // Check stop before touching accept events so the drain poke
+            // (and anything else in the backlog) is reset, never
+            // accepted — the accept.stall failpoint cannot fire on it.
+            if self.stop.load(Ordering::SeqCst) && !self.stop_seen {
+                self.begin_drain();
             }
-        };
-        busy.store(true, Ordering::SeqCst);
-        let started = Instant::now();
-        let route_ctx = RouteCtx {
-            index: &ctx.index,
-            metrics: &ctx.metrics,
-            draining: ctx.draining.load(Ordering::SeqCst),
-            panic_route: ctx.config.panic_route,
-        };
-        // Panic isolation: a handler bug answers 500 on this connection;
-        // the worker (and every other session) survives.
-        let (endpoint, response) =
-            match catch_unwind(AssertUnwindSafe(|| route(&request, &route_ctx))) {
-                Ok(routed) => routed,
-                Err(payload) => {
-                    transport.record_panic(payload.as_ref());
-                    (Endpoint::Other, Response::error(500, "internal error"))
+            let batch_len_before = self.pending_batch.len();
+            for &ev in &events {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => {} // completions drained below
+                    _ => self.conn_event(ev),
                 }
+            }
+            self.completions.drain_into(&mut ready);
+            for completion in ready.drain(..) {
+                self.apply_completion(completion);
+            }
+            fired.clear();
+            self.wheel.advance(Instant::now(), &mut fired);
+            for &(id, token) in fired.iter() {
+                self.timer_fired(id, token);
+            }
+            self.maybe_flush_batch(batch_len_before);
+            if self.stop_seen {
+                if self.open == 0 && self.pending_batch.is_empty() {
+                    return Ok(());
+                }
+                if self.drain_deadline.is_some_and(|d| Instant::now() >= d) {
+                    self.force_close_all();
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// How long the next `epoll_wait` may sleep.
+    fn wait_timeout(&self, now: Instant) -> Option<Duration> {
+        if !self.pending_batch.is_empty() {
+            // Pure poll while a batch is coalescing: the window sits far
+            // below epoll's millisecond resolution, so spin the loop
+            // (bounded by the window) instead of sleeping past it.
+            return Some(Duration::ZERO);
+        }
+        let mut timeout = self.wheel.next_deadline(now);
+        if let Some(d) = self.drain_deadline {
+            let until = d.saturating_duration_since(now);
+            timeout = Some(timeout.map_or(until, |cur| cur.min(until)));
+        }
+        timeout
+    }
+
+    fn shed_threshold(&self) -> usize {
+        self.config.threads + self.config.queue_depth
+    }
+
+    /// Accept until the backlog is empty, shedding past the caps.
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = match &self.listener {
+                Some(listener) => listener.accept(),
+                None => return,
             };
-        let micros = started.elapsed().as_micros() as u64;
-        ctx.metrics.record(endpoint, response.status, micros);
-        // Draining: finish this response, then close so the session ends.
-        let keep_alive = request.keep_alive && !route_ctx.draining;
+            match accepted {
+                Ok((stream, _)) => {
+                    // Chaos site: a stalled acceptor (armed with
+                    // `delay(ms)`) holds every pending connection behind
+                    // this one.
+                    failpoint!("serve.accept.stall");
+                    if self.in_flight >= self.shed_threshold() || self.open >= self.config.max_conns
+                    {
+                        shed(stream, &self.metrics);
+                        continue;
+                    }
+                    self.register(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // transient accept failure; next wakeup retries
+            }
+        }
+    }
+
+    /// Slot a fresh connection into the slab and start its idle timer.
+    fn register(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // Responses are small; without NODELAY, Nagle holds each one
+        // behind the peer's delayed ACK and a keep-alive session crawls.
+        let _ = stream.set_nodelay(true);
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let token = TOKEN_BASE + slot as u64;
+        if self
+            .poller
+            .add(stream.as_raw_fd(), token, true, false)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        let id = self.next_conn_id;
+        self.next_conn_id += 1;
+        let timer = self
+            .wheel
+            .schedule(Instant::now(), self.config.idle_timeout, token);
+        self.conns[slot] = Some(Conn {
+            stream,
+            id,
+            state: ConnState::Reading,
+            buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            keep_alive_after: false,
+            mid_request: false,
+            timer: Some(timer),
+            interest: (true, false),
+            epoll_dead: false,
+        });
+        self.open += 1;
+        self.metrics
+            .reactor()
+            .set_open_connections(self.open as u64);
+    }
+
+    /// Route one readiness event to the connection's state machine.
+    fn conn_event(&mut self, ev: Event) {
+        if ev.token < TOKEN_BASE {
+            return;
+        }
+        let slot = (ev.token - TOKEN_BASE) as usize;
+        let state = match self.conns.get(slot).and_then(Option::as_ref) {
+            Some(conn) => conn.state,
+            None => return, // closed earlier this iteration
+        };
+        match state {
+            ConnState::Reading => {
+                if ev.readable || ev.hangup {
+                    self.read_ready(slot);
+                }
+            }
+            ConnState::Writing => {
+                if ev.writable || ev.hangup {
+                    self.write_progress(slot);
+                }
+            }
+            ConnState::Dispatched => {
+                if ev.hangup {
+                    // ERR/HUP fires regardless of the (empty) interest
+                    // mask; park the fd so the level-triggered hangup
+                    // stops refiring while the worker computes. The
+                    // delivery write observes the dead peer.
+                    let conn = self.conns[slot].as_mut().expect("checked live");
+                    if !conn.epoll_dead {
+                        conn.epoll_dead = true;
+                        let fd = conn.stream.as_raw_fd();
+                        let _ = self.poller.delete(fd);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain the socket into the parse buffer, dispatching every complete
+    /// request, until the read would block or the state machine leaves
+    /// `Reading`.
+    fn read_ready(&mut self, slot: usize) {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            let result = {
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    return;
+                };
+                if conn.state != ConnState::Reading {
+                    return;
+                }
+                conn.stream.read(&mut chunk)
+            };
+            match result {
+                Ok(0) => return self.peer_eof(slot),
+                Ok(n) => {
+                    self.conns[slot]
+                        .as_mut()
+                        .expect("checked live")
+                        .buf
+                        .extend_from_slice(&chunk[..n]);
+                    self.note_first_byte(slot);
+                    self.advance_parse(slot);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return self.read_error(slot, e),
+            }
+        }
+    }
+
+    /// First byte of a new request: swap the idle timer for the request
+    /// deadline and count the request in flight.
+    fn note_first_byte(&mut self, slot: usize) {
+        let token = TOKEN_BASE + slot as u64;
+        let deadline = self.config.request_deadline;
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.mid_request || conn.state != ConnState::Reading {
+            return;
+        }
+        conn.mid_request = true;
+        self.in_flight += 1;
+        if let Some(t) = conn.timer.take() {
+            self.wheel.cancel(t);
+        }
+        conn.timer = Some(self.wheel.schedule(Instant::now(), deadline, token));
+    }
+
+    /// Try to parse one request off the buffer; dispatch or reject it.
+    fn advance_parse(&mut self, slot: usize) {
+        let parsed = {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                return;
+            };
+            if conn.state != ConnState::Reading {
+                return;
+            }
+            parse_step(&conn.buf, self.config.max_body)
+        };
+        match parsed {
+            Parsed::Incomplete => {}
+            Parsed::Bad(status, message) => {
+                self.metrics.record(Endpoint::Other, status, 0);
+                self.respond_now(slot, Response::error(status, &message));
+            }
+            Parsed::Complete(request, consumed) => {
+                self.conns[slot]
+                    .as_mut()
+                    .expect("checked live")
+                    .buf
+                    .drain(..consumed);
+                self.dispatch(slot, request);
+            }
+        }
+    }
+
+    /// Hand a complete request to the pool (or the classify batch).
+    fn dispatch(&mut self, slot: usize, request: Request) {
+        // Chaos site: a reactor that stalls between parsing a request
+        // and dispatching it (armed with `delay(ms)`) lets the deadline
+        // and idle-expiry logic be exercised from the server side.
+        failpoint!("serve.read.stall");
+        let token = TOKEN_BASE + slot as u64;
+        let conn_id = {
+            let conn = self.conns[slot].as_mut().expect("checked live");
+            // The request arrived whole; its deadline no longer applies.
+            if let Some(t) = conn.timer.take() {
+                self.wheel.cancel(t);
+            }
+            conn.state = ConnState::Dispatched;
+            conn.id
+        };
+        // Drop epoll interest: level-triggered readiness would otherwise
+        // spin on pipelined bytes while the worker computes.
+        self.set_interest(slot, false, false);
+        if request.method == "POST" && request.path == "/v1/classify" {
+            if self.pending_batch.is_empty() {
+                self.batch_deadline = Some(Instant::now() + self.config.batch_window);
+            }
+            self.pending_batch.push(BatchItem {
+                token,
+                conn_id,
+                request,
+            });
+            if self.pending_batch.len() >= self.config.max_batch {
+                self.flush_batch();
+            }
+        } else {
+            self.spawn_route(token, conn_id, request);
+        }
+    }
+
+    /// Run one non-classify request on the pool.
+    fn spawn_route(&self, token: u64, conn_id: u64, request: Request) {
+        let index = Arc::clone(&self.index);
+        let metrics = Arc::clone(&self.metrics);
+        let draining = Arc::clone(&self.draining);
+        let panic_route = self.config.panic_route;
+        let completions = Arc::clone(&self.completions);
+        let cancel_completions = Arc::clone(&self.completions);
+        self.pool.execute_or_cancel(
+            move || {
+                let started = Instant::now();
+                let draining = draining.load(Ordering::SeqCst);
+                let ctx = RouteCtx {
+                    index: &index,
+                    metrics: &metrics,
+                    draining,
+                    panic_route,
+                };
+                // Panic isolation: a handler bug answers 500 on this
+                // connection; the worker (and every other session)
+                // survives.
+                let (endpoint, response) =
+                    match catch_unwind(AssertUnwindSafe(|| route(&request, &ctx))) {
+                        Ok(routed) => routed,
+                        Err(payload) => {
+                            metrics.transport().record_panic(payload.as_ref());
+                            (Endpoint::Other, Response::error(500, "internal error"))
+                        }
+                    };
+                metrics.record(
+                    endpoint,
+                    response.status,
+                    started.elapsed().as_micros() as u64,
+                );
+                let keep_alive = request.keep_alive && !draining;
+                completions.push(Completion::Respond {
+                    token,
+                    conn_id,
+                    response,
+                    keep_alive,
+                });
+            },
+            move || {
+                cancel_completions.push(Completion::Abort { token, conn_id });
+            },
+        );
+    }
+
+    /// Flush the coalesced classify batch into one pool task.
+    fn flush_batch(&mut self) {
+        self.batch_deadline = None;
+        if self.pending_batch.is_empty() {
+            return;
+        }
+        let items = std::mem::take(&mut self.pending_batch);
+        self.metrics.reactor().observe_batch(items.len() as u64);
+        let index = Arc::clone(&self.index);
+        let metrics = Arc::clone(&self.metrics);
+        let draining = Arc::clone(&self.draining);
+        let completions = Arc::clone(&self.completions);
+        let aborts: Vec<(u64, u64)> = items.iter().map(|b| (b.token, b.conn_id)).collect();
+        let cancel_completions = Arc::clone(&self.completions);
+        self.pool.execute_or_cancel(
+            move || run_classify_batch(items, &index, &metrics, &draining, &completions),
+            move || {
+                for (token, conn_id) in aborts {
+                    cancel_completions.push(Completion::Abort { token, conn_id });
+                }
+            },
+        );
+    }
+
+    /// Flush when the batch stopped growing, its window closed, or a
+    /// drain began. A lone request therefore waits one pure-poll loop
+    /// iteration, not the full window.
+    fn maybe_flush_batch(&mut self, len_before: usize) {
+        if self.pending_batch.is_empty() {
+            return;
+        }
+        let grew = self.pending_batch.len() > len_before;
+        let window_over = self.batch_deadline.is_some_and(|d| Instant::now() >= d);
+        if !grew || window_over || self.stop_seen {
+            self.flush_batch();
+        }
+    }
+
+    /// Land a worker completion on its connection, if it still exists.
+    fn apply_completion(&mut self, completion: Completion) {
+        match completion {
+            Completion::Respond {
+                token,
+                conn_id,
+                response,
+                keep_alive,
+            } => {
+                if let Some(slot) = self.live_dispatched(token, conn_id) {
+                    self.deliver(slot, response, keep_alive);
+                }
+            }
+            Completion::Abort { token, conn_id } => {
+                if let Some(slot) = self.live_dispatched(token, conn_id) {
+                    // The job evaporated before running (injected pool
+                    // fault): close without a response or a panic count —
+                    // the client's retry logic takes it from here.
+                    self.close(slot);
+                }
+            }
+        }
+    }
+
+    /// Slot of `token` if generation `conn_id` still holds it, dispatched.
+    fn live_dispatched(&self, token: u64, conn_id: u64) -> Option<usize> {
+        if token < TOKEN_BASE {
+            return None;
+        }
+        let slot = (token - TOKEN_BASE) as usize;
+        match self.conns.get(slot).and_then(Option::as_ref) {
+            Some(c) if c.id == conn_id && c.state == ConnState::Dispatched => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// Encode and start writing a routed response.
+    fn deliver(&mut self, slot: usize, response: Response, keep_alive: bool) {
         // Chaos site: a mid-response reset — half the encoded response
         // goes out, then the connection is torn down, leaving the client
-        // a short read it must treat as a transport failure.
+        // a short read it must treat as a transport failure. Counted as
+        // a reset so the books stay exact (shed + resets + served).
         failpoint!("serve.write.reset", |_arg: Option<String>| {
-            let mut encoded = Vec::new();
-            let _ = write_response(&mut encoded, &response, false);
-            let _ = std::io::Write::write_all(&mut writer, &encoded[..encoded.len() / 2]);
-            let _ = writer.shutdown(std::net::Shutdown::Both);
+            Transport::bump(&self.metrics.transport().resets);
+            if let Some(conn) = self.conns[slot].as_mut() {
+                let mut encoded = Vec::new();
+                let _ = write_response(&mut encoded, &response, false);
+                let _ = conn.stream.write(&encoded[..encoded.len() / 2]);
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
+            self.close(slot)
         });
-        if write_response(&mut writer, &response, keep_alive).is_err() {
+        {
+            let conn = self.conns[slot].as_mut().expect("live dispatched");
+            conn.out.clear();
+            conn.out_pos = 0;
+            let _ = write_response(&mut conn.out, &response, keep_alive);
+            conn.keep_alive_after = keep_alive;
+            conn.state = ConnState::Writing;
+        }
+        self.write_progress(slot);
+    }
+
+    /// Answer an error the reactor itself produced (400/408/413) and
+    /// close once it flushes.
+    fn respond_now(&mut self, slot: usize, response: Response) {
+        {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            conn.out.clear();
+            conn.out_pos = 0;
+            let _ = write_response(&mut conn.out, &response, false);
+            conn.keep_alive_after = false;
+            conn.state = ConnState::Writing;
+        }
+        if let Some(t) = self.conns[slot].as_mut().and_then(|c| c.timer.take()) {
+            self.wheel.cancel(t);
+        }
+        self.write_progress(slot);
+    }
+
+    /// Push the pending response bytes until done, blocked, or dead.
+    fn write_progress(&mut self, slot: usize) {
+        loop {
+            let (result, flushed) = {
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    return;
+                };
+                if conn.state != ConnState::Writing {
+                    return;
+                }
+                if conn.out_pos >= conn.out.len() {
+                    (Ok(0), true)
+                } else {
+                    (conn.stream.write(&conn.out[conn.out_pos..]), false)
+                }
+            };
+            if flushed {
+                return self.finish_response(slot);
+            }
+            match result {
+                Ok(0) => return self.close(slot),
+                Ok(n) => {
+                    self.conns[slot].as_mut().expect("checked live").out_pos += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    let dead = self.conns[slot].as_ref().expect("checked live").epoll_dead;
+                    if dead {
+                        // No events will ever arrive for this fd again.
+                        return self.close(slot);
+                    }
+                    return self.set_interest(slot, false, true);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return self.close(slot), // write errors close silently
+            }
+        }
+    }
+
+    /// A response flushed: close, or return the session to keep-alive.
+    fn finish_response(&mut self, slot: usize) {
+        let (keep, dead) = {
+            let conn = self.conns[slot].as_mut().expect("checked live");
+            conn.out.clear();
+            conn.out_pos = 0;
+            if conn.mid_request {
+                conn.mid_request = false;
+                self.in_flight -= 1;
+            }
+            (conn.keep_alive_after, conn.epoll_dead)
+        };
+        if !keep || dead || self.stop_seen {
+            self.close(slot);
             return;
         }
-        reader.get_mut().finish_request();
-        if !keep_alive {
+        self.conns[slot].as_mut().expect("checked live").state = ConnState::Reading;
+        self.set_interest(slot, true, false);
+        let buffered = !self.conns[slot]
+            .as_ref()
+            .expect("checked live")
+            .buf
+            .is_empty();
+        if buffered {
+            // Pipelined bytes arrived behind the previous request; parse
+            // them now rather than waiting for more socket readiness.
+            self.note_first_byte(slot);
+            self.advance_parse(slot);
+        } else {
+            let token = TOKEN_BASE + slot as u64;
+            let timer = self
+                .wheel
+                .schedule(Instant::now(), self.config.idle_timeout, token);
+            self.conns[slot].as_mut().expect("checked live").timer = Some(timer);
+        }
+    }
+
+    /// The peer sent FIN while we were reading.
+    fn peer_eof(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_ref() else {
+            return;
+        };
+        if conn.buf.is_empty() {
+            // Clean keep-alive end between requests: silent, no counter.
+            self.close(slot);
             return;
         }
+        match parse_step(&conn.buf, self.config.max_body) {
+            Parsed::Incomplete => {
+                // FIN mid-request: feed the fragment to the parser so
+                // the 400 names the truncation exactly as the blocking
+                // reader did ("truncated request", "truncated headers",
+                // "body shorter than content-length").
+                let verdict = {
+                    let conn = self.conns[slot].as_ref().expect("checked live");
+                    parse_slice(&conn.buf, conn.buf.len(), self.config.max_body)
+                };
+                match verdict {
+                    Parsed::Bad(status, message) => {
+                        self.metrics.record(Endpoint::Other, status, 0);
+                        self.respond_now(slot, Response::error(status, &message));
+                    }
+                    _ => self.close(slot),
+                }
+            }
+            Parsed::Bad(status, message) => {
+                self.metrics.record(Endpoint::Other, status, 0);
+                self.respond_now(slot, Response::error(status, &message));
+            }
+            Parsed::Complete(request, consumed) => {
+                // Possible only in theory (complete requests dispatch as
+                // their bytes arrive), but harmless to honor.
+                self.conns[slot]
+                    .as_mut()
+                    .expect("checked live")
+                    .buf
+                    .drain(..consumed);
+                self.dispatch(slot, request);
+            }
+        }
+    }
+
+    /// A socket read failed with a real error.
+    fn read_error(&mut self, slot: usize, e: io::Error) {
+        let transport = self.metrics.transport();
+        match e.kind() {
+            io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe => Transport::bump(&transport.resets),
+            _ => Transport::bump(&transport.io_errors),
+        }
+        self.close(slot);
+    }
+
+    /// A wheel timer fired for this connection.
+    fn timer_fired(&mut self, id: u64, token: u64) {
+        if token < TOKEN_BASE {
+            return;
+        }
+        let slot = (token - TOKEN_BASE) as usize;
+        let mid_request = match self.conns.get_mut(slot).and_then(Option::as_mut) {
+            Some(conn) if conn.timer == Some(id) && conn.state == ConnState::Reading => {
+                conn.timer = None;
+                conn.mid_request
+            }
+            _ => return, // stale: the conn moved on or closed
+        };
+        if mid_request {
+            // Slowloris defense: the request's first byte arrived but the
+            // rest did not within the deadline.
+            Transport::bump(&self.metrics.transport().request_timeouts);
+            self.metrics.record(Endpoint::Other, 408, 0);
+            self.respond_now(slot, Response::error(408, "request timed out"));
+        } else {
+            // Idle keep-alive expiry: normal client behavior, close
+            // silently.
+            Transport::bump(&self.metrics.transport().idle_timeouts);
+            self.close(slot);
+        }
+    }
+
+    /// Update the connection's epoll interest set if it changed.
+    fn set_interest(&mut self, slot: usize, readable: bool, writable: bool) {
+        let token = TOKEN_BASE + slot as u64;
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.epoll_dead || conn.interest == (readable, writable) {
+            return;
+        }
+        let fd = conn.stream.as_raw_fd();
+        if self.poller.modify(fd, token, readable, writable).is_ok() {
+            conn.interest = (readable, writable);
+        }
+    }
+
+    /// Stop accepting and start the drain clock.
+    fn begin_drain(&mut self) {
+        self.stop_seen = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.delete(listener.as_raw_fd());
+            // Dropping the listener resets the drain poke (and anything
+            // else still in the backlog) before it is ever accepted.
+        }
+        self.drain_deadline = Some(Instant::now() + self.config.drain_timeout);
+        self.flush_batch();
+        // Close idle keep-alive sessions immediately; in-flight requests
+        // get until the drain deadline.
+        for slot in 0..self.conns.len() {
+            let idle = matches!(
+                self.conns[slot].as_ref(),
+                Some(c) if c.state == ConnState::Reading && !c.mid_request
+            );
+            if idle {
+                self.close(slot);
+            }
+        }
+    }
+
+    /// Drain deadline passed: tear down every remaining connection.
+    fn force_close_all(&mut self) {
+        for slot in 0..self.conns.len() {
+            self.close(slot);
+        }
+    }
+
+    /// Tear down one connection: timers, epoll registration, slab slot.
+    fn close(&mut self, slot: usize) {
+        let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        if let Some(t) = conn.timer.take() {
+            self.wheel.cancel(t);
+        }
+        if conn.mid_request {
+            self.in_flight -= 1;
+        }
+        if !conn.epoll_dead {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+        }
+        self.free.push(slot);
+        self.open -= 1;
+        self.metrics
+            .reactor()
+            .set_open_connections(self.open as u64);
+        // conn.stream drops here, closing the fd.
+    }
+}
+
+/// One step of the incremental parser over a connection's buffer.
+#[derive(Debug)]
+enum Parsed {
+    /// Need more bytes.
+    Incomplete,
+    /// One complete request, consuming this many buffer bytes.
+    Complete(Request, usize),
+    /// The buffer can never become a legal request (or declares an
+    /// oversized body): answer this status and close.
+    Bad(u16, String),
+}
+
+/// Decide whether `buf` holds a complete request without consuming it.
+/// Delegates every verdict to [`read_request_limited`] over an exact
+/// slice, so statuses and messages match the blocking reader byte for
+/// byte — this function only finds the boundary.
+fn parse_step(buf: &[u8], max_body: usize) -> Parsed {
+    let Some(head) = head_len(buf) else {
+        if head_overflowed(buf) {
+            // A line or the header count outgrew the parser's limits;
+            // its error names which.
+            return parse_slice(buf, buf.len(), max_body);
+        }
+        return Parsed::Incomplete;
+    };
+    let body_len = match declared_body_len(&buf[..head]) {
+        Ok(n) if n <= max_body => n,
+        // Unparseable content-length (400) or an oversized declaration
+        // (413): the parser rejects from the head alone, before any body
+        // byte is read or allocated.
+        _ => return parse_slice(buf, head, max_body),
+    };
+    let total = head + body_len;
+    if buf.len() < total {
+        return Parsed::Incomplete;
+    }
+    parse_slice(buf, total, max_body)
+}
+
+/// Run the real parser over `buf[..end]`.
+fn parse_slice(buf: &[u8], end: usize, max_body: usize) -> Parsed {
+    let mut reader = &buf[..end];
+    let before = reader.len();
+    match read_request_limited(&mut reader, max_body) {
+        Ok(request) => Parsed::Complete(request, before - reader.len()),
+        Err(ReadError::Bad(status, message)) => Parsed::Bad(status, message),
+        // A slice cannot block or fail with I/O errors; `Closed` means
+        // the caller fed an empty buffer.
+        Err(ReadError::Closed) => Parsed::Incomplete,
+        Err(ReadError::Io(_)) => Parsed::Bad(400, "malformed request".to_string()),
+    }
+}
+
+/// Classify every parsed row of one batch in a single pool task.
+fn run_classify_batch(
+    items: Vec<BatchItem>,
+    index: &ServeIndex,
+    metrics: &Metrics,
+    draining: &AtomicBool,
+    completions: &Completions,
+) {
+    let started = Instant::now();
+    let draining = draining.load(Ordering::SeqCst);
+    // Per-row parse, each behind the per-request chaos site, so an armed
+    // `classify_panic` hits exactly one row per request — batch or not —
+    // and a poisoned row answers 500 without taking its batchmates down.
+    let parsed: Vec<Result<Job, Response>> = items
+        .iter()
+        .map(|item| {
+            match catch_unwind(AssertUnwindSafe(|| {
+                // Chaos site: an injected handler panic, distinguishable
+                // from an organic one by its payload (see
+                // `Transport::record_panic`).
+                failpoint!("serve.handler.classify_panic");
+                parse_probe_job(&item.request)
+            })) {
+                Ok(Ok(job)) => Ok(job),
+                Ok(Err(response)) => Err(response),
+                Err(payload) => {
+                    metrics.transport().record_panic(payload.as_ref());
+                    Err(Response::error(500, "internal error"))
+                }
+            }
+        })
+        .collect();
+    // One pass over the frozen cache for every parsed probe.
+    let jobs: Vec<Job> = parsed
+        .iter()
+        .filter_map(|p| p.as_ref().ok().cloned())
+        .collect();
+    let mut outcomes = match catch_unwind(AssertUnwindSafe(|| index.classify_batch(&jobs))) {
+        Ok(v) => v.into_iter(),
+        Err(payload) => {
+            // An organic panic in the batched classifier fails the whole
+            // flush: count it once, answer 500 to every parsed row.
+            metrics.transport().record_panic(payload.as_ref());
+            Vec::new().into_iter()
+        }
+    };
+    let per_item_us = started.elapsed().as_micros() as u64 / items.len().max(1) as u64;
+    for (item, p) in items.iter().zip(parsed) {
+        let response = match p {
+            Err(response) => response,
+            Ok(job) => match outcomes.next() {
+                Some(Ok(outcome)) => classify_response(index, &job.name, &outcome),
+                Some(Err(e)) => Response::error(400, &e),
+                None => Response::error(500, "internal error"), // classifier panicked
+            },
+        };
+        metrics.record(Endpoint::Classify, response.status, per_item_us);
+        let keep_alive = item.request.keep_alive && !draining;
+        completions.push(Completion::Respond {
+            token: item.token,
+            conn_id: item.conn_id,
+            response,
+            keep_alive,
+        });
     }
 }
 
@@ -520,7 +1260,9 @@ fn route(request: &Request, ctx: &RouteCtx<'_>) -> (Endpoint, Response) {
         ("POST", "/v1/classify") => {
             // Chaos site: an injected handler panic, distinguishable
             // from an organic one by its payload (see
-            // `Transport::record_panic`).
+            // `Transport::record_panic`). The reactor batches classify
+            // dispatches, so this arm serves direct calls (tests) — the
+            // batch path fires the same site per row.
             failpoint!("serve.handler.classify_panic");
             (Endpoint::Classify, classify(request, index))
         }
@@ -606,6 +1348,30 @@ fn parse_probe_job(request: &Request) -> Result<Job, Response> {
     Ok(Job { name, tasks })
 }
 
+/// Encode one classify verdict. Shared by the unbatched handler and the
+/// batched path so both produce byte-identical documents.
+fn classify_response(index: &ServeIndex, job_name: &str, outcome: &ClassifyOutcome) -> Response {
+    let f = &outcome.features;
+    Response::ok(
+        obj(vec![
+            ("job_name", Json::from(job_name)),
+            ("size", Json::from(f.size)),
+            ("tasks", Json::from(f.weight as u64)),
+            ("critical_path", Json::from(f.critical_path)),
+            ("max_width", Json::from(f.max_width)),
+            ("pattern", Json::from(outcome.pattern)),
+            ("group", Json::from(outcome.group.to_string())),
+            ("cluster", Json::from(outcome.classification.cluster)),
+            ("confidence", Json::from(outcome.classification.confidence)),
+            (
+                "scores",
+                scores_by_label(index, &outcome.classification.scores),
+            ),
+        ])
+        .encode(),
+    )
+}
+
 /// `POST /v1/classify` — body:
 /// `{"job_name": "...", "tasks": ["<batch_task CSV row>", ...]}`.
 fn classify(request: &Request, index: &ServeIndex) -> Response {
@@ -614,27 +1380,7 @@ fn classify(request: &Request, index: &ServeIndex) -> Response {
         Err(resp) => return resp,
     };
     match index.classify(&job) {
-        Ok(outcome) => {
-            let f = &outcome.features;
-            Response::ok(
-                obj(vec![
-                    ("job_name", Json::from(job.name.clone())),
-                    ("size", Json::from(f.size)),
-                    ("tasks", Json::from(f.weight as u64)),
-                    ("critical_path", Json::from(f.critical_path)),
-                    ("max_width", Json::from(f.max_width)),
-                    ("pattern", Json::from(outcome.pattern)),
-                    ("group", Json::from(outcome.group.to_string())),
-                    ("cluster", Json::from(outcome.classification.cluster)),
-                    ("confidence", Json::from(outcome.classification.confidence)),
-                    (
-                        "scores",
-                        scores_by_label(index, &outcome.classification.scores),
-                    ),
-                ])
-                .encode(),
-            )
-        }
+        Ok(outcome) => classify_response(index, &job.name, &outcome),
         Err(e) => Response::error(400, &e),
     }
 }
@@ -950,5 +1696,93 @@ mod tests {
         let join = std::thread::spawn(move || server.run());
         handle.shutdown();
         join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn parse_step_handles_split_and_pipelined_requests() {
+        let full = b"GET /healthz HTTP/1.1\r\n\r\n";
+        for cut in 1..full.len() {
+            assert!(
+                matches!(parse_step(&full[..cut], MAX_BODY), Parsed::Incomplete),
+                "cut {cut}"
+            );
+        }
+        match parse_step(full, MAX_BODY) {
+            Parsed::Complete(r, consumed) => {
+                assert_eq!(r.path, "/healthz");
+                assert_eq!(consumed, full.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Two pipelined requests: the first parse consumes exactly its
+        // own bytes, leaving the second intact.
+        let mut two = full.to_vec();
+        two.extend_from_slice(b"GET /metrics HTTP/1.1\r\n\r\n");
+        let consumed = match parse_step(&two, MAX_BODY) {
+            Parsed::Complete(r, consumed) => {
+                assert_eq!(r.path, "/healthz");
+                assert_eq!(consumed, full.len());
+                consumed
+            }
+            other => panic!("{other:?}"),
+        };
+        match parse_step(&two[consumed..], MAX_BODY) {
+            Parsed::Complete(r, rest) => {
+                assert_eq!(r.path, "/metrics");
+                assert_eq!(rest, two.len() - consumed);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_step_bodies_and_limits() {
+        let post = b"POST /v1/classify HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd";
+        match parse_step(post, MAX_BODY) {
+            Parsed::Complete(r, consumed) => {
+                assert_eq!(r.body, b"abcd");
+                assert_eq!(consumed, post.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Body not all there yet.
+        assert!(matches!(
+            parse_step(&post[..post.len() - 1], MAX_BODY),
+            Parsed::Incomplete
+        ));
+        // Declared body over the limit: refused at header time, before
+        // any body byte arrives.
+        let huge = b"POST /v1/classify HTTP/1.1\r\ncontent-length: 100000\r\n\r\n";
+        match parse_step(huge, 64) {
+            Parsed::Bad(status, _) => assert_eq!(status, 413),
+            other => panic!("{other:?}"),
+        }
+        // Unparseable content-length: the parser's 400, without waiting
+        // for a body that can never be delimited.
+        let bad = b"POST /x HTTP/1.1\r\ncontent-length: banana\r\n\r\n";
+        assert!(matches!(parse_step(bad, MAX_BODY), Parsed::Bad(400, _)));
+        // Garbage that will never become a head is rejected once a line
+        // outgrows the parser's limit, bounding the buffer.
+        let junk = vec![b'a'; 10 * 1024];
+        assert!(matches!(parse_step(&junk, MAX_BODY), Parsed::Bad(400, _)));
+    }
+
+    #[test]
+    fn head_len_matches_parser_line_rules() {
+        assert_eq!(head_len(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
+        assert_eq!(head_len(b"GET / HTTP/1.1\n\n"), Some(16)); // bare LF tolerated
+        assert_eq!(head_len(b"GET / HTTP/1.1\r\n"), None);
+        // An empty request line ends the head: the parser owns the 400.
+        assert_eq!(head_len(b"\r\n"), Some(2));
+        assert_eq!(declared_body_len(b"GET / HTTP/1.1\r\n\r\n"), Ok(0));
+        assert_eq!(
+            declared_body_len(b"P / HTTP/1.1\r\ncontent-length: 3\r\nContent-Length: 7\r\n\r\n"),
+            Ok(7),
+            "last header wins, case-insensitively"
+        );
+        assert_eq!(
+            declared_body_len(b"P / HTTP/1.1\r\ncontent-length: x\r\n\r\n"),
+            Err(())
+        );
     }
 }

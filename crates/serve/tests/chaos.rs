@@ -234,6 +234,125 @@ fn stalls_delay_but_never_drop_and_drain_stays_bounded() {
     dagscope_faults::reset();
 }
 
+/// A seeded `serve.write.reset` storm under 128 concurrent connections
+/// must leave the books exact: every attempted request is either shed at
+/// accept, torn mid-response (counted as a reset), or served — the three
+/// buckets partition the attempts with nothing lost or double-counted.
+#[test]
+fn reset_storm_under_128_connections_keeps_accounting_exact() {
+    use std::io::{Read, Write};
+
+    let _g = exclusive();
+    dagscope_faults::reset();
+
+    // Seed-derived reset budget: same seed, same storm.
+    const MENU: &[(&str, &[&str])] = &[(
+        "serve.write.reset",
+        &["15*return", "25*return", "40*return"],
+    )];
+    let plan = dagscope_faults::plan_from_seed(128, MENU);
+    assert_eq!(plan, dagscope_faults::plan_from_seed(128, MENU));
+
+    let fx = start(
+        43,
+        ServerConfig {
+            threads: 2,
+            queue_depth: 8,
+            ..ServerConfig::default()
+        },
+    );
+    dagscope_faults::apply_plan(&plan).unwrap();
+
+    const ATTEMPTED: usize = 128;
+    // One one-shot request per connection, all concurrent; each ends in
+    // exactly one bucket, judged by what came back on the wire:
+    // a complete 503 is a shed, any other complete response is served,
+    // and a short or absent response is a reset.
+    let outcomes: Vec<u8> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..ATTEMPTED)
+            .map(|_| {
+                let addr = fx.addr;
+                scope.spawn(move || {
+                    let Ok(mut stream) = std::net::TcpStream::connect(addr) else {
+                        return b'r';
+                    };
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    if stream
+                        .write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+                        .is_err()
+                    {
+                        return b'r';
+                    }
+                    let mut raw = Vec::new();
+                    if stream.read_to_end(&mut raw).is_err() {
+                        return b'r';
+                    }
+                    let text = String::from_utf8_lossy(&raw);
+                    let Some(head_end) = text.find("\r\n\r\n") else {
+                        return b'r'; // torn inside the head
+                    };
+                    let declared: usize = text[..head_end]
+                        .lines()
+                        .find_map(|l| {
+                            let (name, value) = l.split_once(':')?;
+                            name.trim()
+                                .eq_ignore_ascii_case("content-length")
+                                .then(|| value.trim().parse().ok())?
+                        })
+                        .unwrap_or(0);
+                    if raw.len() < head_end + 4 + declared {
+                        return b'r'; // torn inside the body
+                    }
+                    if text.starts_with("HTTP/1.1 503") {
+                        b's' // shed
+                    } else {
+                        b'v' // served
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let served = outcomes.iter().filter(|&&o| o == b'v').count();
+    let client_resets = outcomes.iter().filter(|&&o| o == b'r').count();
+    let client_shed = outcomes.iter().filter(|&&o| o == b's').count();
+
+    // Quiet the storm before touching /metrics, then read the server's
+    // own books.
+    dagscope_faults::reset();
+    let m = metrics(fx.addr);
+    let t = m.get("transport").unwrap();
+    let counter = |key: &str| t.get(key).unwrap().as_num().unwrap() as usize;
+    let shed_total = counter("shed_total");
+    let resets_total = counter("resets_total");
+
+    assert!(resets_total >= 1, "the storm never fired a reset");
+    // A shed closes with the request bytes unread, so the kernel may
+    // RST and clobber the buffered 503: such a connection reads as a
+    // short read client-side while the server counted it shed. The
+    // inequalities are therefore directional; the partition below is
+    // the exact law.
+    assert!(
+        client_resets >= resets_total,
+        "every server-side reset must be a client-side short read \
+         (client {client_resets}, server {resets_total})"
+    );
+    assert!(
+        client_shed <= shed_total,
+        "a complete 503 can only come from a shed \
+         (client {client_shed}, server {shed_total})"
+    );
+    assert_eq!(
+        shed_total + resets_total + served,
+        ATTEMPTED,
+        "shed + resets + served must partition the attempts \
+         (shed {shed_total}, resets {resets_total}, served {served})"
+    );
+
+    fx.stop();
+}
+
 /// A seeded schedule over every serve-layer site: the same seed arms the
 /// same sites, and under that storm a request barrage finishes with the
 /// server healthy, metrics parseable, and every caught panic accounted

@@ -1,0 +1,174 @@
+//! Connection-scale stress: the reactor must hold hundreds of idle
+//! keep-alive sessions at zero marginal cost — an active burst on fresh
+//! connections completes within its deadline while the idle crowd sits
+//! there, and the idle sessions stay usable afterwards.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use dagscope_core::{IndexSnapshot, Pipeline, PipelineConfig};
+use dagscope_serve::{Json, ServeIndex, Server, ServerConfig, ServerHandle};
+
+/// A keep-alive HTTP/1.1 session over one TCP connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+        let mut raw = format!("{method} {path} HTTP/1.1\r\nHost: stress\r\n");
+        if let Some(b) = body {
+            raw.push_str(&format!("Content-Length: {}\r\n", b.len()));
+        }
+        raw.push_str("\r\n");
+        if let Some(b) = body {
+            raw.push_str(b);
+        }
+        self.writer.write_all(raw.as_bytes()).expect("send");
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> (u16, String) {
+        let mut status_line = String::new();
+        self.reader
+            .read_line(&mut status_line)
+            .expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header line");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("content-length value");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("utf-8 body"))
+    }
+}
+
+struct Fixture {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(seed: u64, config: ServerConfig) -> Fixture {
+    let report = Pipeline::new(PipelineConfig {
+        jobs: 200,
+        sample: 16,
+        seed,
+        ..Default::default()
+    })
+    .run()
+    .expect("pipeline");
+    let index =
+        ServeIndex::build(IndexSnapshot::from_report(&report).expect("snapshot")).expect("index");
+    let server = Server::bind_with(index, "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle().expect("handle");
+    let join = std::thread::spawn(move || server.run());
+    Fixture { addr, handle, join }
+}
+
+const CLASSIFY_BODY: &str = concat!(
+    "{\"job_name\":\"probe\",\"tasks\":[",
+    "\"M1,2,probe,1,Terminated,1,10,100,0.5\",",
+    "\"R2_1,1,probe,1,Terminated,10,20,50,0.25\"]}"
+);
+
+/// 256 keep-alive sessions go idle after one request each; a classify
+/// burst on fresh connections then completes well within the request
+/// deadline — the idle crowd costs the reactor slab slots and timers,
+/// not threads — and the idle sessions still answer afterwards.
+#[test]
+fn classify_burst_completes_while_256_idle_connections_hold() {
+    let deadline = Duration::from_secs(10);
+    let fx = start(
+        51,
+        ServerConfig {
+            threads: 2,
+            request_deadline: deadline,
+            // Long enough that no idle session expires mid-test.
+            idle_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
+        },
+    );
+
+    // Park 256 keep-alive sessions: one round-trip each proves the
+    // session is established, then the socket just sits there.
+    let mut idle: Vec<Client> = (0..256)
+        .map(|i| {
+            let mut c = Client::connect(fx.addr);
+            let (status, _) = c.send("GET", "/healthz", None);
+            assert_eq!(status, 200, "idle session {i} failed to establish");
+            c
+        })
+        .collect();
+
+    // The reactor sees all of them.
+    let (status, body) = Client::connect(fx.addr).send("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).expect("metrics JSON");
+    let open = doc
+        .get("reactor")
+        .expect("reactor metrics")
+        .get("open_connections")
+        .expect("open_connections")
+        .as_num()
+        .unwrap();
+    assert!(open >= 256.0, "open_connections {open} < 256");
+
+    // Burst: 8 workers x 4 classify requests on fresh connections, all
+    // inside the request deadline despite the idle crowd.
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let addr = fx.addr;
+            scope.spawn(move || {
+                let mut c = Client::connect(addr);
+                for _ in 0..4 {
+                    let (status, raw) = c.send("POST", "/v1/classify", Some(CLASSIFY_BODY));
+                    assert_eq!(status, 200, "{raw}");
+                }
+            });
+        }
+    });
+    assert!(
+        started.elapsed() < deadline,
+        "classify burst took {:?} against a {deadline:?} deadline",
+        started.elapsed()
+    );
+
+    // The idle sessions were untouched by the burst and still answer.
+    for c in idle.iter_mut().take(8) {
+        let (status, _) = c.send("GET", "/healthz", None);
+        assert_eq!(status, 200, "idle session went stale during the burst");
+    }
+
+    drop(idle);
+    fx.handle.shutdown();
+    fx.join.join().expect("server thread").expect("run");
+}
