@@ -48,7 +48,15 @@ pub struct Flags {
 /// Flags that work without a value. They still accept one when the next
 /// token is not another flag (`--machines 64`), so the same name can be
 /// a boolean switch for one command and a count for another.
-const SWITCHES: &[&str] = &["instances", "machines", "help", "all", "timings", "stream"];
+const SWITCHES: &[&str] = &[
+    "instances",
+    "machines",
+    "help",
+    "all",
+    "timings",
+    "stream",
+    "mmap",
+];
 
 impl Flags {
     /// Parse a token stream (without the program / subcommand names).

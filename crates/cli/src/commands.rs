@@ -3,8 +3,10 @@
 use std::fmt;
 use std::fmt::Write as _;
 use std::fs;
+use std::io::{Read, Seek};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 use dagscope_core::{
     compare_baselines, export, figures, BaseKernel, ClusterEngine, IndexSnapshot, Pipeline,
@@ -16,10 +18,12 @@ use dagscope_sched::{
     OnlineLoad, Policy, Predictions, ProfileBuilder, ReplayWorkload, SimConfig, SimJob, Simulator,
     DEFAULT_MIN_CONFIDENCE,
 };
+use dagscope_par::MmapBuf;
 use dagscope_trace::filter::SampleCriteria;
 use dagscope_trace::gen::{GeneratorConfig, TraceGenerator};
 use dagscope_trace::placement::PlacementStats;
-use dagscope_trace::{csv, machine, stats::TraceStats, ReadPolicy};
+use dagscope_trace::stream::StreamedTrace;
+use dagscope_trace::{csv, machine, stats::TraceStats, Quarantine, ReadPolicy, TaskRecord};
 
 use crate::args::{ArgError, Flags};
 
@@ -91,6 +95,14 @@ GLOBAL FLAGS
                      jobs are ever materialized (byte-range replay), and
                      peak memory stays far below the raw trace size.
                      Output is bit-identical to the batch loader
+  --mmap             with --trace: map the CSV into memory and scan it in
+                     place (zero read syscalls, zero heap copy); falls
+                     back to buffered reads if the mapping fails
+  --parser swar|scalar
+                     CSV decoder (default swar: the word-at-a-time
+                     zero-copy scanner). `scalar` forces the legacy
+                     line-at-a-time oracle decoder — batch ingestion
+                     only, kept for differential verification
   --dedup-shapes on|off
                      collapse bitwise-identical WL vectors before the
                      Gram assembly (sparse engine; default on). Results
@@ -106,7 +118,8 @@ GLOBAL FLAGS
   --timings          summary/report: append per-stage wall-clock table,
                      engine provenance, and the Laplacian eigengap
                      diagnostic (plus gram-engine cost counters when
-                     dedup is on)
+                     dedup is on; with --trace also the ingest
+                     throughput in MB/s)
 ";
 
 /// CLI-level errors.
@@ -197,19 +210,76 @@ fn trace_policy(flags: &Flags) -> Result<ReadPolicy, CliError> {
     })
 }
 
-/// Stream-scan a trace's `batch_task.csv`, reporting quarantine verdicts
-/// the way the batch loader does.
-fn open_streamed_trace(
-    dir: &str,
-    flags: &Flags,
-) -> Result<dagscope_trace::stream::StreamedTrace<fs::File>, CliError> {
-    let path = Path::new(dir).join("batch_task.csv");
-    let file = fs::File::open(&path)
-        .map_err(|e| CliError::Run(format!("open {}: {e}", path.display())))?;
-    let policy = trace_policy(flags)?;
-    let streamed =
-        dagscope_trace::stream::StreamedTrace::scan(file, &policy, &SampleCriteria::default())
-            .map_err(io_err)?;
+/// Wall-clock + volume of one trace ingestion, for the `--timings`
+/// throughput line (satellite of the zero-copy scanner work: the MB/s
+/// number is how the scan is graded).
+struct IngestStats {
+    bytes: u64,
+    secs: f64,
+    parser: &'static str,
+    source: &'static str,
+}
+
+impl IngestStats {
+    fn render(&self) -> String {
+        let mb = self.bytes as f64 / 1e6;
+        let rate = if self.secs > 0.0 { mb / self.secs } else { 0.0 };
+        format!(
+            "ingest: {mb:.1} MB in {:.3} s — {rate:.1} MB/s ({} parser, {})",
+            self.secs, self.parser, self.source
+        )
+    }
+}
+
+/// The CSV bytes of a trace: either a private read-only mapping of the
+/// file or a plain heap copy, behind one `&[u8]` view.
+enum TraceBytes {
+    Mapped(MmapBuf),
+    Heap(Vec<u8>),
+}
+
+impl AsRef<[u8]> for TraceBytes {
+    fn as_ref(&self) -> &[u8] {
+        match self {
+            TraceBytes::Mapped(m) => m,
+            TraceBytes::Heap(v) => v,
+        }
+    }
+}
+
+/// Load a trace CSV for batch decoding. `--mmap` maps it in place; a
+/// failed mapping (exotic filesystem, non-unix target) degrades to the
+/// buffered read with a note rather than an error.
+fn load_trace_bytes(path: &Path, use_mmap: bool) -> Result<(TraceBytes, &'static str), CliError> {
+    if use_mmap {
+        match fs::File::open(path).and_then(|f| MmapBuf::map(&f)) {
+            Ok(map) => return Ok((TraceBytes::Mapped(map), "mmap")),
+            Err(e) => eprintln!(
+                "dagscope: mmap {} failed ({e}); falling back to buffered reads",
+                path.display()
+            ),
+        }
+    }
+    let bytes =
+        fs::read(path).map_err(|e| CliError::Run(format!("read {}: {e}", path.display())))?;
+    Ok((TraceBytes::Heap(bytes), "read"))
+}
+
+/// The `--parser` selection: the zero-copy SWAR scanner (default) or the
+/// legacy scalar decoder it is verified against.
+fn parser_flag(flags: &Flags) -> Result<&'static str, CliError> {
+    match flags.str_or("parser", "swar").as_str() {
+        "swar" => Ok("swar"),
+        "scalar" => Ok("scalar"),
+        other => Err(CliError::Run(format!(
+            "--parser must be `swar` or `scalar`, got {other:?}"
+        ))),
+    }
+}
+
+/// Report quarantine verdicts of a streamed scan the way the batch
+/// loader does.
+fn report_stream_quarantine<R: Read + Seek>(streamed: &StreamedTrace<R>) {
     if !streamed.quarantine().is_clean() {
         eprintln!("dagscope: {}", streamed.quarantine().render());
         eprintln!(
@@ -217,68 +287,157 @@ fn open_streamed_trace(
             streamed.suspects().len()
         );
     }
+}
+
+/// Stream-scan a trace's `batch_task.csv` through buffered reads.
+fn open_streamed_trace(dir: &str, flags: &Flags) -> Result<StreamedTrace<fs::File>, CliError> {
+    let path = Path::new(dir).join("batch_task.csv");
+    let file = fs::File::open(&path)
+        .map_err(|e| CliError::Run(format!("open {}: {e}", path.display())))?;
+    let policy = trace_policy(flags)?;
+    let streamed = StreamedTrace::scan(file, &policy, &SampleCriteria::default()).map_err(io_err)?;
+    report_stream_quarantine(&streamed);
     Ok(streamed)
 }
 
-fn run_pipeline(flags: &Flags) -> Result<Report, CliError> {
+/// Stream-scan a trace's `batch_task.csv` in place through a memory
+/// mapping. `Ok(None)` means the mapping failed and the caller should
+/// fall back to [`open_streamed_trace`].
+fn open_mmap_streamed(
+    dir: &str,
+    flags: &Flags,
+) -> Result<Option<StreamedTrace<std::io::Cursor<MmapBuf>>>, CliError> {
+    let path = Path::new(dir).join("batch_task.csv");
+    let map = match fs::File::open(&path).and_then(|f| MmapBuf::map(&f)) {
+        Ok(map) => map,
+        Err(e) => {
+            eprintln!(
+                "dagscope: mmap {} failed ({e}); falling back to buffered reads",
+                path.display()
+            );
+            return Ok(None);
+        }
+    };
+    let policy = trace_policy(flags)?;
+    let streamed =
+        StreamedTrace::scan_bytes(map, &policy, &SampleCriteria::default()).map_err(io_err)?;
+    report_stream_quarantine(&streamed);
+    Ok(Some(streamed))
+}
+
+/// Drop every job implicated by a quarantined row: a missing row leaves
+/// the job's task set incomplete, so the whole job is unusable.
+fn drop_suspect_jobs(tasks: Vec<TaskRecord>, quarantine: &Quarantine) -> Vec<TaskRecord> {
+    eprintln!("dagscope: {}", quarantine.render());
+    let suspects: std::collections::BTreeSet<&str> =
+        quarantine.suspect_jobs().keys().copied().collect();
+    let before = tasks.len();
+    let tasks: Vec<_> = tasks
+        .into_iter()
+        .filter(|t| !suspects.contains(t.job_name.as_str()))
+        .collect();
+    eprintln!(
+        "dagscope: dropped {} decoded rows across {} suspect jobs (quarantine-incomplete)",
+        before - tasks.len(),
+        suspects.len()
+    );
+    tasks
+}
+
+fn run_pipeline(flags: &Flags) -> Result<(Report, Option<IngestStats>), CliError> {
     let pipeline = Pipeline::new(pipeline_config(flags)?);
+    let parser = parser_flag(flags)?;
     match flags.str_opt("trace") {
         // `--stream`: single-pass bounded-memory ingestion; only the
         // sampled jobs are ever materialized. Bit-identical output.
         Some(dir) if flags.switch("stream") => {
+            if parser == "scalar" {
+                return Err(CliError::Run(
+                    "--parser scalar is batch-only; the streamed scan has no scalar decoder"
+                        .to_string(),
+                ));
+            }
+            let start = Instant::now();
+            if flags.switch("mmap") {
+                if let Some(mut streamed) = open_mmap_streamed(dir, flags)? {
+                    let ingest = IngestStats {
+                        bytes: streamed.raw_bytes(),
+                        secs: start.elapsed().as_secs_f64(),
+                        parser,
+                        source: "stream+mmap",
+                    };
+                    let report = pipeline.run_streamed(&mut streamed).map_err(CliError::Run)?;
+                    return Ok((report, Some(ingest)));
+                }
+            }
             let mut streamed = open_streamed_trace(dir, flags)?;
-            pipeline.run_streamed(&mut streamed).map_err(CliError::Run)
+            let ingest = IngestStats {
+                bytes: streamed.raw_bytes(),
+                secs: start.elapsed().as_secs_f64(),
+                parser,
+                source: "stream",
+            };
+            let report = pipeline.run_streamed(&mut streamed).map_err(CliError::Run)?;
+            Ok((report, Some(ingest)))
         }
         // Ingest a real (or pre-generated) batch_task.csv instead of
         // synthesizing a trace; chunks decode in parallel.
         Some(dir) => {
             let path = Path::new(dir).join("batch_task.csv");
-            let bytes = fs::read(&path)
-                .map_err(|e| CliError::Run(format!("read {}: {e}", path.display())))?;
+            let start = Instant::now();
+            let (data, source) = load_trace_bytes(&path, flags.switch("mmap"))?;
+            let bytes = data.as_ref();
             let tasks = match flags.str_opt("max-bad-rows") {
                 // Default: strict decode, first malformed row aborts.
-                None => csv::read_tasks_parallel(&bytes).map_err(io_err)?,
+                None if parser == "scalar" => {
+                    csv::read_tasks_scalar_with_policy(bytes, &ReadPolicy::Strict)
+                        .map_err(io_err)?
+                        .0
+                }
+                None => csv::read_tasks_parallel(bytes).map_err(io_err)?,
                 Some(_) => {
                     let max_bad = flags.get_or("max-bad-rows", 0usize, "a row count")?;
                     let policy = ReadPolicy::Quarantine { max_bad };
-                    let (tasks, quarantine) =
-                        csv::read_tasks_parallel_with_policy(&bytes, &policy).map_err(io_err)?;
+                    let (tasks, quarantine) = if parser == "scalar" {
+                        csv::read_tasks_scalar_with_policy(bytes, &policy).map_err(io_err)?
+                    } else {
+                        csv::read_tasks_parallel_with_policy(bytes, &policy).map_err(io_err)?
+                    };
                     if quarantine.is_clean() {
                         tasks
                     } else {
-                        // A quarantined row leaves its job's task set
-                        // incomplete, so the whole job is unusable; drop
-                        // every implicated job, not just the bad rows.
-                        eprintln!("dagscope: {}", quarantine.render());
-                        let suspects: std::collections::BTreeSet<&str> =
-                            quarantine.suspect_jobs().keys().copied().collect();
-                        let before = tasks.len();
-                        let tasks: Vec<_> = tasks
-                            .into_iter()
-                            .filter(|t| !suspects.contains(t.job_name.as_str()))
-                            .collect();
-                        eprintln!(
-                            "dagscope: dropped {} decoded rows across {} suspect jobs (quarantine-incomplete)",
-                            before - tasks.len(),
-                            suspects.len()
-                        );
-                        tasks
+                        drop_suspect_jobs(tasks, &quarantine)
                     }
                 }
             };
-            pipeline
+            let ingest = IngestStats {
+                bytes: bytes.len() as u64,
+                secs: start.elapsed().as_secs_f64(),
+                parser,
+                source,
+            };
+            let report = pipeline
                 .run_on(&dagscope_trace::JobSet::from_tasks(tasks))
-                .map_err(CliError::Run)
+                .map_err(CliError::Run)?;
+            Ok((report, Some(ingest)))
         }
-        None => pipeline.run().map_err(CliError::Run),
+        None => pipeline.run().map_err(CliError::Run).map(|r| (r, None)),
     }
 }
 
 /// Render the report's primary text, appending stage timings (and, when
 /// the sparse Gram engine ran, its cost counters) on demand.
-fn with_timings(flags: &Flags, report: &Report, body: String) -> String {
+fn with_timings(
+    flags: &Flags,
+    report: &Report,
+    ingest: Option<&IngestStats>,
+    body: String,
+) -> String {
     if flags.switch("timings") {
         let mut out = format!("{body}\n{}", report.timings.render());
+        if let Some(i) = ingest {
+            writeln!(out, "{}", i.render()).unwrap();
+        }
         if let Some(g) = report.gram {
             let all_pairs = (g.jobs * (g.jobs + 1) / 2) as u64;
             writeln!(
@@ -374,15 +533,15 @@ fn io_err(e: dagscope_trace::TraceError) -> CliError {
 }
 
 fn cmd_summary(flags: &Flags) -> Result<String, CliError> {
-    let report = run_pipeline(flags)?;
+    let (report, ingest) = run_pipeline(flags)?;
     let body = report.summary();
-    Ok(with_timings(flags, &report, body))
+    Ok(with_timings(flags, &report, ingest.as_ref(), body))
 }
 
 fn cmd_report(flags: &Flags) -> Result<String, CliError> {
-    let report = run_pipeline(flags)?;
+    let (report, ingest) = run_pipeline(flags)?;
     let body = report.markdown();
-    Ok(with_timings(flags, &report, body))
+    Ok(with_timings(flags, &report, ingest.as_ref(), body))
 }
 
 fn render_figure(report: &Report, n: u32) -> String {
@@ -446,7 +605,7 @@ fn cmd_figure(flags: &Flags) -> Result<String, CliError> {
             "no figure {bad}; available --n 2..=9"
         )));
     }
-    let report = run_pipeline(flags)?;
+    let (report, _) = run_pipeline(flags)?;
     let mut out = String::new();
     for n in &ns {
         out.push_str(&render_figure(&report, *n));
@@ -559,7 +718,7 @@ fn cmd_census(flags: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_baselines(flags: &Flags) -> Result<String, CliError> {
-    let report = run_pipeline(flags)?;
+    let (report, _) = run_pipeline(flags)?;
     let cmp = compare_baselines(&report, report.config.seed);
     Ok(format!("{}\n{}", report.summary(), cmp.render()))
 }
@@ -708,14 +867,18 @@ fn parse_policies(
 fn replay_workload(flags: &Flags, cap: usize) -> Result<ReplayWorkload, CliError> {
     match flags.str_opt("trace") {
         Some(dir) if flags.switch("stream") => {
+            if flags.switch("mmap") {
+                if let Some(mut streamed) = open_mmap_streamed(dir, flags)? {
+                    return workload_from_stream(&mut streamed, cap).map_err(CliError::Run);
+                }
+            }
             let mut streamed = open_streamed_trace(dir, flags)?;
             workload_from_stream(&mut streamed, cap).map_err(CliError::Run)
         }
         Some(dir) => {
             let path = Path::new(dir).join("batch_task.csv");
-            let bytes = fs::read(&path)
-                .map_err(|e| CliError::Run(format!("read {}: {e}", path.display())))?;
-            let tasks = csv::read_tasks_parallel(&bytes).map_err(io_err)?;
+            let (data, _source) = load_trace_bytes(&path, flags.switch("mmap"))?;
+            let tasks = csv::read_tasks_parallel(data.as_ref()).map_err(io_err)?;
             let set = dagscope_trace::JobSet::from_tasks(tasks);
             let eligible = SampleCriteria::default().filter(&set);
             Ok(workload_from_jobs(eligible.iter().copied(), cap))
@@ -746,7 +909,7 @@ fn cmd_sched_replay(flags: &Flags) -> Result<String, CliError> {
     // Offline model: the regular pipeline fits the group model on the
     // stratified sample; its per-group shape/work profiles become the
     // scheduler's priors.
-    let report = run_pipeline(flags)?;
+    let (report, _) = run_pipeline(flags)?;
     let k = report.groups.group_count();
     let model =
         dagscope_cluster::GroupModel::fit(&report.groups.assignments, k, &report.wl_features);
@@ -832,7 +995,7 @@ fn cmd_sched_replay(flags: &Flags) -> Result<String, CliError> {
 
 fn cmd_snapshot(flags: &Flags) -> Result<String, CliError> {
     let out = flags.str_or("out", "snapshot-out");
-    let report = run_pipeline(flags)?;
+    let (report, _) = run_pipeline(flags)?;
     let snapshot = IndexSnapshot::from_report(&report).map_err(|e| CliError::Run(e.to_string()))?;
     snapshot
         .save(Path::new(&out))
@@ -885,13 +1048,26 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         )?),
         ..defaults
     };
-    let load_start = std::time::Instant::now();
+    // Snapshot volume on disk, for the startup-throughput gauge the
+    // metrics endpoint derives (snapshot_load_mb_per_s).
+    let snap_bytes: u64 = fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .filter_map(|e| e.metadata().ok())
+                .filter(|m| m.is_file())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0);
+    let load_start = Instant::now();
     let snapshot = IndexSnapshot::load(Path::new(dir)).map_err(|e| CliError::Run(e.to_string()))?;
     let index = dagscope_serve::ServeIndex::build(snapshot).map_err(CliError::Run)?;
     let load_us = load_start.elapsed().as_micros() as u64;
     let jobs = index.len();
     let server = dagscope_serve::Server::bind_with(index, &addr, config)?;
     server.metrics().set_snapshot_load_us(load_us);
+    server.metrics().set_snapshot_load_bytes(snap_bytes);
     let local = server.local_addr()?;
     // Bridge the process signal handler to a graceful drain: the binary's
     // SIGTERM/SIGINT handler sets `SHUTDOWN`; this watcher turns it into
@@ -1203,6 +1379,60 @@ mod tests {
         )))
         .unwrap();
         assert!(out.contains("== groups"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_and_parser_flags_are_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("dagscope_cli_mmap_{}", std::process::id()));
+        run(&argv(&format!(
+            "generate --jobs 300 --seed 5 --out {}",
+            dir.display()
+        )))
+        .unwrap();
+        let base = run(&argv(&format!(
+            "summary --trace {} --sample 20 --seed 5",
+            dir.display()
+        )))
+        .unwrap();
+        // Every ingestion route — mapped or read, SWAR or scalar, batch
+        // or streamed — must produce the identical report.
+        for extra in ["--mmap", "--parser scalar", "--mmap --parser scalar", "--stream --mmap"] {
+            let out = run(&argv(&format!(
+                "summary --trace {} --sample 20 --seed 5 {extra}",
+                dir.display()
+            )))
+            .unwrap();
+            assert_eq!(base, out, "route {extra} diverged");
+        }
+        // --timings reports the ingest throughput line, labeled with the
+        // parser and the source route.
+        let timed = run(&argv(&format!(
+            "summary --trace {} --sample 20 --seed 5 --mmap --timings",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(timed.contains("ingest:"), "{timed}");
+        assert!(timed.contains("MB/s (swar parser, mmap)"), "{timed}");
+        let streamed = run(&argv(&format!(
+            "summary --trace {} --sample 20 --seed 5 --stream --mmap --timings",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(streamed.contains("MB/s (swar parser, stream+mmap)"), "{streamed}");
+        // Bad parser names and the scalar/stream combination are errors.
+        let err = run(&argv(&format!(
+            "summary --trace {} --parser turbo",
+            dir.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("--parser"), "{err}");
+        let err = run(&argv(&format!(
+            "summary --trace {} --stream --parser scalar",
+            dir.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("batch-only"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -28,12 +28,13 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod chunks;
 mod config;
 mod map;
+mod mmap;
 pub mod pairs;
 mod pool;
 mod proc;
@@ -42,6 +43,7 @@ mod reduce;
 pub use chunks::{chunk_bounds, par_chunk_map};
 pub use config::{parallelism, ParScope};
 pub use map::{par_map, par_map_with};
+pub use mmap::MmapBuf;
 pub use pool::WorkerPool;
 pub use proc::peak_rss_bytes;
 pub use reduce::{par_reduce, par_sum_f64};

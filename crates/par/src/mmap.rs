@@ -1,0 +1,210 @@
+//! Read-only memory-mapped file buffers for zero-copy ingestion.
+//!
+//! [`MmapBuf`] maps a file `MAP_PRIVATE` + `PROT_READ` and exposes it as
+//! `&[u8]`, so the trace scanner can parse the file in place: no read
+//! syscalls per buffer refill, no copy of the file into the heap, and
+//! pages the scan has moved past are reclaimable by the kernel under
+//! memory pressure (they are clean file-backed pages). The trade-off
+//! versus buffered reads is page-fault latency on first touch instead of
+//! read-ahead into a warm buffer — on a cold cache the two are close, on
+//! a warm cache mmap wins by skipping the copy entirely.
+//!
+//! The mapping is immutable for the lifetime of the buffer. Truncating
+//! the mapped file concurrently is the classic mmap hazard (`SIGBUS` on a
+//! far-truncated page); callers that map live-written files accept that,
+//! exactly as `cat`/`grep` and every mmap-based scanner do. The CLI only
+//! maps trace dumps it is asked to read.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// Raw `mmap`/`munmap` bindings, the only `unsafe` in this crate —
+/// same scoping idiom as the serve reactor's epoll FFI.
+#[allow(unsafe_code)]
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    const PROT_READ: i32 = 0x1;
+    const MAP_PRIVATE: i32 = 0x2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+
+    /// Map `len` bytes of `file` read-only. `len` must be non-zero.
+    pub fn map(file: &File, len: usize) -> io::Result<*const u8> {
+        // SAFETY: a fresh PROT_READ + MAP_PRIVATE mapping of a file we
+        // hold open; the kernel picks the address. The pointer is only
+        // ever read through, for exactly `len` bytes, until `unmap`.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(ptr as *const u8)
+    }
+
+    /// Release a mapping created by [`map`].
+    pub fn unmap(ptr: *const u8, len: usize) {
+        // SAFETY: `ptr`/`len` came from a successful `map` and are
+        // unmapped exactly once (Drop).
+        let _ = unsafe { munmap(ptr as *mut c_void, len) };
+    }
+
+    /// View the mapping as a byte slice.
+    pub fn as_slice<'a>(ptr: *const u8, len: usize) -> &'a [u8] {
+        // SAFETY: the mapping is valid for `len` readable bytes for the
+        // lifetime of the owning `MmapBuf`, and nothing writes through it
+        // (PROT_READ).
+        unsafe { std::slice::from_raw_parts(ptr, len) }
+    }
+}
+
+/// An owned read-only memory mapping of a file.
+///
+/// Dereferences to `&[u8]`; unmapped on drop. A zero-length file maps to
+/// an empty slice without touching `mmap` (the syscall rejects zero
+/// lengths).
+pub struct MmapBuf {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY-adjacent reasoning (no unsafe impl needed for the pointer reads
+// themselves, but the auto-traits are suppressed by the raw pointer): the
+// mapping is immutable shared memory; reading it from any thread is as
+// sound as reading a `&[u8]`.
+#[allow(unsafe_code)]
+#[cfg(unix)]
+mod marker {
+    unsafe impl Send for super::MmapBuf {}
+    unsafe impl Sync for super::MmapBuf {}
+}
+
+impl MmapBuf {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// Returns `Unsupported` on non-Unix targets — callers fall back to
+    /// buffered reads.
+    pub fn map(file: &File) -> io::Result<MmapBuf> {
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file exceeds usize"))?;
+        if len == 0 {
+            return Ok(MmapBuf {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        #[cfg(unix)]
+        {
+            Ok(MmapBuf {
+                ptr: sys::map(file, len)?,
+                len,
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "mmap is only available on unix targets",
+            ))
+        }
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for MmapBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        #[cfg(unix)]
+        {
+            sys::as_slice(self.ptr, self.len)
+        }
+        #[cfg(not(unix))]
+        {
+            unreachable!("non-unix MmapBuf is always empty")
+        }
+    }
+}
+
+impl AsRef<[u8]> for MmapBuf {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Drop for MmapBuf {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            #[cfg(unix)]
+            sys::unmap(self.ptr, self.len);
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir().join(format!("dagscope-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.bin");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"hello,mmap\nsecond line").unwrap();
+        f.sync_all().unwrap();
+        let map = MmapBuf::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&map[..], b"hello,mmap\nsecond line");
+        assert_eq!(map.len(), 22);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let dir = std::env::temp_dir().join(format!("dagscope-mmap0-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        File::create(&path).unwrap().sync_all().unwrap();
+        let map = MmapBuf::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], b"");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

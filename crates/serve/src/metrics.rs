@@ -331,6 +331,10 @@ pub struct Metrics {
     /// Wall clock spent loading the snapshot and building the in-memory
     /// index at startup, in microseconds. Zero until set.
     snapshot_load_us: AtomicU64,
+    /// Bytes of snapshot files read during that load. Zero until set;
+    /// together with the load time this yields the startup scan
+    /// throughput (`snapshot_load_mb_per_s`).
+    snapshot_load_bytes: AtomicU64,
 }
 
 impl Metrics {
@@ -343,6 +347,12 @@ impl Metrics {
     /// serving index. Called once by the launcher; later calls overwrite.
     pub fn set_snapshot_load_us(&self, micros: u64) {
         self.snapshot_load_us.store(micros, Ordering::Relaxed);
+    }
+
+    /// Record how many snapshot bytes that load scanned, so `/metrics`
+    /// can report the startup ingest throughput.
+    pub fn set_snapshot_load_bytes(&self, bytes: u64) {
+        self.snapshot_load_bytes.store(bytes, Ordering::Relaxed);
     }
 
     /// Record one finished request.
@@ -437,6 +447,20 @@ impl Metrics {
                 "snapshot_load_us",
                 Json::from(self.snapshot_load_us.load(Ordering::Relaxed)),
             ),
+            (
+                "snapshot_load_bytes",
+                Json::from(self.snapshot_load_bytes.load(Ordering::Relaxed)),
+            ),
+            ("snapshot_load_mb_per_s", {
+                // bytes/us is numerically MB/s (1e6 bytes over 1e6 us).
+                let us = self.snapshot_load_us.load(Ordering::Relaxed);
+                let bytes = self.snapshot_load_bytes.load(Ordering::Relaxed);
+                if us == 0 || bytes == 0 {
+                    Json::Null
+                } else {
+                    Json::from(bytes as f64 / us as f64)
+                }
+            }),
             (
                 "process_peak_rss_bytes",
                 match dagscope_par::peak_rss_bytes() {
@@ -596,11 +620,23 @@ mod tests {
         let m = Metrics::new();
         let doc = m.render(0);
         assert_eq!(doc.get("snapshot_load_us").unwrap().as_num(), Some(0.0));
+        assert_eq!(doc.get("snapshot_load_bytes").unwrap().as_num(), Some(0.0));
+        assert_eq!(doc.get("snapshot_load_mb_per_s"), Some(&Json::Null));
         m.set_snapshot_load_us(123_456);
+        m.set_snapshot_load_bytes(2_469_120);
         let doc = m.render(0);
         assert_eq!(
             doc.get("snapshot_load_us").unwrap().as_num(),
             Some(123_456.0)
+        );
+        assert_eq!(
+            doc.get("snapshot_load_bytes").unwrap().as_num(),
+            Some(2_469_120.0)
+        );
+        // 2_469_120 bytes over 123_456 us is exactly 20 MB/s.
+        assert_eq!(
+            doc.get("snapshot_load_mb_per_s").unwrap().as_num(),
+            Some(20.0)
         );
         // On Linux the peak-RSS gauge is a positive number; elsewhere null.
         let rss = doc.get("process_peak_rss_bytes").unwrap();

@@ -18,17 +18,22 @@
 //! exact 1-based line numbers — on every input; the sequential readers stay
 //! as the oracle the property tests compare against.
 
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{BufRead, BufWriter, Read, Write};
 
 use dagscope_faults::failpoint;
 
 use crate::intern::Interner;
 use crate::quarantine::{Quarantine, QuarantinedRow, ReadPolicy};
+use crate::scan::{self, LineSource};
 use crate::schema::{InstanceRecord, Status, TaskRecord};
 use crate::TraceError;
 
-const TASK_FIELDS: usize = 9;
-const INSTANCE_FIELDS: usize = 14;
+pub(crate) const TASK_FIELDS: usize = 9;
+pub(crate) const INSTANCE_FIELDS: usize = 14;
+
+/// Buffer capacity for the default streaming readers — large enough that
+/// the SWAR scanner spends its time in line parsing, not `read` calls.
+const DEFAULT_READ_BUF: usize = 1 << 20;
 
 /// Chunk size for the default parallel readers: large enough to amortize
 /// thread dispatch, small enough to load-balance a multi-GB trace file.
@@ -124,6 +129,28 @@ impl TaskParts<'_> {
     }
 }
 
+/// Scalar-oracle fallback for raw byte rows the SWAR fast path declines
+/// ([`crate::scan::parse_task_parts_bytes`]): exact historical semantics,
+/// including the UTF-8 error taking precedence over any parse error.
+pub(crate) fn task_parts_fallback(line_no: usize, raw: &[u8]) -> Result<TaskParts<'_>, TraceError> {
+    match std::str::from_utf8(raw) {
+        Err(_) => Err(TraceError::Io(UTF8_ERR.to_string())),
+        Ok(text) => parse_task_parts(line_no, text),
+    }
+}
+
+/// Scalar-oracle fallback for raw byte instance rows (see
+/// [`task_parts_fallback`]).
+pub(crate) fn instance_parts_fallback(
+    line_no: usize,
+    raw: &[u8],
+) -> Result<InstanceParts<'_>, TraceError> {
+    match std::str::from_utf8(raw) {
+        Err(_) => Err(TraceError::Io(UTF8_ERR.to_string())),
+        Ok(text) => parse_instance_parts(line_no, text),
+    }
+}
+
 /// Decode one `batch_task.csv` row into borrowed parts.
 pub fn parse_task_parts(line_no: usize, line: &str) -> Result<TaskParts<'_>, TraceError> {
     let f: [&str; TASK_FIELDS] = split_fields(line_no, line)?;
@@ -155,23 +182,66 @@ pub fn parse_task_line(line_no: usize, line: &str) -> Result<TaskRecord, TraceEr
     parse_task_line_interned(line_no, line, &mut Interner::new())
 }
 
-/// Decode one `batch_instance.csv` row, interning `task_type` and
-/// `machine_id` through `interner`.
-pub fn parse_instance_line_interned(
-    line_no: usize,
-    line: &str,
-    interner: &mut Interner,
-) -> Result<InstanceRecord, TraceError> {
+/// One `batch_instance.csv` row decoded against borrowed field slices —
+/// the allocation-free twin of [`TaskParts`]. Field and error-precedence
+/// semantics are exactly those of [`parse_instance_line_interned`], which
+/// is built on top of this.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct InstanceParts<'a> {
+    pub instance_name: &'a str,
+    pub task_name: &'a str,
+    pub job_name: &'a str,
+    pub task_type: &'a str,
+    pub status: Status,
+    pub start_time: i64,
+    pub end_time: i64,
+    pub machine_id: &'a str,
+    pub seq_no: u32,
+    pub total_seq_no: u32,
+    pub cpu_avg: f64,
+    pub cpu_max: f64,
+    pub mem_avg: f64,
+    pub mem_max: f64,
+}
+
+impl InstanceParts<'_> {
+    /// Materialize into an owned record, interning the low-cardinality
+    /// columns through `interner`.
+    pub fn to_record(&self, interner: &mut Interner) -> InstanceRecord {
+        InstanceRecord {
+            instance_name: self.instance_name.to_string(),
+            task_name: self.task_name.to_string(),
+            job_name: self.job_name.to_string(),
+            task_type: interner.intern(self.task_type),
+            status: self.status,
+            start_time: self.start_time,
+            end_time: self.end_time,
+            machine_id: interner.intern(self.machine_id),
+            seq_no: self.seq_no,
+            total_seq_no: self.total_seq_no,
+            cpu_avg: self.cpu_avg,
+            cpu_max: self.cpu_max,
+            mem_avg: self.mem_avg,
+            mem_max: self.mem_max,
+        }
+    }
+}
+
+/// Decode one `batch_instance.csv` row into borrowed parts. Numeric
+/// fields decode in column order, so the first bad field reported matches
+/// the historical reader exactly.
+pub fn parse_instance_parts(line_no: usize, line: &str) -> Result<InstanceParts<'_>, TraceError> {
     let f: [&str; INSTANCE_FIELDS] = split_fields(line_no, line)?;
-    Ok(InstanceRecord {
-        instance_name: f[0].to_string(),
-        task_name: f[1].to_string(),
-        job_name: f[2].to_string(),
-        task_type: interner.intern(f[3]),
+    Ok(InstanceParts {
+        instance_name: f[0],
+        task_name: f[1],
+        job_name: f[2],
+        task_type: f[3],
         status: Status::parse(f[4]),
         start_time: parse_num(f[5], line_no, "start_time")?,
         end_time: parse_num(f[6], line_no, "end_time")?,
-        machine_id: interner.intern(f[7]),
+        machine_id: f[7],
         seq_no: parse_num(f[8], line_no, "seq_no")?,
         total_seq_no: parse_num(f[9], line_no, "total_seq_no")?,
         cpu_avg: parse_num(f[10], line_no, "cpu_avg")?,
@@ -179,6 +249,16 @@ pub fn parse_instance_line_interned(
         mem_avg: parse_num(f[12], line_no, "mem_avg")?,
         mem_max: parse_num(f[13], line_no, "mem_max")?,
     })
+}
+
+/// Decode one `batch_instance.csv` row, interning `task_type` and
+/// `machine_id` through `interner`.
+pub fn parse_instance_line_interned(
+    line_no: usize,
+    line: &str,
+    interner: &mut Interner,
+) -> Result<InstanceRecord, TraceError> {
+    parse_instance_parts(line_no, line).map(|p| p.to_record(interner))
 }
 
 /// Decode one `batch_instance.csv` row.
@@ -290,11 +370,65 @@ fn injected_chunk_io(_chunk_start: usize) -> Option<TraceError> {
     None
 }
 
-/// Sequential policy-aware row reader shared by the task and instance
-/// entry points. Under [`ReadPolicy::Strict`] this is observationally
-/// identical to the historical `BufRead::lines`-based readers — same
-/// records, same first error, same line numbers.
-fn read_rows_with_policy<R: BufRead, T>(
+/// Policy-aware row reader over any [`LineSource`] — the SWAR hot loop
+/// every sequential entry point funnels through. Observationally
+/// identical to the historical scalar reader ([`read_rows_scalar`], kept
+/// below as the oracle): same records, same quarantine report, same first
+/// error, same line numbers and byte offsets.
+fn read_rows_source<S: LineSource, T>(
+    mut lines: S,
+    policy: &ReadPolicy,
+    parse: impl Fn(usize, &[u8], &mut Interner) -> Result<T, TraceError>,
+    times: impl Fn(&T) -> (i64, i64) + Copy,
+) -> Result<(Vec<T>, Quarantine), TraceError> {
+    let mut interner = Interner::new();
+    let mut out = Vec::new();
+    let mut q = Quarantine::default();
+    while let Some((offset, _consumed, mut span)) = lines.next_span()? {
+        // Chaos sites, one hit per line in document order: a short read
+        // ends the stream early (downstream sees a truncated but
+        // well-formed trace); a torn read delivers half a row, which
+        // must fail parsing and take the policy's bad-row path.
+        failpoint!("trace.read.short_read", |_arg: Option<String>| Ok((out, q)));
+        if let Some(keep) = injected_torn_len(span.len()) {
+            span.end = span.start + keep;
+        }
+        q.lines_total += 1;
+        let line_no = q.lines_total;
+        if span.is_empty() {
+            continue;
+        }
+        q.rows_total += 1;
+        let raw = &lines.view()[span];
+        let verdict = parse(line_no, raw, &mut interner)
+            .and_then(|row| classify_row(policy, line_no, row, times));
+        match verdict {
+            Ok(row) => {
+                q.rows_good += 1;
+                out.push(row);
+            }
+            Err(error) => {
+                if !policy.is_quarantine() || q.rows.len() >= policy.max_bad() {
+                    return Err(error);
+                }
+                q.rows.push(QuarantinedRow {
+                    line: line_no,
+                    byte_offset: offset,
+                    error,
+                    excerpt: crate::quarantine::excerpt_of(raw),
+                    job_name: crate::quarantine::job_name_of(raw),
+                });
+            }
+        }
+    }
+    Ok((out, q))
+}
+
+/// The historical scalar row reader, retained verbatim as the bitwise
+/// oracle the SWAR readers are differential-tested against
+/// (`tests/scan_equiv.rs`) and runnable end-to-end via `--parser scalar`
+/// in the CLI.
+fn read_rows_scalar<R: BufRead, T>(
     reader: R,
     policy: &ReadPolicy,
     parse: impl Fn(usize, &str, &mut Interner) -> Result<T, TraceError>,
@@ -305,10 +439,6 @@ fn read_rows_with_policy<R: BufRead, T>(
     let mut out = Vec::new();
     let mut q = Quarantine::default();
     while let Some((offset, mut raw)) = lines.next_line()? {
-        // Chaos sites, one hit per line in document order: a short read
-        // ends the stream early (downstream sees a truncated but
-        // well-formed trace); a torn read delivers half a row, which
-        // must fail parsing and take the policy's bad-row path.
         failpoint!("trace.read.short_read", |_arg: Option<String>| Ok((out, q)));
         if let Some(keep) = injected_torn_len(raw.len()) {
             raw.truncate(keep);
@@ -346,12 +476,68 @@ fn read_rows_with_policy<R: BufRead, T>(
     Ok((out, q))
 }
 
+fn parse_task_record_bytes(
+    line_no: usize,
+    raw: &[u8],
+    interner: &mut Interner,
+) -> Result<TaskRecord, TraceError> {
+    scan::parse_task_parts_bytes(line_no, raw).map(|p| p.to_record(interner))
+}
+
+fn parse_instance_record_bytes(
+    line_no: usize,
+    raw: &[u8],
+    interner: &mut Interner,
+) -> Result<InstanceRecord, TraceError> {
+    scan::parse_instance_parts_bytes(line_no, raw).map(|p| p.to_record(interner))
+}
+
 /// Read a whole `batch_task.csv` stream under a [`ReadPolicy`].
 pub fn read_tasks_with_policy<R: BufRead>(
     reader: R,
     policy: &ReadPolicy,
 ) -> Result<(Vec<TaskRecord>, Quarantine), TraceError> {
-    read_rows_with_policy(
+    read_tasks_buffered_with_policy(reader, DEFAULT_READ_BUF, policy)
+}
+
+/// Read a `batch_task.csv` stream with an explicit scan-buffer capacity —
+/// exposed so the differential tests can force every refill boundary.
+pub fn read_tasks_buffered_with_policy<R: Read>(
+    reader: R,
+    capacity: usize,
+    policy: &ReadPolicy,
+) -> Result<(Vec<TaskRecord>, Quarantine), TraceError> {
+    read_rows_source(
+        scan::BufLines::new(reader, capacity),
+        policy,
+        parse_task_record_bytes,
+        |t: &TaskRecord| (t.start_time, t.end_time),
+    )
+}
+
+/// Read `batch_task.csv` bytes already in memory — the zero-copy path:
+/// lines are parsed in place, nothing is copied except the surviving
+/// records themselves.
+pub fn read_tasks_slice_with_policy(
+    data: &[u8],
+    policy: &ReadPolicy,
+) -> Result<(Vec<TaskRecord>, Quarantine), TraceError> {
+    read_rows_source(
+        scan::SliceLines::new(data),
+        policy,
+        parse_task_record_bytes,
+        |t: &TaskRecord| (t.start_time, t.end_time),
+    )
+}
+
+/// Read a whole `batch_task.csv` stream through the scalar oracle parser
+/// — the historical implementation, byte-for-byte. Slow path; exists so
+/// the SWAR readers have a live differential baseline.
+pub fn read_tasks_scalar_with_policy<R: BufRead>(
+    reader: R,
+    policy: &ReadPolicy,
+) -> Result<(Vec<TaskRecord>, Quarantine), TraceError> {
+    read_rows_scalar(
         reader,
         policy,
         parse_task_line_interned,
@@ -364,7 +550,34 @@ pub fn read_instances_with_policy<R: BufRead>(
     reader: R,
     policy: &ReadPolicy,
 ) -> Result<(Vec<InstanceRecord>, Quarantine), TraceError> {
-    read_rows_with_policy(
+    read_rows_source(
+        scan::BufLines::new(reader, DEFAULT_READ_BUF),
+        policy,
+        parse_instance_record_bytes,
+        |i: &InstanceRecord| (i.start_time, i.end_time),
+    )
+}
+
+/// Read `batch_instance.csv` bytes already in memory (zero-copy).
+pub fn read_instances_slice_with_policy(
+    data: &[u8],
+    policy: &ReadPolicy,
+) -> Result<(Vec<InstanceRecord>, Quarantine), TraceError> {
+    read_rows_source(
+        scan::SliceLines::new(data),
+        policy,
+        parse_instance_record_bytes,
+        |i: &InstanceRecord| (i.start_time, i.end_time),
+    )
+}
+
+/// Read a whole `batch_instance.csv` stream through the scalar oracle
+/// parser (see [`read_tasks_scalar_with_policy`]).
+pub fn read_instances_scalar_with_policy<R: BufRead>(
+    reader: R,
+    policy: &ReadPolicy,
+) -> Result<(Vec<InstanceRecord>, Quarantine), TraceError> {
+    read_rows_scalar(
         reader,
         policy,
         parse_instance_line_interned,
@@ -443,7 +656,7 @@ fn offset_error(err: TraceError, base: usize) -> TraceError {
 fn parse_chunk<T>(
     chunk: &[u8],
     policy: &ReadPolicy,
-    parse: impl Fn(usize, &str, &mut Interner) -> Result<T, TraceError>,
+    parse: impl Fn(usize, &[u8], &mut Interner) -> Result<T, TraceError>,
     times: impl Fn(&T) -> (i64, i64) + Copy,
 ) -> ChunkOut<T> {
     let mut interner = Interner::new();
@@ -457,35 +670,22 @@ fn parse_chunk<T>(
         err: None,
     };
     let cap = policy.max_bad().saturating_add(1);
-    let mut pos = 0usize;
-    while pos < chunk.len() {
-        let line_start = pos;
-        let (mut raw, terminated) = match chunk[pos..].iter().position(|&b| b == b'\n') {
-            Some(i) => {
-                pos += i + 1;
-                (&chunk[line_start..line_start + i], true)
-            }
-            None => {
-                pos = chunk.len();
-                (&chunk[line_start..], false)
-            }
-        };
+    // The per-line failpoint stays disarmed here: the chunked readers'
+    // chaos surface is `trace.read.chunk_io`, as it always was.
+    let mut lines = scan::SliceLines::without_line_failpoints(chunk);
+    while let Some((line_start, _consumed, span)) = lines
+        .next_span()
+        .expect("slice line source is infallible with failpoints disarmed")
+    {
         out.lines += 1;
-        if terminated {
-            if let [rest @ .., b'\r'] = raw {
-                raw = rest;
-            }
-        }
-        if raw.is_empty() {
+        if span.is_empty() {
             continue;
         }
+        let raw = &lines.view()[span];
         out.rows_seen += 1;
         let line_no = out.lines;
-        let verdict = match std::str::from_utf8(raw) {
-            Err(_) => Err(TraceError::Io(UTF8_ERR.to_string())),
-            Ok(text) => parse(line_no, text, &mut interner)
-                .and_then(|row| classify_row(policy, line_no, row, times)),
-        };
+        let verdict = parse(line_no, raw, &mut interner)
+            .and_then(|row| classify_row(policy, line_no, row, times));
         match verdict {
             Ok(row) => {
                 out.rows_good += 1;
@@ -495,7 +695,7 @@ fn parse_chunk<T>(
                 if policy.is_quarantine() {
                     out.quarantined.push(QuarantinedRow {
                         line: line_no,
-                        byte_offset: line_start as u64,
+                        byte_offset: line_start,
                         error,
                         excerpt: crate::quarantine::excerpt_of(raw),
                         job_name: crate::quarantine::job_name_of(raw),
@@ -559,7 +759,7 @@ pub fn read_tasks_chunked_with_policy(
 ) -> Result<(Vec<TaskRecord>, Quarantine), TraceError> {
     merge_chunks(
         dagscope_par::par_chunk_map(data, chunk_bytes, b'\n', |start, chunk| {
-            let mut out = parse_chunk(chunk, policy, parse_task_line_interned, |t: &TaskRecord| {
+            let mut out = parse_chunk(chunk, policy, parse_task_record_bytes, |t: &TaskRecord| {
                 (t.start_time, t.end_time)
             });
             if out.err.is_none() {
@@ -583,9 +783,9 @@ pub fn read_tasks_parallel_with_policy(
 ) -> Result<(Vec<TaskRecord>, Quarantine), TraceError> {
     // With one effective worker the chunked path is pure overhead
     // (chunk bookkeeping plus the merge pass) — go straight to the
-    // sequential reader, which produces identical output by contract.
+    // zero-copy slice reader, which produces identical output by contract.
     if dagscope_par::parallelism() == 1 {
-        return read_tasks_with_policy(data, policy);
+        return read_tasks_slice_with_policy(data, policy);
     }
     read_tasks_chunked_with_policy(data, DEFAULT_CHUNK_BYTES, policy)
 }
@@ -601,7 +801,7 @@ pub fn read_tasks_chunked(data: &[u8], chunk_bytes: usize) -> Result<Vec<TaskRec
 /// bytes — same records, same first error, same line numbers.
 pub fn read_tasks_parallel(data: &[u8]) -> Result<Vec<TaskRecord>, TraceError> {
     if dagscope_par::parallelism() == 1 {
-        return read_tasks(data);
+        return read_tasks_slice_with_policy(data, &ReadPolicy::Strict).map(|(rows, _)| rows);
     }
     read_tasks_chunked(data, DEFAULT_CHUNK_BYTES)
 }
@@ -618,7 +818,7 @@ pub fn read_instances_chunked_with_policy(
             let mut out = parse_chunk(
                 chunk,
                 policy,
-                parse_instance_line_interned,
+                parse_instance_record_bytes,
                 |i: &InstanceRecord| (i.start_time, i.end_time),
             );
             if out.err.is_none() {
@@ -639,7 +839,7 @@ pub fn read_instances_parallel_with_policy(
     policy: &ReadPolicy,
 ) -> Result<(Vec<InstanceRecord>, Quarantine), TraceError> {
     if dagscope_par::parallelism() == 1 {
-        return read_instances_with_policy(data, policy);
+        return read_instances_slice_with_policy(data, policy);
     }
     read_instances_chunked_with_policy(data, DEFAULT_CHUNK_BYTES, policy)
 }
@@ -657,63 +857,129 @@ pub fn read_instances_chunked(
 /// parallel. Equivalent to [`read_instances`] on the same bytes.
 pub fn read_instances_parallel(data: &[u8]) -> Result<Vec<InstanceRecord>, TraceError> {
     if dagscope_par::parallelism() == 1 {
-        return read_instances(data);
+        return read_instances_slice_with_policy(data, &ReadPolicy::Strict).map(|(rows, _)| rows);
     }
     read_instances_chunked(data, DEFAULT_CHUNK_BYTES)
 }
 
-/// Format a float the way the published trace does: integers print bare
-/// (`100`), fractions keep their decimals (`0.5`).
-fn fmt_f64(v: f64) -> String {
+/// Append `v`'s decimal digits to `buf` (itoa-style: digits build in a
+/// fixed stack array, one `extend_from_slice` into the row buffer — no
+/// `format!` temporary per field).
+fn push_u64(buf: &mut Vec<u8>, mut v: u64) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    buf.extend_from_slice(&tmp[i..]);
+}
+
+fn push_i64(buf: &mut Vec<u8>, v: i64) {
+    if v < 0 {
+        buf.push(b'-');
+    }
+    push_u64(buf, v.unsigned_abs());
+}
+
+/// Append a float the way the published trace prints them: integers bare
+/// (`100`), fractions with their decimals (`0.5`). Byte-identical to the
+/// historical `format!`-based encoder on every value.
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
     if v == v.trunc() && v.abs() < 1e15 {
-        format!("{}", v as i64)
+        push_i64(buf, v as i64);
     } else {
-        format!("{v}")
+        // Rare shape (non-integral beyond the common grid): fall back to
+        // the std formatter, writing straight into the row buffer.
+        write!(buf, "{v}").expect("writing to a Vec cannot fail");
     }
 }
 
-/// Encode one task row.
-pub fn format_task_line(t: &TaskRecord) -> String {
-    format!(
-        "{},{},{},{},{},{},{},{},{}",
-        t.task_name,
-        t.instance_num,
-        t.job_name,
-        t.task_type,
-        t.status.as_str(),
-        t.start_time,
-        t.end_time,
-        fmt_f64(t.plan_cpu),
-        fmt_f64(t.plan_mem),
-    )
+/// Append one encoded task row plus terminating newline to `buf` — the
+/// allocation-free writer hot path ([`write_tasks`] and the benches reuse
+/// one buffer across all rows).
+pub fn push_task_line(buf: &mut Vec<u8>, t: &TaskRecord) {
+    buf.extend_from_slice(t.task_name.as_bytes());
+    buf.push(b',');
+    push_u64(buf, u64::from(t.instance_num));
+    buf.push(b',');
+    buf.extend_from_slice(t.job_name.as_bytes());
+    buf.push(b',');
+    buf.extend_from_slice(t.task_type.as_bytes());
+    buf.push(b',');
+    buf.extend_from_slice(t.status.as_str().as_bytes());
+    buf.push(b',');
+    push_i64(buf, t.start_time);
+    buf.push(b',');
+    push_i64(buf, t.end_time);
+    buf.push(b',');
+    push_f64(buf, t.plan_cpu);
+    buf.push(b',');
+    push_f64(buf, t.plan_mem);
+    buf.push(b'\n');
 }
 
-/// Encode one instance row.
+/// Append one encoded instance row plus terminating newline to `buf`.
+pub fn push_instance_line(buf: &mut Vec<u8>, i: &InstanceRecord) {
+    buf.extend_from_slice(i.instance_name.as_bytes());
+    buf.push(b',');
+    buf.extend_from_slice(i.task_name.as_bytes());
+    buf.push(b',');
+    buf.extend_from_slice(i.job_name.as_bytes());
+    buf.push(b',');
+    buf.extend_from_slice(i.task_type.as_bytes());
+    buf.push(b',');
+    buf.extend_from_slice(i.status.as_str().as_bytes());
+    buf.push(b',');
+    push_i64(buf, i.start_time);
+    buf.push(b',');
+    push_i64(buf, i.end_time);
+    buf.push(b',');
+    buf.extend_from_slice(i.machine_id.as_bytes());
+    buf.push(b',');
+    push_u64(buf, u64::from(i.seq_no));
+    buf.push(b',');
+    push_u64(buf, u64::from(i.total_seq_no));
+    buf.push(b',');
+    push_f64(buf, i.cpu_avg);
+    buf.push(b',');
+    push_f64(buf, i.cpu_max);
+    buf.push(b',');
+    push_f64(buf, i.mem_avg);
+    buf.push(b',');
+    push_f64(buf, i.mem_max);
+    buf.push(b'\n');
+}
+
+/// Encode one task row (no newline). Convenience wrapper over
+/// [`push_task_line`]; per-call allocation, so not the writer hot path.
+pub fn format_task_line(t: &TaskRecord) -> String {
+    let mut buf = Vec::with_capacity(96);
+    push_task_line(&mut buf, t);
+    buf.pop();
+    String::from_utf8(buf).expect("encoded rows are UTF-8: every field came from a str")
+}
+
+/// Encode one instance row (no newline).
 pub fn format_instance_line(i: &InstanceRecord) -> String {
-    format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-        i.instance_name,
-        i.task_name,
-        i.job_name,
-        i.task_type,
-        i.status.as_str(),
-        i.start_time,
-        i.end_time,
-        i.machine_id,
-        i.seq_no,
-        i.total_seq_no,
-        fmt_f64(i.cpu_avg),
-        fmt_f64(i.cpu_max),
-        fmt_f64(i.mem_avg),
-        fmt_f64(i.mem_max),
-    )
+    let mut buf = Vec::with_capacity(128);
+    push_instance_line(&mut buf, i);
+    buf.pop();
+    String::from_utf8(buf).expect("encoded rows are UTF-8: every field came from a str")
 }
 
 /// Write task rows as `batch_task.csv`.
 pub fn write_tasks<W: Write>(writer: W, tasks: &[TaskRecord]) -> Result<(), TraceError> {
     let mut w = BufWriter::new(writer);
+    let mut row = Vec::with_capacity(128);
     for t in tasks {
-        writeln!(w, "{}", format_task_line(t))?;
+        row.clear();
+        push_task_line(&mut row, t);
+        w.write_all(&row)?;
     }
     w.flush()?;
     Ok(())
@@ -725,8 +991,11 @@ pub fn write_instances<W: Write>(
     instances: &[InstanceRecord],
 ) -> Result<(), TraceError> {
     let mut w = BufWriter::new(writer);
+    let mut row = Vec::with_capacity(160);
     for i in instances {
-        writeln!(w, "{}", format_instance_line(i))?;
+        row.clear();
+        push_instance_line(&mut row, i);
+        w.write_all(&row)?;
     }
     w.flush()?;
     Ok(())

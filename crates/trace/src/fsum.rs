@@ -54,6 +54,24 @@ impl ExactSum {
         self.add(-value);
     }
 
+    /// The exact sum of two accumulators, as a new accumulator. Each
+    /// partial is itself an exact float, so folding one side's partials
+    /// into the other loses nothing: `a.merged(&b).value()` is the
+    /// correctly rounded sum of *every* value ever added to either side —
+    /// identical to having fed one accumulator from the start.
+    pub fn merged(&self, other: &ExactSum) -> ExactSum {
+        let (big, small) = if self.partials.len() >= other.partials.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = big.clone();
+        for &p in &small.partials {
+            out.add(p);
+        }
+        out
+    }
+
     /// The correctly rounded value of the exact sum.
     ///
     /// Depends only on the exact real sum, not on the internal partials

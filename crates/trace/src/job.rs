@@ -29,7 +29,7 @@ impl Job {
             && self
                 .tasks
                 .iter()
-                .all(|t| taskname::parse(&t.task_name).is_dag())
+                .all(|t| taskname::is_dag_name(&t.task_name))
     }
 
     /// True when every task finished with [`Status::Terminated`]

@@ -50,6 +50,9 @@ pub struct JobStore {
     /// Distinct task-type codes, indexed by the `task_type` column.
     types: Vec<IStr>,
     type_ids: HashMap<IStr, u32>,
+    /// Most recently interned type id — adjacent rows almost always share
+    /// a type code, and one short string compare beats a hash lookup.
+    last_type: Option<u32>,
 }
 
 impl JobStore {
@@ -75,13 +78,20 @@ impl JobStore {
 
     /// Intern a task-type code into the store's type table.
     fn type_id(&mut self, ty: &str) -> u32 {
+        if let Some(id) = self.last_type {
+            if &*self.types[id as usize] == ty {
+                return id;
+            }
+        }
         if let Some(&id) = self.type_ids.get(ty) {
+            self.last_type = Some(id);
             return id;
         }
         let id = self.types.len() as u32;
         let istr: IStr = ty.into();
         self.types.push(istr.clone());
         self.type_ids.insert(istr, id);
+        self.last_type = Some(id);
         id
     }
 
@@ -282,7 +292,7 @@ impl JobView<'_> {
             && self
                 .range
                 .clone()
-                .all(|r| taskname::parse(self.store.task_name(r)).is_dag())
+                .all(|r| taskname::is_dag_name(self.store.task_name(r)))
     }
 
     /// [`Job::fully_terminated`].

@@ -4,11 +4,12 @@
 //! [`JobSet::from_tasks`]) materializes every task row of the trace before
 //! grouping — fine at 100k jobs, hopeless at the full 4M. [`StreamedTrace`]
 //! instead consumes the CSV once, front to back, exploiting the trace's
-//! job-contiguity: rows of one job arrive together, so each job can be
-//! assembled in a small rolling [`JobStore`], folded into a
-//! [`StatsAccumulator`] and an eligibility flag, and *dropped* — what
-//! survives per job is ~26 bytes of metadata (a numeric name key, the job's
-//! byte range in the source, its size, and flags).
+//! job-contiguity: rows of one job arrive together, so each row folds
+//! straight into an incremental [`OpenFold`] (facts + eligibility, no row
+//! ever stored), the closing job lands in a [`StatsAccumulator`] and an
+//! eligibility flag, and what survives per job is ~26 bytes of metadata (a
+//! numeric name key, the job's byte range in the source, its size, and
+//! flags).
 //!
 //! Jobs are later *re-materialized on demand* by replaying their recorded
 //! byte ranges through the same parser (the source must be `Read + Seek`),
@@ -34,13 +35,16 @@
 //! [`crate::fsum::ExactSum`]; everything else is integer counting.
 
 use std::collections::{BTreeSet, HashMap};
-use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::io::{BufReader, Cursor, Read, Seek, SeekFrom};
 
 use crate::csv::{self, RawLines};
 use crate::filter::{DropReason, FilterStats, SampleCriteria};
+use crate::scan::{self, LineSource};
 use crate::quarantine::{self, Quarantine, QuarantinedRow, ReadPolicy};
-use crate::stats::{StatsAccumulator, TraceStats};
-use crate::store::JobStore;
+use crate::csv::TaskParts;
+use crate::schema::Status;
+use crate::stats::{JobFacts, StatsAccumulator, TraceStats};
+use crate::taskname;
 use crate::{Job, JobSet, TraceError};
 
 /// [`NameColumn::small`] sentinel for names that are not canonical
@@ -119,24 +123,31 @@ impl NameColumn {
         self.small.len()
     }
 
-    /// Append the next job's name, returning its index hash.
-    fn push(&mut self, name: &str) -> u64 {
+    /// Append the next job's name with its already-computed encoding.
+    fn push_encoded(&mut self, encoded: Option<u64>, name: &str) {
         let idx = self.small.len() as u32;
-        match encode_name(name) {
-            Some(v) => {
-                match u32::try_from(v) {
-                    Ok(small) if small < BIG_NAME => self.small.push(small),
-                    _ => {
-                        self.small.push(BIG_NAME);
-                        self.big.insert(idx, v);
-                    }
+        match encoded {
+            Some(v) => match u32::try_from(v) {
+                Ok(small) if small < BIG_NAME => self.small.push(small),
+                _ => {
+                    self.small.push(BIG_NAME);
+                    self.big.insert(idx, v);
                 }
-                splitmix64(v)
-            }
+            },
             None => {
                 self.small.push(ODD_NAME);
                 self.odd.insert(idx, name.to_string());
-                fnv1a(name.as_bytes())
+            }
+        }
+    }
+
+    /// Compare against an already-encoded name.
+    fn is_encoded(&self, idx: u32, encoded: &Option<u64>, name: &str) -> bool {
+        match encoded {
+            Some(v) => self.numeric(idx) == Some(*v),
+            None => {
+                self.small[idx as usize] == ODD_NAME
+                    && self.odd.get(&idx).is_some_and(|n| n == name)
             }
         }
     }
@@ -214,26 +225,86 @@ impl NameColumn {
 struct NameIndex {
     slots: Vec<u32>,
     len: usize,
+    /// Job indices this table can hold before fingerprint bits must be
+    /// returned to the index field ([`FP_IDX_MASK`]); `with_fp_cap` lowers
+    /// it in tests to exercise the wide mode without 16M inserts.
+    fp_cap: usize,
+    /// Whether the *current* slot array carries fingerprints. A property
+    /// of the stored words, not of `len` — it only flips inside
+    /// [`NameIndex::grow`], which rewrites every word.
+    fp: bool,
 }
+
+/// Low bits of a slot in fingerprint mode: `idx + 1`.
+const FP_IDX_MASK: u32 = 0x00ff_ffff;
 
 impl NameIndex {
     fn new() -> NameIndex {
+        NameIndex::with_fp_cap(FP_IDX_MASK as usize - 1)
+    }
+
+    fn with_fp_cap(fp_cap: usize) -> NameIndex {
         NameIndex {
             slots: vec![0; 1 << 16],
             len: 0,
+            fp_cap,
+            fp: true,
+        }
+    }
+
+    /// While the table is small enough that every `idx + 1` fits in 24
+    /// bits, the top 8 bits of each slot carry a hash fingerprint, so a
+    /// probe only pays the name-column load (a second cache miss at
+    /// million-job scale) for entries whose fingerprint already matches —
+    /// 255 of 256 mismatching occupied slots are skipped on the slot word
+    /// alone. Past [`NameIndex::fp_cap`] entries the table rebuilds with
+    /// plain `idx + 1` slots; the fingerprint is only ever a filter, so
+    /// both modes answer probes identically.
+    ///
+    /// The slot word for `idx` under `hash` in the current mode.
+    fn slot_word(&self, hash: u64, idx: u32) -> u32 {
+        if self.fp {
+            ((hash >> 56) as u32) << 24 | (idx + 1)
+        } else {
+            idx + 1
         }
     }
 
     fn lookup(&self, hash: u64, eq: impl Fn(u32) -> bool) -> Option<u32> {
+        self.probe(hash, eq).ok()
+    }
+
+    /// Walk the probe chain for `hash`: `Ok(idx)` when a matching entry is
+    /// found, `Err(slot)` with the first empty slot otherwise. The miss
+    /// slot is exactly where a subsequent insert of the same key belongs,
+    /// so callers that miss-then-insert ([`ScanState::close_open`]) pay the
+    /// chain — one cache miss per probe at 4M-job table sizes — only once.
+    fn probe(&self, hash: u64, eq: impl Fn(u32) -> bool) -> Result<u32, usize> {
         let mask = self.slots.len() - 1;
         let mut pos = hash as usize & mask;
+        if self.fp {
+            let want = ((hash >> 56) as u32) << 24;
+            loop {
+                let stored = self.slots[pos];
+                if stored == 0 {
+                    return Err(pos);
+                }
+                if stored & !FP_IDX_MASK == want {
+                    let idx = (stored & FP_IDX_MASK) - 1;
+                    if eq(idx) {
+                        return Ok(idx);
+                    }
+                }
+                pos = (pos + 1) & mask;
+            }
+        }
         loop {
             match self.slots[pos] {
-                0 => return None,
+                0 => return Err(pos),
                 stored => {
                     let idx = stored - 1;
                     if eq(idx) {
-                        return Some(idx);
+                        return Ok(idx);
                     }
                 }
             }
@@ -241,12 +312,27 @@ impl NameIndex {
         }
     }
 
-    /// True when one more insert would push the load factor past 0.7.
+    /// Fill a previously probed empty slot ([`NameIndex::probe`] `Err`).
+    /// Only valid while no other insert or grow has happened since the
+    /// probe — the scan guarantees that: a job's slot is probed when its
+    /// first row opens it, and the next insert is that same job's close.
+    fn insert_at(&mut self, slot: usize, hash: u64, idx: u32) {
+        debug_assert_eq!(self.slots[slot], 0, "probed slot was taken since");
+        self.slots[slot] = self.slot_word(hash, idx);
+        self.len += 1;
+    }
+
+    /// True when one more insert would push the load factor past 0.7, or
+    /// force the fingerprint mode past its index capacity.
     fn needs_grow(&self) -> bool {
-        (self.len + 1) * 10 >= self.slots.len() * 7
+        (self.len + 1) * 10 >= self.slots.len() * 7 || (self.fp && self.len >= self.fp_cap)
     }
 
     /// Double capacity, re-placing every stored index by `hash_of(idx)`.
+    /// The rebuild also re-derives the slot encoding, which is how the
+    /// table leaves fingerprint mode when it outgrows 24-bit indices (the
+    /// capacity stays doubled in that case even though the trigger wasn't
+    /// load factor — a one-time rebuild either way).
     ///
     /// Every index in `0..len` is stored exactly once, so the table can be
     /// rebuilt from the indices alone — the old table is freed *before* the
@@ -258,12 +344,20 @@ impl NameIndex {
         self.slots = Vec::new();
         let mut slots = vec![0u32; new_cap];
         let mask = new_cap - 1;
+        // Mode of the rebuilt table: room for the insert that triggered us.
+        self.fp = self.len + 1 <= self.fp_cap;
+        let fp = self.fp;
         for idx in 0..self.len as u32 {
-            let mut pos = hash_of(idx) as usize & mask;
+            let hash = hash_of(idx);
+            let mut pos = hash as usize & mask;
             while slots[pos] != 0 {
                 pos = (pos + 1) & mask;
             }
-            slots[pos] = idx + 1;
+            slots[pos] = if fp {
+                ((hash >> 56) as u32) << 24 | (idx + 1)
+            } else {
+                idx + 1
+            };
         }
         self.slots = slots;
     }
@@ -271,23 +365,153 @@ impl NameIndex {
     /// Insert a new index under `hash`. The caller has verified absence and
     /// capacity ([`NameIndex::needs_grow`]).
     fn insert(&mut self, hash: u64, idx: u32) {
+        let word = self.slot_word(hash, idx);
         let mask = self.slots.len() - 1;
         let mut pos = hash as usize & mask;
         while self.slots[pos] != 0 {
             pos = (pos + 1) & mask;
         }
-        self.slots[pos] = idx + 1;
+        self.slots[pos] = word;
         self.len += 1;
     }
 }
 
 /// What the scan is currently accumulating.
 enum Open {
-    /// A job not seen before: rows collect in the rolling [`JobStore`].
+    /// A job not seen before: rows fold into the running [`OpenFold`].
     New { start: u64, end: u64 },
     /// An out-of-order straggler batch for a closed job: only the byte
     /// range is tracked; rows are recovered by replay at finalize.
     Straggler { idx: u32, start: u64, end: u64 },
+}
+
+/// Incremental fold of the open job — everything [`JobFacts`] and the
+/// eligibility verdict need, updated row by row so the scan never stores
+/// task rows at all. Each reduction repeats the exact fold the columnar
+/// [`crate::store::JobView`] would run over stored rows (same row order,
+/// same `f64` add sequence for the volumes, same min/max filters), so the
+/// verdicts and statistics stay bit-identical to the materialized path.
+struct OpenFold {
+    /// Job name (reused buffer; valid while a job is open).
+    name: String,
+    /// [`encode_name`] of `name`, computed once at open time.
+    encoded: Option<u64>,
+    /// Name hash, computed once at open time.
+    hash: u64,
+    /// Empty [`NameIndex`] slot found by the open-time probe miss; where
+    /// the close-time insert lands (unless the index grew in between —
+    /// it cannot, see [`NameIndex::insert_at`]).
+    slot: usize,
+    size: u32,
+    /// Every row's task name parses as a DAG task so far.
+    all_dag: bool,
+    /// Every row terminated so far.
+    all_terminated: bool,
+    /// `min` over positive start times ([`crate::store::JobView::start_time`]),
+    /// `i64::MAX` while none seen — a sentinel instead of an `Option` keeps
+    /// the per-row fold branch-free.
+    min_start: i64,
+    /// `max` over positive end times ([`crate::store::JobView::end_time`]),
+    /// `i64::MIN` while none seen.
+    max_end: i64,
+    cpu_volume: f64,
+    mem_volume: f64,
+    status_counts: [usize; Status::ALL.len()],
+    /// Every row so far passes the per-row availability checks (valid
+    /// duration, positive plans, nonzero instances).
+    rows_available: bool,
+    /// Shared across jobs (not reset by [`OpenFold::begin`]): the DAG-name
+    /// verdict cache — task names repeat across the whole trace.
+    dag_memo: taskname::DagNameMemo,
+}
+
+impl OpenFold {
+    fn new() -> OpenFold {
+        OpenFold {
+            name: String::new(),
+            encoded: None,
+            hash: 0,
+            slot: 0,
+            size: 0,
+            all_dag: true,
+            all_terminated: true,
+            min_start: i64::MAX,
+            max_end: i64::MIN,
+            cpu_volume: 0.0,
+            mem_volume: 0.0,
+            status_counts: [0; Status::ALL.len()],
+            rows_available: true,
+            dag_memo: taskname::DagNameMemo::new(),
+        }
+    }
+
+    /// Reset for a new job.
+    fn begin(&mut self, name: &str, encoded: Option<u64>, hash: u64, slot: usize) {
+        self.name.clear();
+        self.name.push_str(name);
+        self.encoded = encoded;
+        self.hash = hash;
+        self.slot = slot;
+        self.size = 0;
+        self.all_dag = true;
+        self.all_terminated = true;
+        self.min_start = i64::MAX;
+        self.max_end = i64::MIN;
+        self.cpu_volume = 0.0;
+        self.mem_volume = 0.0;
+        self.status_counts = [0; Status::ALL.len()];
+        self.rows_available = true;
+    }
+
+    /// Fold one row.
+    fn push(&mut self, p: &TaskParts<'_>) {
+        self.size += 1;
+        self.all_dag = self.all_dag && self.dag_memo.is_dag_name(p.task_name);
+        self.all_terminated = self.all_terminated && p.status == Status::Terminated;
+        if p.start_time > 0 {
+            self.min_start = self.min_start.min(p.start_time);
+        }
+        if p.end_time > 0 {
+            self.max_end = self.max_end.max(p.end_time);
+        }
+        self.cpu_volume += p.instance_num as f64 * p.plan_cpu;
+        self.mem_volume += p.instance_num as f64 * p.plan_mem;
+        self.status_counts[p.status.index()] += 1;
+        self.rows_available = self.rows_available
+            && p.start_time > 0
+            && p.end_time >= p.start_time
+            && p.plan_cpu > 0.0
+            && p.plan_mem > 0.0
+            && p.instance_num > 0;
+    }
+
+    /// The folded [`JobFacts`] — [`crate::store::JobView::facts`].
+    fn facts(&self) -> JobFacts {
+        let completion = (self.min_start != i64::MAX
+            && self.max_end != i64::MIN
+            && self.max_end >= self.min_start)
+            .then(|| self.max_end - self.min_start);
+        JobFacts {
+            cpu_volume: self.cpu_volume,
+            mem_volume: self.mem_volume,
+            is_dag: self.size > 0 && self.all_dag,
+            size: self.size as usize,
+            fully_terminated: self.size > 0 && self.all_terminated,
+            completion,
+            status_counts: self.status_counts,
+        }
+    }
+
+    /// [`crate::store::JobView::availability`] over the folded rows.
+    fn available(&self, criteria: &SampleCriteria) -> bool {
+        if self.min_start == i64::MAX || self.max_end == i64::MIN {
+            return false;
+        }
+        if self.min_start < criteria.min_start || self.max_end > criteria.window_secs + 86_400 {
+            return false;
+        }
+        self.rows_available
+    }
 }
 
 /// Everything the scan accumulates — split from the source so the borrow
@@ -371,13 +595,11 @@ impl ScanState {
         &mut self,
         name: &str,
         open: Option<Open>,
-        store: &mut JobStore,
+        fold: &OpenFold,
     ) -> Option<Open> {
         match open {
-            Some(Open::New { .. }) if store.open_name() == Some(name) => {
-                store.abandon_open();
-                None
-            }
+            // The open fold is simply dropped; the next `begin` resets it.
+            Some(Open::New { .. }) if fold.name == name => None,
             Some(Open::Straggler { idx, .. }) if self.name_is(idx, name) => {
                 self.kill(idx);
                 None
@@ -392,35 +614,40 @@ impl ScanState {
     }
 
     /// Seal whatever was accumulating. A new job gets its index, metadata
-    /// row, eligibility verdict, and statistics fold — then its rows are
-    /// dropped from the store. A straggler batch just records its range.
-    fn close_open(&mut self, open: Open, store: &mut JobStore) -> Result<(), TraceError> {
+    /// row, eligibility verdict, and statistics fold — all read off the
+    /// incremental [`OpenFold`]. A straggler batch just records its range.
+    fn close_open(&mut self, open: Open, fold: &OpenFold) -> Result<(), TraceError> {
         match open {
             Open::New { start, end } => {
-                let view = store.open_view().expect("Open::New implies an open job");
                 let len = u32::try_from(end - start).map_err(|_| {
                     TraceError::Io(format!(
                         "job '{}' spans more than 4 GiB of trace",
-                        view.name
+                        fold.name
                     ))
                 })?;
-                let facts = view.facts();
-                let eligible = view.eligible(&self.criteria);
-                let size = view.size() as u32;
+                let facts = fold.facts();
+                // Integrity is already in the facts; only the availability
+                // window check remains.
+                let eligible =
+                    facts.is_dag && facts.fully_terminated && fold.available(&self.criteria);
                 let idx = self.names.len() as u32;
-                let hash = self.names.push(view.name);
+                self.names.push_encoded(fold.encoded, &fold.name);
                 self.byte_start.push(start);
                 self.byte_len.push(len);
-                self.size.push(size);
+                self.size.push(fold.size);
                 self.flags
                     .push(FOLDED | if eligible { ELIGIBLE } else { 0 });
                 self.acc.add_facts(&facts);
                 if self.index.needs_grow() {
                     let names = &self.names;
                     self.index.grow(|i| names.hash(i));
+                    self.index.insert(fold.hash, idx);
+                } else {
+                    // No insert has happened since this job's open-time
+                    // probe, so the probed empty slot is still the right
+                    // home — skip the second probe chain.
+                    self.index.insert_at(fold.slot, fold.hash, idx);
                 }
-                self.index.insert(hash, idx);
-                store.abandon_open();
             }
             Open::Straggler { idx, start, end } => {
                 let len = u32::try_from(end - start).map_err(|_| {
@@ -539,32 +766,26 @@ impl ScanState {
 }
 
 /// The forward scan: group rows into jobs as they complete, fold each into
-/// the running statistics, record byte ranges, and drop the rows.
-fn run_scan<R: Read + Seek>(
-    source: &mut R,
-    state: &mut ScanState,
-    buffer: usize,
-) -> Result<(), TraceError> {
-    source.seek(SeekFrom::Start(0))?;
-    let mut lines = RawLines::new(BufReader::with_capacity(buffer.max(16), source));
-    let mut store = JobStore::new();
+/// the running statistics, record byte ranges, and drop the rows. Generic
+/// over the [`LineSource`] so the buffered (file) and zero-copy (mmap /
+/// in-memory) paths share one loop; rows parse in place via the SWAR
+/// scanner — no scratch line buffer, no per-row allocation.
+fn run_scan_source<S: LineSource>(lines: &mut S, state: &mut ScanState) -> Result<(), TraceError> {
+    let mut fold = OpenFold::new();
     let mut open: Option<Open> = None;
-    let mut buf: Vec<u8> = Vec::new();
 
-    while let Some((offset, consumed)) = lines.next_line_into(&mut buf)? {
+    while let Some((offset, consumed, span)) = lines.next_span()? {
         state.raw_bytes = offset + consumed;
         state.quarantine.lines_total += 1;
         let line_no = state.quarantine.lines_total;
-        if buf.is_empty() {
+        if span.is_empty() {
             continue;
         }
+        let raw = &lines.view()[span];
         state.quarantine.rows_total += 1;
-        let verdict = match std::str::from_utf8(&buf) {
-            Err(_) => Err(TraceError::Io(csv::UTF8_ERR.to_string())),
-            Ok(text) => csv::parse_task_parts(line_no, text).and_then(|p| {
-                csv::classify_row(&state.policy, line_no, p, |p| (p.start_time, p.end_time))
-            }),
-        };
+        let verdict = scan::parse_task_parts_bytes(line_no, raw).and_then(|p| {
+            csv::classify_row(&state.policy, line_no, p, |p| (p.start_time, p.end_time))
+        });
         let parts = match verdict {
             Ok(parts) => parts,
             Err(error) => {
@@ -573,17 +794,17 @@ fn run_scan<R: Read + Seek>(
                 {
                     return Err(error);
                 }
-                let job_name = quarantine::job_name_of(&buf);
+                let job_name = quarantine::job_name_of(raw);
                 state.quarantine.rows.push(QuarantinedRow {
                     line: line_no,
                     byte_offset: offset,
                     error,
-                    excerpt: quarantine::excerpt_of(&buf),
+                    excerpt: quarantine::excerpt_of(raw),
                     job_name: job_name.clone(),
                 });
                 if let Some(name) = job_name {
                     if state.suspects.insert(name.clone()) {
-                        open = state.on_new_suspect(&name, open, &mut store);
+                        open = state.on_new_suspect(&name, open, &fold);
                     }
                 }
                 continue;
@@ -595,8 +816,8 @@ fn run_scan<R: Read + Seek>(
         }
         // Fast path: the row continues whatever is open.
         match &mut open {
-            Some(Open::New { end, .. }) if store.open_name() == Some(parts.job_name) => {
-                store.push_parts(&parts);
+            Some(Open::New { end, .. }) if fold.name == parts.job_name => {
+                fold.push(&parts);
                 *end = offset + consumed;
                 continue;
             }
@@ -608,20 +829,30 @@ fn run_scan<R: Read + Seek>(
         }
         // The row opens something else: close what was open first.
         if let Some(prev) = open.take() {
-            state.close_open(prev, &mut store)?;
+            state.close_open(prev, &fold)?;
         }
-        open = Some(match state.lookup(parts.job_name) {
+        let encoded = encode_name(parts.job_name);
+        let hash = match encoded {
+            Some(v) => splitmix64(v),
+            None => fnv1a(parts.job_name.as_bytes()),
+        };
+        let probed = state
+            .index
+            .probe(hash, |idx| {
+                state.names.is_encoded(idx, &encoded, parts.job_name)
+            });
+        open = Some(match probed {
             // A closed job's name re-appearing: an out-of-order straggler
             // batch (the job cannot be dead here — dead jobs are suspects,
             // and suspect rows were dropped above).
-            Some(idx) => Open::Straggler {
+            Ok(idx) => Open::Straggler {
                 idx,
                 start: offset,
                 end: offset + consumed,
             },
-            None => {
-                store.begin_job(parts.job_name);
-                store.push_parts(&parts);
+            Err(slot) => {
+                fold.begin(parts.job_name, encoded, hash, slot);
+                fold.push(&parts);
                 Open::New {
                     start: offset,
                     end: offset + consumed,
@@ -630,9 +861,21 @@ fn run_scan<R: Read + Seek>(
         });
     }
     if let Some(prev) = open.take() {
-        state.close_open(prev, &mut store)?;
+        state.close_open(prev, &fold)?;
     }
     Ok(())
+}
+
+/// Seek-to-start wrapper: scan a `Read + Seek` source through a reused
+/// [`scan::BufLines`] buffer of `buffer` bytes.
+fn run_scan<R: Read + Seek>(
+    source: &mut R,
+    state: &mut ScanState,
+    buffer: usize,
+) -> Result<(), TraceError> {
+    source.seek(SeekFrom::Start(0))?;
+    let mut lines = scan::BufLines::new(&mut *source, buffer);
+    run_scan_source(&mut lines, state)
 }
 
 /// A fully scanned trace: per-job metadata columns, exact running
@@ -672,7 +915,32 @@ impl<R: Read + Seek> StreamedTrace<R> {
     pub fn stats(&self) -> TraceStats {
         self.state.acc.finish()
     }
+}
 
+impl<T: AsRef<[u8]>> StreamedTrace<Cursor<T>> {
+    /// Scan bytes already in memory — a whole file read up front, or an
+    /// mmap ([`dagscope_par::MmapBuf`] is `AsRef<[u8]>`) — through the
+    /// zero-copy [`scan::SliceLines`] path: lines parse in place, with no
+    /// intermediate buffer at all. Replay (materialization) then seeks
+    /// over the same bytes through a [`Cursor`]. Output is bit-identical
+    /// to [`StreamedTrace::scan`] over the same content.
+    pub fn scan_bytes(
+        data: T,
+        policy: &ReadPolicy,
+        criteria: &SampleCriteria,
+    ) -> Result<StreamedTrace<Cursor<T>>, TraceError> {
+        let mut state = ScanState::new(policy, criteria);
+        {
+            let mut lines = scan::SliceLines::new(data.as_ref());
+            run_scan_source(&mut lines, &mut state)?;
+        }
+        let mut source = Cursor::new(data);
+        state.finalize(&mut source)?;
+        Ok(StreamedTrace { source, state })
+    }
+}
+
+impl<R: Read + Seek> StreamedTrace<R> {
     /// Quarantine accounting for the scan.
     pub fn quarantine(&self) -> &Quarantine {
         &self.state.quarantine
@@ -817,6 +1085,60 @@ mod tests {
             &SampleCriteria::default(),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn name_index_fingerprint_and_wide_modes_agree() {
+        // Drive a tiny-capped index through the fingerprint→wide rebuild
+        // and check probes answer identically in both modes. Keys are the
+        // hashes of their indices so `grow`'s `hash_of` can be a closure
+        // over the same array the inserts used.
+        let hashes: Vec<u64> = (0..64u64).map(splitmix64).collect();
+        let mut fp_idx = NameIndex::with_fp_cap(16);
+        let mut wide_idx = NameIndex::with_fp_cap(0);
+        assert!(fp_idx.fp);
+        for (i, &h) in hashes.iter().enumerate() {
+            for index in [&mut fp_idx, &mut wide_idx] {
+                if index.needs_grow() {
+                    index.grow(|idx| hashes[idx as usize]);
+                }
+                match index.probe(h, |idx| hashes[idx as usize] == h) {
+                    Ok(found) => panic!("fresh key {i} already present as {found}"),
+                    Err(slot) => index.insert_at(slot, h, i as u32),
+                }
+            }
+        }
+        // 64 inserts crossed the fingerprint cap of 16: the first table
+        // must have rebuilt into wide mode; the second never left it.
+        assert!(!fp_idx.fp);
+        assert!(!wide_idx.fp);
+        for (i, &h) in hashes.iter().enumerate() {
+            for index in [&fp_idx, &wide_idx] {
+                assert_eq!(
+                    index.lookup(h, |idx| hashes[idx as usize] == h),
+                    Some(i as u32)
+                );
+            }
+        }
+        assert_eq!(fp_idx.lookup(splitmix64(999), |_| false), None);
+    }
+
+    #[test]
+    fn name_index_fingerprint_survives_collisions() {
+        // Two keys that land on the same slot *and* share the same top-8
+        // fingerprint bits must still resolve through the eq callback.
+        let a: u64 = 0x7f00_0000_0000_0000;
+        let b: u64 = 0x7f00_0000_0000_0000 | 0x0001_0000; // same slot mod 65536, same fp
+        let keys = [a, b];
+        let mut index = NameIndex::new();
+        for (i, &h) in keys.iter().enumerate() {
+            match index.probe(h, |idx| keys[idx as usize] == h) {
+                Ok(_) => panic!("fresh key already present"),
+                Err(slot) => index.insert_at(slot, h, i as u32),
+            }
+        }
+        assert_eq!(index.lookup(a, |idx| keys[idx as usize] == a), Some(0));
+        assert_eq!(index.lookup(b, |idx| keys[idx as usize] == b), Some(1));
     }
 
     #[test]

@@ -150,6 +150,114 @@ pub fn parse(name: &str) -> ParsedTaskName {
     }
 }
 
+/// Allocation-free [`parse`]`(name).is_dag()` — the ingest hot loop asks
+/// this once per task row, where [`parse`]'s parent `Vec` (or the
+/// `Independent` name copy) would be the only per-row allocation left.
+/// Kept equivalent to the full parser by construction (same grammar, same
+/// `u32` overflow behavior per segment) and pinned by tests.
+pub fn is_dag_name(name: &str) -> bool {
+    if name.is_empty() || name.starts_with("task_") {
+        return false;
+    }
+    let bytes = name.as_bytes();
+    // Leading letters; the first non-letter must be an ASCII digit. A
+    // multi-byte character's lead byte is neither, matching the char-wise
+    // parser's `Independent` verdict.
+    let mut i = 0;
+    while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+        i += 1;
+    }
+    if i == 0 || i == bytes.len() || !bytes[i].is_ascii_digit() {
+        return false;
+    }
+    // Task id, then `_parent` groups: every segment must be a valid `u32`,
+    // replicating `str::parse::<u32>` exactly — optional leading `+`, at
+    // least one digit, nothing else, value within range (leading zeros
+    // allowed, so the bound is on the value, not the digit count).
+    bytes[i..].split(|&b| b == b'_').all(|seg| {
+        let digits = match seg.split_first() {
+            Some((&b'+', rest)) => rest,
+            _ => seg,
+        };
+        if digits.is_empty() {
+            return false;
+        }
+        let mut v: u64 = 0;
+        for &b in digits {
+            let d = b.wrapping_sub(b'0');
+            if d > 9 {
+                return false;
+            }
+            v = v * 10 + u64::from(d);
+            if v > u64::from(u32::MAX) {
+                return false;
+            }
+        }
+        true
+    })
+}
+
+/// Memoizing wrapper around [`is_dag_name`] for the ingest hot loop.
+///
+/// DAG task names repeat enormously across jobs (`M1`, `R2_1`, `J3_1_2`…
+/// come from a small grammar), so a tiny direct-mapped cache keyed on the
+/// raw name bytes turns the ~25 ns grammar walk into a load-and-compare
+/// for names up to 15 bytes. The opaque `task_…` form bypasses the cache
+/// entirely — those names are frequently unique and would thrash the
+/// slots, and their verdict is a prefix test away. Misses and longer
+/// names delegate to [`is_dag_name`], so the wrapper is transparent by
+/// construction; a differential test pins it anyway.
+#[derive(Debug, Clone)]
+pub struct DagNameMemo {
+    /// `(packed key, verdict)` per slot. Key 0 marks an empty slot — a
+    /// real key cannot be 0 because the name's (nonzero) length is folded
+    /// into the top byte.
+    slots: Vec<(u128, bool)>,
+}
+
+impl Default for DagNameMemo {
+    fn default() -> DagNameMemo {
+        DagNameMemo::new()
+    }
+}
+
+impl DagNameMemo {
+    const SLOTS: usize = 256;
+
+    /// An empty cache (~8 KiB, comfortably L1-resident).
+    pub fn new() -> DagNameMemo {
+        DagNameMemo {
+            slots: vec![(0, false); Self::SLOTS],
+        }
+    }
+
+    /// Memoized [`is_dag_name`]`(name)`.
+    #[inline]
+    pub fn is_dag_name(&mut self, name: &str) -> bool {
+        let bytes = name.as_bytes();
+        if bytes.is_empty() || bytes.starts_with(b"task_") {
+            return false;
+        }
+        if bytes.len() > 15 {
+            return is_dag_name(name);
+        }
+        let mut packed = [0u8; 16];
+        packed[..bytes.len()].copy_from_slice(bytes);
+        // Zero padding cannot collide across lengths: the length occupies
+        // the (always zero-padded) top byte.
+        let key = u128::from_le_bytes(packed) | (bytes.len() as u128) << 120;
+        let h = ((key as u64) ^ ((key >> 64) as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let slot = (h >> 48) as usize & (Self::SLOTS - 1);
+        let (k, v) = self.slots[slot];
+        if k == key {
+            return v;
+        }
+        let v = is_dag_name(name);
+        self.slots[slot] = (key, v);
+        v
+    }
+}
+
 /// Render a DAG task name from its components (inverse of [`parse`]).
 ///
 /// ```
@@ -277,6 +385,50 @@ mod tests {
         ] {
             let s = format_dag(kind, id, &parents);
             assert_eq!(parse(&s), ParsedTaskName::Dag { kind, id, parents });
+        }
+    }
+
+    #[test]
+    fn is_dag_name_matches_full_parser() {
+        // The fast predicate and the allocating parser must agree on every
+        // grammar edge: overflow segments, `+`-signed parents (u32::from_str
+        // accepts them), non-ASCII lead bytes, empty segments, bare letters.
+        for name in [
+            "M1",
+            "R2_1",
+            "R5_4_3_2_1",
+            "MergeTask12_1",
+            "m2_1",
+            "task_Kx92ab",
+            "task_",
+            "",
+            "123",
+            "M",
+            "M1_x2",
+            "M-1",
+            "M1_",
+            "M_1",
+            "M1__2",
+            "M1_+2",
+            "M+1",
+            "M4294967295",
+            "M4294967296",
+            "M99999999999_1",
+            "M1_99999999999",
+            "M00000000001_1",
+            "M1_00000000000042",
+            "M007_001",
+            "Ṁ1",
+            "M1\u{300}",
+            "Stg5_4_3",
+            "X7_2",
+            "J3_1_2",
+        ] {
+            assert_eq!(
+                is_dag_name(name),
+                parse(name).is_dag(),
+                "disagreement on {name:?}"
+            );
         }
     }
 
